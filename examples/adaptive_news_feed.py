@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""An adaptive news feed: monitoring-driven renegotiation.
+
+Demonstrates the QoS adaptation loop of Section 3 ("varying resource
+availability should be addressed through adaption, i.e. renegotiations
+if the resource availability in- or decreases"):
+
+- an Actuality binding at a "gold" freshness level;
+- a capacity trace that degrades the link mid-run and recovers it;
+- a monitor watching round-trip latency against the agreement;
+- an adaptation manager stepping the binding down a level ladder when
+  expectations break, and probing back up when conditions recover.
+
+Run:  python examples/adaptive_news_feed.py
+"""
+
+import repro.qos as qos
+from repro.core.adaptation import AdaptationLevel, AdaptationManager
+from repro.core.binding import QoSProvider, establish_qos
+from repro.core.monitoring import Expectation, QoSMonitor
+from repro.core.negotiation import Range
+from repro.orb import World
+from repro.qos.actuality.freshness import ActualityImpl, ActualityMediator
+from repro.workloads import compressible_text
+
+NEWS_QIDL = """
+interface NewsFeed provides Actuality {
+    string headline(in string section);
+    string full_story(in string section);
+};
+"""
+
+generated = qos.weave(NEWS_QIDL, "example_news")
+
+LEVELS = [
+    AdaptationLevel("gold   (fresh <= 0.5s)", {"max_age": Range(0.1, 0.5)}),
+    AdaptationLevel("silver (fresh <= 2s)  ", {"max_age": Range(0.5, 2.0)}),
+    AdaptationLevel("bronze (fresh <= 10s) ", {"max_age": Range(2.0, 10.0)}),
+]
+
+
+class NewsImpl(generated.NewsFeedServerBase):
+    def __init__(self):
+        super().__init__()
+        self.edition = 0
+
+    def headline(self, section):
+        return f"[{section}] edition {self.edition}"
+
+    def full_story(self, section):
+        return compressible_text(6000, seed=self.edition)
+
+
+def main():
+    world = World()
+    world.add_host("reader")
+    world.add_host("newsroom")
+    link = world.connect("reader", "newsroom", latency=0.01, bandwidth_bps=2e6)
+
+    servant = NewsImpl()
+    provider = QoSProvider(world, "newsroom", servant)
+    provider.support(
+        "Actuality",
+        ActualityImpl().attach_clock(world.clock),
+        capabilities={"max_age": Range(0.1, 10.0)},
+    )
+    ior = provider.activate("news")
+    stub = generated.NewsFeedStub(world.orb("reader"), ior)
+
+    mediator = ActualityMediator(cacheable={"headline", "full_story"})
+    binding = establish_qos(
+        stub, "Actuality", LEVELS[0].requirements, mediator=mediator
+    )
+    monitor = QoSMonitor(binding.agreement, world.clock, min_samples=3)
+    monitor.expect(Expectation("latency", "<=", 0.120, aggregate="mean"))
+    manager = AdaptationManager(
+        binding, monitor, LEVELS, upgrade_after_healthy_checks=3
+    )
+
+    # The link degrades at t=20s and recovers at t=50s.
+    world.resources.set_capacity_trace(
+        link, [(0.0, 2e6), (20.0, 96e3), (50.0, 2e6)]
+    )
+
+    print(f"{'time':>6}  {'level':<22} {'mean rtt':>9}  event")
+    for tick in range(1, 16):
+        target_time = tick * 5.0
+        world.kernel.run_until(target_time)
+        world.resources.apply_traces()
+        # The reader polls a few stories each tick.
+        for story in range(3):
+            start = world.clock.now
+            stub.full_story(f"section-{story}")
+            monitor.observe("latency", world.clock.now - start)
+        event = manager.check() or ""
+        mean = monitor.window("latency").mean()
+        mean_text = f"{mean * 1e3:7.1f}ms" if mean == mean else "   (n/a)"
+        print(
+            f"{world.clock.now:6.1f}  {manager.current_level.name:<22}"
+            f"{mean_text}  {event}"
+        )
+
+    print(
+        f"\nrenegotiations: {manager.renegotiations}, "
+        f"cache hits: {mediator.hits}, misses: {mediator.misses}"
+    )
+    print("level track:", [(round(t, 1), LEVELS[i].name.split()[0], why)
+                           for t, i, why in manager.track])
+
+
+if __name__ == "__main__":
+    main()

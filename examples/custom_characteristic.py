@@ -1,0 +1,208 @@
+#!/usr/bin/env python
+"""Defining a brand-new QoS characteristic — genericity in action.
+
+Section 2.1: "Generic QoS management architectures allow the
+definition and implementation of arbitrary QoS characteristics."  This
+example adds a **Deadline** characteristic that ships nowhere in the
+library: requests carry a per-call deadline; the server-side QoS
+implementation rejects requests that arrive already late, and the
+client-side mediator tracks the miss rate.
+
+Everything uses only public extension points: a ``qos`` QIDL
+declaration, a Mediator subclass, a QoSImplementation subclass,
+`register_characteristic` and a catalog entry.
+
+Run:  python examples/custom_characteristic.py
+"""
+
+from typing import Any, Dict, Optional, Tuple
+
+import repro.qos as qos
+from repro.core.binding import QoSProvider, establish_qos
+from repro.core.catalog import CATALOG, CatalogEntry
+from repro.core.mediator import Mediator
+from repro.core.negotiation import Range
+from repro.core.qos_skeleton import QoSImplementation
+from repro.orb import World
+from repro.orb.exceptions import TRANSIENT
+
+# -- 1. The characteristic's QIDL declaration ---------------------------
+
+DEADLINE_QIDL = """
+qos Deadline {
+    attribute double budget;
+    management long rejected();
+};
+"""
+
+DEADLINE_CONTEXT = "example.deadline"
+
+
+# -- 2. Client-side behaviour: the mediator -----------------------------
+
+class DeadlineMediator(Mediator):
+    """Stamp each request with an absolute deadline; count misses."""
+
+    characteristic = "Deadline"
+
+    def __init__(self, budget: float = 0.05):
+        super().__init__()
+        self.budget = budget
+        self.met = 0
+        self.missed = 0
+
+    def invoke(self, stub, operation, args):
+        self.calls_intercepted += 1
+        clock = stub._orb.clock
+        deadline = clock.now + self.budget
+        try:
+            result = stub._invoke(
+                operation, args, extra_contexts={DEADLINE_CONTEXT: deadline}
+            )
+        except TRANSIENT:
+            self.missed += 1
+            raise
+        if clock.now <= deadline:
+            self.met += 1
+        else:
+            self.missed += 1
+        return result
+
+
+# -- 3. Server-side behaviour: the QoS implementation --------------------
+
+class DeadlineImpl(QoSImplementation):
+    """Reject requests that arrive with their deadline already blown."""
+
+    characteristic = "Deadline"
+
+    def __init__(self, clock=None):
+        self.budget = 0.05
+        self._clock = clock
+        self._rejected = 0
+
+    def attach_clock(self, clock):
+        self._clock = clock
+        return self
+
+    def get_budget(self):
+        return self.budget
+
+    def set_budget(self, value):
+        self.budget = float(value)
+
+    def rejected(self):
+        return self._rejected
+
+    def prolog(self, servant, operation, args, contexts):
+        deadline = contexts.get(DEADLINE_CONTEXT)
+        # The POA exposes the simulated instant this request would
+        # start processing (after any queueing) — admission control
+        # rejects requests that are already too late.
+        starts = contexts.get("maqs.start_time", self._clock.now)
+        if deadline is not None and starts > deadline:
+            self._rejected += 1
+            raise TRANSIENT(
+                f"deadline exceeded before processing "
+                f"({starts - deadline:.3f}s late)"
+            )
+        return None
+
+
+# -- 4. Register it like any built-in characteristic ---------------------
+
+qos.register_characteristic(
+    qos.Characteristic(
+        name="Deadline",
+        category="real-time",
+        qidl=DEADLINE_QIDL,
+        mediator_class=DeadlineMediator,
+        impl_class=DeadlineImpl,
+    )
+)
+CATALOG.register(
+    CatalogEntry(
+        name="Deadline",
+        category="real-time",
+        intent="Reject requests that can no longer meet their deadline.",
+        for_application_developers=(
+            "Declare 'provides Deadline'; negotiate a budget; late "
+            "calls fail fast with TRANSIENT instead of returning stale."
+        ),
+        for_qos_implementors=(
+            "Client mediator stamps an absolute deadline into the "
+            "service context; the server prolog enforces it before the "
+            "servant runs."
+        ),
+        mechanisms=["service contexts", "prolog admission control"],
+        qidl=DEADLINE_QIDL,
+    )
+)
+
+
+def main():
+    generated = qos.weave(
+        """
+        interface Analytics provides Deadline {
+            double aggregate(in long rows);
+        };
+        """,
+        "example_deadline",
+    )
+
+    class AnalyticsImpl(generated.AnalyticsServerBase):
+        def _service_time(self, operation, args):
+            return args[0] * 0.0001 if operation == "aggregate" else 0.0
+
+        def aggregate(self, rows):
+            return float(rows) * 0.5
+
+    world = World()
+    world.lan(["client", "server"], latency=0.005)
+    servant = AnalyticsImpl()
+    provider = QoSProvider(world, "server", servant)
+    provider.support(
+        "Deadline",
+        DeadlineImpl().attach_clock(world.clock),
+        capabilities={"budget": Range(0.01, 0.5, preferred=0.05)},
+    )
+    ior = provider.activate("analytics")
+    print(f"server offers: {ior.qos_characteristics()}")
+
+    stub = generated.AnalyticsStub(world.orb("client"), ior)
+    mediator = DeadlineMediator()
+    binding = establish_qos(
+        stub, "Deadline", {"budget": Range(0.01, 0.1, preferred=0.05)},
+        mediator=mediator,
+    )
+    print(f"negotiated budget: {binding.granted['budget'] * 1e3:.0f} ms")
+
+    # Small queries meet the deadline comfortably.
+    for rows in (50, 100, 200):
+        stub.aggregate(rows)
+        print(f"aggregate({rows:>5}) -> ok")
+
+    # A client-side miss: the reply of a 2000-row job lands after the
+    # deadline (200 ms of service against a 50 ms budget).
+    stub.aggregate(2000)
+    print("aggregate( 2000) -> returned, but past the deadline (client miss)")
+
+    # A server-side rejection: background load queues the server so the
+    # next request would only *start* after its deadline.
+    world.network.host("server").occupy(world.clock.now, 0.3)
+    try:
+        stub.aggregate(50)
+        print("aggregate(   50) -> ok")
+    except TRANSIENT as error:
+        print(f"aggregate(   50) -> rejected by server ({error})")
+
+    print(
+        f"\nmediator: {mediator.met} met, {mediator.missed} missed; "
+        f"server rejected {stub.rejected()} late request(s)"
+    )
+    print("\ncatalog entry:\n")
+    print(CATALOG.entry("Deadline").render())
+
+
+if __name__ == "__main__":
+    main()

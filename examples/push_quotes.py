@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Push-invalidated market quotes: the event channel + actuality.
+
+The polling Actuality cache (examples/adaptive_news_feed.py) trades
+staleness for round trips.  With an event channel pushing invalidation
+events, the client negotiates a *huge* freshness budget — almost every
+read is a cache hit — yet never observes a stale quote: the publisher
+invalidates the cache the moment a price changes.
+
+Run:  python examples/push_quotes.py
+"""
+
+import repro.qos as qos
+from repro.core.binding import QoSProvider, establish_qos
+from repro.core.negotiation import Range
+from repro.orb import World
+from repro.orb.events import (
+    CacheInvalidator,
+    EventChannelServant,
+    EventChannelStub,
+)
+from repro.qos.actuality.freshness import ActualityImpl, ActualityMediator
+from repro.workloads.apps import make_quote_servant_class, quote_module
+
+
+def main():
+    world = World()
+    world.lan(["trader-desk", "exchange", "hub"], latency=0.003)
+
+    # The quote feed, QoS-enabled with Actuality.
+    feed = make_quote_servant_class()()
+    provider = QoSProvider(world, "exchange", feed)
+    provider.support(
+        "Actuality",
+        ActualityImpl().attach_clock(world.clock),
+        capabilities={"max_age": Range(0.1, 1e6)},
+    )
+    feed_ior = provider.activate("quotes")
+
+    # The event channel on a hub host.
+    channel = EventChannelServant(world.orb("hub"))
+    channel_ior = world.orb("hub").poa.activate_object(channel, "events")
+
+    # Client: actuality mediator with an effectively infinite budget,
+    # kept honest by push invalidation.
+    client = world.orb("trader-desk")
+    stub = quote_module.QuoteFeedStub(client, feed_ior)
+    mediator = ActualityMediator(cacheable={"quote"}, max_age=1e6)
+    establish_qos(
+        stub, "Actuality", {"max_age": Range(0.1, 1e6, preferred=1e6)},
+        mediator=mediator,
+    )
+    invalidator = CacheInvalidator(mediator)
+    invalidator_ior = client.poa.activate_object(invalidator, "inv")
+    EventChannelStub(client, channel_ior).subscribe("quotes", invalidator_ior)
+
+    publisher_channel = EventChannelStub(world.orb("exchange"), channel_ior)
+
+    def publish_price(symbol, price):
+        feed.publish(symbol, price)
+        publisher_channel.publish("quotes", "quote")
+
+    publish_price("ACME", 100.0)
+    stale_reads = 0
+    reads = 0
+    print(f"{'time':>7}  event")
+    for tick in range(1, 11):
+        world.kernel.run_until(tick * 1.0)
+        if tick % 3 == 0:
+            new_price = 100.0 + tick
+            publish_price("ACME", new_price)
+            print(f"{world.clock.now:7.2f}  exchange publishes ACME @ {new_price:.2f}")
+        for _ in range(5):  # the desk reads prices constantly
+            observed = stub.quote("ACME")
+            reads += 1
+            if observed != feed._prices["ACME"]:
+                stale_reads += 1
+    print(f"{world.clock.now:7.2f}  done")
+
+    print(
+        f"\nreads: {reads}, stale reads: {stale_reads}, "
+        f"cache hits: {mediator.hits} ({mediator.hits / reads:.0%}), "
+        f"pushed invalidations: {invalidator.invalidations}"
+    )
+    assert stale_reads == 0
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+#!/usr/bin/env python
+"""Print the QoS characteristics catalog.
+
+Section 6: "We think, that a catalog similar to those for design
+patterns is an appropriate way to document QoS implementations",
+targeted at two groups — application developers and QoS implementors.
+This renders exactly that catalog from the registered characteristics.
+
+Run:  python examples/qos_catalog.py [characteristic]
+"""
+
+import sys
+
+import repro.qos  # noqa: F401 - registers the five characteristics
+from repro.core.catalog import CATALOG
+
+
+def main():
+    if len(sys.argv) > 1:
+        print(CATALOG.entry(sys.argv[1]).render())
+        return
+    print("MAQS QoS characteristics catalog")
+    print(f"categories: {', '.join(CATALOG.categories())}")
+    print(f"characteristics: {', '.join(CATALOG.names())}")
+    print()
+    print(CATALOG.render())
+
+
+if __name__ == "__main__":
+    main()

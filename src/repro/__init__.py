@@ -1,0 +1,44 @@
+"""MAQS — Management Architecture for Quality of Service.
+
+A full Python reproduction of the system described in
+
+    Christian Becker and Kurt Geihs,
+    "Quality of Service and Object-Oriented Middleware —
+     Multiple Concerns and their Separation", ICDCS 2001.
+
+The package is layered bottom-up:
+
+``repro.netsim``
+    Deterministic simulated network substrate: discrete-event kernel,
+    hosts, links, multicast, bandwidth reservation and fault injection.
+
+``repro.orb``
+    A CORBA-like object request broker built on top of the network
+    substrate: CDR marshalling, GIOP-style messages, IORs, a POA-style
+    object adapter, stubs/skeletons, the dynamic invocation interface,
+    and the QoS transport with dynamically loadable QoS modules
+    (the paper's Figure 3).
+
+``repro.qidl``
+    The QIDL language: an IDL extended with ``qos`` declarations, whose
+    compiler acts as the aspect weaver (the paper's Section 3).
+
+``repro.core``
+    The MAQS runtime: client-side mediators, server-side QoS skeletons
+    with prolog/epilog, QoS binding, negotiation, monitoring,
+    adaptation, accounting, trading, preference contracts and the QoS
+    characteristics catalog.
+
+``repro.qos``
+    The QoS characteristics evaluated by the paper: fault tolerance via
+    replica groups, load balancing, compression, encryption/privacy and
+    actuality (freshness) of data.
+
+``repro.baselines`` / ``repro.workloads``
+    Comparison baselines (plain ORB, hand-tangled QoS) and workload
+    generators used by the benchmark harness.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,28 @@
+"""Comparison baselines for the separation-of-concerns experiments.
+
+- :mod:`repro.baselines.plain` — the application with no QoS at all
+  (the lower bound every QoS mechanism is compared against).
+- :mod:`repro.baselines.tangled` — the same application with the QoS
+  behaviour hand-written *inside* the application methods: the
+  cross-cutting mess the paper's weaving removes.
+- :mod:`repro.baselines.metrics` — tangling/invasiveness metrics that
+  quantify the separation (experiment E9).
+"""
+
+from repro.baselines.metrics import (
+    TanglingReport,
+    compare_separation,
+    tangling_report,
+)
+from repro.baselines.plain import PlainArchiveServant, PlainArchiveStub
+from repro.baselines.tangled import TangledArchiveServant, TangledArchiveStub
+
+__all__ = [
+    "PlainArchiveServant",
+    "PlainArchiveStub",
+    "TangledArchiveServant",
+    "TangledArchiveStub",
+    "TanglingReport",
+    "compare_separation",
+    "tangling_report",
+]

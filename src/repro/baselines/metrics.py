@@ -1,0 +1,179 @@
+"""Separation-of-concerns metrics (experiment E9).
+
+Quantifies the paper's qualitative argument: with MAQS weaving the
+application module contains (near) zero QoS code, while the
+hand-tangled variant mixes QoS into most application methods.
+
+Two detectors are supported:
+
+- the explicit ``# [qos]`` marker (ground truth in the shipped
+  baselines);
+- a keyword heuristic (compress/encrypt/cache/retry/key/...), for
+  measuring sources without markers.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Dict, Iterable, List, Optional, Tuple
+
+MARKER = "# [qos]"
+
+#: Heuristic indicators of QoS concern participation.
+QOS_KEYWORDS = (
+    "compress",
+    "decompress",
+    "codec",
+    "encrypt",
+    "decrypt",
+    "cipher",
+    "key_id",
+    "_keys",
+    "seal",
+    "cache",
+    "max_age",
+    "stale",
+    "retry",
+    "retrie",
+    "replica",
+    "quarantine",
+    "reserve",
+    "threshold",
+)
+
+
+class TanglingReport:
+    """Tangling measurement of one source unit."""
+
+    def __init__(
+        self,
+        name: str,
+        total_lines: int,
+        qos_lines: int,
+        qos_methods: int,
+        total_methods: int,
+    ) -> None:
+        self.name = name
+        self.total_lines = total_lines
+        self.qos_lines = qos_lines
+        self.qos_methods = qos_methods
+        self.total_methods = total_methods
+
+    @property
+    def tangling_ratio(self) -> float:
+        """Fraction of code lines participating in QoS concerns."""
+        if self.total_lines == 0:
+            return 0.0
+        return self.qos_lines / self.total_lines
+
+    @property
+    def method_spread(self) -> float:
+        """Fraction of methods touched by QoS concerns."""
+        if self.total_methods == 0:
+            return 0.0
+        return self.qos_methods / self.total_methods
+
+    def row(self) -> Tuple[str, int, int, float, float]:
+        return (
+            self.name,
+            self.total_lines,
+            self.qos_lines,
+            round(self.tangling_ratio, 3),
+            round(self.method_spread, 3),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TanglingReport({self.name}: {self.qos_lines}/{self.total_lines} "
+            f"qos lines, {self.qos_methods}/{self.total_methods} methods)"
+        )
+
+
+def _code_lines(source: str) -> List[str]:
+    """Non-empty, non-pure-comment, non-docstring-ish lines."""
+    lines = []
+    in_doc = False
+    for raw in source.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if in_doc:
+            if line.endswith(('"""', "'''")):
+                in_doc = False
+            continue
+        if line.startswith(('"""', "'''")):
+            quote = line[:3]
+            # Single-line docstrings close themselves; anything else
+            # opens a block that ends on a later closing-quote line.
+            closes_itself = len(line) >= 6 and line.endswith(quote)
+            if not closes_itself:
+                in_doc = True
+            continue
+        if line.startswith("#"):
+            continue
+        lines.append(line)
+    return lines
+
+
+def _is_qos_line(line: str, use_markers: bool, keywords: Iterable[str]) -> bool:
+    if use_markers:
+        return MARKER in line
+    lowered = line.lower()
+    return any(keyword in lowered for keyword in keywords)
+
+
+def tangling_report(
+    target: object,
+    name: Optional[str] = None,
+    use_markers: bool = True,
+    keywords: Iterable[str] = QOS_KEYWORDS,
+) -> TanglingReport:
+    """Measure one class/module/source string for QoS tangling."""
+    if isinstance(target, str):
+        source = target
+        label = name or "<source>"
+    else:
+        source = inspect.getsource(target)
+        label = name or getattr(target, "__name__", "<object>")
+
+    lines = _code_lines(source)
+    qos_lines = sum(
+        1 for line in lines if _is_qos_line(line, use_markers, keywords)
+    )
+
+    total_methods = 0
+    qos_methods = 0
+    current_method_has_qos = False
+    in_method = False
+    for line in lines:
+        if line.startswith("def "):
+            if in_method:
+                qos_methods += int(current_method_has_qos)
+            in_method = True
+            total_methods += 1
+            current_method_has_qos = _is_qos_line(line, use_markers, keywords)
+        elif in_method and _is_qos_line(line, use_markers, keywords):
+            current_method_has_qos = True
+    if in_method:
+        qos_methods += int(current_method_has_qos)
+
+    return TanglingReport(label, len(lines), qos_lines, qos_methods, total_methods)
+
+
+def compare_separation(
+    tangled: object,
+    woven: object,
+    use_markers_tangled: bool = True,
+    use_markers_woven: bool = False,
+) -> Dict[str, TanglingReport]:
+    """Side-by-side tangling of the tangled vs. the woven variant.
+
+    The woven application typically has no markers (it has no QoS code
+    to mark), so the keyword heuristic is used there by default.
+    """
+    return {
+        "tangled": tangling_report(
+            tangled, "tangled", use_markers=use_markers_tangled
+        ),
+        "woven": tangling_report(woven, "woven", use_markers=use_markers_woven),
+    }

@@ -1,0 +1,51 @@
+"""The plain archive application: no QoS anywhere.
+
+This is the application logic in its pure form — the code an
+application developer *wants* to write.  Both the MAQS-woven variant
+and the hand-tangled variant implement exactly this behaviour; the E9
+metrics measure how much QoS residue each approach leaves in it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.orb.servant import Servant
+from repro.orb.stub import Stub
+
+
+class PlainArchiveServant(Servant):
+    """A key-value document store with no QoS awareness."""
+
+    _repo_id = "IDL:baselines/Archive:1.0"
+
+    def __init__(self) -> None:
+        self.files: Dict[str, str] = {}
+
+    def fetch(self, path: str) -> str:
+        return self.files.get(path, "")
+
+    def store(self, path: str, content: str) -> None:
+        self.files[path] = content
+
+    def list_paths(self) -> List[str]:
+        return sorted(self.files)
+
+    def size(self) -> int:
+        return len(self.files)
+
+
+class PlainArchiveStub(Stub):
+    """Hand-written stub for the plain archive."""
+
+    def fetch(self, path: str) -> str:
+        return self._call("fetch", path)
+
+    def store(self, path: str, content: str) -> None:
+        return self._call("store", path, content)
+
+    def list_paths(self) -> List[str]:
+        return self._call("list_paths")
+
+    def size(self) -> int:
+        return self._call("size")

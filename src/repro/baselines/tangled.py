@@ -1,0 +1,180 @@
+"""The hand-tangled archive: QoS behaviour inlined into application code.
+
+This is the counter-example MAQS argues against (Section 2.2: "Client
+and service code should not be mixed unnecessarily with QoS specific
+behaviour").  Compression, encryption, caching and retry logic are
+written by hand *inside* every application method, on both the client
+and the server — the way pre-AOP systems actually did it.
+
+Functionally it matches the woven variant (same codecs, same ciphers,
+same freshness semantics), so E9 can compare like with like.  Lines
+participating in QoS concerns carry a ``# [qos]`` marker so the
+tangling metric has ground truth; the keyword-based detector in
+:mod:`repro.baselines.metrics` is validated against these markers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro import ciphers, codecs  # [qos]
+from repro.ciphers.keyex import KeyExchange  # [qos]
+from repro.orb.exceptions import COMM_FAILURE, NO_PERMISSION, TRANSIENT  # [qos]
+from repro.orb.servant import Servant
+from repro.orb.stub import Stub
+
+
+class TangledArchiveServant(Servant):
+    """Document store with compression + encryption + staleness stamps
+    hand-mixed into every operation."""
+
+    _repo_id = "IDL:baselines/TangledArchive:1.0"
+
+    def __init__(self) -> None:
+        self.files: Dict[str, str] = {}
+        self.codec = "lz"  # [qos]
+        self.threshold = 256  # [qos]
+        self.cipher = "xtea-ctr"  # [qos]
+        self._keys: Dict[str, bytes] = {}  # [qos]
+        self._dh_seed = 0x7A7A  # [qos]
+
+    # -- QoS plumbing the application is forced to expose ---------------
+
+    def exchange_key(self, key_id: str, public_value: int) -> int:  # [qos]
+        endpoint = KeyExchange(seed=self._dh_seed)  # [qos]
+        self._dh_seed += 1  # [qos]
+        self._keys[key_id] = endpoint.shared_key(public_value)  # [qos]
+        return endpoint.public_value  # [qos]
+
+    def _unseal(self, value: Any) -> Any:  # [qos]
+        if isinstance(value, dict) and "enc" in value:  # [qos]
+            key = self._keys.get(value["key_id"])  # [qos]
+            if key is None:  # [qos]
+                raise NO_PERMISSION("no session key")  # [qos]
+            _, decrypt = ciphers.get_cipher(value["enc"])  # [qos]
+            value = decrypt(key, value["data"]).decode("utf-8")  # [qos]
+        if isinstance(value, dict) and "comp" in value:  # [qos]
+            _, decompress = codecs.get_codec(value["comp"])  # [qos]
+            value = decompress(value["data"]).decode("utf-8")  # [qos]
+        return value  # [qos]
+
+    def _seal(self, value: str, key_id: str) -> Any:  # [qos]
+        raw = value.encode("utf-8")  # [qos]
+        if len(raw) >= self.threshold:  # [qos]
+            compress, _ = codecs.get_codec(self.codec)  # [qos]
+            packed = compress(raw)  # [qos]
+            if len(packed) < len(raw):  # [qos]
+                return {"comp": self.codec, "data": packed}  # [qos]
+        if key_id and key_id in self._keys:  # [qos]
+            encrypt, _ = ciphers.get_cipher(self.cipher)  # [qos]
+            sealed = encrypt(self._keys[key_id], raw)  # [qos]
+            return {"enc": self.cipher, "key_id": key_id, "data": sealed}  # [qos]
+        return value  # [qos]
+
+    # -- application operations (QoS mixed in) ----------------------------
+
+    def fetch(self, path: str, key_id: str) -> Any:
+        content = self.files.get(path, "")
+        return self._seal(content, key_id)  # [qos]
+
+    def store(self, path: str, content: Any) -> None:
+        content = self._unseal(content)  # [qos]
+        self.files[path] = content
+
+    def list_paths(self) -> List[str]:
+        return sorted(self.files)
+
+    def size(self) -> int:
+        return len(self.files)
+
+
+class TangledArchiveStub(Stub):
+    """Client proxy with compression, encryption, caching and retry
+    hand-mixed into every call path."""
+
+    def __init__(self, orb: Any, ior: Any) -> None:
+        super().__init__(orb, ior)
+        self.codec = "lz"  # [qos]
+        self.threshold = 256  # [qos]
+        self.cipher = "xtea-ctr"  # [qos]
+        self.key_id = ""  # [qos]
+        self._keys: Dict[str, bytes] = {}  # [qos]
+        self._dh_seed = 0x1B1B  # [qos]
+        self.max_age = 1.0  # [qos]
+        self._cache: Dict[str, Tuple[Any, float]] = {}  # [qos]
+        self.retries = 1  # [qos]
+
+    # -- QoS plumbing ----------------------------------------------------
+
+    def establish_key(self) -> str:  # [qos]
+        endpoint = KeyExchange(seed=self._dh_seed)  # [qos]
+        self._dh_seed += 1  # [qos]
+        key_id = f"tangled-{self._dh_seed}"  # [qos]
+        server_public = self._retrying_call(  # [qos]
+            "exchange_key", key_id, endpoint.public_value  # [qos]
+        )  # [qos]
+        self._keys[key_id] = endpoint.shared_key(server_public)  # [qos]
+        self.key_id = key_id  # [qos]
+        return key_id  # [qos]
+
+    def _retrying_call(self, operation: str, *args: Any) -> Any:  # [qos]
+        last: Optional[Exception] = None  # [qos]
+        for _ in range(self.retries + 1):  # [qos]
+            try:  # [qos]
+                return self._call(operation, *args)  # [qos]
+            except (COMM_FAILURE, TRANSIENT) as error:  # [qos]
+                last = error  # [qos]
+        raise last  # type: ignore[misc]  # [qos]
+
+    def _seal(self, content: str) -> Any:  # [qos]
+        raw = content.encode("utf-8")  # [qos]
+        if len(raw) >= self.threshold:  # [qos]
+            compress, _ = codecs.get_codec(self.codec)  # [qos]
+            packed = compress(raw)  # [qos]
+            if len(packed) < len(raw):  # [qos]
+                return {"comp": self.codec, "data": packed}  # [qos]
+        if self.key_id:  # [qos]
+            encrypt, _ = ciphers.get_cipher(self.cipher)  # [qos]
+            sealed = encrypt(self._keys[self.key_id], raw)  # [qos]
+            return {  # [qos]
+                "enc": self.cipher,  # [qos]
+                "key_id": self.key_id,  # [qos]
+                "data": sealed,  # [qos]
+            }  # [qos]
+        return content  # [qos]
+
+    def _unseal(self, value: Any) -> Any:  # [qos]
+        if isinstance(value, dict) and "enc" in value:  # [qos]
+            key = self._keys.get(value["key_id"])  # [qos]
+            if key is None:  # [qos]
+                raise NO_PERMISSION("no session key")  # [qos]
+            _, decrypt = ciphers.get_cipher(value["enc"])  # [qos]
+            return decrypt(key, value["data"]).decode("utf-8")  # [qos]
+        if isinstance(value, dict) and "comp" in value:  # [qos]
+            _, decompress = codecs.get_codec(value["comp"])  # [qos]
+            return decompress(value["data"]).decode("utf-8")  # [qos]
+        return value  # [qos]
+
+    # -- application operations (QoS mixed in) ----------------------------
+
+    def fetch(self, path: str) -> str:
+        cached = self._cache.get(path)  # [qos]
+        if cached is not None:  # [qos]
+            value, stored_at = cached  # [qos]
+            if self._orb.clock.now - stored_at <= self.max_age:  # [qos]
+                return value  # [qos]
+        sealed = self._retrying_call("fetch", path, self.key_id)  # [qos]
+        content = self._unseal(sealed)  # [qos]
+        self._cache[path] = (content, self._orb.clock.now)  # [qos]
+        return content
+
+    def store(self, path: str, content: str) -> None:
+        sealed = self._seal(content)  # [qos]
+        self._retrying_call("store", path, sealed)  # [qos]
+        self._cache.pop(path, None)  # [qos]
+
+    def list_paths(self) -> List[str]:
+        return self._retrying_call("list_paths")  # [qos]
+
+    def size(self) -> int:
+        return self._retrying_call("size")  # [qos]

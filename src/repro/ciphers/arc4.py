@@ -1,0 +1,40 @@
+"""An RC4-style stream cipher (alleged-RC4 / ARC4).
+
+Key-scheduling plus PRGA as published in 1994.  Kept for era fidelity
+— RC4 was the ubiquitous cheap stream cipher of CORBA-age systems.
+"""
+
+from __future__ import annotations
+
+
+def _keystream(key: bytes, length: int) -> bytes:
+    if not key:
+        raise ValueError("ARC4 key must not be empty")
+    # Key-scheduling algorithm.
+    state = list(range(256))
+    j = 0
+    for i in range(256):
+        j = (j + state[i] + key[i % len(key)]) & 0xFF
+        state[i], state[j] = state[j], state[i]
+    # Pseudo-random generation algorithm.
+    out = bytearray(length)
+    i = j = 0
+    for index in range(length):
+        i = (i + 1) & 0xFF
+        j = (j + state[i]) & 0xFF
+        state[i], state[j] = state[j], state[i]
+        out[index] = state[(state[i] + state[j]) & 0xFF]
+    return bytes(out)
+
+
+def encrypt(key: bytes, data: bytes) -> bytes:
+    """XOR ``data`` with the ARC4 keystream for ``key``."""
+    if not isinstance(data, (bytes, bytearray)):
+        raise TypeError(f"expected bytes, got {type(data).__name__}")
+    stream = _keystream(key, len(data))
+    return bytes(a ^ b for a, b in zip(bytes(data), stream))
+
+
+def decrypt(key: bytes, data: bytes) -> bytes:
+    """Stream-cipher decryption equals encryption."""
+    return encrypt(key, data)

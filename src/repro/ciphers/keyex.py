@@ -1,0 +1,61 @@
+"""Finite-field Diffie-Hellman key agreement.
+
+The encryption characteristic performs its "QoS to QoS" key exchange
+(Section 3.2) by sending the public values as MAQS commands.  The
+group is the 1536-bit MODP group from RFC 3526 — real parameters, so
+the agreement arithmetic is genuine even though the surrounding
+ciphers are toys.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Tuple
+
+# RFC 3526, group 5 (1536-bit MODP).
+PRIME = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E08"
+    "8A67CC74020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B"
+    "302B0A6DF25F14374FE1356D6D51C245E485B576625E7EC6F44C42E9"
+    "A637ED6B0BFF5CB6F406B7EDEE386BFB5A899FA5AE9F24117C4B1FE6"
+    "49286651ECE45B3DC2007CB8A163BF0598DA48361C55D39A69163FA8"
+    "FD24CF5F83655D23DCA3AD961C62F356208552BB9ED529077096966D"
+    "670C354E4ABC9804F1746C08CA237327FFFFFFFFFFFFFFFF",
+    16,
+)
+GENERATOR = 2
+
+
+class KeyExchange:
+    """One endpoint of a Diffie-Hellman agreement.
+
+    >>> alice, bob = KeyExchange(seed=1), KeyExchange(seed=2)
+    >>> ka = alice.shared_key(bob.public_value)
+    >>> kb = bob.shared_key(alice.public_value)
+    >>> ka == kb
+    True
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        rng = random.Random(seed)
+        self._secret = rng.randrange(2, PRIME - 2)
+        self.public_value = pow(GENERATOR, self._secret, PRIME)
+
+    def shared_key(self, peer_public: int, length: int = 16) -> bytes:
+        """Derive a ``length``-byte session key from the peer's public value."""
+        if not 2 <= peer_public <= PRIME - 2:
+            raise ValueError("peer public value out of range")
+        shared = pow(peer_public, self._secret, PRIME)
+        digest = hashlib.sha256(
+            shared.to_bytes((PRIME.bit_length() + 7) // 8, "big")
+        ).digest()
+        if length > len(digest):
+            raise ValueError(f"cannot derive more than {len(digest)} bytes")
+        return digest[:length]
+
+
+def derive_pair(seed_a: int, seed_b: int, length: int = 16) -> Tuple[bytes, bytes]:
+    """Run a full agreement between two seeded endpoints (test helper)."""
+    a, b = KeyExchange(seed_a), KeyExchange(seed_b)
+    return a.shared_key(b.public_value, length), b.shared_key(a.public_value, length)

@@ -1,0 +1,60 @@
+"""XTEA block cipher in counter (CTR) mode.
+
+XTEA (Needham & Wheeler, 1997) is a 64-bit block cipher with a 128-bit
+key and 64 Feistel rounds.  CTR mode turns it into a stream cipher, so
+payloads need no padding and ``encrypt == decrypt`` up to the keystream.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+_MASK = 0xFFFFFFFF
+_DELTA = 0x9E3779B9
+_ROUNDS = 32  # 32 cycles = 64 Feistel rounds
+
+
+def _key_schedule(key: bytes) -> Tuple[int, int, int, int]:
+    if len(key) != 16:
+        raise ValueError(f"XTEA requires a 16-byte key, got {len(key)}")
+    return struct.unpack(">4I", key)
+
+
+def _encrypt_block(v0: int, v1: int, k: Tuple[int, int, int, int]) -> Tuple[int, int]:
+    total = 0
+    for _ in range(_ROUNDS):
+        v0 = (v0 + ((((v1 << 4) ^ (v1 >> 5)) + v1) ^ (total + k[total & 3]))) & _MASK
+        total = (total + _DELTA) & _MASK
+        v1 = (
+            v1 + ((((v0 << 4) ^ (v0 >> 5)) + v0) ^ (total + k[(total >> 11) & 3]))
+        ) & _MASK
+    return v0, v1
+
+
+def _keystream(key: bytes, nblocks: int, nonce: int) -> bytes:
+    k = _key_schedule(key)
+    out = bytearray()
+    for counter in range(nblocks):
+        v0 = (nonce >> 32) & _MASK
+        v1 = (nonce ^ counter) & _MASK
+        e0, e1 = _encrypt_block(v0, v1, k)
+        out.extend(struct.pack(">2I", e0, e1))
+    return bytes(out)
+
+
+def _xor(data: bytes, stream: bytes) -> bytes:
+    return bytes(a ^ b for a, b in zip(data, stream))
+
+
+def encrypt(key: bytes, data: bytes, nonce: int = 0x4D415153) -> bytes:
+    """Encrypt ``data`` under ``key`` (16 bytes) in CTR mode."""
+    if not isinstance(data, (bytes, bytearray)):
+        raise TypeError(f"expected bytes, got {type(data).__name__}")
+    nblocks = (len(data) + 7) // 8
+    return _xor(bytes(data), _keystream(key, nblocks, nonce))
+
+
+def decrypt(key: bytes, data: bytes, nonce: int = 0x4D415153) -> bytes:
+    """CTR decryption is encryption with the same keystream."""
+    return encrypt(key, data, nonce)

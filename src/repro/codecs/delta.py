@@ -1,0 +1,41 @@
+"""Delta encoding for byte streams.
+
+Stores the first byte verbatim and each subsequent byte as the
+difference to its predecessor (mod 256), then run-length encodes the
+result.  Slowly varying numeric sample streams (sensor readings,
+quote ticks) become long zero runs, which RLE then collapses.
+"""
+
+from __future__ import annotations
+
+from repro.codecs import rle
+
+
+def _delta(data: bytes) -> bytes:
+    out = bytearray(len(data))
+    previous = 0
+    for index, byte in enumerate(data):
+        out[index] = (byte - previous) & 0xFF
+        previous = byte
+    return bytes(out)
+
+
+def _undelta(data: bytes) -> bytes:
+    out = bytearray(len(data))
+    previous = 0
+    for index, byte in enumerate(data):
+        previous = (previous + byte) & 0xFF
+        out[index] = previous
+    return bytes(out)
+
+
+def compress(data: bytes) -> bytes:
+    """Delta + RLE encode ``data``."""
+    if not isinstance(data, (bytes, bytearray)):
+        raise TypeError(f"expected bytes, got {type(data).__name__}")
+    return rle.compress(_delta(bytes(data)))
+
+
+def decompress(data: bytes) -> bytes:
+    """Invert :func:`compress`."""
+    return _undelta(rle.decompress(data))

@@ -1,0 +1,93 @@
+"""An LZ77-style sliding-window codec.
+
+Tokens:
+
+- literal: ``0x00`` followed by one byte.
+- match: ``0x01`` followed by a 2-byte big-endian offset (1..65535
+  back) and a 1-byte length (MIN_MATCH..MIN_MATCH+254).
+
+A hash table over 3-byte prefixes keeps compression roughly linear.
+The format favours clarity over ratio — it is a real codec with a real
+speed/ratio trade-off, which is all the E6 experiments need.
+"""
+
+from __future__ import annotations
+
+_WINDOW = 65535
+_MIN_MATCH = 4
+_MAX_MATCH = _MIN_MATCH + 254
+
+_TOKEN_LITERAL = 0x00
+_TOKEN_MATCH = 0x01
+
+
+def compress(data: bytes) -> bytes:
+    """LZ77-compress ``data``."""
+    if not isinstance(data, (bytes, bytearray)):
+        raise TypeError(f"expected bytes, got {type(data).__name__}")
+    data = bytes(data)
+    out = bytearray()
+    index = 0
+    length = len(data)
+    # prefix hash -> most recent position
+    table: dict = {}
+    while index < length:
+        best_length = 0
+        best_offset = 0
+        if index + _MIN_MATCH <= length:
+            key = data[index : index + 3]
+            candidate = table.get(key)
+            if candidate is not None and index - candidate <= _WINDOW:
+                match_length = 0
+                limit = min(_MAX_MATCH, length - index)
+                while (
+                    match_length < limit
+                    and data[candidate + match_length] == data[index + match_length]
+                ):
+                    match_length += 1
+                if match_length >= _MIN_MATCH:
+                    best_length = match_length
+                    best_offset = index - candidate
+            table[key] = index
+        if best_length:
+            out.append(_TOKEN_MATCH)
+            out.append((best_offset >> 8) & 0xFF)
+            out.append(best_offset & 0xFF)
+            out.append(best_length - _MIN_MATCH)
+            index += best_length
+        else:
+            out.append(_TOKEN_LITERAL)
+            out.append(data[index])
+            index += 1
+    return bytes(out)
+
+
+def decompress(data: bytes) -> bytes:
+    """Invert :func:`compress`."""
+    if not isinstance(data, (bytes, bytearray)):
+        raise TypeError(f"expected bytes, got {type(data).__name__}")
+    out = bytearray()
+    index = 0
+    length = len(data)
+    while index < length:
+        token = data[index]
+        index += 1
+        if token == _TOKEN_LITERAL:
+            if index >= length:
+                raise ValueError("truncated literal token")
+            out.append(data[index])
+            index += 1
+        elif token == _TOKEN_MATCH:
+            if index + 3 > length:
+                raise ValueError("truncated match token")
+            offset = (data[index] << 8) | data[index + 1]
+            match_length = data[index + 2] + _MIN_MATCH
+            index += 3
+            if offset == 0 or offset > len(out):
+                raise ValueError(f"bad match offset {offset}")
+            start = len(out) - offset
+            for position in range(match_length):
+                out.append(out[start + position])
+        else:
+            raise ValueError(f"unknown token {token}")
+    return bytes(out)

@@ -1,0 +1,80 @@
+"""Byte run-length encoding.
+
+Format: a sequence of ``(count, byte)`` pairs for runs, escaped so that
+incompressible data grows by at most 1/128.  Encoding:
+
+- ``0x00..0x7F`` control byte ``n``: copy the next ``n + 1`` literal
+  bytes verbatim.
+- ``0x80..0xFF`` control byte ``n``: repeat the next byte
+  ``n - 0x80 + 3`` times (runs of 3..130).
+"""
+
+from __future__ import annotations
+
+_MAX_LITERAL = 0x80  # up to 128 literals per control byte
+_MIN_RUN = 3
+_MAX_RUN = 0x7F + _MIN_RUN  # 130
+
+
+def compress(data: bytes) -> bytes:
+    """Run-length encode ``data``."""
+    if not isinstance(data, (bytes, bytearray)):
+        raise TypeError(f"expected bytes, got {type(data).__name__}")
+    out = bytearray()
+    literals = bytearray()
+    index = 0
+    length = len(data)
+
+    def flush_literals() -> None:
+        position = 0
+        while position < len(literals):
+            chunk = literals[position : position + _MAX_LITERAL]
+            out.append(len(chunk) - 1)
+            out.extend(chunk)
+            position += len(chunk)
+        literals.clear()
+
+    while index < length:
+        byte = data[index]
+        run = 1
+        while (
+            index + run < length
+            and data[index + run] == byte
+            and run < _MAX_RUN
+        ):
+            run += 1
+        if run >= _MIN_RUN:
+            flush_literals()
+            out.append(0x80 + (run - _MIN_RUN))
+            out.append(byte)
+            index += run
+        else:
+            literals.extend(data[index : index + run])
+            index += run
+    flush_literals()
+    return bytes(out)
+
+
+def decompress(data: bytes) -> bytes:
+    """Invert :func:`compress`."""
+    if not isinstance(data, (bytes, bytearray)):
+        raise TypeError(f"expected bytes, got {type(data).__name__}")
+    out = bytearray()
+    index = 0
+    length = len(data)
+    while index < length:
+        control = data[index]
+        index += 1
+        if control < _MAX_LITERAL:
+            count = control + 1
+            if index + count > length:
+                raise ValueError("truncated RLE literal block")
+            out.extend(data[index : index + count])
+            index += count
+        else:
+            if index >= length:
+                raise ValueError("truncated RLE run block")
+            run = control - 0x80 + _MIN_RUN
+            out.extend(bytes([data[index]]) * run)
+            index += 1
+    return bytes(out)

@@ -1,0 +1,45 @@
+"""MAQS core runtime: the two separations of concern.
+
+Application-layer weaving (Section 3):
+
+- :mod:`repro.core.mediator` — client-side mediators installed in stubs
+  as delegates.
+- :mod:`repro.core.qos_skeleton` — server-side QoS skeleton runtime:
+  delegate exchange, prolog/epilog, BAD_QOS for non-negotiated
+  operations (Figure 2).
+- :mod:`repro.core.binding` — assigning a characteristic to a
+  client/server relationship.
+
+Runtime infrastructure (Sections 2.2 and 6):
+
+- :mod:`repro.core.negotiation` — offers, agreements, renegotiation.
+- :mod:`repro.core.monitoring` — measured-vs-agreed violation tracking.
+- :mod:`repro.core.adaptation` — renegotiation on changing resources.
+- :mod:`repro.core.accounting` / :mod:`repro.core.trading` — usage
+  records and characteristic discovery.
+- :mod:`repro.core.contracts` — hierarchies of preference contracts
+  (the outlook of Section 6, ref [5]).
+- :mod:`repro.core.catalog` — the QoS characteristics catalog
+  ("a catalog similar to those for design patterns", Section 6).
+"""
+
+from repro.core.binding import QoSBinding, QoSProvider, establish_qos
+from repro.core.manager import QoSManager
+from repro.core.mediator import CHARACTERISTIC_CONTEXT, Mediator, MediatorChain
+from repro.core.negotiation import Agreement, QoSOffer, Range
+from repro.core.qos_skeleton import QoSImplementation, QoSServerMixin
+
+__all__ = [
+    "Agreement",
+    "CHARACTERISTIC_CONTEXT",
+    "Mediator",
+    "MediatorChain",
+    "QoSBinding",
+    "QoSImplementation",
+    "QoSManager",
+    "QoSOffer",
+    "QoSProvider",
+    "QoSServerMixin",
+    "Range",
+    "establish_qos",
+]

@@ -1,0 +1,117 @@
+"""QoS adaptation: renegotiation as resources vary.
+
+Section 3 (QoS adaptation): "varying resource availability should be
+addressed through adaption, i.e. renegotiations if the resource
+availability in- or decreases."
+
+:class:`AdaptationManager` ties a monitor to a binding: when
+expectations are violated it steps the binding *down* a ladder of
+pre-declared levels; after a sustained healthy period it probes back
+*up*.  The level track and renegotiation count are the outputs of
+experiment E10.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.binding import QoSBinding
+from repro.core.monitoring import QoSMonitor, Violation
+from repro.core.negotiation import NegotiationFailed, Range
+
+
+class AdaptationLevel:
+    """One rung of the service-level ladder."""
+
+    __slots__ = ("name", "requirements")
+
+    def __init__(self, name: str, requirements: Dict[str, Range]) -> None:
+        self.name = name
+        self.requirements = dict(requirements)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AdaptationLevel({self.name!r})"
+
+
+class AdaptationManager:
+    """Degrades and upgrades a binding along a ladder of levels.
+
+    ``levels`` are ordered best-first.  Call :meth:`check` periodically
+    (e.g. from ``kernel.every``); it consults the monitor and
+    renegotiates when needed.
+    """
+
+    def __init__(
+        self,
+        binding: QoSBinding,
+        monitor: QoSMonitor,
+        levels: Sequence[AdaptationLevel],
+        start_level: int = 0,
+        upgrade_after_healthy_checks: int = 3,
+    ) -> None:
+        if not levels:
+            raise ValueError("need at least one adaptation level")
+        self.binding = binding
+        self.monitor = monitor
+        self.levels = list(levels)
+        self.current = start_level
+        self.upgrade_after_healthy_checks = upgrade_after_healthy_checks
+        self._healthy_streak = 0
+        self.renegotiations = 0
+        #: (time, level index, reason) — the E10 level track.
+        self.track: List[Tuple[float, int, str]] = []
+
+    @property
+    def current_level(self) -> AdaptationLevel:
+        return self.levels[self.current]
+
+    def check(self) -> Optional[str]:
+        """Evaluate and adapt; returns "degrade"/"upgrade"/None."""
+        if not self.monitor.healthy():
+            self._healthy_streak = 0
+            if self._degrade():
+                return "degrade"
+            return None
+        self._healthy_streak += 1
+        if (
+            self.current > 0
+            and self._healthy_streak >= self.upgrade_after_healthy_checks
+        ):
+            self._healthy_streak = 0
+            if self._upgrade():
+                return "upgrade"
+        return None
+
+    def _move_to(self, index: int, reason: str) -> bool:
+        level = self.levels[index]
+        try:
+            self.binding.renegotiate(level.requirements)
+        except NegotiationFailed:
+            return False
+        self.current = index
+        self.renegotiations += 1
+        self.track.append((self.monitor.clock.now, index, reason))
+        self._reset_windows()
+        return True
+
+    def _reset_windows(self) -> None:
+        # Old samples describe the previous level; judging the new one
+        # by them would immediately re-trigger.
+        self.monitor._windows.clear()
+
+    def _degrade(self) -> bool:
+        for index in range(self.current + 1, len(self.levels)):
+            if self._move_to(index, "degrade"):
+                return True
+        return False
+
+    def _upgrade(self) -> bool:
+        for index in range(self.current - 1, -1, -1):
+            if self._move_to(index, "upgrade"):
+                return True
+        return False
+
+    def on_violation(self, violation: Violation) -> None:
+        """Listener form: degrade immediately on a reported violation."""
+        self._healthy_streak = 0
+        self._degrade()

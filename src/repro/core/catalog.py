@@ -1,0 +1,107 @@
+"""The QoS characteristics catalog.
+
+Section 6: "We think, that a catalog similar to those for design
+patterns is an appropriate way to document QoS implementations."  The
+paper wants documentation "targeted at two groups": application
+developers (how to use a characteristic, what adaptation it needs) and
+QoS implementors (which mechanisms it reuses).
+
+Each characteristic in :mod:`repro.qos` registers a
+:class:`CatalogEntry`; :func:`render` produces the pattern-catalog
+text.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class CatalogEntry:
+    """Pattern-style documentation of one QoS characteristic."""
+
+    def __init__(
+        self,
+        name: str,
+        category: str,
+        intent: str,
+        for_application_developers: str,
+        for_qos_implementors: str,
+        mechanisms: List[str],
+        related: Optional[List[str]] = None,
+        qidl: str = "",
+    ) -> None:
+        self.name = name
+        #: e.g. "fault-tolerance", "performance", "privacy" — the
+        #: multi-category axis of Section 2.1.
+        self.category = category
+        self.intent = intent
+        self.for_application_developers = for_application_developers
+        self.for_qos_implementors = for_qos_implementors
+        #: Reused lower-layer mechanisms (transport modules etc.).
+        self.mechanisms = list(mechanisms)
+        self.related = list(related or [])
+        #: Canonical QIDL declaration of the characteristic.
+        self.qidl = qidl
+
+    def render(self) -> str:
+        lines = [
+            f"== {self.name} ({self.category}) ==",
+            "",
+            f"Intent: {self.intent}",
+            "",
+            "For application developers:",
+            f"  {self.for_application_developers}",
+            "",
+            "For QoS implementors:",
+            f"  {self.for_qos_implementors}",
+            "",
+            f"Reused mechanisms: {', '.join(self.mechanisms) or 'none'}",
+        ]
+        if self.related:
+            lines.append(f"Related characteristics: {', '.join(self.related)}")
+        if self.qidl:
+            lines.extend(["", "QIDL:", *("  " + l for l in self.qidl.strip().splitlines())])
+        return "\n".join(lines)
+
+
+class CharacteristicCatalog:
+    """The registry of documented characteristics."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, CatalogEntry] = {}
+
+    def register(self, entry: CatalogEntry) -> CatalogEntry:
+        if entry.name in self._entries:
+            raise ValueError(f"catalog already documents {entry.name!r}")
+        self._entries[entry.name] = entry
+        return entry
+
+    def entry(self, name: str) -> CatalogEntry:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise KeyError(
+                f"no catalog entry {name!r}; documented: {self.names()}"
+            ) from None
+
+    def names(self) -> List[str]:
+        return sorted(self._entries)
+
+    def by_category(self, category: str) -> List[CatalogEntry]:
+        return [
+            entry
+            for _, entry in sorted(self._entries.items())
+            if entry.category == category
+        ]
+
+    def categories(self) -> List[str]:
+        return sorted({entry.category for entry in self._entries.values()})
+
+    def render(self) -> str:
+        """The whole catalog as pattern-catalog text."""
+        sections = [self._entries[name].render() for name in self.names()]
+        return "\n\n".join(sections)
+
+
+#: The process-wide catalog the qos package populates on import.
+CATALOG = CharacteristicCatalog()

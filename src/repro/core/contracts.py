@@ -1,0 +1,199 @@
+"""Hierarchies of preference contracts.
+
+Section 6 (outlook): "The rating of which QoS characteristic and its
+level is preferable to another is depending on the client.  There is
+no system wide shared view on QoS levels especially when the price is
+embraced.  Therefore, client preferences have to be incorporated in
+the negotiation process."  The cited companion paper (Becker, Geihs &
+Gramberg: "Representing Quality of Service Preferences by Hierarchies
+of Contracts") models preferences as a tree; this module reproduces
+that structure.
+
+- **Leaf** contracts score one characteristic's granted parameter
+  values with per-parameter utility functions and a weight.
+- **Composite** contracts combine children: ``all`` (weighted sum,
+  every child must be satisfiable), ``any`` (best child wins),
+  ``priority`` (first satisfiable child in order wins).
+- A **budget** caps the acceptable price; candidates above it score
+  zero.
+
+:func:`choose` ranks candidate (characteristic, granted, price)
+triples and picks the client's preferred one — the hook the
+negotiation process uses to incorporate preferences.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+#: Maps a granted parameter value to utility in [0, 1].
+UtilityFn = Callable[[float], float]
+
+
+def linear_utility(worst: float, best: float) -> UtilityFn:
+    """Utility rising linearly from 0 at ``worst`` to 1 at ``best``.
+
+    Works in both directions: pass ``worst > best`` for
+    smaller-is-better parameters (latency, staleness).
+    """
+    if worst == best:
+        raise ValueError("worst and best must differ")
+
+    def utility(value: float) -> float:
+        fraction = (value - worst) / (best - worst)
+        return max(0.0, min(1.0, fraction))
+
+    return utility
+
+
+def step_utility(threshold: float, greater_is_better: bool = True) -> UtilityFn:
+    """All-or-nothing utility at a threshold."""
+
+    def utility(value: float) -> float:
+        if greater_is_better:
+            return 1.0 if value >= threshold else 0.0
+        return 1.0 if value <= threshold else 0.0
+
+    return utility
+
+
+class Candidate:
+    """One negotiable option: a characteristic at a granted level and price."""
+
+    __slots__ = ("characteristic", "granted", "price")
+
+    def __init__(
+        self, characteristic: str, granted: Dict[str, float], price: float = 0.0
+    ) -> None:
+        self.characteristic = characteristic
+        self.granted = dict(granted)
+        self.price = price
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Candidate({self.characteristic}, {self.granted}, price={self.price})"
+
+
+class Contract:
+    """Base node of the preference hierarchy."""
+
+    def __init__(self, weight: float = 1.0) -> None:
+        if weight < 0.0:
+            raise ValueError(f"weight must be non-negative: {weight}")
+        self.weight = weight
+
+    def score(self, candidates: Sequence[Candidate]) -> float:
+        """Utility in [0, 1] of the best way to satisfy this node."""
+        raise NotImplementedError
+
+    def satisfied(self, candidates: Sequence[Candidate]) -> bool:
+        return self.score(candidates) > 0.0
+
+
+class LeafContract(Contract):
+    """Preference for one characteristic with per-parameter utilities."""
+
+    def __init__(
+        self,
+        characteristic: str,
+        utilities: Dict[str, UtilityFn],
+        weight: float = 1.0,
+        budget: Optional[float] = None,
+    ) -> None:
+        super().__init__(weight)
+        self.characteristic = characteristic
+        self.utilities = dict(utilities)
+        self.budget = budget
+
+    def score_candidate(self, candidate: Candidate) -> float:
+        if candidate.characteristic != self.characteristic:
+            return 0.0
+        if self.budget is not None and candidate.price > self.budget:
+            return 0.0
+        if not self.utilities:
+            return 1.0
+        total = 0.0
+        for parameter, utility in self.utilities.items():
+            value = candidate.granted.get(parameter)
+            if value is None:
+                return 0.0
+            total += utility(value)
+        return total / len(self.utilities)
+
+    def score(self, candidates: Sequence[Candidate]) -> float:
+        return max((self.score_candidate(c) for c in candidates), default=0.0)
+
+    def best(self, candidates: Sequence[Candidate]) -> Optional[Candidate]:
+        scored = [(self.score_candidate(c), c) for c in candidates]
+        scored = [(s, c) for s, c in scored if s > 0.0]
+        if not scored:
+            return None
+        return max(scored, key=lambda pair: pair[0])[1]
+
+
+class CompositeContract(Contract):
+    """Combines child contracts: ``all``, ``any`` or ``priority``."""
+
+    MODES = ("all", "any", "priority")
+
+    def __init__(
+        self, mode: str, children: Sequence[Contract], weight: float = 1.0
+    ) -> None:
+        super().__init__(weight)
+        if mode not in self.MODES:
+            raise ValueError(f"unknown mode {mode!r}; use one of {self.MODES}")
+        if not children:
+            raise ValueError("composite contract needs children")
+        self.mode = mode
+        self.children = list(children)
+
+    def score(self, candidates: Sequence[Candidate]) -> float:
+        scores = [child.score(candidates) for child in self.children]
+        if self.mode == "all":
+            if any(score == 0.0 for score in scores):
+                return 0.0
+            total_weight = sum(child.weight for child in self.children)
+            if total_weight == 0.0:
+                return 0.0
+            weighted = sum(
+                child.weight * score
+                for child, score in zip(self.children, scores)
+            )
+            return weighted / total_weight
+        if self.mode == "any":
+            return max(scores)
+        # priority: the first satisfiable child decides, discounted by
+        # how deep down the priority list it sits.
+        for rank, score in enumerate(scores):
+            if score > 0.0:
+                return score / (1 + rank)
+        return 0.0
+
+
+def choose(
+    contract: Contract, candidates: Sequence[Candidate]
+) -> Tuple[Optional[Candidate], float]:
+    """Pick the candidate the contract prefers.
+
+    Returns ``(candidate, score)``; ``(None, 0.0)`` when nothing is
+    acceptable.  For composite contracts the choice is the single
+    candidate whose presence yields the highest hierarchy score —
+    clients negotiate one characteristic at a time (single active
+    delegate, Figure 2).
+    """
+    best_candidate: Optional[Candidate] = None
+    best_score = 0.0
+    for candidate in candidates:
+        score = contract.score([candidate])
+        if score > best_score:
+            best_candidate, best_score = candidate, score
+    return best_candidate, best_score
+
+
+def rank(
+    contract: Contract, candidates: Sequence[Candidate]
+) -> List[Tuple[Candidate, float]]:
+    """All acceptable candidates, best first."""
+    scored = [(c, contract.score([c])) for c in candidates]
+    acceptable = [(c, s) for c, s in scored if s > 0.0]
+    acceptable.sort(key=lambda pair: pair[1], reverse=True)
+    return acceptable

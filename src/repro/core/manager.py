@@ -1,0 +1,152 @@
+"""The QoS manager: discovery → preference → binding in one call.
+
+Ties together the infrastructure services of Section 2.2: the trader
+finds candidate servers, their negotiation endpoints are interrogated
+for current capabilities and prices, the client's preference contract
+(Section 6 outlook, ref [5]) ranks the candidates, and the best one is
+negotiated and bound.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type
+
+from repro.core.binding import (
+    BindingError,
+    QoSBinding,
+    establish_qos,
+    negotiation_stub_for,
+)
+from repro.core.contracts import Candidate, Contract
+from repro.core.mediator import Mediator
+from repro.core.negotiation import NegotiationFailed, Range
+from repro.core.trading import NoMatch, TraderStub
+from repro.orb.exceptions import SystemException
+from repro.orb.ior import IOR
+
+
+class NoAcceptableOffer(Exception):
+    """No discovered server satisfies the preference contract."""
+
+
+class Offer:
+    """One concrete option: a server, a characteristic, its grantable level."""
+
+    __slots__ = ("ior", "candidate")
+
+    def __init__(self, ior: IOR, candidate: Candidate) -> None:
+        self.ior = ior
+        self.candidate = candidate
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Offer({self.candidate!r} @ {self.ior.profile.host})"
+
+
+#: Prices a characteristic's granted parameters; injected because price
+#: models are deployment-specific (the paper's outlook leaves them open).
+PriceFn = Callable[[str, Dict[str, float]], float]
+
+
+def _free(characteristic: str, granted: Dict[str, float]) -> float:
+    return 0.0
+
+
+class QoSManager:
+    """Client-side facade over trader + negotiation + contracts."""
+
+    def __init__(self, orb: Any, trader: TraderStub, price_fn: PriceFn = _free):
+        self.orb = orb
+        self.trader = trader
+        self.price_fn = price_fn
+
+    # -- discovery -----------------------------------------------------
+
+    def discover(self, service_type: str) -> List[IOR]:
+        """All exported references of a service type (QoS-agnostic)."""
+        try:
+            return self.trader.query(service_type)
+        except NoMatch:
+            return []
+
+    def collect_offers(self, service_type: str) -> List[Offer]:
+        """Interrogate every discovered server for its grantable levels.
+
+        For each server and each characteristic it offers, the server's
+        *current preferred* grant (an unconstrained proposal) becomes a
+        candidate, priced by the injected price function.  Unreachable
+        servers are skipped.
+        """
+        offers: List[Offer] = []
+        for ior in self.discover(service_type):
+            if not ior.is_qos_aware:
+                continue
+            try:
+                negotiation = negotiation_stub_for(self.orb, ior)
+                for characteristic in negotiation.characteristics():
+                    capabilities = negotiation.capabilities(characteristic)
+                    granted = {
+                        name: value_range.preferred
+                        for name, value_range in capabilities.items()
+                    }
+                    price = self.price_fn(characteristic, granted)
+                    offers.append(
+                        Offer(ior, Candidate(characteristic, granted, price))
+                    )
+            except (SystemException, BindingError):
+                continue
+        return offers
+
+    # -- selection + binding ------------------------------------------------
+
+    def select(
+        self, service_type: str, contract: Contract
+    ) -> Tuple[Offer, float]:
+        """The contract's preferred offer, or raise :class:`NoAcceptableOffer`."""
+        offers = self.collect_offers(service_type)
+        best: Optional[Offer] = None
+        best_score = 0.0
+        for offer in offers:
+            score = contract.score([offer.candidate])
+            if score > best_score:
+                best, best_score = offer, score
+        if best is None:
+            raise NoAcceptableOffer(
+                f"none of {len(offers)} offer(s) for {service_type!r} "
+                f"satisfies the contract"
+            )
+        return best, best_score
+
+    def select_and_bind(
+        self,
+        service_type: str,
+        contract: Contract,
+        stub_class: Type[Any],
+        mediator_factory: Optional[Callable[[str], Optional[Mediator]]] = None,
+        requirements: Optional[Dict[str, Dict[str, Range]]] = None,
+    ) -> Tuple[Any, QoSBinding, float]:
+        """Discover, choose per contract, negotiate, weave; one call.
+
+        ``mediator_factory(characteristic)`` supplies the client-side
+        mediator for whichever characteristic wins; ``requirements``
+        optionally maps characteristic → requirement ranges used at
+        negotiation time (the contract's choice narrows which entry
+        applies).
+
+        Returns ``(stub, binding, score)``.
+        """
+        offer, score = self.select(service_type, contract)
+        stub = stub_class(self.orb, offer.ior)
+        characteristic = offer.candidate.characteristic
+        mediator = mediator_factory(characteristic) if mediator_factory else None
+        try:
+            binding = establish_qos(
+                stub,
+                characteristic,
+                (requirements or {}).get(characteristic),
+                mediator=mediator,
+            )
+        except NegotiationFailed as error:
+            raise NoAcceptableOffer(
+                f"chosen offer {offer!r} failed negotiation: {error}"
+            ) from error
+        return stub, binding, score

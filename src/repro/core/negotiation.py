@@ -1,0 +1,339 @@
+"""QoS negotiation: offers, capabilities, agreements, renegotiation.
+
+Section 3 (QoS adaptation): "there is no system wide view on the QoS
+capability of a system but each QoS agreement has to be negotiated
+independently.  Moreover, varying resource availability should be
+addressed through adaption, i.e. renegotiations if the resource
+availability in- or decreases."
+
+The protocol is a classic propose/counter/commit exchange:
+
+1. the client queries the server's **capabilities** for a
+   characteristic (per-parameter value ranges, possibly shrinking with
+   current resource availability);
+2. the client **proposes** its requirement ranges; the server answers
+   with a **counter** — the best values it can grant now;
+3. if the counter satisfies the client's minima, the client
+   **commits**; the server activates the characteristic's QoS
+   implementation (the Figure 2 delegate exchange) and an
+   :class:`Agreement` is created.
+
+Renegotiation reruns 2-3 under an existing agreement id, bumping its
+epoch.  All negotiation traffic flows through the ORB as plain
+requests — exactly the "initial negotiation" path of Figure 3, before
+any QoS module is assigned.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.orb.exceptions import UserException, register_user_exception
+from repro.orb.servant import Servant
+from repro.orb.stub import Stub
+
+
+@register_user_exception
+class NegotiationFailed(UserException):
+    """The server cannot satisfy the proposed requirement."""
+
+    repo_id = "IDL:maqs/Negotiation/NegotiationFailed:1.0"
+
+
+@register_user_exception
+class UnknownAgreement(UserException):
+    """No agreement exists under the given id."""
+
+    repo_id = "IDL:maqs/Negotiation/UnknownAgreement:1.0"
+
+
+class Range:
+    """An acceptable closed interval for one QoS parameter.
+
+    ``preferred`` defaults to the maximum — clients generally want as
+    much of a QoS dimension as they can get; pass an explicit value
+    when less is better (e.g. staleness bounds).
+    """
+
+    __slots__ = ("minimum", "maximum", "preferred")
+
+    def __init__(
+        self, minimum: float, maximum: float, preferred: Optional[float] = None
+    ) -> None:
+        if minimum > maximum:
+            raise ValueError(f"empty range [{minimum}, {maximum}]")
+        self.minimum = minimum
+        self.maximum = maximum
+        self.preferred = maximum if preferred is None else preferred
+        if not minimum <= self.preferred <= maximum:
+            raise ValueError(
+                f"preferred {self.preferred} outside [{minimum}, {maximum}]"
+            )
+
+    def clamp(self, value: float) -> float:
+        return max(self.minimum, min(self.maximum, value))
+
+    def contains(self, value: float) -> bool:
+        return self.minimum <= value <= self.maximum
+
+    def intersects(self, other: "Range") -> bool:
+        return self.minimum <= other.maximum and other.minimum <= self.maximum
+
+    def as_wire(self) -> Dict[str, float]:
+        return {
+            "min": self.minimum,
+            "max": self.maximum,
+            "preferred": self.preferred,
+        }
+
+    @classmethod
+    def from_wire(cls, data: Dict[str, float]) -> "Range":
+        return cls(data["min"], data["max"], data.get("preferred"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Range({self.minimum}, {self.maximum}, pref={self.preferred})"
+
+
+class QoSOffer:
+    """A client's requirement for one characteristic."""
+
+    def __init__(self, characteristic: str, requirements: Dict[str, Range]) -> None:
+        self.characteristic = characteristic
+        self.requirements = dict(requirements)
+
+    def satisfied_by(self, granted: Dict[str, float]) -> bool:
+        """Does a grant meet every requirement range?"""
+        return all(
+            name in granted and required.contains(granted[name])
+            for name, required in self.requirements.items()
+        )
+
+
+class Agreement:
+    """A committed QoS agreement between one client and one server object."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, characteristic: str, granted: Dict[str, float]) -> None:
+        self.agreement_id = next(Agreement._ids)
+        self.characteristic = characteristic
+        self.granted = dict(granted)
+        self.epoch = 1
+        self.active = True
+
+    def renegotiated(self, granted: Dict[str, float]) -> None:
+        self.granted = dict(granted)
+        self.epoch += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "active" if self.active else "terminated"
+        return (
+            f"Agreement(#{self.agreement_id} {self.characteristic} "
+            f"{self.granted} epoch={self.epoch}, {state})"
+        )
+
+
+#: Capability provider: () -> {parameter -> Range}.  Dynamic so that the
+#: offered ranges can shrink/grow with resource availability.
+CapabilityFn = Callable[[], Dict[str, Range]]
+
+
+class CharacteristicSupport:
+    """Everything the server side needs to offer one characteristic."""
+
+    def __init__(
+        self,
+        characteristic: str,
+        capabilities: CapabilityFn,
+        on_commit: Callable[[Dict[str, float]], None],
+        on_terminate: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self.characteristic = characteristic
+        self.capabilities = capabilities
+        self.on_commit = on_commit
+        self.on_terminate = on_terminate
+
+
+class NegotiationServant(Servant):
+    """Server-side negotiation endpoint, one per QoS-enabled object."""
+
+    _repo_id = "IDL:maqs/Negotiation:1.0"
+
+    def __init__(self) -> None:
+        self._support: Dict[str, CharacteristicSupport] = {}
+        self._agreements: Dict[int, Agreement] = {}
+
+    # -- wiring (server-local, not remote) --------------------------------
+
+    def add_support(self, support: CharacteristicSupport) -> None:
+        self._support[support.characteristic] = support
+
+    def agreement(self, agreement_id: int) -> Agreement:
+        try:
+            return self._agreements[agreement_id]
+        except KeyError:
+            raise UnknownAgreement(
+                f"no agreement #{agreement_id}", agreement_id=agreement_id
+            ) from None
+
+    # -- remote operations ---------------------------------------------------
+
+    def characteristics(self) -> List[str]:
+        """Characteristics available for negotiation."""
+        return sorted(self._support)
+
+    def capabilities(self, characteristic: str) -> Dict[str, Dict[str, float]]:
+        """Current per-parameter ranges for a characteristic."""
+        support = self._require(characteristic)
+        return {
+            name: value_range.as_wire()
+            for name, value_range in support.capabilities().items()
+        }
+
+    def propose(
+        self, characteristic: str, requirements: Dict[str, Dict[str, float]]
+    ) -> Dict[str, float]:
+        """Counter a proposal with the best values grantable now.
+
+        Raises :class:`NegotiationFailed` when any requested range
+        misses the capability range entirely.
+        """
+        support = self._require(characteristic)
+        capabilities = support.capabilities()
+        counter: Dict[str, float] = {}
+        for name, wire_range in requirements.items():
+            requested = Range.from_wire(wire_range)
+            capability = capabilities.get(name)
+            if capability is None:
+                raise NegotiationFailed(
+                    f"characteristic {characteristic!r} has no parameter {name!r}",
+                    parameter=name,
+                )
+            if not capability.intersects(requested):
+                raise NegotiationFailed(
+                    f"parameter {name!r}: requested "
+                    f"[{requested.minimum}, {requested.maximum}] does not "
+                    f"meet capability [{capability.minimum}, "
+                    f"{capability.maximum}]",
+                    parameter=name,
+                )
+            counter[name] = capability.clamp(requested.preferred)
+        # Parameters the client did not constrain are granted at the
+        # server's preferred level.
+        for name, capability in capabilities.items():
+            counter.setdefault(name, capability.preferred)
+        return counter
+
+    def commit(
+        self, characteristic: str, granted: Dict[str, float]
+    ) -> int:
+        """Create the agreement and activate the characteristic."""
+        support = self._require(characteristic)
+        agreement = Agreement(characteristic, granted)
+        self._agreements[agreement.agreement_id] = agreement
+        support.on_commit(granted)
+        return agreement.agreement_id
+
+    def renegotiate(
+        self, agreement_id: int, requirements: Dict[str, Dict[str, float]]
+    ) -> Dict[str, float]:
+        """Re-run propose/commit under an existing agreement."""
+        agreement = self.agreement(agreement_id)
+        counter = self.propose(agreement.characteristic, requirements)
+        agreement.renegotiated(counter)
+        self._support[agreement.characteristic].on_commit(counter)
+        return counter
+
+    def terminate(self, agreement_id: int) -> None:
+        """End an agreement; the characteristic is deactivated."""
+        agreement = self.agreement(agreement_id)
+        agreement.active = False
+        del self._agreements[agreement_id]
+        support = self._support[agreement.characteristic]
+        if support.on_terminate is not None:
+            support.on_terminate()
+
+    def agreement_epoch(self, agreement_id: int) -> int:
+        return self.agreement(agreement_id).epoch
+
+    def _require(self, characteristic: str) -> CharacteristicSupport:
+        support = self._support.get(characteristic)
+        if support is None:
+            raise NegotiationFailed(
+                f"characteristic {characteristic!r} is not offered; "
+                f"available: {self.characteristics()}",
+                parameter="",
+            )
+        return support
+
+
+class NegotiationStub(Stub):
+    """Client-side proxy for a negotiation endpoint."""
+
+    def characteristics(self) -> List[str]:
+        return list(self._call("characteristics"))
+
+    def capabilities(self, characteristic: str) -> Dict[str, Range]:
+        wire = self._call("capabilities", characteristic)
+        return {name: Range.from_wire(data) for name, data in wire.items()}
+
+    def propose(self, offer: QoSOffer) -> Dict[str, float]:
+        wire = {
+            name: value_range.as_wire()
+            for name, value_range in offer.requirements.items()
+        }
+        return dict(self._call("propose", offer.characteristic, wire))
+
+    def commit(self, characteristic: str, granted: Dict[str, float]) -> int:
+        return self._call("commit", characteristic, granted)
+
+    def renegotiate(
+        self, agreement_id: int, requirements: Dict[str, Range]
+    ) -> Dict[str, float]:
+        wire = {
+            name: value_range.as_wire()
+            for name, value_range in requirements.items()
+        }
+        return dict(self._call("renegotiate", agreement_id, wire))
+
+    def terminate(self, agreement_id: int) -> None:
+        self._call("terminate", agreement_id)
+
+    def agreement_epoch(self, agreement_id: int) -> int:
+        return self._call("agreement_epoch", agreement_id)
+
+
+class Negotiator:
+    """Client-side negotiation driver."""
+
+    def __init__(self, negotiation_stub: NegotiationStub) -> None:
+        self.stub = negotiation_stub
+        self.rounds = 0
+
+    def negotiate(self, offer: QoSOffer) -> Tuple[Agreement, Dict[str, float]]:
+        """Run propose → validate → commit; returns (agreement, granted).
+
+        Raises :class:`NegotiationFailed` if the server's counter does
+        not satisfy the offer's minima.
+        """
+        counter = self.stub.propose(offer)
+        self.rounds += 1
+        if not offer.satisfied_by(counter):
+            raise NegotiationFailed(
+                f"counter {counter} does not satisfy {offer.requirements}",
+                parameter="",
+            )
+        agreement_id = self.stub.commit(offer.characteristic, counter)
+        agreement = Agreement(offer.characteristic, counter)
+        agreement.agreement_id = agreement_id
+        return agreement, counter
+
+    def renegotiate(
+        self, agreement: Agreement, requirements: Dict[str, Range]
+    ) -> Dict[str, float]:
+        """Renegotiate an existing agreement in place."""
+        granted = self.stub.renegotiate(agreement.agreement_id, requirements)
+        self.rounds += 1
+        agreement.renegotiated(granted)
+        return granted

@@ -1,0 +1,186 @@
+"""Server-side QoS skeleton runtime (Figure 2).
+
+Section 3.3: "The server inherits from the QoS skeleton and the server
+skeleton ... The server skeleton is extended by a delegate to the
+actual QoS implementation.  This will be exchanged at runtime to the
+actual QoS characteristic's QoS implementation.  Hence, only the
+operations of the actual negotiated QoS characteristic are processed
+while others raise an exception.  The server skeleton takes incoming
+requests from the ORB and calls a prolog and an epilog operation on
+the QoS implementation before and after the operation is processed by
+the server."
+
+Generated server bases are ``class XServerBase(QoSServerMixin,
+XSkeleton)`` with a class-level ``_qos_signatures`` table mapping each
+provided characteristic to its operations.  The mixin implements:
+
+- delegate management (:meth:`set_qos_impl`, :meth:`activate_qos`);
+- routing of QoS operations to the active implementation, with
+  :class:`~repro.orb.exceptions.BAD_QOS` for assigned-but-inactive
+  characteristics;
+- routing of *integration*-category operations to the servant itself
+  ("only the QoS server side aspect integration should be forwarded to
+  the server" — e.g. ``get_state`` for replica initialisation);
+- the prolog/epilog bracket around every application operation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.orb.exceptions import BAD_OPERATION, BAD_QOS
+from repro.orb.skeleton import OperationSignature
+
+
+class QoSImplementation:
+    """Base of all generated QoS implementation skeletons.
+
+    The QoS implementor subclasses the generated skeleton, implementing
+    the characteristic's management/peer operations plus the
+    prolog/epilog that realise the QoS behaviour around application
+    requests.
+    """
+
+    #: Filled by the generated subclass.
+    characteristic = ""
+
+    def prolog(
+        self,
+        servant: Any,
+        operation: str,
+        args: Tuple[Any, ...],
+        contexts: Dict[str, Any],
+    ) -> Optional[Tuple[Any, ...]]:
+        """Called before the servant processes an application operation.
+
+        May return replacement arguments (e.g. decompressed or
+        decrypted payloads for application-layer codecs); returning
+        None leaves them unchanged.
+        """
+        return None
+
+    def epilog(
+        self,
+        servant: Any,
+        operation: str,
+        result: Any,
+        contexts: Dict[str, Any],
+    ) -> Any:
+        """Called after the servant produced ``result``; may replace it."""
+        return result
+
+
+class QoSServerMixin:
+    """The runtime half of the generated server base class."""
+
+    #: characteristic -> {operation -> (OperationSignature, category)};
+    #: filled by generated code.  Categories are the Section 3.2
+    #: responsibilities: "management", "peer", "integration".
+    _qos_signatures: Dict[str, Dict[str, Tuple[OperationSignature, str]]] = {}
+
+    def __init__(self) -> None:
+        self._qos_impls: Dict[str, QoSImplementation] = {}
+        self._active_qos: Optional[str] = None
+
+    # -- delegate management ------------------------------------------------
+
+    def assigned_characteristics(self) -> Tuple[str, ...]:
+        """All characteristics this server accepts operations for."""
+        return tuple(sorted(self._qos_signatures))
+
+    def set_qos_impl(self, impl: QoSImplementation) -> None:
+        """Register the implementation object for one characteristic."""
+        name = impl.characteristic
+        if name not in self._qos_signatures:
+            raise BAD_QOS(
+                f"characteristic {name!r} is not assigned to this server; "
+                f"assigned: {self.assigned_characteristics()}"
+            )
+        self._qos_impls[name] = impl
+
+    def activate_qos(self, characteristic: Optional[str]) -> None:
+        """Exchange the delegate to the named characteristic's impl.
+
+        Passing None deactivates QoS processing entirely.
+        """
+        if characteristic is None:
+            self._active_qos = None
+            return
+        if characteristic not in self._qos_signatures:
+            raise BAD_QOS(
+                f"characteristic {characteristic!r} is not assigned to this server"
+            )
+        if characteristic not in self._qos_impls:
+            raise BAD_QOS(
+                f"no implementation registered for {characteristic!r}; "
+                f"call set_qos_impl first"
+            )
+        self._active_qos = characteristic
+
+    @property
+    def active_qos(self) -> Optional[str]:
+        return self._active_qos
+
+    def qos_impl(self, characteristic: str) -> QoSImplementation:
+        try:
+            return self._qos_impls[characteristic]
+        except KeyError:
+            raise BAD_QOS(
+                f"no implementation registered for {characteristic!r}"
+            ) from None
+
+    # -- dispatch -------------------------------------------------------------
+
+    def _qos_op_owner(self, operation: str) -> Optional[str]:
+        """Which characteristic (if any) declares this operation."""
+        for characteristic, operations in self._qos_signatures.items():
+            if operation in operations:
+                return characteristic
+        return None
+
+    def _dispatch(self, operation: str, args: Tuple[Any, ...],
+                  contexts: Optional[Dict[str, Any]] = None) -> Any:
+        contexts = contexts or {}
+        owner = self._qos_op_owner(operation)
+        if owner is not None:
+            return self._dispatch_qos_op(owner, operation, args, contexts)
+        impl = self._qos_impls.get(self._active_qos) if self._active_qos else None
+        if impl is not None:
+            rewritten = impl.prolog(self, operation, args, contexts)
+            if rewritten is not None:
+                args = tuple(rewritten)
+        result = super()._dispatch(operation, args, contexts)
+        if impl is not None:
+            result = impl.epilog(self, operation, result, contexts)
+        return result
+
+    def _dispatch_qos_op(
+        self,
+        owner: str,
+        operation: str,
+        args: Tuple[Any, ...],
+        contexts: Dict[str, Any],
+    ) -> Any:
+        if owner != self._active_qos:
+            raise BAD_QOS(
+                f"operation {operation!r} belongs to characteristic "
+                f"{owner!r}, but the negotiated characteristic is "
+                f"{self._active_qos!r}"
+            )
+        signature, category = self._qos_signatures[owner][operation]
+        signature.check_args(args)
+        if category == "integration":
+            # Aspect integration crosses into the application object:
+            # the servant itself implements these (e.g. get_state).
+            target: Any = self
+        else:
+            target = self._qos_impls[owner]
+        method = getattr(target, operation, None)
+        if method is None or not callable(method):
+            raise BAD_OPERATION(
+                f"{type(target).__name__} does not implement QoS "
+                f"operation {operation!r}"
+            )
+        result = method(*args)
+        signature.check_result(result)
+        return result

@@ -1,0 +1,136 @@
+"""QoS trading: discovering services by offered characteristics.
+
+Section 2.2 names trading among the framework's infrastructure
+services.  The trader is an ordinary servant: servers export offers
+(reference + characteristics + properties), clients query by required
+characteristic and property constraints and receive matching
+references, best property values first.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.orb.exceptions import UserException, register_user_exception
+from repro.orb.ior import IOR
+from repro.orb.servant import Servant
+from repro.orb.stub import Stub
+
+
+@register_user_exception
+class NoMatch(UserException):
+    """No exported offer satisfies the query."""
+
+    repo_id = "IDL:maqs/Trader/NoMatch:1.0"
+
+
+class TraderServant(Servant):
+    """Server-side offer registry."""
+
+    _repo_id = "IDL:maqs/Trader:1.0"
+
+    def __init__(self) -> None:
+        self._offers: List[Dict[str, Any]] = []
+
+    def export(
+        self,
+        service_type: str,
+        ior_string: str,
+        characteristics: List[str],
+        properties: Dict[str, float],
+    ) -> int:
+        """Register an offer; returns its id."""
+        offer_id = len(self._offers)
+        self._offers.append(
+            {
+                "id": offer_id,
+                "service_type": service_type,
+                "ior": ior_string,
+                "characteristics": list(characteristics),
+                "properties": dict(properties),
+            }
+        )
+        return offer_id
+
+    def withdraw(self, offer_id: int) -> bool:
+        """Remove an offer; returns whether it existed."""
+        for index, offer in enumerate(self._offers):
+            if offer["id"] == offer_id:
+                del self._offers[index]
+                return True
+        return False
+
+    def query(
+        self,
+        service_type: str,
+        characteristic: str,
+        minimum_properties: Dict[str, float],
+        rank_by: str,
+    ) -> List[str]:
+        """Matching IOR strings, best ``rank_by`` property first.
+
+        An empty ``characteristic`` matches offers regardless of QoS;
+        ``minimum_properties`` are lower bounds on offer properties.
+        """
+        matches = []
+        for offer in self._offers:
+            if offer["service_type"] != service_type:
+                continue
+            if characteristic and characteristic not in offer["characteristics"]:
+                continue
+            properties = offer["properties"]
+            if any(
+                properties.get(name, float("-inf")) < bound
+                for name, bound in minimum_properties.items()
+            ):
+                continue
+            matches.append(offer)
+        if not matches:
+            raise NoMatch(
+                f"no offer of type {service_type!r} with "
+                f"characteristic {characteristic!r}",
+                service_type=service_type,
+            )
+        if rank_by:
+            matches.sort(
+                key=lambda offer: offer["properties"].get(rank_by, float("-inf")),
+                reverse=True,
+            )
+        return [offer["ior"] for offer in matches]
+
+    def offer_count(self) -> int:
+        return len(self._offers)
+
+
+class TraderStub(Stub):
+    """Client-side proxy for the trader."""
+
+    def export(
+        self,
+        service_type: str,
+        ior: IOR,
+        characteristics: List[str],
+        properties: Optional[Dict[str, float]] = None,
+    ) -> int:
+        return self._call(
+            "export", service_type, ior.to_string(), characteristics,
+            properties or {},
+        )
+
+    def withdraw(self, offer_id: int) -> bool:
+        return self._call("withdraw", offer_id)
+
+    def query(
+        self,
+        service_type: str,
+        characteristic: str = "",
+        minimum_properties: Optional[Dict[str, float]] = None,
+        rank_by: str = "",
+    ) -> List[IOR]:
+        ior_strings = self._call(
+            "query", service_type, characteristic, minimum_properties or {}, rank_by
+        )
+        return [IOR.from_string(text) for text in ior_strings]
+
+    def offer_count(self) -> int:
+        return self._call("offer_count")

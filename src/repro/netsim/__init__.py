@@ -1,0 +1,56 @@
+"""Deterministic simulated network substrate.
+
+The paper's MAQS framework was evaluated on real IP networks; this
+package replaces that testbed with a deterministic simulation so that
+every QoS effect the paper relies on — transfer time as a function of
+bandwidth, multicast fan-out, reservation, crashes and partitions — is
+reproducible in tests and benchmarks.
+
+Public surface:
+
+- :class:`~repro.netsim.clock.Clock` — the logical time base.
+- :class:`~repro.netsim.kernel.EventKernel` — discrete-event scheduler.
+- :class:`~repro.netsim.network.Network`, :class:`Host`, :class:`Link`
+  — the topology and the transfer-time model.
+- :class:`~repro.netsim.multicast.MulticastGroup` — group communication.
+- :class:`~repro.netsim.resources.ResourceManager` — bandwidth
+  reservation and time-varying capacity.
+- :class:`~repro.netsim.faults.FaultInjector` — crash/recover,
+  partitions and message-loss schedules.
+"""
+
+from repro.netsim.clock import Clock
+from repro.netsim.kernel import EventKernel
+from repro.netsim.network import (
+    Host,
+    HostCrashed,
+    Link,
+    Network,
+    NetworkError,
+    NoRoute,
+    PacketLost,
+)
+from repro.netsim.multicast import MulticastGroup
+from repro.netsim.resources import (
+    InsufficientBandwidth,
+    Reservation,
+    ResourceManager,
+)
+from repro.netsim.faults import FaultInjector
+
+__all__ = [
+    "Clock",
+    "EventKernel",
+    "FaultInjector",
+    "Host",
+    "HostCrashed",
+    "InsufficientBandwidth",
+    "Link",
+    "MulticastGroup",
+    "Network",
+    "NetworkError",
+    "NoRoute",
+    "PacketLost",
+    "Reservation",
+    "ResourceManager",
+]

@@ -1,0 +1,61 @@
+"""Logical simulated time.
+
+Every component of the reproduction shares one :class:`Clock`.  Time is
+a float number of seconds starting at zero.  Components *advance* the
+clock by the costs they model (marshalling, link latency, payload
+serialisation time, servant service time); nothing in the system reads
+wall-clock time, which keeps all tests and benchmarks deterministic.
+"""
+
+from __future__ import annotations
+
+
+class ClockError(Exception):
+    """Raised on invalid clock manipulation (e.g. moving backwards)."""
+
+
+class Clock:
+    """A monotonically advancing logical clock.
+
+    >>> clock = Clock()
+    >>> clock.now
+    0.0
+    >>> clock.advance(1.5)
+    1.5
+    >>> clock.advance_to(2.0)
+    2.0
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0.0:
+            raise ClockError(f"clock cannot start before zero: {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Advance the clock by ``delta`` seconds and return the new time."""
+        if delta < 0.0:
+            raise ClockError(f"cannot advance by a negative delta: {delta}")
+        self._now += delta
+        return self._now
+
+    def advance_to(self, instant: float) -> float:
+        """Advance the clock to ``instant``; no-op if already past it.
+
+        Returns the (possibly unchanged) current time.  Moving *to* a
+        past instant is tolerated because concurrent flows modelled
+        analytically may complete out of order; the clock simply never
+        goes backwards.
+        """
+        if instant > self._now:
+            self._now = float(instant)
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Clock(now={self._now:.6f})"

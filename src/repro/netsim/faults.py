@@ -1,0 +1,93 @@
+"""Fault injection: crashes, recoveries, partitions and loss.
+
+Drives the fault-tolerance experiments (E4).  Faults can be applied
+immediately or scheduled on an :class:`~repro.netsim.kernel.EventKernel`
+so that crash/recover traces interleave deterministically with the
+request workload.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.netsim.kernel import EventKernel
+from repro.netsim.network import Link, Network
+
+
+class FaultInjector:
+    """Apply and schedule failures on a :class:`Network`."""
+
+    def __init__(self, network: Network, kernel: Optional[EventKernel] = None):
+        self.network = network
+        self.kernel = kernel
+        self.log: List[Tuple[float, str]] = []
+
+    def _record(self, description: str) -> None:
+        self.log.append((self.network.clock.now, description))
+
+    def _require_kernel(self) -> EventKernel:
+        if self.kernel is None:
+            raise RuntimeError("scheduling faults requires an EventKernel")
+        return self.kernel
+
+    # -- immediate faults ----------------------------------------------
+
+    def crash(self, host_name: str) -> None:
+        """Crash a host now; in-flight state is lost (fail-stop model)."""
+        self.network.host(host_name).crashed = True
+        self._record(f"crash {host_name}")
+
+    def recover(self, host_name: str) -> None:
+        """Bring a crashed host back up (empty queue, no state)."""
+        host = self.network.host(host_name)
+        host.crashed = False
+        host.busy_until = self.network.clock.now
+        self._record(f"recover {host_name}")
+
+    def partition(self, *groups: Iterable[str]) -> None:
+        """Split the network into the given groups."""
+        self.network.set_partitions(groups)
+        self._record(f"partition {[sorted(g) for g in map(set, groups)]}")
+
+    def heal(self) -> None:
+        """Heal all partitions."""
+        self.network.heal_partitions()
+        self._record("heal")
+
+    def set_loss(self, link: Link, loss_rate: float) -> None:
+        """Make a link lossy from now on."""
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1): {loss_rate}")
+        link.loss_rate = loss_rate
+        self._record(f"loss {link.endpoints()} p={loss_rate}")
+
+    # -- scheduled faults ----------------------------------------------
+
+    def crash_at(self, time: float, host_name: str) -> None:
+        """Schedule a crash at an absolute simulated time."""
+        self._require_kernel().schedule_at(
+            time, self.crash, host_name, label=f"crash:{host_name}"
+        )
+
+    def recover_at(self, time: float, host_name: str) -> None:
+        """Schedule a recovery at an absolute simulated time."""
+        self._require_kernel().schedule_at(
+            time, self.recover, host_name, label=f"recover:{host_name}"
+        )
+
+    def crash_schedule(
+        self, schedule: Sequence[Tuple[float, float, str]]
+    ) -> None:
+        """Schedule ``(crash_time, recover_time, host)`` triples.
+
+        A ``recover_time`` of ``float('inf')`` means the host never
+        comes back.
+        """
+        for crash_time, recover_time, host_name in schedule:
+            if recover_time <= crash_time and recover_time != float("inf"):
+                raise ValueError(
+                    f"recover ({recover_time}) must follow crash ({crash_time})"
+                )
+            self.crash_at(crash_time, host_name)
+            if recover_time != float("inf"):
+                self.recover_at(recover_time, host_name)

@@ -1,0 +1,109 @@
+"""Multicast group communication.
+
+The paper reuses network-layer multicast for replica groups
+("a multicast on network layer can be used for k-availability as well
+as for diversity through majority votes", Section 6).  A
+:class:`MulticastGroup` delivers one logical send to every live member
+and reports per-member outcomes, so callers can implement both
+best-effort fan-out and reliable (all-or-report) semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.netsim.network import Network, NetworkError
+
+
+class MulticastError(Exception):
+    """Raised on invalid group operations (duplicate join, unknown member)."""
+
+
+class DeliveryReport:
+    """Outcome of one multicast send."""
+
+    __slots__ = ("delays", "failures")
+
+    def __init__(self, delays: Dict[str, float], failures: Dict[str, NetworkError]):
+        #: member host name -> transfer delay for successful deliveries
+        self.delays = delays
+        #: member host name -> the failure that prevented delivery
+        self.failures = failures
+
+    @property
+    def delivered(self) -> List[str]:
+        return sorted(self.delays)
+
+    @property
+    def failed(self) -> List[str]:
+        return sorted(self.failures)
+
+    def all_delivered(self) -> bool:
+        return not self.failures
+
+    def max_delay(self) -> float:
+        """Delay until the slowest successful delivery (0.0 if none)."""
+        return max(self.delays.values(), default=0.0)
+
+
+class MulticastGroup:
+    """A named group of hosts reachable by one logical send.
+
+    The group address is modelled as the member list; transfer costs
+    are per-member unicast over the simulated topology, which matches
+    how IP multicast trees degenerate in a small LAN testbed.
+    """
+
+    def __init__(self, network: Network, address: str) -> None:
+        self.network = network
+        self.address = address
+        self._members: List[str] = []
+
+    @property
+    def members(self) -> List[str]:
+        """Current members in join order."""
+        return list(self._members)
+
+    def join(self, host_name: str) -> None:
+        """Add a host to the group."""
+        self.network.host(host_name)  # validate existence
+        if host_name in self._members:
+            raise MulticastError(f"{host_name!r} already in group {self.address!r}")
+        self._members.append(host_name)
+
+    def leave(self, host_name: str) -> None:
+        """Remove a host from the group."""
+        try:
+            self._members.remove(host_name)
+        except ValueError:
+            raise MulticastError(
+                f"{host_name!r} not in group {self.address!r}"
+            ) from None
+
+    def send(self, src: str, nbytes: int, exclude_self: bool = True) -> DeliveryReport:
+        """Deliver ``nbytes`` from ``src`` to every member.
+
+        Members that cannot be reached (crashed, partitioned, lossy
+        drop) appear in the report's ``failures`` instead of raising,
+        so one dead replica never aborts the whole fan-out.
+        """
+        delays: Dict[str, float] = {}
+        failures: Dict[str, NetworkError] = {}
+        for member in self._members:
+            if exclude_self and member == src:
+                continue
+            try:
+                delays[member] = self.network.send(src, member, nbytes)
+            except NetworkError as error:
+                failures[member] = error
+        return DeliveryReport(delays, failures)
+
+    def live_members(self) -> List[str]:
+        """Members whose hosts are currently up."""
+        return [m for m in self._members if not self.network.host(m).crashed]
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MulticastGroup({self.address!r}, members={self._members})"

@@ -1,0 +1,382 @@
+"""Hosts, links and the transfer-time model.
+
+The model is analytic and deterministic: sending ``n`` bytes over a
+path costs, per link, ``latency + n * 8 / effective_bandwidth``.  The
+effective bandwidth of a flow on a link is its reserved rate if the
+flow holds a reservation (see :mod:`repro.netsim.resources`), and the
+link's unreserved capacity otherwise.  A small best-effort floor keeps
+unreserved traffic from starving completely, mirroring how reservation
+schemes of the paper's era (RSVP/IntServ) left a best-effort class.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.netsim.clock import Clock
+
+#: Fraction of a link's capacity always left to best-effort traffic.
+BEST_EFFORT_FLOOR = 0.05
+
+
+class NetworkError(Exception):
+    """Base class for all simulated communication failures."""
+
+
+class HostCrashed(NetworkError):
+    """The source or destination host is crashed."""
+
+
+class NoRoute(NetworkError):
+    """No path exists between the hosts (unknown host or partition)."""
+
+
+class PacketLost(NetworkError):
+    """The message was dropped by a lossy link."""
+
+
+class Host:
+    """A named machine in the simulated network.
+
+    ``cpu_factor`` scales servant service times (2.0 = twice as fast).
+    ``busy_until`` implements a single-server FIFO queue used by the
+    load-balancing experiments: work is serialised per host.
+    """
+
+    __slots__ = ("name", "cpu_factor", "crashed", "busy_until", "load")
+
+    def __init__(self, name: str, cpu_factor: float = 1.0) -> None:
+        if cpu_factor <= 0.0:
+            raise ValueError(f"cpu_factor must be positive: {cpu_factor}")
+        self.name = name
+        self.cpu_factor = cpu_factor
+        self.crashed = False
+        self.busy_until = 0.0
+        #: Completed work units, used by least-loaded balancing policies.
+        self.load = 0
+
+    def occupy(self, now: float, service_time: float) -> float:
+        """Queue ``service_time`` seconds of work; return its completion time.
+
+        Work starts when the host becomes free (FIFO) and is scaled by
+        the host's CPU factor.
+        """
+        if service_time < 0.0:
+            raise ValueError(f"service_time must be non-negative: {service_time}")
+        start = max(now, self.busy_until)
+        completion = start + service_time / self.cpu_factor
+        self.busy_until = completion
+        self.load += 1
+        return completion
+
+    def reset(self) -> None:
+        """Clear queue state and failure status (used between runs)."""
+        self.crashed = False
+        self.busy_until = 0.0
+        self.load = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "crashed" if self.crashed else "up"
+        return f"Host({self.name!r}, {state})"
+
+
+class Link:
+    """A bidirectional link with latency, capacity and optional loss."""
+
+    __slots__ = (
+        "a",
+        "b",
+        "latency",
+        "_capacity_bps",
+        "reserved_bps",
+        "background_flows",
+        "loss_rate",
+        "_rng",
+        "bytes_carried",
+        "messages_carried",
+        "messages_lost",
+    )
+
+    def __init__(
+        self,
+        a: Host,
+        b: Host,
+        latency: float,
+        bandwidth_bps: float,
+        loss_rate: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if latency < 0.0:
+            raise ValueError(f"latency must be non-negative: {latency}")
+        if bandwidth_bps <= 0.0:
+            raise ValueError(f"bandwidth must be positive: {bandwidth_bps}")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1): {loss_rate}")
+        self.a = a
+        self.b = b
+        self.latency = latency
+        self._capacity_bps = float(bandwidth_bps)
+        self.reserved_bps = 0.0
+        #: Competing best-effort cross-traffic flows sharing this link.
+        #: Reserved flows are isolated from them — the IntServ value
+        #: proposition the bandwidth experiments demonstrate.
+        self.background_flows = 0
+        self.loss_rate = loss_rate
+        self._rng = random.Random(seed)
+        self.bytes_carried = 0
+        self.messages_carried = 0
+        self.messages_lost = 0
+
+    @property
+    def capacity_bps(self) -> float:
+        """Raw capacity of the link in bits per second."""
+        return self._capacity_bps
+
+    def set_capacity(self, bandwidth_bps: float) -> None:
+        """Change the link capacity (used by availability traces)."""
+        if bandwidth_bps <= 0.0:
+            raise ValueError(f"bandwidth must be positive: {bandwidth_bps}")
+        self._capacity_bps = float(bandwidth_bps)
+
+    def effective_bandwidth(self, reserved_rate: Optional[float]) -> float:
+        """Bandwidth seen by one flow.
+
+        ``reserved_rate`` is the flow's reservation on this link, or
+        None for best-effort traffic.  Reserved flows get exactly their
+        rate (capped by capacity), isolated from cross traffic;
+        best-effort flows share the unreserved capacity fairly with any
+        ``background_flows``, never dropping below the best-effort
+        floor.
+        """
+        if reserved_rate is not None:
+            return min(reserved_rate, self._capacity_bps)
+        free = self._capacity_bps - self.reserved_bps
+        share = free / (1 + self.background_flows)
+        floor = self._capacity_bps * BEST_EFFORT_FLOOR
+        return max(share, floor)
+
+    def sample_loss(self) -> bool:
+        """Deterministically (per seed) decide whether a message is lost."""
+        if self.loss_rate <= 0.0:
+            return False
+        return self._rng.random() < self.loss_rate
+
+    def endpoints(self) -> Tuple[str, str]:
+        return (self.a.name, self.b.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Link({self.a.name}<->{self.b.name}, "
+            f"{self.latency * 1e3:.2f}ms, {self._capacity_bps / 1e6:.2f}Mbps)"
+        )
+
+
+class Network:
+    """Topology plus the failure and transfer-time model.
+
+    Routing is shortest-path by latency (Dijkstra), recomputed lazily
+    whenever the topology or the partition state changes.
+    """
+
+    def __init__(self, clock: Optional[Clock] = None) -> None:
+        self.clock = clock if clock is not None else Clock()
+        self.hosts: Dict[str, Host] = {}
+        self._adjacency: Dict[str, Dict[str, Link]] = {}
+        self._partition_groups: List[Set[str]] = []
+        self._route_cache: Dict[Tuple[str, str], Optional[List[Link]]] = {}
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        #: Bytes of same-host (loopback) messages, which touch no link.
+        self.loopback_bytes = 0
+
+    # -- topology -----------------------------------------------------
+
+    def add_host(self, name: str, cpu_factor: float = 1.0) -> Host:
+        """Create and register a host; names must be unique."""
+        if name in self.hosts:
+            raise ValueError(f"duplicate host name: {name!r}")
+        host = Host(name, cpu_factor)
+        self.hosts[name] = host
+        self._adjacency[name] = {}
+        self._route_cache.clear()
+        return host
+
+    def host(self, name: str) -> Host:
+        """Look up a host by name."""
+        try:
+            return self.hosts[name]
+        except KeyError:
+            raise NoRoute(f"unknown host: {name!r}") from None
+
+    def connect(
+        self,
+        a: str,
+        b: str,
+        latency: float = 0.001,
+        bandwidth_bps: float = 100e6,
+        loss_rate: float = 0.0,
+        seed: int = 0,
+    ) -> Link:
+        """Create a bidirectional link between two existing hosts."""
+        if a == b:
+            raise ValueError("cannot connect a host to itself")
+        link = Link(self.host(a), self.host(b), latency, bandwidth_bps, loss_rate, seed)
+        self._adjacency[a][b] = link
+        self._adjacency[b][a] = link
+        self._route_cache.clear()
+        return link
+
+    def link_between(self, a: str, b: str) -> Link:
+        """Return the direct link between ``a`` and ``b``."""
+        try:
+            return self._adjacency[a][b]
+        except KeyError:
+            raise NoRoute(f"no direct link {a!r} <-> {b!r}") from None
+
+    def links(self) -> Iterable[Link]:
+        """Iterate over every distinct link once."""
+        seen = set()
+        for neighbours in self._adjacency.values():
+            for link in neighbours.values():
+                key = id(link)
+                if key not in seen:
+                    seen.add(key)
+                    yield link
+
+    # -- partitions ---------------------------------------------------
+
+    def set_partitions(self, groups: Iterable[Iterable[str]]) -> None:
+        """Partition the network into the given host groups.
+
+        Hosts in different groups cannot communicate.  Hosts not named
+        in any group form an implicit extra group together.  An empty
+        list heals all partitions.
+        """
+        self._partition_groups = [set(group) for group in groups]
+        self._route_cache.clear()
+
+    def heal_partitions(self) -> None:
+        """Remove all partitions."""
+        self.set_partitions([])
+
+    def _same_side(self, a: str, b: str) -> bool:
+        if not self._partition_groups:
+            return True
+        group_of: Dict[str, int] = {}
+        for index, group in enumerate(self._partition_groups):
+            for name in group:
+                group_of[name] = index
+        implicit = len(self._partition_groups)
+        return group_of.get(a, implicit) == group_of.get(b, implicit)
+
+    # -- routing ------------------------------------------------------
+
+    def route(self, src: str, dst: str) -> List[Link]:
+        """Shortest-latency path from ``src`` to ``dst`` as a list of links.
+
+        Raises :class:`NoRoute` if none exists (unknown hosts, missing
+        connectivity, or an active partition separating the two).
+        """
+        self.host(src)
+        self.host(dst)
+        if src == dst:
+            return []
+        key = (src, dst)
+        if key not in self._route_cache:
+            self._route_cache[key] = self._dijkstra(src, dst)
+        path = self._route_cache[key]
+        if path is None:
+            raise NoRoute(f"no route from {src!r} to {dst!r}")
+        return path
+
+    def _dijkstra(self, src: str, dst: str) -> Optional[List[Link]]:
+        distances: Dict[str, float] = {src: 0.0}
+        previous: Dict[str, Tuple[str, Link]] = {}
+        frontier: List[Tuple[float, str]] = [(0.0, src)]
+        visited: Set[str] = set()
+        while frontier:
+            dist, node = heapq.heappop(frontier)
+            if node in visited:
+                continue
+            visited.add(node)
+            if node == dst:
+                break
+            for neighbour, link in self._adjacency[node].items():
+                if not self._same_side(node, neighbour):
+                    continue
+                candidate = dist + link.latency
+                if candidate < distances.get(neighbour, float("inf")):
+                    distances[neighbour] = candidate
+                    previous[neighbour] = (node, link)
+                    heapq.heappush(frontier, (candidate, neighbour))
+        if dst not in previous:
+            return None
+        path: List[Link] = []
+        node = dst
+        while node != src:
+            node, link = previous[node]
+            path.append(link)
+        path.reverse()
+        return path
+
+    # -- transfer -----------------------------------------------------
+
+    def transfer_delay(
+        self,
+        src: str,
+        dst: str,
+        nbytes: int,
+        reservations: Optional[Dict[int, float]] = None,
+    ) -> float:
+        """Time to move ``nbytes`` from ``src`` to ``dst`` (store-and-forward).
+
+        ``reservations`` maps ``id(link) -> reserved bps`` for links on
+        which the sending flow holds a reservation.
+        """
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative: {nbytes}")
+        delay = 0.0
+        for link in self.route(src, dst):
+            reserved = reservations.get(id(link)) if reservations else None
+            bandwidth = link.effective_bandwidth(reserved)
+            delay += link.latency + (nbytes * 8.0) / bandwidth
+        return delay
+
+    def send(
+        self,
+        src: str,
+        dst: str,
+        nbytes: int,
+        reservations: Optional[Dict[int, float]] = None,
+    ) -> float:
+        """Validate and account a message; return its transfer delay.
+
+        Raises :class:`HostCrashed`, :class:`NoRoute` or
+        :class:`PacketLost` on the corresponding simulated failures.
+        The caller (the ORB) decides how the delay advances the clock,
+        which allows both synchronous round-trips and one-way sends.
+        """
+        source, target = self.host(src), self.host(dst)
+        if source.crashed:
+            raise HostCrashed(f"source host {src!r} is crashed")
+        if target.crashed:
+            raise HostCrashed(f"destination host {dst!r} is crashed")
+        path = self.route(src, dst)
+        for link in path:
+            if link.sample_loss():
+                link.messages_lost += 1
+                raise PacketLost(f"message lost on {link!r}")
+        delay = self.transfer_delay(src, dst, nbytes, reservations)
+        for link in path:
+            link.bytes_carried += nbytes
+            link.messages_carried += 1
+        if not path:
+            self.loopback_bytes += nbytes
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        return delay
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Network(hosts={len(self.hosts)}, links={sum(1 for _ in self.links())})"

@@ -1,0 +1,139 @@
+"""Resource management: bandwidth reservation and availability traces.
+
+The paper's Section 4 reuses "QoS mechanisms from the underlying
+network ... e.g. bandwidth reservation" through ORB-level QoS modules.
+This module is the substrate those modules drive: an admission-
+controlled reservation table per link, plus time-varying capacity
+traces that the adaptation experiments (E10) use to force
+renegotiation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.netsim.network import Link, Network
+
+
+class InsufficientBandwidth(Exception):
+    """Admission control rejected a reservation request."""
+
+
+class Reservation:
+    """An admitted end-to-end bandwidth reservation.
+
+    Holds the reserved rate on every link of the path at admission
+    time.  Use :meth:`ResourceManager.release` to free it.
+    """
+
+    _ids = itertools.count(1)
+
+    __slots__ = ("reservation_id", "src", "dst", "rate_bps", "links", "active")
+
+    def __init__(self, src: str, dst: str, rate_bps: float, links: List[Link]):
+        self.reservation_id = next(Reservation._ids)
+        self.src = src
+        self.dst = dst
+        self.rate_bps = rate_bps
+        self.links = links
+        self.active = True
+
+    def link_rates(self) -> Dict[int, float]:
+        """``id(link) -> rate`` map in the form :meth:`Network.send` expects."""
+        if not self.active:
+            return {}
+        return {id(link): self.rate_bps for link in self.links}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "active" if self.active else "released"
+        return (
+            f"Reservation(#{self.reservation_id} {self.src}->{self.dst} "
+            f"{self.rate_bps / 1e6:.2f}Mbps, {state})"
+        )
+
+
+class ResourceManager:
+    """Admission control and capacity traces over a :class:`Network`.
+
+    Reservations are end-to-end: the requested rate must be admissible
+    on *every* link of the current route, otherwise
+    :class:`InsufficientBandwidth` is raised and nothing is reserved.
+    """
+
+    #: At most this fraction of a link may be reserved (the rest stays
+    #: best-effort), mirroring IntServ deployment practice.
+    MAX_RESERVABLE_FRACTION = 0.9
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        self._reservations: Dict[int, Reservation] = {}
+        self._traces: List[Tuple[Link, Sequence[Tuple[float, float]]]] = []
+
+    # -- reservations -------------------------------------------------
+
+    def reservable(self, link: Link) -> float:
+        """Remaining reservable rate on a link."""
+        ceiling = link.capacity_bps * self.MAX_RESERVABLE_FRACTION
+        return max(0.0, ceiling - link.reserved_bps)
+
+    def reserve(self, src: str, dst: str, rate_bps: float) -> Reservation:
+        """Admit an end-to-end reservation or raise :class:`InsufficientBandwidth`."""
+        if rate_bps <= 0.0:
+            raise ValueError(f"rate must be positive: {rate_bps}")
+        links = self.network.route(src, dst)
+        for link in links:
+            if self.reservable(link) < rate_bps:
+                raise InsufficientBandwidth(
+                    f"cannot reserve {rate_bps / 1e6:.2f}Mbps on {link!r} "
+                    f"(reservable {self.reservable(link) / 1e6:.2f}Mbps)"
+                )
+        for link in links:
+            link.reserved_bps += rate_bps
+        reservation = Reservation(src, dst, rate_bps, links)
+        self._reservations[reservation.reservation_id] = reservation
+        return reservation
+
+    def release(self, reservation: Reservation) -> None:
+        """Free a reservation; idempotent."""
+        if not reservation.active:
+            return
+        for link in reservation.links:
+            link.reserved_bps = max(0.0, link.reserved_bps - reservation.rate_bps)
+        reservation.active = False
+        self._reservations.pop(reservation.reservation_id, None)
+
+    def active_reservations(self) -> List[Reservation]:
+        return list(self._reservations.values())
+
+    # -- availability traces -------------------------------------------
+
+    def set_capacity_trace(
+        self, link: Link, trace: Sequence[Tuple[float, float]]
+    ) -> None:
+        """Attach a piecewise-constant capacity trace to a link.
+
+        ``trace`` is a sorted sequence of ``(time, capacity_bps)``
+        steps.  Call :meth:`apply_traces` (typically from a kernel
+        event or before each measurement) to apply the value in effect
+        at the current simulated time.
+        """
+        if not trace:
+            raise ValueError("trace must not be empty")
+        times = [t for t, _ in trace]
+        if times != sorted(times):
+            raise ValueError("trace times must be sorted")
+        self._traces.append((link, list(trace)))
+
+    def apply_traces(self) -> None:
+        """Set each traced link's capacity to its value at the current time."""
+        now = self.network.clock.now
+        for link, trace in self._traces:
+            current = None
+            for time, capacity in trace:
+                if time <= now:
+                    current = capacity
+                else:
+                    break
+            if current is not None:
+                link.set_capacity(current)

@@ -1,0 +1,68 @@
+"""A CORBA-like object request broker on the simulated network.
+
+This package realises the middleware of the paper's Figure 1 with all
+the interposition points MAQS needs:
+
+- :mod:`repro.orb.cdr` / :mod:`repro.orb.giop` — marshalling and the
+  GIOP-style message protocol.
+- :mod:`repro.orb.ior` — interoperable object references with tagged
+  profiles, including the QoS tag of Section 4.
+- :mod:`repro.orb.request` — the dual-use request (service request or
+  module/transport *command*).
+- :mod:`repro.orb.poa` / :mod:`repro.orb.servant` — the object adapter.
+- :mod:`repro.orb.stub` / :mod:`repro.orb.skeleton` — the generated-code
+  runtime with the mediator delegation hook (Section 3.3).
+- :mod:`repro.orb.dii` — the dynamic invocation interface used to drive
+  QoS modules' dynamic interfaces.
+- :mod:`repro.orb.qos_transport` and :mod:`repro.orb.modules` — the QoS
+  transport and its dynamically loadable modules (Figure 3).
+- :mod:`repro.orb.orb` / :mod:`repro.orb.world` — the broker itself and
+  a bootstrap helper wiring clock, network, ORBs and naming together.
+"""
+
+from repro.orb.exceptions import (
+    BAD_OPERATION,
+    BAD_PARAM,
+    BAD_QOS,
+    COMM_FAILURE,
+    MARSHAL,
+    NO_PERMISSION,
+    NO_RESOURCES,
+    OBJECT_NOT_EXIST,
+    TRANSIENT,
+    SystemException,
+    UserException,
+)
+from repro.orb.ior import IOR, IIOPProfile, QOS_TAG, TaggedComponent
+from repro.orb.orb import ORB
+from repro.orb.poa import POA
+from repro.orb.request import COMMAND, REQUEST, Request
+from repro.orb.servant import Servant
+from repro.orb.stub import Stub
+from repro.orb.world import World
+
+__all__ = [
+    "BAD_OPERATION",
+    "BAD_PARAM",
+    "BAD_QOS",
+    "COMM_FAILURE",
+    "COMMAND",
+    "IIOPProfile",
+    "IOR",
+    "MARSHAL",
+    "NO_PERMISSION",
+    "NO_RESOURCES",
+    "OBJECT_NOT_EXIST",
+    "ORB",
+    "POA",
+    "QOS_TAG",
+    "REQUEST",
+    "Request",
+    "Servant",
+    "Stub",
+    "SystemException",
+    "TRANSIENT",
+    "TaggedComponent",
+    "UserException",
+    "World",
+]

@@ -1,0 +1,157 @@
+"""CORBA-style exception hierarchy.
+
+System exceptions mirror the standard CORBA minor set the paper's
+platform (CORBA 2.3) defines; :class:`BAD_QOS` is the MAQS addition
+raised when an operation of a *non-negotiated* QoS characteristic is
+invoked (Section 3.3: "only the operations of the actual negotiated
+QoS characteristic are processed while others raise an exception").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+
+class SystemException(Exception):
+    """Base of all ORB-raised exceptions (CORBA system exceptions)."""
+
+    #: Repository-id style identifier, filled per subclass.
+    repo_id = "IDL:omg.org/CORBA/SystemException:1.0"
+
+    def __init__(self, message: str = "", minor: int = 0) -> None:
+        super().__init__(message)
+        self.message = message
+        self.minor = minor
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.message!r}, minor={self.minor})"
+
+
+class COMM_FAILURE(SystemException):
+    """Communication with the target failed (crash, loss, link down)."""
+
+    repo_id = "IDL:omg.org/CORBA/COMM_FAILURE:1.0"
+
+
+class TRANSIENT(SystemException):
+    """A transient failure; the request may be retried."""
+
+    repo_id = "IDL:omg.org/CORBA/TRANSIENT:1.0"
+
+
+class OBJECT_NOT_EXIST(SystemException):
+    """The target object does not exist (deactivated or bad key)."""
+
+    repo_id = "IDL:omg.org/CORBA/OBJECT_NOT_EXIST:1.0"
+
+
+class BAD_OPERATION(SystemException):
+    """The operation is not part of the target's interface."""
+
+    repo_id = "IDL:omg.org/CORBA/BAD_OPERATION:1.0"
+
+
+class BAD_PARAM(SystemException):
+    """An argument did not conform to the operation signature."""
+
+    repo_id = "IDL:omg.org/CORBA/BAD_PARAM:1.0"
+
+
+class MARSHAL(SystemException):
+    """Marshalling or unmarshalling failed."""
+
+    repo_id = "IDL:omg.org/CORBA/MARSHAL:1.0"
+
+
+class NO_PERMISSION(SystemException):
+    """The caller lacks permission for the operation."""
+
+    repo_id = "IDL:omg.org/CORBA/NO_PERMISSION:1.0"
+
+
+class NO_RESOURCES(SystemException):
+    """The ORB could not obtain the resources the request needs."""
+
+    repo_id = "IDL:omg.org/CORBA/NO_RESOURCES:1.0"
+
+
+class BAD_QOS(SystemException):
+    """MAQS: operation belongs to a QoS characteristic that is not negotiated."""
+
+    repo_id = "IDL:maqs/BAD_QOS:1.0"
+
+
+#: repo_id -> class, for re-raising exceptions decoded from replies.
+SYSTEM_EXCEPTIONS: Dict[str, type] = {
+    cls.repo_id: cls
+    for cls in (
+        SystemException,
+        COMM_FAILURE,
+        TRANSIENT,
+        OBJECT_NOT_EXIST,
+        BAD_OPERATION,
+        BAD_PARAM,
+        MARSHAL,
+        NO_PERMISSION,
+        NO_RESOURCES,
+        BAD_QOS,
+    )
+}
+
+
+class UserException(Exception):
+    """Base of application-defined (IDL ``exception``) exceptions.
+
+    Generated exception classes carry their fields in ``members``; the
+    wire format transports ``repo_id`` plus the member dictionary, so a
+    peer without the generated class still receives a faithful
+    :class:`UserException`.
+    """
+
+    repo_id = "IDL:maqs/UserException:1.0"
+
+    def __init__(self, message: str = "", **members: Any) -> None:
+        super().__init__(message or type(self).__name__)
+        self.message = message
+        self.members = members
+
+    def __getattr__(self, name: str) -> Any:
+        members = self.__dict__.get("members") or {}
+        if name in members:
+            return members[name]
+        raise AttributeError(name)
+
+
+def system_exception_from_wire(
+    repo_id: str, message: str, minor: int
+) -> SystemException:
+    """Reconstruct a system exception decoded from a reply."""
+    cls = SYSTEM_EXCEPTIONS.get(repo_id, SystemException)
+    return cls(message, minor)
+
+
+def user_exception_from_wire(
+    repo_id: str, message: str, members: Optional[Dict[str, Any]] = None
+) -> UserException:
+    """Reconstruct a user exception decoded from a reply.
+
+    If a generated class registered itself under ``repo_id`` it is
+    instantiated; otherwise a plain :class:`UserException` carries the
+    payload.
+    """
+    cls = USER_EXCEPTIONS.get(repo_id, UserException)
+    error = cls(message, **(members or {}))
+    error.repo_id = repo_id
+    return error
+
+
+#: Registry filled by generated exception classes (QIDL compiler output).
+USER_EXCEPTIONS: Dict[str, type] = {}
+
+
+def register_user_exception(cls: type) -> type:
+    """Class decorator: make a user exception reconstructible from the wire."""
+    if not issubclass(cls, UserException):
+        raise TypeError(f"{cls!r} must subclass UserException")
+    USER_EXCEPTIONS[cls.repo_id] = cls
+    return cls

@@ -1,0 +1,44 @@
+"""The invocation interface: Figure 3's dispatch decision tree.
+
+::
+
+                         With QoS?
+    Invocation ──no──► GIOP/IIOP module
+       │
+       yes (QoS tag in the IOR)
+       ▼
+    QoS transport ──command?──► transport / target module
+       │
+       request
+       ▼
+    module assigned to the relationship?  ──no──► GIOP/IIOP module
+       │yes
+       ▼
+    assigned QoS module
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.orb.request import Request
+
+
+def dispatch(orb: "ORB", request: Request) -> Any:  # noqa: F821
+    """Route one outgoing request per Figure 3 and return its result."""
+    transport = orb.qos_transport
+    if request.is_command:
+        # Commands ride the plain transport to the peer ORB, where the
+        # receiving QoS transport interprets them (handle_incoming).
+        reply = transport.iiop_module.send_request(orb, request)
+        return reply.value()
+    if not request.target.is_qos_aware:
+        reply = transport.iiop_module.send_request(orb, request)
+        return reply.value()
+    module = transport.assigned_module(request.target)
+    if module is None:
+        # No module assigned yet: the default transport carries the
+        # request, which is how initial negotiation traffic flows.
+        module = transport.iiop_module
+    reply = module.send_request(orb, request)
+    return reply.value()

@@ -1,0 +1,75 @@
+"""QoS transport modules and their reflection registry.
+
+Section 4: "The QoS transport is an entity which administrates all QoS
+transport modules.  Each QoS module offers a common static interface
+and a specific dynamic interface.  The common interface allows the
+dynamic loading of QoS modules on request."
+
+The registry below *is* the "simple reflection mechanism [that] allows
+the extension of the ORB at runtime": modules register a factory under
+their name, and the QoS transport instantiates them lazily — including
+on first use by an incoming command or wrapped request.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Type
+
+from repro.orb.modules.base import (
+    ENVELOPE_MAGIC,
+    QoSModule,
+    decode_envelope,
+    encode_envelope,
+    is_envelope,
+)
+
+#: name -> module class; populated by the @register_module decorator.
+MODULE_REGISTRY: Dict[str, Type[QoSModule]] = {}
+
+
+def register_module(cls: Type[QoSModule]) -> Type[QoSModule]:
+    """Class decorator adding a module to the reflection registry."""
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} must define a non-empty name")
+    if cls.name in MODULE_REGISTRY:
+        raise ValueError(f"duplicate module name: {cls.name!r}")
+    MODULE_REGISTRY[cls.name] = cls
+    return cls
+
+
+def create_module(name: str) -> QoSModule:
+    """Instantiate a registered module by name (reflective loading)."""
+    try:
+        cls = MODULE_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"no QoS module registered under {name!r}; "
+            f"available: {available_modules()}"
+        ) from None
+    return cls()
+
+
+def available_modules() -> List[str]:
+    """Names of all loadable modules."""
+    return sorted(MODULE_REGISTRY)
+
+
+# Importing the implementations populates the registry.
+from repro.orb.modules import iiop as _iiop  # noqa: E402,F401
+from repro.orb.modules import compression as _compression  # noqa: E402,F401
+from repro.orb.modules import crypto as _crypto  # noqa: E402,F401
+from repro.orb.modules import bandwidth as _bandwidth  # noqa: E402,F401
+from repro.orb.modules import multicast as _multicast  # noqa: E402,F401
+from repro.orb.modules import trace as _trace  # noqa: E402,F401
+
+__all__ = [
+    "ENVELOPE_MAGIC",
+    "MODULE_REGISTRY",
+    "QoSModule",
+    "available_modules",
+    "create_module",
+    "decode_envelope",
+    "encode_envelope",
+    "is_envelope",
+    "register_module",
+]

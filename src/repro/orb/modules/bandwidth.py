@@ -1,0 +1,86 @@
+"""Bandwidth reservation module.
+
+Reuses the network substrate's admission-controlled reservations
+(Section 4 names "bandwidth reservation" as a reusable lower-layer QoS
+mechanism).  Once a reservation toward a destination host is admitted,
+every request this module carries to that host transfers at the
+reserved rate instead of competing for best-effort capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.netsim.resources import InsufficientBandwidth, Reservation
+from repro.orb.exceptions import NO_RESOURCES
+from repro.orb.modules.base import QoSModule
+from repro.orb.request import Request
+
+
+class BandwidthModule(QoSModule):
+    """Reserve and use per-destination bandwidth."""
+
+    name = "bandwidth"
+    description = "end-to-end bandwidth reservation (IntServ-style)"
+    uses_envelope = False
+    dynamic_ops = ("reserve", "release", "reserved_rate", "reservations")
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: destination host -> active Reservation.
+        self._reservations: Dict[str, Reservation] = {}
+
+    # -- dynamic interface ------------------------------------------------
+
+    def reserve(self, dest_host: str, rate_bps: float) -> float:
+        """Admit a reservation from this ORB's host toward ``dest_host``.
+
+        Replaces any existing reservation to the same destination.
+        Raises :class:`NO_RESOURCES` when admission control rejects.
+        """
+        manager = self.orb.world.resources
+        existing = self._reservations.pop(dest_host, None)
+        if existing is not None:
+            manager.release(existing)
+        try:
+            reservation = manager.reserve(self.orb.host_name, dest_host, rate_bps)
+        except InsufficientBandwidth as error:
+            raise NO_RESOURCES(str(error)) from None
+        self._reservations[dest_host] = reservation
+        return reservation.rate_bps
+
+    def release(self, dest_host: str) -> bool:
+        """Release the reservation toward a destination; returns whether one existed."""
+        reservation = self._reservations.pop(dest_host, None)
+        if reservation is None:
+            return False
+        self.orb.world.resources.release(reservation)
+        return True
+
+    def reserved_rate(self, dest_host: str) -> float:
+        """Currently reserved rate toward a destination (0.0 if none)."""
+        reservation = self._reservations.get(dest_host)
+        return reservation.rate_bps if reservation else 0.0
+
+    def reservations(self) -> List[str]:
+        return sorted(self._reservations)
+
+    # -- data plane ----------------------------------------------------------
+
+    def reservations_for(self, request: Request) -> Optional[Dict[int, float]]:
+        reservation = self._reservations.get(request.target.profile.host)
+        if reservation is None:
+            return None
+        return reservation.link_rates()
+
+    def on_unload(self) -> None:
+        manager = self.orb.world.resources
+        for reservation in self._reservations.values():
+            manager.release(reservation)
+        self._reservations.clear()
+        super().on_unload()
+
+
+from repro.orb.modules import register_module  # noqa: E402
+
+register_module(BandwidthModule)

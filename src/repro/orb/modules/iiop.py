@@ -1,0 +1,31 @@
+"""The plain GIOP/IIOP transport module.
+
+Figure 3's default path: requests with no QoS awareness — and QoS-aware
+requests whose binding has no module assigned yet, "allow[ing] initial
+negotiation of a QoS agreement" — travel through this module.  It is
+always loaded and performs no transformation.
+"""
+
+from __future__ import annotations
+
+from repro.orb.modules.base import QoSModule
+
+
+class IIOPModule(QoSModule):
+    """Untransformed point-to-point transport."""
+
+    name = "iiop"
+    description = "plain GIOP/IIOP transport (default, no QoS)"
+    uses_envelope = False
+    dynamic_ops = ("ping",)
+
+    def ping(self) -> str:
+        """Liveness probe for the dynamic interface tests."""
+        return "pong"
+
+
+# Registered at the bottom to avoid a circular import with the package
+# __init__, which imports this module to populate the registry.
+from repro.orb.modules import register_module  # noqa: E402
+
+register_module(IIOPModule)

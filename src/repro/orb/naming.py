@@ -1,0 +1,80 @@
+"""Naming service.
+
+A plain CORBA-style name service used to bootstrap the examples and
+benchmarks.  Its stub and servant are hand-written against the same
+runtime API that QIDL-generated code uses, so the pair doubles as the
+reference for what the generator emits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.orb.exceptions import UserException, register_user_exception
+from repro.orb.ior import IOR
+from repro.orb.servant import Servant
+from repro.orb.stub import Stub
+
+
+@register_user_exception
+class NotFound(UserException):
+    """The name is not bound."""
+
+    repo_id = "IDL:maqs/NamingService/NotFound:1.0"
+
+
+@register_user_exception
+class AlreadyBound(UserException):
+    """The name is already bound and rebinding was not requested."""
+
+    repo_id = "IDL:maqs/NamingService/AlreadyBound:1.0"
+
+
+class NamingServant(Servant):
+    """Server-side name table."""
+
+    _repo_id = "IDL:maqs/NamingService:1.0"
+
+    def __init__(self) -> None:
+        self._bindings: Dict[str, str] = {}
+
+    def bind(self, name: str, ior_string: str) -> None:
+        if name in self._bindings:
+            raise AlreadyBound(f"name {name!r} is already bound", name=name)
+        self._bindings[name] = ior_string
+
+    def rebind(self, name: str, ior_string: str) -> None:
+        self._bindings[name] = ior_string
+
+    def resolve(self, name: str) -> str:
+        try:
+            return self._bindings[name]
+        except KeyError:
+            raise NotFound(f"nothing bound under {name!r}", name=name) from None
+
+    def unbind(self, name: str) -> None:
+        if name not in self._bindings:
+            raise NotFound(f"nothing bound under {name!r}", name=name)
+        del self._bindings[name]
+
+    def list_names(self) -> List[str]:
+        return sorted(self._bindings)
+
+
+class NamingStub(Stub):
+    """Client-side proxy for the naming service."""
+
+    def bind(self, name: str, ior: IOR) -> None:
+        self._call("bind", name, ior.to_string())
+
+    def rebind(self, name: str, ior: IOR) -> None:
+        self._call("rebind", name, ior.to_string())
+
+    def resolve(self, name: str) -> IOR:
+        return IOR.from_string(self._call("resolve", name))
+
+    def unbind(self, name: str) -> None:
+        self._call("unbind", name)
+
+    def list_names(self) -> List[str]:
+        return list(self._call("list_names"))

@@ -1,0 +1,234 @@
+"""The Object Request Broker.
+
+"The ORB is responsible for locating target objects and delivering
+requests" (Section 2.3).  One ORB runs per simulated host.  The client
+side routes outgoing requests through the invocation interface of
+Figure 3; the server side really parses the bytes that crossed the
+simulated wire, unwrapping module envelopes first.
+
+Time model: every message pays a fixed per-hop processing cost plus a
+per-byte marshalling cost at each end, the link delays of the network
+model in between, module CPU costs for wrap/unwrap, and the servant's
+simulated service time (queued FIFO per host).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.netsim.network import HostCrashed, NoRoute, PacketLost
+from repro.orb import giop, invocation
+from repro.orb.dii import PseudoObject
+from repro.orb.exceptions import (
+    COMM_FAILURE,
+    MARSHAL,
+    SystemException,
+    TRANSIENT,
+)
+from repro.orb.ior import IOR
+from repro.orb.modules.base import decode_envelope, encode_envelope, is_envelope
+from repro.orb.poa import POA
+from repro.orb.qos_transport import QoSTransport
+from repro.orb.request import Request
+
+
+class ORB:
+    """One object request broker, bound to a simulated host."""
+
+    #: Simulated CPU seconds per marshalled byte (each direction, each end).
+    MARSHAL_COST_PER_BYTE = 5e-9
+    #: Fixed simulated cost of pushing one message through the ORB core.
+    HOP_COST = 2e-6
+
+    def __init__(self, world: "World", host_name: str, port: int = 683):  # noqa: F821
+        self.world = world
+        self.host_name = host_name
+        self.port = port
+        self.host = world.network.host(host_name)
+        self.poa = POA(self)
+        self.qos_transport = QoSTransport(self)
+        self.requests_invoked = 0
+        self.requests_received = 0
+        self.oneway_failures = 0
+        #: Callables invoked as fn(direction, wire) for every message
+        #: this ORB receives ("in") or answers ("out") — wiretaps for
+        #: tests and tracing, without monkey-patching.
+        self._wire_observers = []
+        from repro.qidl.repository import GLOBAL_REPOSITORY
+
+        self._initial_references: Dict[str, Any] = {
+            "QoSTransport": self.qos_transport.pseudo_object(),
+            "InterfaceRepository": GLOBAL_REPOSITORY,
+        }
+
+    # -- conveniences -----------------------------------------------------
+
+    @property
+    def clock(self):
+        return self.world.network.clock
+
+    @property
+    def network(self):
+        return self.world.network
+
+    def marshal_cost(self, nbytes: int) -> float:
+        """Simulated seconds to push ``nbytes`` through one ORB hop."""
+        return self.HOP_COST + nbytes * self.MARSHAL_COST_PER_BYTE
+
+    # -- references -------------------------------------------------------
+
+    def object_to_string(self, ior: IOR) -> str:
+        return ior.to_string()
+
+    def string_to_object(self, text: str) -> IOR:
+        return IOR.from_string(text)
+
+    def register_initial_reference(self, name: str, obj: Any) -> None:
+        self._initial_references[name] = obj
+
+    def resolve_initial_references(self, name: str) -> Any:
+        """Bootstrap: "QoSTransport" (pseudo object), "NameService", ..."""
+        try:
+            return self._initial_references[name]
+        except KeyError:
+            raise TRANSIENT(f"no initial reference {name!r} registered") from None
+
+    # -- client side --------------------------------------------------------
+
+    def invoke(self, request: Request) -> Any:
+        """Issue a request; returns its result or raises its exception."""
+        self.requests_invoked += 1
+        return invocation.dispatch(self, request)
+
+    def round_trip(
+        self,
+        dest_host: str,
+        wire: bytes,
+        depart_time: float,
+        reservations: Optional[Dict[int, float]] = None,
+    ) -> Tuple[bytes, float]:
+        """Carry a message to ``dest_host`` and its reply back.
+
+        Returns ``(reply_wire, finish_time)``; the caller advances the
+        clock, which lets group modules model parallel fan-out.
+        Network failures surface as CORBA system exceptions.
+        """
+        network = self.network
+        try:
+            delay = network.send(self.host_name, dest_host, len(wire), reservations)
+        except HostCrashed as error:
+            raise COMM_FAILURE(str(error)) from None
+        except (NoRoute, PacketLost) as error:
+            raise TRANSIENT(str(error)) from None
+        server = self.world.orb_at(dest_host)
+        reply_wire, finish = server.handle_incoming(wire, depart_time + delay)
+        try:
+            back = network.send(dest_host, self.host_name, len(reply_wire), reservations)
+        except HostCrashed as error:
+            raise COMM_FAILURE(str(error)) from None
+        except (NoRoute, PacketLost) as error:
+            raise TRANSIENT(str(error)) from None
+        return reply_wire, finish + back
+
+    def add_wire_observer(self, observer) -> None:
+        """Register a wiretap: called as ``observer(direction, wire)``."""
+        self._wire_observers.append(observer)
+
+    def remove_wire_observer(self, observer) -> None:
+        self._wire_observers.remove(observer)
+
+    def _observe(self, direction: str, wire: bytes) -> None:
+        for observer in self._wire_observers:
+            observer(direction, wire)
+
+    def locate(self, ior: IOR) -> bool:
+        """GIOP LocateRequest: does the target ORB serve this object?
+
+        Returns False for unknown objects; raises COMM_FAILURE/TRANSIENT
+        when the host itself is unreachable.
+        """
+        wire = giop.encode_locate_request(0, ior.profile.object_key)
+        depart = self.clock.now + self.marshal_cost(len(wire))
+        reply_wire, finish = self.round_trip(ior.profile.host, wire, depart)
+        self.clock.advance_to(finish + self.marshal_cost(len(reply_wire)))
+        _, status = giop.decode_locate_reply(reply_wire)
+        return status == giop.OBJECT_HERE
+
+    def one_way(self, dest_host: str, wire: bytes, depart_time: float) -> None:
+        """Fire-and-forget delivery (oneway operations).
+
+        The message is delivered and processed on the server in its own
+        time; the caller is never blocked and never learns the outcome.
+        Transport failures are swallowed (CORBA oneway is best-effort)
+        but counted.
+        """
+        network = self.network
+        try:
+            delay = network.send(self.host_name, dest_host, len(wire))
+            server = self.world.orb_at(dest_host)
+            server.handle_incoming(wire, depart_time + delay)
+        except (HostCrashed, NoRoute, PacketLost, COMM_FAILURE):
+            self.oneway_failures += 1
+
+    # -- server side ----------------------------------------------------------
+
+    def handle_incoming(self, wire: bytes, at_time: float) -> Tuple[bytes, float]:
+        """Process one incoming message; returns ``(reply_wire, finish_time)``.
+
+        Handles module envelopes, the dual-use command/request split,
+        POA delivery, and reply encoding — the server half of Figure 3.
+        """
+        self.requests_received += 1
+        self._observe("in", wire)
+        module = None
+        envelope_params: Dict[str, Any] = {}
+        if is_envelope(wire):
+            module_name, envelope_params, payload = decode_envelope(wire)
+            module = self.qos_transport.require_module(module_name)
+            try:
+                wire, cpu = module.unwrap(envelope_params, payload)
+            except SystemException as error:
+                # Cannot even read the request (e.g. missing session
+                # key): answer with an unwrapped system exception.
+                reply = giop.encode_reply(0, exception=error)
+                return reply, at_time + self.marshal_cost(len(reply))
+            at_time += cpu
+            module.requests_served += 1
+        at_time += self.marshal_cost(len(wire))
+
+        if giop.message_type(wire) == giop.MSG_LOCATE_REQUEST:
+            request_id, object_key = giop.decode_locate_request(wire)
+            status = (
+                giop.OBJECT_HERE
+                if object_key in self.poa.active_keys()
+                else giop.UNKNOWN_OBJECT
+            )
+            reply = giop.encode_locate_reply(request_id, status)
+            self._observe("out", reply)
+            return reply, at_time + self.marshal_cost(len(reply))
+
+        request = giop.decode_request(wire)
+        result: Any = None
+        exception: Optional[Exception] = None
+        finish = at_time
+        try:
+            if request.is_command:
+                result = self.qos_transport.handle_command(request)
+                finish = at_time + self.HOP_COST
+            else:
+                result, finish = self.poa.dispatch(request, at_time)
+        except Exception as error:  # encoded into the reply, like a real ORB
+            exception = error
+            finish = at_time
+
+        reply_wire = giop.encode_reply(request.request_id, result, exception)
+        finish += self.marshal_cost(len(reply_wire))
+        if module is not None:
+            params, payload, cpu = module.wrap(reply_wire, dict(envelope_params))
+            finish += cpu
+            reply_wire = encode_envelope(module.name, params, payload)
+        self._observe("out", reply_wire)
+        return reply_wire, finish
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ORB({self.host_name!r}, objects={len(self.poa.active_keys())})"

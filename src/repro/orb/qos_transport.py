@@ -1,0 +1,162 @@
+"""The QoS transport: module administration inside the ORB.
+
+Section 4: "The QoS transport is an entity which administrates all QoS
+transport modules. ... A simple reflection mechanism allows the
+extension of the ORB at runtime."
+
+Responsibilities, matching Figure 3:
+
+- hold the loaded modules (the GIOP/IIOP module is always present);
+- **dynamically load** modules by name from the reflection registry,
+  including on first use by an incoming command;
+- keep the client-side **assignment** of QoS modules to client/server
+  relationships ("If a QoS module is not assigned to a client server
+  relationship the GIOP/IIOP module is used");
+- interpret **transport commands** and route **module commands**.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.orb.dii import PseudoObject
+from repro.orb.exceptions import BAD_OPERATION, NO_RESOURCES
+from repro.orb.ior import IOR
+from repro.orb.modules import QoSModule, create_module, available_modules
+from repro.orb.modules.base import binding_key
+from repro.orb.request import Request, TRANSPORT_TARGET
+
+
+class QoSTransport:
+    """Per-ORB administrator of QoS transport modules."""
+
+    def __init__(self, orb: "ORB") -> None:  # noqa: F821 - circular by design
+        self.orb = orb
+        self._modules: Dict[str, QoSModule] = {}
+        self._assignments: Dict[str, str] = {}
+        self.commands_interpreted = 0
+        # The default transport is always available (Figure 3's
+        # GIOP/IIOP path).
+        self.load_module("iiop")
+
+    # -- module administration (the reflective static interface) ---------
+
+    def load_module(self, name: str) -> QoSModule:
+        """Load a module by name; idempotent."""
+        if name in self._modules:
+            return self._modules[name]
+        try:
+            module = create_module(name)
+        except KeyError as error:
+            raise NO_RESOURCES(str(error)) from None
+        module.on_load(self)
+        self._modules[name] = module
+        return module
+
+    def unload_module(self, name: str) -> bool:
+        """Unload a module; the IIOP default cannot be removed."""
+        if name == "iiop":
+            raise BAD_OPERATION("the default IIOP module cannot be unloaded")
+        module = self._modules.pop(name, None)
+        if module is None:
+            return False
+        module.on_unload()
+        self._assignments = {
+            binding: assigned
+            for binding, assigned in self._assignments.items()
+            if assigned != name
+        }
+        return True
+
+    def module(self, name: str) -> Optional[QoSModule]:
+        """A loaded module, or None."""
+        return self._modules.get(name)
+
+    def require_module(self, name: str) -> QoSModule:
+        """A loaded module, loading it reflectively on demand."""
+        return self.load_module(name)
+
+    @property
+    def iiop_module(self) -> QoSModule:
+        return self._modules["iiop"]
+
+    def loaded_modules(self) -> List[str]:
+        return sorted(self._modules)
+
+    def loadable_modules(self) -> List[str]:
+        return available_modules()
+
+    # -- assignments ------------------------------------------------------
+
+    def assign(self, target: IOR, module_name: str) -> str:
+        """Assign a QoS module to the relationship with ``target``."""
+        self.load_module(module_name)
+        binding = binding_key(target)
+        self._assignments[binding] = module_name
+        return binding
+
+    def unassign(self, target: IOR) -> bool:
+        """Drop the assignment for a relationship."""
+        return self._assignments.pop(binding_key(target), None) is not None
+
+    def assigned_module(self, target: IOR) -> Optional[QoSModule]:
+        """The module assigned to the relationship, or None (use IIOP)."""
+        name = self._assignments.get(binding_key(target))
+        if name is None:
+            return None
+        return self._modules.get(name)
+
+    def assignments(self) -> Dict[str, str]:
+        return dict(self._assignments)
+
+    # -- command interpretation (Figure 3, right-hand branch) ------------
+
+    def handle_command(self, request: Request) -> Any:
+        """Interpret a command addressed to this transport or a module."""
+        self.commands_interpreted += 1
+        target = request.command_target
+        if target == TRANSPORT_TARGET:
+            return self._transport_command(request)
+        # Module command: dynamic loading on request (Section 4).
+        module = self.require_module(target)
+        return module.handle_command(request)
+
+    def _transport_command(self, request: Request) -> Any:
+        operations = {
+            "load_module": lambda name: self.load_module(name).name,
+            "unload_module": self.unload_module,
+            "loaded_modules": self.loaded_modules,
+            "loadable_modules": self.loadable_modules,
+            "assignments": self.assignments,
+            "module_statistics": self._module_statistics,
+        }
+        handler = operations.get(request.operation)
+        if handler is None:
+            raise BAD_OPERATION(
+                f"QoS transport has no command {request.operation!r}; "
+                f"offers {sorted(operations)}"
+            )
+        return handler(*request.args)
+
+    def _module_statistics(self, name: str) -> Dict[str, int]:
+        module = self._modules.get(name)
+        if module is None:
+            raise NO_RESOURCES(f"module {name!r} is not loaded")
+        return module.statistics()
+
+    # -- pseudo object ------------------------------------------------------
+
+    def pseudo_object(self) -> PseudoObject:
+        """Local static interface, resolvable via initial references."""
+        return PseudoObject(
+            "QoSTransport",
+            {
+                "load_module": lambda name: self.load_module(name).name,
+                "unload_module": self.unload_module,
+                "loaded_modules": self.loaded_modules,
+                "loadable_modules": self.loadable_modules,
+                "assign": self.assign,
+                "unassign": self.unassign,
+                "assignments": self.assignments,
+            },
+        )

@@ -1,0 +1,52 @@
+"""Servant base class.
+
+A servant incarnates a CORBA object: the POA delivers decoded requests
+to :meth:`Servant._dispatch`.  The default dispatch is reflective
+(operation name → public method), which is what hand-written servants
+use; QIDL-generated skeletons override it with typed dispatch plus the
+QoS prolog/epilog weaving of Section 3.3.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.orb.exceptions import BAD_OPERATION
+
+
+class Servant:
+    """Base of all object implementations.
+
+    ``_repo_id`` names the most derived IDL interface.  Service times
+    model server-side computation: the POA queues
+    ``_service_time(operation, args)`` seconds of work on the host
+    before the reply leaves, which is what makes load balancing and
+    replication measurable.
+    """
+
+    _repo_id = "IDL:maqs/Object:1.0"
+
+    #: Per-operation simulated service time overrides (seconds).
+    _service_times: Dict[str, float] = {}
+    #: Fallback simulated service time for all operations (seconds).
+    _default_service_time = 0.0
+
+    def _service_time(self, operation: str, args: Tuple[Any, ...]) -> float:
+        """Simulated seconds of server CPU this call consumes."""
+        return self._service_times.get(operation, self._default_service_time)
+
+    def _dispatch(self, operation: str, args: Tuple[Any, ...],
+                  contexts: Optional[Dict[str, Any]] = None) -> Any:
+        """Execute ``operation`` and return its result.
+
+        Reflective default: any public method is an operation.  Raises
+        :class:`BAD_OPERATION` for unknown or private names.
+        """
+        if operation.startswith("_"):
+            raise BAD_OPERATION(f"operation {operation!r} is not remotely accessible")
+        method = getattr(self, operation, None)
+        if method is None or not callable(method):
+            raise BAD_OPERATION(
+                f"{type(self).__name__} has no operation {operation!r}"
+            )
+        return method(*args)

@@ -1,0 +1,109 @@
+"""Server-side skeleton runtime.
+
+Generated skeletons subclass :class:`TypedSkeleton`: a servant whose
+dispatch validates the operation against the IDL-declared signature
+table before calling the implementation method.  The QIDL compiler
+emits the ``_signatures`` table; QoS weaving (prolog/epilog, delegate
+exchange) is layered on top by :mod:`repro.core.qos_skeleton`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.orb.exceptions import BAD_OPERATION, BAD_PARAM
+from repro.orb.servant import Servant
+from repro.qidl.types import check_value
+
+
+class OperationSignature:
+    """Declared parameter and result types of one IDL operation.
+
+    ``param_types`` are the wire inputs (``in`` and ``inout``
+    parameters); ``out_types`` are the extra outputs (``out`` and
+    ``inout``).  With out parameters, the Python mapping returns a
+    tuple ``(result, *outs)`` — or just ``(outs...)`` when the result
+    type is void — and the signature validates that composite shape.
+    """
+
+    __slots__ = ("name", "param_types", "result_type", "out_types", "oneway")
+
+    def __init__(
+        self,
+        name: str,
+        param_types: Tuple[str, ...],
+        result_type: str,
+        out_types: Tuple[str, ...] = (),
+        oneway: bool = False,
+    ) -> None:
+        self.name = name
+        self.param_types = tuple(param_types)
+        self.result_type = result_type
+        self.out_types = tuple(out_types)
+        self.oneway = oneway
+
+    def check_args(self, args: Tuple[Any, ...]) -> None:
+        """Validate argument count and types against the signature."""
+        if len(args) != len(self.param_types):
+            raise BAD_PARAM(
+                f"{self.name!r} expects {len(self.param_types)} argument(s), "
+                f"got {len(args)}"
+            )
+        for index, (value, idl_type) in enumerate(zip(args, self.param_types)):
+            if not check_value(idl_type, value):
+                raise BAD_PARAM(
+                    f"{self.name!r} argument {index} must be IDL "
+                    f"{idl_type!r}, got {type(value).__name__}"
+                )
+
+    def check_result(self, value: Any) -> None:
+        """Validate the servant's return value (composite if out params)."""
+        if not self.out_types:
+            if not check_value(self.result_type, value):
+                raise BAD_PARAM(
+                    f"{self.name!r} must return IDL {self.result_type!r}, "
+                    f"got {type(value).__name__}"
+                )
+            return
+        expected = list(self.out_types)
+        if self.result_type != "void":
+            expected.insert(0, self.result_type)
+        if not isinstance(value, (list, tuple)) or len(value) != len(expected):
+            raise BAD_PARAM(
+                f"{self.name!r} has out parameters and must return a "
+                f"{len(expected)}-tuple, got {type(value).__name__}"
+            )
+        for index, (item, idl_type) in enumerate(zip(value, expected)):
+            if not check_value(idl_type, item):
+                raise BAD_PARAM(
+                    f"{self.name!r} composite result element {index} must "
+                    f"be IDL {idl_type!r}, got {type(item).__name__}"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        params = ", ".join(self.param_types)
+        return f"{self.result_type} {self.name}({params})"
+
+
+class TypedSkeleton(Servant):
+    """A servant with an IDL-typed dispatch table."""
+
+    #: operation name -> OperationSignature; filled by generated code.
+    _signatures: Dict[str, OperationSignature] = {}
+
+    def _dispatch(self, operation: str, args: Tuple[Any, ...],
+                  contexts: Optional[Dict[str, Any]] = None) -> Any:
+        signature = self._signatures.get(operation)
+        if signature is None:
+            raise BAD_OPERATION(
+                f"{type(self).__name__} has no operation {operation!r}"
+            )
+        signature.check_args(args)
+        method = getattr(self, operation, None)
+        if method is None:
+            raise BAD_OPERATION(
+                f"{type(self).__name__} does not implement {operation!r}"
+            )
+        result = method(*args)
+        signature.check_result(result)
+        return result

@@ -1,0 +1,131 @@
+"""World: one-call bootstrap of a complete simulated deployment.
+
+Wires the discrete-event kernel, the network, the resource manager,
+the fault injector and one ORB per host, plus an optional naming
+service — everything tests, examples and benchmarks need to stand up
+a MAQS deployment in a few lines:
+
+>>> world = World()
+>>> _ = world.add_host("client"); _ = world.add_host("server")
+>>> _ = world.connect("client", "server")
+>>> server_orb = world.orb("server")
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.netsim.faults import FaultInjector
+from repro.netsim.kernel import EventKernel
+from repro.netsim.network import Host, Link, Network
+from repro.netsim.resources import ResourceManager
+from repro.orb.exceptions import COMM_FAILURE, TRANSIENT
+from repro.orb.ior import IOR
+from repro.orb.naming import NamingServant, NamingStub
+from repro.orb.orb import ORB
+
+
+class World:
+    """A complete simulated distributed system."""
+
+    def __init__(self) -> None:
+        self.kernel = EventKernel()
+        self.network = Network(self.kernel.clock)
+        self.resources = ResourceManager(self.network)
+        self.faults = FaultInjector(self.network, self.kernel)
+        self._orbs: Dict[str, ORB] = {}
+        self._naming_ior: Optional[IOR] = None
+
+    @property
+    def clock(self):
+        return self.kernel.clock
+
+    # -- topology -----------------------------------------------------
+
+    def add_host(self, name: str, cpu_factor: float = 1.0) -> Host:
+        return self.network.add_host(name, cpu_factor)
+
+    def connect(
+        self,
+        a: str,
+        b: str,
+        latency: float = 0.001,
+        bandwidth_bps: float = 100e6,
+        loss_rate: float = 0.0,
+        seed: int = 0,
+    ) -> Link:
+        return self.network.connect(a, b, latency, bandwidth_bps, loss_rate, seed)
+
+    def lan(
+        self,
+        names: Iterable[str],
+        latency: float = 0.0005,
+        bandwidth_bps: float = 100e6,
+    ) -> List[Host]:
+        """Create hosts (if new) and fully mesh them like a small LAN."""
+        hosts = []
+        created: List[str] = []
+        for name in names:
+            if name not in self.network.hosts:
+                hosts.append(self.add_host(name))
+            else:
+                hosts.append(self.network.host(name))
+            created.append(name)
+        for index, a in enumerate(created):
+            for b in created[index + 1 :]:
+                try:
+                    self.network.link_between(a, b)
+                except Exception:
+                    self.connect(a, b, latency, bandwidth_bps)
+        return hosts
+
+    # -- ORBs ---------------------------------------------------------
+
+    def orb(self, host_name: str) -> ORB:
+        """The ORB on ``host_name``, created on first use."""
+        if host_name not in self._orbs:
+            self._orbs[host_name] = ORB(self, host_name)
+        return self._orbs[host_name]
+
+    def orb_at(self, host_name: str) -> ORB:
+        """The ORB that must already be listening on ``host_name``."""
+        try:
+            return self._orbs[host_name]
+        except KeyError:
+            raise COMM_FAILURE(f"no ORB listening on host {host_name!r}") from None
+
+    def orbs(self) -> List[ORB]:
+        return list(self._orbs.values())
+
+    # -- naming ---------------------------------------------------------
+
+    def start_naming(self, host_name: str) -> IOR:
+        """Run a naming service on ``host_name`` and remember its IOR."""
+        orb = self.orb(host_name)
+        self._naming_ior = orb.poa.activate_object(NamingServant(), "NameService")
+        for existing in self._orbs.values():
+            existing.register_initial_reference("NameServiceIOR", self._naming_ior)
+        return self._naming_ior
+
+    def naming(self, client_host: str) -> NamingStub:
+        """A naming stub bound through the client host's ORB."""
+        if self._naming_ior is None:
+            raise TRANSIENT("no naming service started; call start_naming() first")
+        return NamingStub(self.orb(client_host), self._naming_ior)
+
+    # -- reporting --------------------------------------------------------
+
+    def statistics(self) -> Dict[str, float]:
+        """Aggregate counters across the whole deployment."""
+        orbs = list(self._orbs.values())
+        return {
+            "time": self.clock.now,
+            "hosts": float(len(self.network.hosts)),
+            "orbs": float(len(orbs)),
+            "messages": float(self.network.messages_sent),
+            "bytes": float(self.network.bytes_sent),
+            "requests_invoked": float(sum(o.requests_invoked for o in orbs)),
+            "requests_received": float(sum(o.requests_received for o in orbs)),
+            "oneway_failures": float(sum(o.oneway_failures for o in orbs)),
+            "events_fired": float(self.kernel.events_fired),
+        }

@@ -1,0 +1,34 @@
+"""QIDL — the Quality of Service Interface Definition Language.
+
+Section 3.2: "we extend the interface definition language with QoS
+specifications — the Quality of Service IDL, called QIDL — and provide
+the aspect weaving through a distinct mapping to entities in the
+target language."
+
+The package contains the whole toolchain:
+
+- :mod:`repro.qidl.lexer` / :mod:`repro.qidl.parser` /
+  :mod:`repro.qidl.ast` — the language front end.  QIDL is classic IDL
+  (modules, interfaces, operations, attributes, exceptions, typedefs)
+  plus ``qos`` declarations and a ``provides`` clause assigning QoS
+  characteristics to interfaces (interfaces only, per Section 3.2).
+- :mod:`repro.qidl.types` — the IDL type system shared with the ORB
+  runtime.
+- :mod:`repro.qidl.codegen` — the Python language mapping.  This is
+  the **aspect weaver**: it emits stubs with the mediator delegation
+  hook, mediator skeletons per QoS characteristic, QoS skeletons with
+  prolog/epilog, and the combined server base class of Figure 2.
+- :mod:`repro.qidl.compiler` — one-call front door: source text in,
+  importable Python module out.
+"""
+
+from repro.qidl.compiler import compile_qidl, compile_qidl_to_source
+from repro.qidl.errors import QIDLError, QIDLSyntaxError, QIDLSemanticError
+
+__all__ = [
+    "QIDLError",
+    "QIDLSemanticError",
+    "QIDLSyntaxError",
+    "compile_qidl",
+    "compile_qidl_to_source",
+]

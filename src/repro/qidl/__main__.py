@@ -1,0 +1,61 @@
+"""Command-line QIDL compiler.
+
+Usage::
+
+    python -m repro.qidl [--with-characteristics] spec.qidl [out.py]
+
+Compiles a QIDL file to Python source.  With no output path the
+generated source is written to stdout.  ``--with-characteristics``
+prepends the registered QoS characteristic declarations (what
+:func:`repro.qos.weave` does), so ``provides FaultTolerance`` etc.
+resolve.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.qidl.compiler import compile_qidl_to_source
+from repro.qidl.errors import QIDLError
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.qidl",
+        description="Compile QIDL to Python (the MAQS aspect weaver).",
+    )
+    parser.add_argument("spec", help="QIDL source file")
+    parser.add_argument(
+        "output", nargs="?", help="output .py file (default: stdout)"
+    )
+    parser.add_argument(
+        "--with-characteristics",
+        action="store_true",
+        help="prepend the registered QoS characteristic declarations",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.spec, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    if args.with_characteristics:
+        from repro.qos import qidl_prelude
+
+        source = qidl_prelude() + "\n\n" + source
+
+    try:
+        generated = compile_qidl_to_source(source)
+    except QIDLError as error:
+        print(f"qidl: {error}", file=sys.stderr)
+        return 1
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(generated)
+    else:
+        sys.stdout.write(generated)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,200 @@
+"""QIDL abstract syntax tree.
+
+Nodes are deliberately simple data holders; all semantic validation
+lives in the parser and the code generator.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+
+class Parameter:
+    """One operation parameter with its direction."""
+
+    __slots__ = ("direction", "idl_type", "name")
+
+    def __init__(self, direction: str, idl_type: str, name: str) -> None:
+        self.direction = direction  # "in" | "out" | "inout"
+        self.idl_type = idl_type
+        self.name = name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.direction} {self.idl_type} {self.name}"
+
+
+class Operation:
+    """An IDL operation, optionally with a QoS responsibility qualifier."""
+
+    __slots__ = ("name", "result_type", "parameters", "raises", "oneway", "category")
+
+    def __init__(
+        self,
+        name: str,
+        result_type: str,
+        parameters: List[Parameter],
+        raises: Optional[List[str]] = None,
+        oneway: bool = False,
+        category: str = "management",
+    ) -> None:
+        self.name = name
+        self.result_type = result_type
+        self.parameters = parameters
+        self.raises = raises or []
+        self.oneway = oneway
+        #: One of "management", "peer" (QoS-to-QoS) or "integration"
+        #: (QoS aspect integration) — the three QoS responsibilities of
+        #: Section 3.2.  Plain interface operations keep the default.
+        self.category = category
+
+    @property
+    def in_params(self) -> List[Parameter]:
+        return [p for p in self.parameters if p.direction in ("in", "inout")]
+
+    @property
+    def out_params(self) -> List[Parameter]:
+        return [p for p in self.parameters if p.direction in ("out", "inout")]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        params = ", ".join(repr(p) for p in self.parameters)
+        return f"{self.result_type} {self.name}({params})"
+
+
+class Attribute:
+    """An IDL attribute (in a ``qos`` block: a QoS parameter)."""
+
+    __slots__ = ("idl_type", "name", "readonly")
+
+    def __init__(self, idl_type: str, name: str, readonly: bool = False) -> None:
+        self.idl_type = idl_type
+        self.name = name
+        self.readonly = readonly
+
+
+class StructDecl:
+    __slots__ = ("name", "members")
+
+    def __init__(self, name: str, members: List[Tuple[str, str]]) -> None:
+        self.name = name
+        self.members = members  # [(idl_type, name)]
+
+
+class ExceptionDecl:
+    __slots__ = ("name", "members")
+
+    def __init__(self, name: str, members: List[Tuple[str, str]]) -> None:
+        self.name = name
+        self.members = members
+
+
+class TypedefDecl:
+    __slots__ = ("name", "aliased")
+
+    def __init__(self, name: str, aliased: str) -> None:
+        self.name = name
+        self.aliased = aliased
+
+
+class ConstDecl:
+    """A named compile-time constant."""
+
+    __slots__ = ("name", "idl_type", "value")
+
+    def __init__(self, name: str, idl_type: str, value: object) -> None:
+        self.name = name
+        self.idl_type = idl_type
+        self.value = value
+
+
+class EnumDecl:
+    """An enumeration; values travel as their member names (strings)."""
+
+    __slots__ = ("name", "members")
+
+    def __init__(self, name: str, members: List[str]) -> None:
+        self.name = name
+        self.members = members
+
+
+class QoSDecl:
+    """A ``qos`` declaration: parameters plus responsibility operations."""
+
+    __slots__ = ("name", "base", "attributes", "operations")
+
+    def __init__(
+        self,
+        name: str,
+        base: Optional[str],
+        attributes: List[Attribute],
+        operations: List[Operation],
+    ) -> None:
+        self.name = name
+        self.base = base
+        self.attributes = attributes
+        self.operations = operations
+
+
+class InterfaceDecl:
+    """An interface, optionally providing QoS characteristics."""
+
+    __slots__ = ("name", "bases", "provides", "attributes", "operations")
+
+    def __init__(
+        self,
+        name: str,
+        bases: List[str],
+        provides: List[str],
+        attributes: List[Attribute],
+        operations: List[Operation],
+    ) -> None:
+        self.name = name
+        self.bases = bases
+        self.provides = provides
+        self.attributes = attributes
+        self.operations = operations
+
+
+class ModuleDecl:
+    __slots__ = ("name", "definitions")
+
+    def __init__(self, name: str, definitions: List[object]) -> None:
+        self.name = name
+        self.definitions = definitions
+
+
+class Specification:
+    """A whole QIDL compilation unit."""
+
+    __slots__ = ("definitions",)
+
+    def __init__(self, definitions: List[object]) -> None:
+        self.definitions = definitions
+
+    def _walk(self, node_type: type, definitions: Optional[List[object]] = None):
+        nodes = self.definitions if definitions is None else definitions
+        for node in nodes:
+            if isinstance(node, node_type):
+                yield node
+            if isinstance(node, ModuleDecl):
+                yield from self._walk(node_type, node.definitions)
+
+    def interfaces(self) -> List[InterfaceDecl]:
+        return list(self._walk(InterfaceDecl))
+
+    def qos_decls(self) -> List[QoSDecl]:
+        return list(self._walk(QoSDecl))
+
+    def structs(self) -> List[StructDecl]:
+        return list(self._walk(StructDecl))
+
+    def exceptions(self) -> List[ExceptionDecl]:
+        return list(self._walk(ExceptionDecl))
+
+    def typedefs(self) -> List[TypedefDecl]:
+        return list(self._walk(TypedefDecl))
+
+    def enums(self) -> List[EnumDecl]:
+        return list(self._walk(EnumDecl))
+
+    def consts(self) -> List[ConstDecl]:
+        return list(self._walk(ConstDecl))

@@ -1,0 +1,61 @@
+"""QIDL compiler front door.
+
+Compile QIDL source text to Python source, or straight to an imported
+module object ready to use:
+
+>>> from repro.qidl import compile_qidl
+>>> generated = compile_qidl('''
+...     qos Tracing {
+...         attribute boolean enabled;
+...     };
+...     interface Echo provides Tracing {
+...         string echo(in string text);
+...     };
+... ''')
+>>> generated.EchoStub.PROVIDES
+('Tracing',)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import sys
+import types
+from typing import Optional
+
+from repro.qidl.codegen import generate
+from repro.qidl.parser import parse
+
+
+def compile_qidl_to_source(source: str) -> str:
+    """QIDL text → generated Python source text."""
+    return generate(parse(source))
+
+
+def compile_qidl(source: str, module_name: Optional[str] = None) -> types.ModuleType:
+    """QIDL text → an importable module holding the generated classes.
+
+    The module is registered in :data:`sys.modules` (needed for
+    ``pickle``/``inspect`` friendliness of the generated classes).
+    Repeated compilation of identical source under the same name
+    returns the cached module.
+    """
+    python_source = compile_qidl_to_source(source)
+    digest = hashlib.sha256(python_source.encode("utf-8")).hexdigest()[:12]
+    name = module_name or f"maqs_generated_{digest}"
+    cached = sys.modules.get(name)
+    if cached is not None and getattr(cached, "__qidl_digest__", None) == digest:
+        return cached
+    module = types.ModuleType(name)
+    module.__qidl_digest__ = digest
+    module.__qidl_source__ = python_source
+    code = compile(python_source, f"<qidl:{name}>", "exec")
+    exec(code, module.__dict__)
+    sys.modules[name] = module
+    return module
+
+
+def compile_qidl_file(path: str, module_name: Optional[str] = None) -> types.ModuleType:
+    """Compile a ``.qidl`` file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return compile_qidl(handle.read(), module_name)

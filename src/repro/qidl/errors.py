@@ -1,0 +1,22 @@
+"""QIDL compiler errors."""
+
+from __future__ import annotations
+
+
+class QIDLError(Exception):
+    """Base of all QIDL toolchain errors."""
+
+
+class QIDLSyntaxError(QIDLError):
+    """Lexical or grammatical error, with source position."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" at line {line}, column {column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class QIDLSemanticError(QIDLError):
+    """A well-formed but meaningless specification (unknown type, duplicate
+    name, QoS assigned at forbidden granularity, ...)."""

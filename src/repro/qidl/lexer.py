@@ -1,0 +1,153 @@
+"""QIDL lexical analysis.
+
+Tokenises classic IDL plus the MAQS extensions (``qos``, ``provides``
+and the QoS-responsibility qualifiers of Section 3.2).  Line comments
+(``//``), block comments (``/* */``) and preprocessor lines (``#...``)
+are skipped.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, NamedTuple, Optional
+
+from repro.qidl.errors import QIDLSyntaxError
+
+KEYWORDS = frozenset(
+    {
+        "module",
+        "interface",
+        "qos",
+        "provides",
+        "attribute",
+        "readonly",
+        "oneway",
+        "raises",
+        "typedef",
+        "struct",
+        "enum",
+        "const",
+        "exception",
+        "sequence",
+        "in",
+        "out",
+        "inout",
+        # primitive type keywords
+        "void",
+        "boolean",
+        "octet",
+        "short",
+        "long",
+        "unsigned",
+        "float",
+        "double",
+        "string",
+        "octets",
+        "any",
+        # QoS responsibility qualifiers (Section 3.2)
+        "management",
+        "peer",
+        "integration",
+    }
+)
+
+PUNCTUATION = frozenset("{}()<>,;:=")
+
+
+class Token(NamedTuple):
+    kind: str  # "keyword" | "identifier" | "punct" | "number" | "eof"
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.kind == "keyword" and self.value in names
+
+    def is_punct(self, *chars: str) -> bool:
+        return self.kind == "punct" and self.value in chars
+
+
+def tokenize(source: str) -> List[Token]:
+    """Turn QIDL source text into a token list ending with an EOF token."""
+    return list(_tokens(source))
+
+
+def _tokens(source: str) -> Iterator[Token]:
+    line = 1
+    column = 1
+    index = 0
+    length = len(source)
+    while index < length:
+        char = source[index]
+        if char == "\n":
+            line += 1
+            column = 1
+            index += 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if char == "#":
+            # Preprocessor-style line: skip to end of line.
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+        if source.startswith("//", index):
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+        if source.startswith("/*", index):
+            end = source.find("*/", index + 2)
+            if end < 0:
+                raise QIDLSyntaxError("unterminated block comment", line, column)
+            skipped = source[index : end + 2]
+            line += skipped.count("\n")
+            if "\n" in skipped:
+                column = len(skipped) - skipped.rfind("\n")
+            else:
+                column += len(skipped)
+            index = end + 2
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (source[index].isalnum() or source[index] == "_"):
+                index += 1
+            word = source[start:index]
+            kind = "keyword" if word in KEYWORDS else "identifier"
+            yield Token(kind, word, line, column)
+            column += index - start
+            continue
+        if char.isdigit() or (
+            char == "-" and index + 1 < length and source[index + 1].isdigit()
+        ):
+            start = index
+            index += 1  # consume digit or sign
+            while index < length and (source[index].isdigit() or source[index] == "."):
+                index += 1
+            yield Token("number", source[start:index], line, column)
+            column += index - start
+            continue
+        if char == '"':
+            start = index
+            index += 1
+            value_chars = []
+            while index < length and source[index] != '"':
+                if source[index] == "\n":
+                    raise QIDLSyntaxError("unterminated string literal", line, column)
+                if source[index] == "\\" and index + 1 < length:
+                    index += 1
+                value_chars.append(source[index])
+                index += 1
+            if index >= length:
+                raise QIDLSyntaxError("unterminated string literal", line, column)
+            index += 1  # closing quote
+            yield Token("string", "".join(value_chars), line, column)
+            column += index - start
+            continue
+        if char in PUNCTUATION:
+            yield Token("punct", char, line, column)
+            index += 1
+            column += 1
+            continue
+        raise QIDLSyntaxError(f"unexpected character {char!r}", line, column)
+    yield Token("eof", "", line, column)

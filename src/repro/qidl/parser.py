@@ -1,0 +1,415 @@
+"""QIDL recursive-descent parser.
+
+Grammar (EBNF-ish)::
+
+    specification  = { definition } ;
+    definition     = module | interface | qos | typedef | struct | exception ;
+    module         = "module" ID "{" { definition } "}" ";" ;
+    qos            = "qos" ID [ ":" ID ] "{" { attribute | operation } "}" ";" ;
+    interface      = "interface" ID [ ":" ID { "," ID } ]
+                     [ "provides" ID { "," ID } ]
+                     "{" { attribute | operation } "}" ";" ;
+    attribute      = [ "readonly" ] "attribute" type ID { "," ID } ";" ;
+    operation      = [ category ] [ "oneway" ] type ID "(" [ params ] ")"
+                     [ "raises" "(" ID { "," ID } ")" ] ";" ;
+    category       = "management" | "peer" | "integration" ;
+    params         = param { "," param } ;
+    param          = ( "in" | "out" | "inout" ) type ID ;
+    typedef        = "typedef" type ID ";" ;
+    struct         = "struct" ID "{" { type ID ";" } "}" ";" ;
+    exception      = "exception" ID "{" { type ID ";" } "}" ";" ;
+    type           = primitive | "sequence" "<" type ">" | ID ;
+
+Semantic checks performed here: duplicate names per scope, ``provides``
+referring to declared ``qos`` blocks only (the paper's
+interface-granularity rule: QoS cannot be assigned to operations or
+parameters — the grammar offers no place to write it, and unknown
+characteristics are rejected), known types, single inheritance for
+qos declarations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.qidl import ast
+from repro.qidl.errors import QIDLSemanticError, QIDLSyntaxError
+from repro.qidl.lexer import Token, tokenize
+from repro.qidl.types import check_value, is_known_type
+
+_CATEGORIES = ("management", "peer", "integration")
+
+_PRIMITIVE_STARTERS = (
+    "void",
+    "boolean",
+    "octet",
+    "short",
+    "long",
+    "unsigned",
+    "float",
+    "double",
+    "string",
+    "octets",
+    "any",
+    "sequence",
+)
+
+
+class Parser:
+    """One-shot parser over a token list."""
+
+    def __init__(self, source: str) -> None:
+        self._tokens = tokenize(source)
+        self._index = 0
+        #: user-declared type names (structs, typedefs) usable as types
+        self._user_types: set = set()
+        self._qos_names: set = set()
+
+    # -- token plumbing ---------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> Token:
+        return self._tokens[min(self._index + ahead, len(self._tokens) - 1)]
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token.kind != "eof":
+            self._index += 1
+        return token
+
+    def _error(self, message: str, token: Optional[Token] = None) -> QIDLSyntaxError:
+        token = token or self._peek()
+        return QIDLSyntaxError(message, token.line, token.column)
+
+    def _expect_punct(self, char: str) -> Token:
+        token = self._next()
+        if not token.is_punct(char):
+            raise self._error(f"expected {char!r}, found {token.value!r}", token)
+        return token
+
+    def _expect_keyword(self, *names: str) -> Token:
+        token = self._next()
+        if not token.is_keyword(*names):
+            raise self._error(
+                f"expected {' or '.join(names)}, found {token.value!r}", token
+            )
+        return token
+
+    def _expect_identifier(self) -> str:
+        token = self._next()
+        if token.kind != "identifier":
+            raise self._error(f"expected an identifier, found {token.value!r}", token)
+        return token.value
+
+    # -- entry point --------------------------------------------------------
+
+    def parse(self) -> ast.Specification:
+        definitions = self._definitions(top_level=True)
+        token = self._peek()
+        if token.kind != "eof":
+            raise self._error(f"unexpected {token.value!r} after specification")
+        return ast.Specification(definitions)
+
+    def _definitions(self, top_level: bool) -> List[object]:
+        definitions: List[object] = []
+        seen_names: set = set()
+        while True:
+            token = self._peek()
+            if token.kind == "eof" or token.is_punct("}"):
+                return definitions
+            if token.is_keyword("module"):
+                node = self._module()
+            elif token.is_keyword("interface"):
+                node = self._interface()
+            elif token.is_keyword("qos"):
+                node = self._qos()
+            elif token.is_keyword("typedef"):
+                node = self._typedef()
+            elif token.is_keyword("struct"):
+                node = self._struct()
+            elif token.is_keyword("enum"):
+                node = self._enum()
+            elif token.is_keyword("const"):
+                node = self._const()
+            elif token.is_keyword("exception"):
+                node = self._exception()
+            else:
+                raise self._error(f"unexpected {token.value!r} at top level", token)
+            name = node.name
+            if name in seen_names:
+                raise QIDLSemanticError(f"duplicate definition of {name!r}")
+            seen_names.add(name)
+            definitions.append(node)
+
+    # -- declarations ---------------------------------------------------------
+
+    def _module(self) -> ast.ModuleDecl:
+        self._expect_keyword("module")
+        name = self._expect_identifier()
+        self._expect_punct("{")
+        definitions = self._definitions(top_level=False)
+        self._expect_punct("}")
+        self._optional_semicolon()
+        return ast.ModuleDecl(name, definitions)
+
+    def _qos(self) -> ast.QoSDecl:
+        self._expect_keyword("qos")
+        name = self._expect_identifier()
+        base = None
+        if self._peek().is_punct(":"):
+            self._next()
+            base = self._expect_identifier()
+            if base not in self._qos_names:
+                raise QIDLSemanticError(
+                    f"qos {name!r} inherits unknown characteristic {base!r}"
+                )
+        self._expect_punct("{")
+        attributes, operations = self._members(allow_category=True)
+        self._expect_punct("}")
+        self._optional_semicolon()
+        self._qos_names.add(name)
+        return ast.QoSDecl(name, base, attributes, operations)
+
+    def _interface(self) -> ast.InterfaceDecl:
+        self._expect_keyword("interface")
+        name = self._expect_identifier()
+        bases: List[str] = []
+        provides: List[str] = []
+        if self._peek().is_punct(":"):
+            self._next()
+            bases.append(self._expect_identifier())
+            while self._peek().is_punct(","):
+                self._next()
+                bases.append(self._expect_identifier())
+        if self._peek().is_keyword("provides"):
+            self._next()
+            provides.append(self._provided_qos(name))
+            while self._peek().is_punct(","):
+                self._next()
+                provides.append(self._provided_qos(name))
+        self._expect_punct("{")
+        attributes, operations = self._members(allow_category=False)
+        self._expect_punct("}")
+        self._optional_semicolon()
+        self._user_types.add(name)
+        return ast.InterfaceDecl(name, bases, provides, attributes, operations)
+
+    def _provided_qos(self, interface_name: str) -> str:
+        qos_name = self._expect_identifier()
+        if qos_name not in self._qos_names:
+            raise QIDLSemanticError(
+                f"interface {interface_name!r} provides unknown QoS "
+                f"characteristic {qos_name!r} (QoS must be declared with "
+                f"'qos' and can only be assigned to interfaces)"
+            )
+        return qos_name
+
+    def _typedef(self) -> ast.TypedefDecl:
+        self._expect_keyword("typedef")
+        aliased = self._type()
+        name = self._expect_identifier()
+        self._expect_punct(";")
+        self._user_types.add(name)
+        return ast.TypedefDecl(name, aliased)
+
+    def _struct(self) -> ast.StructDecl:
+        self._expect_keyword("struct")
+        name = self._expect_identifier()
+        members = self._member_block()
+        self._user_types.add(name)
+        return ast.StructDecl(name, members)
+
+    def _const(self) -> ast.ConstDecl:
+        self._expect_keyword("const")
+        idl_type = self._type()
+        name = self._expect_identifier()
+        self._expect_punct("=")
+        value = self._literal(idl_type)
+        self._expect_punct(";")
+        if not check_value(idl_type, value):
+            raise QIDLSemanticError(
+                f"const {name!r}: value {value!r} does not conform to "
+                f"{idl_type!r}"
+            )
+        return ast.ConstDecl(name, idl_type, value)
+
+    def _literal(self, idl_type: str) -> object:
+        token = self._next()
+        if token.kind == "number":
+            if "." in token.value or idl_type in ("float", "double"):
+                return float(token.value)
+            return int(token.value)
+        if token.kind == "string":
+            return token.value
+        if token.kind == "identifier" and token.value in ("TRUE", "FALSE"):
+            return token.value == "TRUE"
+        raise self._error(f"expected a literal, found {token.value!r}", token)
+
+    def _enum(self) -> ast.EnumDecl:
+        self._expect_keyword("enum")
+        name = self._expect_identifier()
+        self._expect_punct("{")
+        members = [self._expect_identifier()]
+        while self._peek().is_punct(","):
+            self._next()
+            member = self._expect_identifier()
+            if member in members:
+                raise QIDLSemanticError(f"duplicate enum member {member!r}")
+            members.append(member)
+        self._expect_punct("}")
+        self._optional_semicolon()
+        self._user_types.add(name)
+        return ast.EnumDecl(name, members)
+
+    def _exception(self) -> ast.ExceptionDecl:
+        self._expect_keyword("exception")
+        name = self._expect_identifier()
+        members = self._member_block()
+        return ast.ExceptionDecl(name, members)
+
+    def _member_block(self) -> List[Tuple[str, str]]:
+        self._expect_punct("{")
+        members: List[Tuple[str, str]] = []
+        seen: set = set()
+        while not self._peek().is_punct("}"):
+            idl_type = self._type()
+            member_name = self._expect_identifier()
+            if member_name in seen:
+                raise QIDLSemanticError(f"duplicate member {member_name!r}")
+            seen.add(member_name)
+            members.append((idl_type, member_name))
+            self._expect_punct(";")
+        self._expect_punct("}")
+        self._optional_semicolon()
+        return members
+
+    # -- interface / qos bodies --------------------------------------------
+
+    def _members(
+        self, allow_category: bool
+    ) -> Tuple[List[ast.Attribute], List[ast.Operation]]:
+        attributes: List[ast.Attribute] = []
+        operations: List[ast.Operation] = []
+        seen: set = set()
+        while not self._peek().is_punct("}"):
+            token = self._peek()
+            if token.is_keyword("readonly", "attribute"):
+                for attribute in self._attribute():
+                    if attribute.name in seen:
+                        raise QIDLSemanticError(
+                            f"duplicate member {attribute.name!r}"
+                        )
+                    seen.add(attribute.name)
+                    attributes.append(attribute)
+            else:
+                operation = self._operation(allow_category)
+                if operation.name in seen:
+                    raise QIDLSemanticError(f"duplicate member {operation.name!r}")
+                seen.add(operation.name)
+                operations.append(operation)
+        return attributes, operations
+
+    def _attribute(self) -> List[ast.Attribute]:
+        readonly = False
+        if self._peek().is_keyword("readonly"):
+            self._next()
+            readonly = True
+        self._expect_keyword("attribute")
+        idl_type = self._type()
+        names = [self._expect_identifier()]
+        while self._peek().is_punct(","):
+            self._next()
+            names.append(self._expect_identifier())
+        self._expect_punct(";")
+        return [ast.Attribute(idl_type, name, readonly) for name in names]
+
+    def _operation(self, allow_category: bool) -> ast.Operation:
+        category = "management"
+        if self._peek().is_keyword(*_CATEGORIES):
+            token = self._next()
+            if not allow_category:
+                raise QIDLSemanticError(
+                    f"responsibility qualifier {token.value!r} is only "
+                    f"allowed inside qos declarations"
+                )
+            category = token.value
+        oneway = False
+        if self._peek().is_keyword("oneway"):
+            self._next()
+            oneway = True
+        result_type = self._type()
+        name = self._expect_identifier()
+        self._expect_punct("(")
+        parameters: List[ast.Parameter] = []
+        seen: set = set()
+        while not self._peek().is_punct(")"):
+            if parameters:
+                self._expect_punct(",")
+            direction_token = self._expect_keyword("in", "out", "inout")
+            idl_type = self._type()
+            param_name = self._expect_identifier()
+            if param_name in seen:
+                raise QIDLSemanticError(f"duplicate parameter {param_name!r}")
+            seen.add(param_name)
+            parameters.append(
+                ast.Parameter(direction_token.value, idl_type, param_name)
+            )
+        self._expect_punct(")")
+        raises: List[str] = []
+        if self._peek().is_keyword("raises"):
+            self._next()
+            self._expect_punct("(")
+            raises.append(self._expect_identifier())
+            while self._peek().is_punct(","):
+                self._next()
+                raises.append(self._expect_identifier())
+            self._expect_punct(")")
+        self._expect_punct(";")
+        if oneway and (
+            result_type != "void" or any(p.direction != "in" for p in parameters)
+        ):
+            raise QIDLSemanticError(
+                f"oneway operation {name!r} must return void with in-params only"
+            )
+        return ast.Operation(name, result_type, parameters, raises, oneway, category)
+
+    # -- types -------------------------------------------------------------
+
+    def _type(self) -> str:
+        token = self._peek()
+        if token.is_keyword("sequence"):
+            self._next()
+            self._expect_punct("<")
+            inner = self._type()
+            self._expect_punct(">")
+            return f"sequence<{inner}>"
+        if token.is_keyword("unsigned"):
+            self._next()
+            width = self._expect_keyword("short", "long")
+            if width.value == "long" and self._peek().is_keyword("long"):
+                self._next()
+                return "unsigned long long"
+            return f"unsigned {width.value}"
+        if token.is_keyword("long"):
+            self._next()
+            if self._peek().is_keyword("long"):
+                self._next()
+                return "long long"
+            return "long"
+        if token.is_keyword(*_PRIMITIVE_STARTERS):
+            self._next()
+            return token.value
+        if token.kind == "identifier":
+            self._next()
+            if token.value not in self._user_types:
+                raise QIDLSemanticError(f"unknown type {token.value!r}")
+            return token.value
+        raise self._error(f"expected a type, found {token.value!r}", token)
+
+    def _optional_semicolon(self) -> None:
+        if self._peek().is_punct(";"):
+            self._next()
+
+
+def parse(source: str) -> ast.Specification:
+    """Parse QIDL source text into a specification AST."""
+    return Parser(source).parse()

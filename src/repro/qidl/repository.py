@@ -1,0 +1,115 @@
+"""Interface repository: runtime-queryable QIDL metadata.
+
+CORBA ORBs expose compiled IDL through an Interface Repository so
+dynamic clients (DII users, bridges, tooling) can discover signatures
+at runtime.  The MAQS reproduction does the same for QIDL: every
+compiled specification registers its interfaces *and its QoS
+declarations* here, so tools can ask which characteristics an
+interface provides and what a characteristic's operations and
+responsibility categories are — the metadata backbone of the paper's
+reflection story.
+
+Generated modules register themselves on import; look items up through
+:data:`GLOBAL_REPOSITORY` or
+``orb.resolve_initial_references("InterfaceRepository")``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+
+class RepositoryError(KeyError):
+    """Lookup failed: unknown interface, characteristic or operation."""
+
+
+class InterfaceRepository:
+    """Registry of interface and QoS metadata from compiled QIDL."""
+
+    def __init__(self) -> None:
+        self._interfaces: Dict[str, Dict[str, Any]] = {}
+        self._qos: Dict[str, Dict[str, Any]] = {}
+
+    # -- registration (called by generated modules) ----------------------
+
+    def register(self, metadata: Dict[str, Any]) -> None:
+        """Merge one compiled specification's metadata.
+
+        Re-registering the same names overwrites — recompiling a spec
+        updates the repository, matching module-reload semantics.
+        """
+        for name, entry in metadata.get("interfaces", {}).items():
+            self._interfaces[name] = entry
+        for name, entry in metadata.get("qos", {}).items():
+            self._qos[name] = entry
+
+    # -- lookup -----------------------------------------------------------
+
+    def interfaces(self) -> List[str]:
+        return sorted(self._interfaces)
+
+    def qos_characteristics(self) -> List[str]:
+        return sorted(self._qos)
+
+    def describe_interface(self, name: str) -> Dict[str, Any]:
+        try:
+            return dict(self._interfaces[name])
+        except KeyError:
+            raise RepositoryError(
+                f"unknown interface {name!r}; registered: {self.interfaces()}"
+            ) from None
+
+    def describe_qos(self, name: str) -> Dict[str, Any]:
+        try:
+            return dict(self._qos[name])
+        except KeyError:
+            raise RepositoryError(
+                f"unknown QoS characteristic {name!r}; "
+                f"registered: {self.qos_characteristics()}"
+            ) from None
+
+    def provides(self, interface: str) -> List[str]:
+        """Characteristics an interface declares via ``provides``."""
+        return list(self.describe_interface(interface)["provides"])
+
+    def lookup_operation(
+        self, owner: str, operation: str
+    ) -> Dict[str, Any]:
+        """Signature of an operation on an interface or characteristic.
+
+        For interfaces, QoS operations of provided characteristics are
+        found too (a QoS-enabled server "accepts potentially all
+        assigned QoS operations").
+        """
+        if owner in self._interfaces:
+            entry = self._interfaces[owner]
+            if operation in entry["operations"]:
+                return dict(entry["operations"][operation])
+            for characteristic in entry["provides"]:
+                qos_entry = self._qos.get(characteristic, {})
+                if operation in qos_entry.get("operations", {}):
+                    found = dict(qos_entry["operations"][operation])
+                    found["owner"] = characteristic
+                    return found
+            raise RepositoryError(
+                f"interface {owner!r} has no operation {operation!r}"
+            )
+        if owner in self._qos:
+            entry = self._qos[owner]
+            if operation in entry["operations"]:
+                return dict(entry["operations"][operation])
+            raise RepositoryError(
+                f"characteristic {owner!r} has no operation {operation!r}"
+            )
+        raise RepositoryError(f"unknown interface or characteristic {owner!r}")
+
+    def operations(self, owner: str) -> List[str]:
+        if owner in self._interfaces:
+            return sorted(self._interfaces[owner]["operations"])
+        if owner in self._qos:
+            return sorted(self._qos[owner]["operations"])
+        raise RepositoryError(f"unknown interface or characteristic {owner!r}")
+
+
+#: The process-wide repository generated modules register into.
+GLOBAL_REPOSITORY = InterfaceRepository()

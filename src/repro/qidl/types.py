@@ -1,0 +1,115 @@
+"""The IDL type system.
+
+Types are referenced by canonical string names ("long", "string",
+"sequence<double>", ...) both in the compiler and in the generated
+signature tables, so the ORB runtime can validate values without
+importing compiler internals.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+#: Canonical primitive type names and their Python acceptance predicates.
+_INT_RANGES: Dict[str, Tuple[int, int]] = {
+    "octet": (0, 2**8 - 1),
+    "short": (-(2**15), 2**15 - 1),
+    "unsigned short": (0, 2**16 - 1),
+    "long": (-(2**31), 2**31 - 1),
+    "unsigned long": (0, 2**32 - 1),
+    "long long": (-(2**63), 2**63 - 1),
+    "unsigned long long": (0, 2**64 - 1),
+}
+
+PRIMITIVES = (
+    "void",
+    "boolean",
+    "octet",
+    "short",
+    "unsigned short",
+    "long",
+    "unsigned long",
+    "long long",
+    "unsigned long long",
+    "float",
+    "double",
+    "string",
+    "octets",
+    "any",
+)
+
+
+def is_sequence_type(idl_type: str) -> bool:
+    return idl_type.startswith("sequence<") and idl_type.endswith(">")
+
+
+def element_type(idl_type: str) -> str:
+    """Element type of a sequence type name."""
+    if not is_sequence_type(idl_type):
+        raise ValueError(f"not a sequence type: {idl_type!r}")
+    return idl_type[len("sequence<") : -1].strip()
+
+
+def is_known_type(idl_type: str) -> bool:
+    """True for primitives and (recursively) sequences of known types."""
+    if idl_type in PRIMITIVES:
+        return True
+    if is_sequence_type(idl_type):
+        return is_known_type(element_type(idl_type))
+    return False
+
+
+def check_value(idl_type: str, value: Any) -> bool:
+    """Does a Python value conform to the IDL type?
+
+    Used by skeletons/stubs for argument and result validation.  The
+    ``any`` type accepts whatever CDR can marshal; conformance of
+    nested values is checked by the encoder itself.
+    """
+    if idl_type == "void":
+        return value is None
+    if idl_type == "boolean":
+        return isinstance(value, bool)
+    if idl_type in _INT_RANGES:
+        if isinstance(value, bool) or not isinstance(value, int):
+            return False
+        low, high = _INT_RANGES[idl_type]
+        return low <= value <= high
+    if idl_type in ("float", "double"):
+        return isinstance(value, float) or (
+            isinstance(value, int) and not isinstance(value, bool)
+        )
+    if idl_type == "string":
+        return isinstance(value, str)
+    if idl_type == "octets":
+        return isinstance(value, (bytes, bytearray))
+    if idl_type == "any":
+        return True
+    if is_sequence_type(idl_type):
+        if not isinstance(value, (list, tuple)):
+            return False
+        inner = element_type(idl_type)
+        return all(check_value(inner, item) for item in value)
+    # Unknown named types (structs from user IDL) pass through as maps.
+    return isinstance(value, dict)
+
+
+def default_value(idl_type: str) -> Any:
+    """A zero value of the given type (used by generated attribute slots)."""
+    if idl_type == "void":
+        return None
+    if idl_type == "boolean":
+        return False
+    if idl_type in _INT_RANGES:
+        return 0
+    if idl_type in ("float", "double"):
+        return 0.0
+    if idl_type == "string":
+        return ""
+    if idl_type == "octets":
+        return b""
+    if idl_type == "any":
+        return None
+    if is_sequence_type(idl_type):
+        return []
+    return {}

@@ -1,0 +1,37 @@
+"""The QoS characteristics evaluated by the paper (Section 6).
+
+"So far the framework has been evaluated by implementing QoS
+characteristics from diverse QoS categories, e.g. fault-tolerance
+through replica groups, performance by load-balancing, compression
+for channels with small bandwidth, actuality of data, and privacy
+through encryption."
+
+Each subpackage ships the characteristic's canonical QIDL declaration,
+a concrete client-side mediator, a concrete server-side QoS
+implementation, and its entry in the pattern catalog
+(:data:`repro.core.catalog.CATALOG`).  Importing this package
+registers all five.
+"""
+
+from repro.qos.characteristic import (
+    Characteristic,
+    REGISTRY,
+    get_characteristic,
+    qidl_prelude,
+    register_characteristic,
+    weave,
+)
+from repro.qos import fault_tolerance as _ft  # noqa: F401
+from repro.qos import load_balancing as _lb  # noqa: F401
+from repro.qos import compression as _compression  # noqa: F401
+from repro.qos import encryption as _encryption  # noqa: F401
+from repro.qos import actuality as _actuality  # noqa: F401
+
+__all__ = [
+    "Characteristic",
+    "REGISTRY",
+    "get_characteristic",
+    "qidl_prelude",
+    "register_characteristic",
+    "weave",
+]

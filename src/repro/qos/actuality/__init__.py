@@ -1,0 +1,57 @@
+"""Actuality (freshness) of data (Section 6).
+
+The mediator answers repeated read operations from a client-side
+cache while the cached value is younger than the negotiated
+``max_age`` — trading bounded staleness for saved round trips.  The
+server-side implementation stamps results with their production time
+and serves explicit invalidation.
+"""
+
+from repro.core.catalog import CATALOG, CatalogEntry
+from repro.qos.characteristic import Characteristic, register_characteristic
+from repro.qos.actuality.freshness import ActualityImpl, ActualityMediator
+
+QIDL = """
+qos Actuality {
+    attribute double max_age;
+    management void invalidate(in string operation);
+    management double last_modified();
+};
+"""
+
+CHARACTERISTIC = register_characteristic(
+    Characteristic(
+        name="Actuality",
+        category="actuality",
+        qidl=QIDL,
+        mediator_class=ActualityMediator,
+        impl_class=ActualityImpl,
+        default_module=None,
+    )
+)
+
+CATALOG.register(
+    CatalogEntry(
+        name="Actuality",
+        category="actuality",
+        intent=(
+            "Bound the staleness of read results while saving round "
+            "trips through client-side caching under a max_age budget."
+        ),
+        for_application_developers=(
+            "Declare 'provides Actuality' and tell the mediator which "
+            "operations are cacheable reads; negotiate max_age to your "
+            "tolerance.  Writes should call mediator.invalidate()."
+        ),
+        for_qos_implementors=(
+            "Purely client-side caching keyed by (operation, args); "
+            "the server impl stamps modification times so staleness is "
+            "measurable and serves remote invalidation."
+        ),
+        mechanisms=["client cache", "modification stamps"],
+        related=["Compression"],
+        qidl=QIDL,
+    )
+)
+
+__all__ = ["ActualityImpl", "ActualityMediator", "CHARACTERISTIC", "QIDL"]

@@ -1,0 +1,82 @@
+"""Characteristic registry and the user-facing weave helper.
+
+A :class:`Characteristic` bundles everything MAQS knows about one QoS
+characteristic: its canonical QIDL declaration, the concrete mediator
+and implementation classes, and the transport module it reuses (the
+mechanism hierarchy of Section 4).
+
+:func:`weave` is how applications compile their interfaces: it
+prepends the QIDL of every registered characteristic, so
+``interface X provides FaultTolerance { ... }`` resolves without the
+application restating the characteristic's specification.
+"""
+
+from __future__ import annotations
+
+import types
+from typing import Dict, Optional, Type
+
+from repro.core.mediator import Mediator
+from repro.core.qos_skeleton import QoSImplementation
+from repro.qidl import compile_qidl
+
+
+class Characteristic:
+    """Descriptor of one registered QoS characteristic."""
+
+    def __init__(
+        self,
+        name: str,
+        category: str,
+        qidl: str,
+        mediator_class: Type[Mediator],
+        impl_class: Type[QoSImplementation],
+        default_module: Optional[str] = None,
+    ) -> None:
+        self.name = name
+        self.category = category
+        self.qidl = qidl.strip()
+        self.mediator_class = mediator_class
+        self.impl_class = impl_class
+        #: Transport module this characteristic reuses, if any
+        #: (the two-layer mechanism hierarchy of Section 4).
+        self.default_module = default_module
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Characteristic({self.name!r}, category={self.category!r})"
+
+
+#: name -> Characteristic, populated by the subpackages on import.
+REGISTRY: Dict[str, Characteristic] = {}
+
+
+def register_characteristic(characteristic: Characteristic) -> Characteristic:
+    if characteristic.name in REGISTRY:
+        raise ValueError(f"characteristic {characteristic.name!r} already registered")
+    REGISTRY[characteristic.name] = characteristic
+    return characteristic
+
+
+def get_characteristic(name: str) -> Characteristic:
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown characteristic {name!r}; registered: {sorted(REGISTRY)}"
+        ) from None
+
+
+def qidl_prelude() -> str:
+    """The concatenated QIDL of all registered characteristics."""
+    return "\n\n".join(REGISTRY[name].qidl for name in sorted(REGISTRY))
+
+
+def weave(interface_qidl: str, module_name: Optional[str] = None) -> types.ModuleType:
+    """Compile application QIDL against the registered characteristics.
+
+    The characteristic declarations are prepended, so ``provides``
+    clauses referring to registered characteristics resolve.  Returns
+    the generated module (stubs, skeletons, server bases, mediator and
+    impl skeletons).
+    """
+    return compile_qidl(qidl_prelude() + "\n\n" + interface_qidl, module_name)

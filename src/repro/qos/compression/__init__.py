@@ -1,0 +1,77 @@
+"""Compression for channels with small bandwidth (Section 6).
+
+The application-centred variant of the characteristic (Figure 1's
+upper layer): the mediator compresses large argument payloads before
+they are marshalled and the server-side QoS implementation restores
+them in its prolog; results travel back the same way.  The
+network-centred variant — the whole GIOP body compressed inside the
+ORB — is the ``compression`` transport module
+(:mod:`repro.orb.modules.compression`); experiment E1 compares the two
+integration layers.
+"""
+
+from repro.core.catalog import CATALOG, CatalogEntry
+from repro.qos.characteristic import Characteristic, register_characteristic
+from repro.qos.compression.payload import (
+    CompressionImpl,
+    CompressionMediator,
+    compress_value,
+    decompress_value,
+    is_compressed,
+)
+
+QIDL = """
+qos Compression {
+    attribute string codec;
+    attribute long threshold;
+    management double observed_ratio();
+};
+"""
+
+CHARACTERISTIC = register_characteristic(
+    Characteristic(
+        name="Compression",
+        category="performance",
+        qidl=QIDL,
+        mediator_class=CompressionMediator,
+        impl_class=CompressionImpl,
+        default_module="compression",
+    )
+)
+
+CATALOG.register(
+    CatalogEntry(
+        name="Compression",
+        category="performance",
+        intent=(
+            "Shrink large payloads so calls over small-bandwidth "
+            "channels complete sooner, trading CPU for transfer time."
+        ),
+        for_application_developers=(
+            "Declare 'provides Compression'; no code changes — string "
+            "and bytes payloads above the negotiated threshold are "
+            "compressed transparently in the mediator and restored in "
+            "the server-side prolog."
+        ),
+        for_qos_implementors=(
+            "Two integration layers exist: this application-centred "
+            "mediator/impl pair, and the 'compression' transport module "
+            "that compresses whole GIOP bodies inside the ORB.  Codecs "
+            "(rle, lz, delta) are shared; pick per binding via the "
+            "codec QoS parameter."
+        ),
+        mechanisms=["rle/lz/delta codecs", "compression transport module"],
+        related=["Encryption"],
+        qidl=QIDL,
+    )
+)
+
+__all__ = [
+    "CHARACTERISTIC",
+    "CompressionImpl",
+    "CompressionMediator",
+    "QIDL",
+    "compress_value",
+    "decompress_value",
+    "is_compressed",
+]

@@ -1,0 +1,78 @@
+"""Privacy through encryption (Section 6).
+
+Application-centred privacy: the mediator encrypts argument payloads
+under a per-binding session key and the server-side implementation
+decrypts them in its prolog (results travel back encrypted).  The
+session key is agreed with Diffie-Hellman over the characteristic's
+**peer** operation — the "QoS to QoS" communication of Section 3.2,
+including "on the fly change of encryption keys".
+
+The network-centred variant — whole GIOP bodies encrypted in the ORB —
+is the ``crypto`` transport module (:mod:`repro.orb.modules.crypto`).
+"""
+
+from repro.core.catalog import CATALOG, CatalogEntry
+from repro.qos.characteristic import Characteristic, register_characteristic
+from repro.qos.encryption.privacy import (
+    EncryptionImpl,
+    EncryptionMediator,
+    decrypt_value,
+    encrypt_value,
+    is_encrypted,
+)
+
+QIDL = """
+qos Encryption {
+    attribute string cipher;
+    readonly attribute string key_id;
+    peer any exchange_key(in string key_id, in any public_value);
+    management void drop_key(in string key_id);
+};
+"""
+
+CHARACTERISTIC = register_characteristic(
+    Characteristic(
+        name="Encryption",
+        category="privacy",
+        qidl=QIDL,
+        mediator_class=EncryptionMediator,
+        impl_class=EncryptionImpl,
+        default_module="crypto",
+    )
+)
+
+CATALOG.register(
+    CatalogEntry(
+        name="Encryption",
+        category="privacy",
+        intent=(
+            "Keep payloads confidential on untrusted links by "
+            "encrypting them under a session key that never crosses "
+            "the wire."
+        ),
+        for_application_developers=(
+            "Declare 'provides Encryption'; establish a session with "
+            "mediator.establish_key(stub) after binding.  Payload types "
+            "are unchanged — encryption is transparent."
+        ),
+        for_qos_implementors=(
+            "Key agreement runs over the characteristic's peer "
+            "operation (Diffie-Hellman, RFC 3526 group); ciphers "
+            "(xtea-ctr, arc4) are shared with the 'crypto' transport "
+            "module, which encrypts whole GIOP bodies instead."
+        ),
+        mechanisms=["xtea-ctr/arc4 ciphers", "DH key agreement", "crypto module"],
+        related=["Compression"],
+        qidl=QIDL,
+    )
+)
+
+__all__ = [
+    "CHARACTERISTIC",
+    "EncryptionImpl",
+    "EncryptionMediator",
+    "QIDL",
+    "decrypt_value",
+    "encrypt_value",
+    "is_encrypted",
+]

@@ -1,0 +1,84 @@
+"""Fault tolerance through replica groups (Section 6).
+
+"Crashes of servers can be masked when using a group of replicas.  As
+long as there is one replica running, the service can be fulfilled.
+This implies that every replica delivers the same result upon a
+request.  Hence, new replicas need to be initialized to the same state
+as already running replicas.  The state of a server is encapsulated by
+the interface.  Therefore, the ability for this QoS violates the
+encapsulation of a server." (Section 3.1)
+
+The characteristic therefore spans all three responsibility categories
+of Section 3.2: management (policy, membership), peer (group sync) and
+**integration** (``get_state``/``set_state`` — the deliberate,
+interface-mediated encapsulation cross-cut the paper describes).
+
+It reuses the ``multicast`` transport module (Section 4's mechanism
+hierarchy): k-availability via first-reply fan-out, diversity via
+majority votes on results.
+"""
+
+from repro.core.catalog import CATALOG, CatalogEntry
+from repro.qos.characteristic import Characteristic, register_characteristic
+from repro.qos.fault_tolerance.replica_group import (
+    FaultToleranceImpl,
+    FaultToleranceMediator,
+    ReplicaGroupManager,
+)
+
+QIDL = """
+qos FaultTolerance {
+    readonly attribute short replicas;
+    attribute short required_availability;
+    management void set_masking_policy(in string policy);
+    management string get_masking_policy();
+    peer void join_group(in string member_ior);
+    peer void leave_group(in string member_ior);
+    integration any get_state();
+    integration void set_state(in any state);
+};
+"""
+
+CHARACTERISTIC = register_characteristic(
+    Characteristic(
+        name="FaultTolerance",
+        category="fault-tolerance",
+        qidl=QIDL,
+        mediator_class=FaultToleranceMediator,
+        impl_class=FaultToleranceImpl,
+        default_module="multicast",
+    )
+)
+
+CATALOG.register(
+    CatalogEntry(
+        name="FaultTolerance",
+        category="fault-tolerance",
+        intent=(
+            "Mask server crashes (k-availability) and value faults "
+            "(majority voting) behind a replica group."
+        ),
+        for_application_developers=(
+            "Declare 'provides FaultTolerance' and implement the "
+            "integration operations get_state/set_state so new replicas "
+            "can be initialised; servants must be deterministic."
+        ),
+        for_qos_implementors=(
+            "Reuses the multicast transport module for group fan-out; "
+            "policies 'first' (k-availability), 'all' and 'majority' "
+            "(diversity through votes on results) are selected per "
+            "binding through the module's dynamic interface."
+        ),
+        mechanisms=["multicast transport module", "state transfer", "voting"],
+        related=["LoadBalancing"],
+        qidl=QIDL,
+    )
+)
+
+__all__ = [
+    "CHARACTERISTIC",
+    "FaultToleranceImpl",
+    "FaultToleranceMediator",
+    "QIDL",
+    "ReplicaGroupManager",
+]

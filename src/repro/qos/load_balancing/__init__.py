@@ -1,0 +1,85 @@
+"""Performance by load balancing (Section 6).
+
+A purely application-centred characteristic (Figure 1's upper
+integration layer): the client-side mediator redirects each intercepted
+call to one of a set of worker replicas, chosen by a pluggable policy.
+Failed workers are quarantined and the call retried elsewhere — no
+application code changes on either side.
+"""
+
+from repro.core.catalog import CATALOG, CatalogEntry
+from repro.qos.characteristic import Characteristic, register_characteristic
+from repro.qos.load_balancing.balancer import (
+    LoadBalancingImpl,
+    LoadBalancingMediator,
+    WorkerPool,
+)
+from repro.qos.load_balancing.policies import (
+    AdaptivePolicy,
+    LeastUsedPolicy,
+    Policy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    make_policy,
+)
+
+QIDL = """
+qos LoadBalancing {
+    attribute string policy;
+    management sequence<string> workers();
+    management void add_worker(in string member_ior);
+    management void remove_worker(in string member_ior);
+    integration long current_load();
+};
+"""
+
+CHARACTERISTIC = register_characteristic(
+    Characteristic(
+        name="LoadBalancing",
+        category="performance",
+        qidl=QIDL,
+        mediator_class=LoadBalancingMediator,
+        impl_class=LoadBalancingImpl,
+        default_module=None,
+    )
+)
+
+CATALOG.register(
+    CatalogEntry(
+        name="LoadBalancing",
+        category="performance",
+        intent=(
+            "Spread client requests over a pool of stateless worker "
+            "replicas to cut queueing latency and raise throughput."
+        ),
+        for_application_developers=(
+            "Declare 'provides LoadBalancing'; workers must be "
+            "stateless (or share state elsewhere).  Optionally implement "
+            "the integration operation current_load for load reporting."
+        ),
+        for_qos_implementors=(
+            "Entirely client-side: the mediator redirects each call; "
+            "policies are pluggable (round_robin, random, least_used, "
+            "adaptive EWMA-latency).  The worker list is served by the "
+            "management operation 'workers' so clients bootstrap from "
+            "the negotiated binding."
+        ),
+        mechanisms=["mediator redirection", "EWMA latency estimation"],
+        related=["FaultTolerance"],
+        qidl=QIDL,
+    )
+)
+
+__all__ = [
+    "AdaptivePolicy",
+    "CHARACTERISTIC",
+    "LeastUsedPolicy",
+    "LoadBalancingImpl",
+    "LoadBalancingMediator",
+    "Policy",
+    "QIDL",
+    "RandomPolicy",
+    "RoundRobinPolicy",
+    "WorkerPool",
+    "make_policy",
+]

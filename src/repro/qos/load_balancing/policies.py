@@ -1,0 +1,111 @@
+"""Load-balancing policies.
+
+A policy chooses the next worker index given the per-worker statistics
+the mediator maintains.  All policies are deterministic given their
+seed and call history, keeping experiments reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+
+class WorkerStats:
+    """Client-observable statistics for one worker."""
+
+    __slots__ = ("assigned", "failures", "ewma_latency")
+
+    def __init__(self) -> None:
+        self.assigned = 0
+        self.failures = 0
+        self.ewma_latency = 0.0
+
+    def record(self, latency: float, alpha: float = 0.3) -> None:
+        if self.ewma_latency == 0.0:
+            self.ewma_latency = latency
+        else:
+            self.ewma_latency = alpha * latency + (1 - alpha) * self.ewma_latency
+
+
+class Policy:
+    """Base policy: pick an index into the live worker list."""
+
+    name = ""
+
+    def choose(self, count: int, stats: List[WorkerStats]) -> int:
+        raise NotImplementedError
+
+
+class RoundRobinPolicy(Policy):
+    """Cycle through the workers in order."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def choose(self, count: int, stats: List[WorkerStats]) -> int:
+        index = self._next % count
+        self._next += 1
+        return index
+
+
+class RandomPolicy(Policy):
+    """Uniform random choice (seeded)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def choose(self, count: int, stats: List[WorkerStats]) -> int:
+        return self._rng.randrange(count)
+
+
+class LeastUsedPolicy(Policy):
+    """The worker with the fewest assigned calls so far."""
+
+    name = "least_used"
+
+    def choose(self, count: int, stats: List[WorkerStats]) -> int:
+        return min(range(count), key=lambda i: (stats[i].assigned, i))
+
+
+class AdaptivePolicy(Policy):
+    """The worker with the lowest EWMA latency (untried workers first).
+
+    Adapts to heterogeneous worker speeds without any server-side
+    cooperation — only client-observed round-trip times feed it.
+    """
+
+    name = "adaptive"
+
+    def choose(self, count: int, stats: List[WorkerStats]) -> int:
+        for index in range(count):
+            if stats[index].assigned == 0:
+                return index
+        return min(range(count), key=lambda i: (stats[i].ewma_latency, i))
+
+
+_POLICIES: Dict[str, type] = {
+    cls.name: cls
+    for cls in (RoundRobinPolicy, RandomPolicy, LeastUsedPolicy, AdaptivePolicy)
+}
+
+
+def make_policy(name: str, seed: int = 0) -> Policy:
+    """Instantiate a policy by name."""
+    try:
+        cls = _POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; available: {sorted(_POLICIES)}"
+        ) from None
+    if cls is RandomPolicy:
+        return cls(seed)
+    return cls()
+
+
+def policy_names() -> List[str]:
+    return sorted(_POLICIES)

@@ -1,0 +1,53 @@
+"""Workload generators and demo applications for the benchmarks."""
+
+from repro.workloads.generators import (
+    bursty_arrivals,
+    compressible_text,
+    market_ticks,
+    poisson_arrivals,
+    random_bytes,
+    sensor_samples,
+    uniform_arrivals,
+)
+from repro.workloads.apps import (
+    ARCHIVE_QIDL,
+    COMPUTE_QIDL,
+    QUOTE_QIDL,
+    archive_module,
+    compute_module,
+    make_archive_servant_class,
+    make_compute_servant_class,
+    make_quote_servant_class,
+    quote_module,
+)
+from repro.workloads.drivers import (
+    Arrival,
+    ClosedLoopResult,
+    OpenLoopDriver,
+    open_loop_fanout,
+    run_closed_loop,
+)
+
+__all__ = [
+    "ARCHIVE_QIDL",
+    "Arrival",
+    "COMPUTE_QIDL",
+    "ClosedLoopResult",
+    "OpenLoopDriver",
+    "QUOTE_QIDL",
+    "archive_module",
+    "bursty_arrivals",
+    "compressible_text",
+    "compute_module",
+    "make_archive_servant_class",
+    "make_compute_servant_class",
+    "make_quote_servant_class",
+    "market_ticks",
+    "open_loop_fanout",
+    "poisson_arrivals",
+    "quote_module",
+    "random_bytes",
+    "run_closed_loop",
+    "sensor_samples",
+    "uniform_arrivals",
+]

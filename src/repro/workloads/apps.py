@@ -1,0 +1,141 @@
+"""Demo applications woven against the registered characteristics.
+
+Three services cover the workloads the paper's evaluation names:
+
+- **Archive** — document store (compression, encryption, actuality);
+- **QuoteFeed** — market data (actuality, compression);
+- **Compute** — CPU-bound work (load balancing, fault tolerance).
+
+The QIDL is compiled once at import; factories return servant classes
+so each deployment gets fresh instances.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+import repro.qos as qos
+from repro.workloads.generators import market_ticks
+
+ARCHIVE_QIDL = """
+interface Archive provides Compression, Encryption, Actuality {
+    string fetch(in string path);
+    void store(in string path, in string content);
+    sequence<string> list_paths();
+    long size();
+};
+"""
+
+QUOTE_QIDL = """
+interface QuoteFeed provides Actuality, Compression {
+    double quote(in string symbol);
+    sequence<double> history(in string symbol, in long points);
+    void publish(in string symbol, in double price);
+};
+"""
+
+COMPUTE_QIDL = """
+interface Compute provides LoadBalancing, FaultTolerance {
+    string transform(in string text);
+    double busy_work(in long units);
+    long completed();
+};
+"""
+
+archive_module = qos.weave(ARCHIVE_QIDL, "maqs_app_archive")
+quote_module = qos.weave(QUOTE_QIDL, "maqs_app_quotes")
+compute_module = qos.weave(COMPUTE_QIDL, "maqs_app_compute")
+
+
+def make_archive_servant_class() -> type:
+    """A document store servant class (fresh per call)."""
+
+    class ArchiveServant(archive_module.ArchiveServerBase):
+        _default_service_time = 0.0005
+
+        def __init__(self):
+            super().__init__()
+            self.files = {}
+
+        def fetch(self, path):
+            return self.files.get(path, "")
+
+        def store(self, path, content):
+            self.files[path] = content
+            return None
+
+        def list_paths(self):
+            return sorted(self.files)
+
+        def size(self):
+            return len(self.files)
+
+    return ArchiveServant
+
+
+def make_quote_servant_class(seed: int = 0) -> type:
+    """A market-data servant class with deterministic price series."""
+
+    class QuoteServant(quote_module.QuoteFeedServerBase):
+        _default_service_time = 0.0002
+
+        def __init__(self):
+            super().__init__()
+            self._prices = {}
+            self._seed = seed
+
+        def quote(self, symbol):
+            if symbol not in self._prices:
+                self._prices[symbol] = market_ticks(symbol, 1, self._seed)[0]
+            return self._prices[symbol]
+
+        def history(self, symbol, points):
+            return market_ticks(symbol, points, self._seed)
+
+        def publish(self, symbol, price):
+            self._prices[symbol] = price
+            return None
+
+    return QuoteServant
+
+
+def make_compute_servant_class(
+    unit_cost: float = 0.002,
+) -> type:
+    """A CPU-bound worker; ``busy_work(n)`` consumes ``n * unit_cost``
+    seconds of simulated service time."""
+
+    class ComputeServant(compute_module.ComputeServerBase):
+        def __init__(self):
+            super().__init__()
+            self.done = 0
+
+        def _service_time(self, operation, args):
+            if operation == "busy_work":
+                return max(0, args[0]) * unit_cost
+            if operation == "transform":
+                return len(args[0]) * 1e-6
+            return 0.0
+
+        def transform(self, text):
+            self.done += 1
+            return text.swapcase()
+
+        def busy_work(self, units):
+            self.done += 1
+            return float(units)
+
+        def completed(self):
+            return self.done
+
+        # Integration operations from the provided characteristics.
+        def get_state(self):
+            return {"done": self.done}
+
+        def set_state(self, state):
+            self.done = state["done"]
+
+        def current_load(self):
+            return self.done
+
+    return ComputeServant

@@ -1,0 +1,186 @@
+"""Closed- and open-loop measurement drivers.
+
+Two execution styles:
+
+- **Closed loop** (:func:`run_closed_loop`): one logical client issuing
+  sequential calls through the real stub/mediator path; the next call
+  departs when the previous one finished.
+- **Open loop** (:func:`open_loop_fanout`): requests depart at
+  externally fixed arrival instants regardless of completions, so
+  several are in flight at once and FIFO queues form at the servers.
+  Synchronous stubs cannot express overlap, so the fan-out invoker
+  drives :meth:`ORB.round_trip` with explicit departure times — the
+  same time-explicit technique the multicast module uses for parallel
+  group delivery.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.netsim.kernel import EventKernel
+from repro.orb import giop
+from repro.orb.exceptions import SystemException
+from repro.orb.ior import IOR
+from repro.orb.request import Request
+
+
+class ClosedLoopResult:
+    """Latency series from a sequential (closed-loop) run."""
+
+    def __init__(self, latencies: List[float], failures: int, elapsed: float):
+        self.latencies = latencies
+        self.failures = failures
+        self.elapsed = elapsed
+
+    @property
+    def count(self) -> int:
+        return len(self.latencies)
+
+    def mean(self) -> float:
+        if not self.latencies:
+            return float("nan")
+        return sum(self.latencies) / len(self.latencies)
+
+    def p95(self) -> float:
+        if not self.latencies:
+            return float("nan")
+        ordered = sorted(self.latencies)
+        index = max(0, min(len(ordered) - 1, int(0.95 * len(ordered)) - 1))
+        return ordered[index]
+
+    def max(self) -> float:
+        return max(self.latencies) if self.latencies else float("nan")
+
+    def throughput(self) -> float:
+        if self.elapsed <= 0:
+            return 0.0
+        return self.count / self.elapsed
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "failures": float(self.failures),
+            "mean": self.mean(),
+            "p95": self.p95(),
+            "max": self.max(),
+            "throughput": self.throughput(),
+        }
+
+
+def run_closed_loop(
+    clock: Any,
+    call: Callable[[int], Any],
+    count: int,
+    swallow: tuple = (),
+) -> ClosedLoopResult:
+    """Issue ``count`` sequential calls; measure simulated latency each.
+
+    ``call`` receives the call index.  Exceptions in ``swallow`` are
+    counted as failures instead of propagating.
+    """
+    latencies: List[float] = []
+    failures = 0
+    started = clock.now
+    for index in range(count):
+        call_start = clock.now
+        try:
+            call(index)
+            latencies.append(clock.now - call_start)
+        except swallow:
+            failures += 1
+    return ClosedLoopResult(latencies, failures, clock.now - started)
+
+
+class OpenLoopDriver:
+    """Issue calls at externally fixed arrival instants via the kernel.
+
+    Each arrival fires independently of previous completions — queueing
+    at the servers shows up as latency, which is what the
+    load-balancing experiment measures.
+    """
+
+    def __init__(self, kernel: EventKernel, call: Callable[[int], Any],
+                 swallow: tuple = ()) -> None:
+        self.kernel = kernel
+        self.call = call
+        self.swallow = swallow
+        self.latencies: List[float] = []
+        self.failures = 0
+        self._index = 0
+
+    def schedule(self, arrivals: Sequence[float]) -> "OpenLoopDriver":
+        for arrival in arrivals:
+            self.kernel.schedule_at(arrival, self._fire, label="arrival")
+        return self
+
+    def _fire(self) -> None:
+        index = self._index
+        self._index += 1
+        started = self.kernel.clock.now
+        try:
+            self.call(index)
+            self.latencies.append(self.kernel.clock.now - started)
+        except self.swallow:
+            self.failures += 1
+
+    def run(self) -> ClosedLoopResult:
+        """Drain the kernel and summarise."""
+        started = self.kernel.clock.now
+        self.kernel.run()
+        return ClosedLoopResult(
+            self.latencies, self.failures, self.kernel.clock.now - started
+        )
+
+
+class Arrival:
+    """One open-loop request: when it departs and what it invokes."""
+
+    __slots__ = ("time", "target", "operation", "args")
+
+    def __init__(
+        self, time: float, target: IOR, operation: str, args: Tuple[Any, ...] = ()
+    ) -> None:
+        self.time = time
+        self.target = target
+        self.operation = operation
+        self.args = tuple(args)
+
+
+def open_loop_fanout(
+    orb: Any, arrivals: Sequence[Arrival]
+) -> ClosedLoopResult:
+    """Issue every arrival at its own departure instant, in parallel.
+
+    Requests overlap in simulated time: server FIFO queues build up
+    whenever the offered load exceeds a host's service rate.  The
+    global clock is advanced once, to the last completion.
+    """
+    if not arrivals:
+        return ClosedLoopResult([], 0, 0.0)
+    ordered = sorted(arrivals, key=lambda a: a.time)
+    clock = orb.clock
+    base = clock.now
+    latencies: List[float] = []
+    failures = 0
+    last_finish = base
+    for arrival in ordered:
+        depart = base + arrival.time
+        request = Request(arrival.target, arrival.operation, arrival.args)
+        wire = giop.encode_request(request)
+        depart += orb.marshal_cost(len(wire))
+        try:
+            reply_wire, finish = orb.round_trip(
+                arrival.target.profile.host, wire, depart
+            )
+            finish += orb.marshal_cost(len(reply_wire))
+            reply = giop.decode_reply(reply_wire)
+            if reply.exception is not None:
+                failures += 1
+            else:
+                latencies.append(finish - (base + arrival.time))
+            last_finish = max(last_finish, finish)
+        except SystemException:
+            failures += 1
+    clock.advance_to(last_finish)
+    return ClosedLoopResult(latencies, failures, last_finish - base)

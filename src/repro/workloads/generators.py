@@ -1,0 +1,117 @@
+"""Deterministic workload generators.
+
+Arrival processes produce absolute arrival instants for open-loop
+drivers; payload generators produce texts/blobs with controlled
+compressibility.  Everything is seeded.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List
+
+
+def poisson_arrivals(
+    rate: float, duration: float, seed: int = 0, start: float = 0.0
+) -> List[float]:
+    """Arrival times of a Poisson process with ``rate`` events/second."""
+    if rate <= 0:
+        raise ValueError(f"rate must be positive: {rate}")
+    rng = random.Random(seed)
+    times: List[float] = []
+    now = start
+    while True:
+        now += rng.expovariate(rate)
+        if now > start + duration:
+            return times
+        times.append(now)
+
+
+def uniform_arrivals(
+    rate: float, duration: float, start: float = 0.0
+) -> List[float]:
+    """Evenly spaced arrivals at ``rate`` events/second."""
+    if rate <= 0:
+        raise ValueError(f"rate must be positive: {rate}")
+    interval = 1.0 / rate
+    count = int(duration * rate)
+    return [start + interval * (index + 1) for index in range(count)]
+
+
+def bursty_arrivals(
+    burst_rate: float,
+    idle_rate: float,
+    period: float,
+    duty: float,
+    duration: float,
+    seed: int = 0,
+) -> List[float]:
+    """On/off arrivals: ``burst_rate`` during the first ``duty`` fraction
+    of every ``period``, ``idle_rate`` for the rest."""
+    if not 0.0 < duty < 1.0:
+        raise ValueError(f"duty must be in (0, 1): {duty}")
+    times: List[float] = []
+    cycle_start = 0.0
+    seed_step = 0
+    while cycle_start < duration:
+        on_end = min(cycle_start + period * duty, duration)
+        times.extend(
+            poisson_arrivals(burst_rate, on_end - cycle_start, seed + seed_step,
+                             start=cycle_start)
+        )
+        seed_step += 1
+        off_end = min(cycle_start + period, duration)
+        if idle_rate > 0 and off_end > on_end:
+            times.extend(
+                poisson_arrivals(idle_rate, off_end - on_end, seed + seed_step,
+                                 start=on_end)
+            )
+        seed_step += 1
+        cycle_start += period
+    return sorted(times)
+
+
+_WORDS = (
+    "request reply broker object service quality latency bandwidth "
+    "negotiate contract mediate skeleton replica encode decode channel"
+).split()
+
+
+def compressible_text(nbytes: int, seed: int = 0) -> str:
+    """Natural-language-like text that LZ compresses well."""
+    rng = random.Random(seed)
+    parts: List[str] = []
+    length = 0
+    while length < nbytes:
+        word = rng.choice(_WORDS)
+        parts.append(word)
+        length += len(word) + 1
+    return " ".join(parts)[:nbytes]
+
+
+def random_bytes(nbytes: int, seed: int = 0) -> bytes:
+    """Incompressible noise."""
+    rng = random.Random(seed)
+    return bytes(rng.randrange(256) for _ in range(nbytes))
+
+
+def market_ticks(symbol: str, count: int, seed: int = 0,
+                 start_price: float = 100.0) -> List[float]:
+    """A random-walk price series for one symbol."""
+    rng = random.Random(hash(symbol) % (2**31) ^ seed)
+    price = start_price
+    series = []
+    for _ in range(count):
+        price = max(0.01, price * (1.0 + rng.gauss(0.0, 0.004)))
+        series.append(round(price, 4))
+    return series
+
+
+def sensor_samples(count: int, seed: int = 0) -> bytes:
+    """Slowly varying byte samples (delta-codec friendly)."""
+    rng = random.Random(seed)
+    phase = rng.uniform(0, math.pi)
+    return bytes(
+        128 + int(12 * math.sin(index / 200.0 + phase)) for index in range(count)
+    )

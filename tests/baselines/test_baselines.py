@@ -1,0 +1,124 @@
+"""Tests for the plain/tangled baselines and the tangling metrics."""
+
+import pytest
+
+from repro.baselines import (
+    PlainArchiveServant,
+    PlainArchiveStub,
+    TangledArchiveServant,
+    TangledArchiveStub,
+    compare_separation,
+    tangling_report,
+)
+from repro.orb import World
+
+
+@pytest.fixture
+def world():
+    w = World()
+    w.lan(["client", "server"], latency=0.005, bandwidth_bps=10e6)
+    return w
+
+
+class TestPlainBaseline:
+    def test_store_and_fetch(self, world):
+        ior = world.orb("server").poa.activate_object(PlainArchiveServant())
+        stub = PlainArchiveStub(world.orb("client"), ior)
+        stub.store("a", "alpha")
+        assert stub.fetch("a") == "alpha"
+        assert stub.list_paths() == ["a"]
+        assert stub.size() == 1
+
+    def test_missing_path_is_empty(self, world):
+        ior = world.orb("server").poa.activate_object(PlainArchiveServant())
+        stub = PlainArchiveStub(world.orb("client"), ior)
+        assert stub.fetch("ghost") == ""
+
+
+class TestTangledBaseline:
+    @pytest.fixture
+    def tangled(self, world):
+        ior = world.orb("server").poa.activate_object(TangledArchiveServant())
+        stub = TangledArchiveStub(world.orb("client"), ior)
+        return stub
+
+    def test_functionally_equivalent_to_woven(self, tangled):
+        tangled.establish_key()
+        tangled.store("doc", "short")
+        assert tangled.fetch("doc") == "short"
+
+    def test_compression_path(self, world, tangled):
+        big = "repetition " * 200
+        before = world.network.bytes_sent
+        tangled.store("big", big)
+        sent = world.network.bytes_sent - before
+        assert sent < len(big)  # compressed on the wire
+        tangled._cache.clear()
+        assert tangled.fetch("big") == big
+
+    def test_encryption_path(self, world, tangled):
+        tangled.establish_key()
+        tangled.store("secret", "classified data")
+        tangled._cache.clear()
+        assert tangled.fetch("secret") == "classified data"
+
+    def test_cache_path(self, world, tangled):
+        tangled.store("doc", "v")
+        invoked = world.orb("client").requests_invoked
+        tangled.fetch("doc")
+        tangled.fetch("doc")
+        assert world.orb("client").requests_invoked == invoked + 1
+
+    def test_retry_path(self, world, tangled):
+        link = world.network.link_between("client", "server")
+        world.faults.set_loss(link, 0.35)
+        results = [tangled.size() for _ in range(5)]
+        assert all(r == 0 for r in results)
+
+
+class TestTanglingMetrics:
+    def test_tangled_servant_heavily_tangled(self):
+        report = tangling_report(TangledArchiveServant)
+        assert report.tangling_ratio > 0.4
+        assert report.method_spread > 0.5
+
+    def test_tangled_stub_heavily_tangled(self):
+        report = tangling_report(TangledArchiveStub)
+        assert report.tangling_ratio > 0.5
+
+    def test_plain_servant_is_clean(self):
+        report = tangling_report(PlainArchiveServant, use_markers=False)
+        assert report.qos_lines == 0
+
+    def test_woven_application_is_clean(self):
+        from repro.workloads.apps import make_archive_servant_class
+
+        report = tangling_report(
+            make_archive_servant_class(), use_markers=False
+        )
+        assert report.tangling_ratio < 0.05
+
+    def test_keyword_detector_approximates_markers(self):
+        by_marker = tangling_report(TangledArchiveServant, use_markers=True)
+        by_keyword = tangling_report(TangledArchiveServant, use_markers=False)
+        assert by_keyword.qos_lines >= by_marker.qos_lines * 0.6
+
+    def test_compare_separation_shape(self):
+        from repro.workloads.apps import make_archive_servant_class
+
+        reports = compare_separation(
+            TangledArchiveServant, make_archive_servant_class()
+        )
+        assert reports["tangled"].tangling_ratio > 5 * reports["woven"].tangling_ratio
+
+    def test_source_string_input(self):
+        source = "def fetch(self):\n    return self.cache  # [qos]\n"
+        report = tangling_report(source, "inline")
+        assert report.total_lines == 2
+        assert report.qos_lines == 1
+        assert report.qos_methods == 1
+
+    def test_docstrings_and_comments_excluded(self):
+        source = '"""Doc\nstring."""\n# comment\nx = 1\n'
+        report = tangling_report(source)
+        assert report.total_lines == 1

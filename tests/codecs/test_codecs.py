@@ -1,0 +1,108 @@
+"""Tests for the from-scratch compression codecs."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import codecs
+from repro.codecs import delta, lz, rle
+
+
+ALL_CODECS = sorted(codecs.CODECS)
+
+
+def _random_bytes(seed, n):
+    return bytes(random.Random(seed).randrange(256) for _ in range(n))
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("name", ALL_CODECS)
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            b"",
+            b"a",
+            b"abc",
+            b"a" * 1000,
+            b"abcabcabc" * 100,
+            bytes(range(256)) * 4,
+            _random_bytes(7, 2048),
+            "unicode κόσμος ✓".encode("utf-8") * 20,
+        ],
+    )
+    def test_roundtrip(self, name, payload):
+        compress, decompress = codecs.get_codec(name)
+        assert decompress(compress(payload)) == payload
+
+    @pytest.mark.parametrize("name", ALL_CODECS)
+    def test_type_check(self, name):
+        compress, _ = codecs.get_codec(name)
+        if name != "identity":
+            with pytest.raises(TypeError):
+                compress("not bytes")
+
+
+class TestEffectiveness:
+    def test_rle_collapses_runs(self):
+        payload = b"x" * 10_000
+        assert len(rle.compress(payload)) < len(payload) / 50
+
+    def test_lz_compresses_repeating_structure(self):
+        payload = b"GET /api/v1/items HTTP/1.1\r\n" * 200
+        assert len(lz.compress(payload)) < len(payload) / 3
+
+    def test_delta_compresses_slowly_varying_samples(self):
+        import math
+
+        samples = bytes(128 + int(10 * math.sin(i / 200)) for i in range(4000))
+        assert len(delta.compress(samples)) < len(samples) / 5
+
+    def test_incompressible_data_grows_boundedly(self):
+        noise = _random_bytes(3, 4096)
+        assert len(rle.compress(noise)) <= len(noise) * 1.02 + 16
+
+    def test_cpu_cost_scales_with_size(self):
+        assert codecs.cpu_cost("lz", 2000) == 2 * codecs.cpu_cost("lz", 1000)
+        assert codecs.cpu_cost("identity", 10_000) == 0.0
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(ValueError):
+            codecs.get_codec("zpaq")
+
+
+class TestCorruptInput:
+    def test_rle_truncated_run(self):
+        with pytest.raises(ValueError):
+            rle.decompress(b"\x85")
+
+    def test_rle_truncated_literals(self):
+        with pytest.raises(ValueError):
+            rle.decompress(b"\x05ab")
+
+    def test_lz_bad_offset(self):
+        with pytest.raises(ValueError):
+            lz.decompress(b"\x01\x00\x05\x00")
+
+    def test_lz_unknown_token(self):
+        with pytest.raises(ValueError):
+            lz.decompress(b"\x09")
+
+
+@given(st.binary(max_size=4096))
+@settings(max_examples=60)
+def test_property_rle_roundtrip(payload):
+    assert rle.decompress(rle.compress(payload)) == payload
+
+
+@given(st.binary(max_size=4096))
+@settings(max_examples=60)
+def test_property_lz_roundtrip(payload):
+    assert lz.decompress(lz.compress(payload)) == payload
+
+
+@given(st.binary(max_size=2048))
+@settings(max_examples=40)
+def test_property_delta_roundtrip(payload):
+    assert delta.decompress(delta.compress(payload)) == payload

@@ -1,0 +1,72 @@
+"""Shared fixtures: a woven Archive service with full QoS support."""
+
+import pytest
+
+import repro.qos as qos
+from repro.core.binding import QoSProvider
+from repro.core.negotiation import Range
+from repro.orb import World
+from repro.qos.actuality.freshness import ActualityImpl
+from repro.qos.compression.payload import CompressionImpl
+from repro.qos.encryption.privacy import EncryptionImpl
+
+ARCHIVE_QIDL = """
+interface Archive provides Compression, Encryption, Actuality {
+    string fetch(in string path);
+    void store(in string path, in string content);
+    long size();
+};
+"""
+
+
+@pytest.fixture(scope="session")
+def gen():
+    return qos.weave(ARCHIVE_QIDL, "core_tests_archive")
+
+
+@pytest.fixture
+def world():
+    w = World()
+    w.lan(["client", "server", "other"], latency=0.005, bandwidth_bps=10e6)
+    return w
+
+
+def make_archive_class(gen):
+    class ArchiveImpl(gen.ArchiveServerBase):
+        def __init__(self):
+            super().__init__()
+            self.files = {}
+
+        def fetch(self, path):
+            return self.files.get(path, "")
+
+        def store(self, path, content):
+            self.files[path] = content
+            return None
+
+        def size(self):
+            return len(self.files)
+
+    return ArchiveImpl
+
+
+@pytest.fixture
+def archive(world, gen):
+    """Returns (servant, provider, ior, stub)."""
+    servant = make_archive_class(gen)()
+    provider = QoSProvider(world, "server", servant)
+    provider.support(
+        "Compression",
+        CompressionImpl(),
+        capabilities={"threshold": Range(64, 4096)},
+        module_name="compression",
+    )
+    provider.support("Encryption", EncryptionImpl(), capabilities={})
+    provider.support(
+        "Actuality",
+        ActualityImpl().attach_clock(world.clock),
+        capabilities={"max_age": Range(0.1, 10.0)},
+    )
+    ior = provider.activate("archive")
+    stub = gen.ArchiveStub(world.orb("client"), ior)
+    return servant, provider, ior, stub

@@ -1,0 +1,127 @@
+"""Tests for accounting and trading."""
+
+import pytest
+
+from repro.core.accounting import AccountingService, MeteringMediator, Tariff
+from repro.core.negotiation import Agreement
+from repro.core.trading import NoMatch, TraderServant, TraderStub
+
+
+class TestTariff:
+    def test_linear_pricing(self):
+        tariff = Tariff(setup_fee=10.0, per_call=0.5, per_second=2.0)
+        assert tariff.price(4, 3.0) == 10.0 + 2.0 + 6.0
+
+    def test_zero_tariff(self):
+        assert Tariff().price(100, 100.0) == 0.0
+
+
+class TestAccountingService:
+    def test_usage_accumulates(self):
+        service = AccountingService()
+        agreement = Agreement("Compression", {})
+        service.open_account(agreement, Tariff(per_call=1.0))
+        service.record(agreement.agreement_id, 0.5)
+        service.record(agreement.agreement_id, 0.25, failed=True)
+        usage = service.usage(agreement.agreement_id)
+        assert usage.calls == 2
+        assert usage.busy_seconds == 0.75
+        assert usage.failures == 1
+
+    def test_invoice(self):
+        service = AccountingService()
+        agreement = Agreement("X", {})
+        service.open_account(agreement, Tariff(setup_fee=5.0, per_call=2.0))
+        service.record(agreement.agreement_id, 0.1)
+        invoice = service.invoice(agreement.agreement_id)
+        assert invoice["amount"] == 7.0
+        assert invoice["calls"] == 1.0
+
+    def test_unknown_agreement_rejected(self):
+        with pytest.raises(KeyError):
+            AccountingService().record(42, 0.1)
+
+    def test_total_billed(self):
+        service = AccountingService()
+        for _ in range(2):
+            agreement = Agreement("X", {})
+            service.open_account(agreement, Tariff(per_call=1.0))
+            service.record(agreement.agreement_id, 0.0)
+        assert service.total_billed() == 2.0
+
+
+class TestMeteringMediator:
+    def test_meters_calls_over_wire(self, world, archive):
+        _, _, _, stub = archive
+        service = AccountingService()
+        agreement = Agreement("Compression", {})
+        service.open_account(agreement, Tariff(per_call=0.1))
+        MeteringMediator(service, agreement).install(stub)
+        stub.size()
+        stub.size()
+        invoice = service.invoice(agreement.agreement_id)
+        assert invoice["calls"] == 2.0
+        assert invoice["busy_seconds"] > 0.0
+        assert invoice["amount"] == pytest.approx(0.2)
+
+    def test_failures_billed_and_flagged(self, world, archive):
+        _, _, _, stub = archive
+        service = AccountingService()
+        agreement = Agreement("Compression", {})
+        service.open_account(agreement)
+        MeteringMediator(service, agreement).install(stub)
+        world.faults.crash("server")
+        with pytest.raises(Exception):
+            stub.size()
+        assert service.usage(agreement.agreement_id).failures == 1
+
+
+@pytest.fixture
+def trader(world):
+    servant = TraderServant()
+    ior = world.orb("server").poa.activate_object(servant, "Trader")
+    return TraderStub(world.orb("client"), ior)
+
+
+class TestTrader:
+    def _export(self, trader, world, name, characteristics, properties):
+        from repro.orb.ior import IOR, IIOPProfile
+
+        ior = IOR("IDL:demo/Svc:1.0", IIOPProfile("server", 683, name))
+        trader.export("archive", ior, characteristics, properties)
+        return ior
+
+    def test_query_by_characteristic(self, trader, world):
+        fast = self._export(trader, world, "fast", ["Compression"], {"speed": 9.0})
+        self._export(trader, world, "plain", [], {"speed": 5.0})
+        matches = trader.query("archive", "Compression")
+        assert matches == [fast]
+
+    def test_ranking(self, trader, world):
+        slow = self._export(trader, world, "slow", ["Compression"], {"speed": 1.0})
+        fast = self._export(trader, world, "fast", ["Compression"], {"speed": 9.0})
+        matches = trader.query("archive", "Compression", rank_by="speed")
+        assert matches == [fast, slow]
+
+    def test_property_constraints(self, trader, world):
+        self._export(trader, world, "slow", ["Compression"], {"speed": 1.0})
+        fast = self._export(trader, world, "fast", ["Compression"], {"speed": 9.0})
+        matches = trader.query(
+            "archive", "Compression", minimum_properties={"speed": 5.0}
+        )
+        assert matches == [fast]
+
+    def test_no_match_raises(self, trader):
+        with pytest.raises(NoMatch):
+            trader.query("archive", "Compression")
+
+    def test_withdraw(self, trader, world):
+        self._export(trader, world, "svc", ["Compression"], {})
+        assert trader.withdraw(0)
+        assert not trader.withdraw(0)
+        assert trader.offer_count() == 0
+
+    def test_service_type_mismatch(self, trader, world):
+        self._export(trader, world, "svc", ["Compression"], {})
+        with pytest.raises(NoMatch):
+            trader.query("database", "Compression")

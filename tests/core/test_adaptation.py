@@ -1,0 +1,105 @@
+"""Tests for adaptation: degrade/upgrade along a level ladder."""
+
+import pytest
+
+from repro.core.adaptation import AdaptationLevel, AdaptationManager
+from repro.core.binding import establish_qos
+from repro.core.monitoring import Expectation, QoSMonitor
+from repro.core.negotiation import Range
+from repro.qos.actuality.freshness import ActualityMediator
+
+
+LEVELS = [
+    AdaptationLevel("gold", {"max_age": Range(0.1, 0.5)}),
+    AdaptationLevel("silver", {"max_age": Range(0.5, 2.0)}),
+    AdaptationLevel("bronze", {"max_age": Range(2.0, 10.0)}),
+]
+
+
+@pytest.fixture
+def adaptive(world, archive):
+    _, _, _, stub = archive
+    mediator = ActualityMediator(cacheable={"fetch"})
+    binding = establish_qos(
+        stub, "Actuality", LEVELS[0].requirements, mediator=mediator
+    )
+    monitor = QoSMonitor(binding.agreement, world.clock, min_samples=2)
+    monitor.expect(Expectation("latency", "<=", 0.05))
+    manager = AdaptationManager(
+        binding, monitor, LEVELS, upgrade_after_healthy_checks=2
+    )
+    return world, stub, binding, monitor, manager
+
+
+class TestLadder:
+    def test_starts_at_top(self, adaptive):
+        *_, manager = adaptive
+        assert manager.current_level.name == "gold"
+
+    def test_empty_ladder_rejected(self, adaptive):
+        world, _, binding, monitor, _ = adaptive
+        with pytest.raises(ValueError):
+            AdaptationManager(binding, monitor, [])
+
+    def test_degrade_on_violation(self, adaptive):
+        _, _, binding, monitor, manager = adaptive
+        monitor.observe("latency", 1.0)
+        monitor.observe("latency", 1.0)
+        assert manager.check() == "degrade"
+        assert manager.current_level.name == "silver"
+        assert binding.agreement.epoch == 2
+        assert manager.renegotiations == 1
+
+    def test_degrades_further_on_repeat(self, adaptive):
+        _, _, _, monitor, manager = adaptive
+        for _ in range(2):
+            monitor.observe("latency", 1.0)
+            monitor.observe("latency", 1.0)
+            manager.check()
+        assert manager.current_level.name == "bronze"
+
+    def test_cannot_degrade_below_bottom(self, adaptive):
+        _, _, _, monitor, manager = adaptive
+        for _ in range(3):
+            monitor.observe("latency", 1.0)
+            monitor.observe("latency", 1.0)
+            manager.check()
+        monitor.observe("latency", 1.0)
+        monitor.observe("latency", 1.0)
+        assert manager.check() is None
+        assert manager.current_level.name == "bronze"
+
+    def test_upgrade_after_sustained_health(self, adaptive):
+        _, _, _, monitor, manager = adaptive
+        monitor.observe("latency", 1.0)
+        monitor.observe("latency", 1.0)
+        manager.check()  # degrade to silver
+        # Two healthy checks (warm-up keeps windows empty => healthy).
+        monitor.observe("latency", 0.001)
+        monitor.observe("latency", 0.001)
+        assert manager.check() is None  # healthy streak 1
+        assert manager.check() == "upgrade"
+        assert manager.current_level.name == "gold"
+
+    def test_track_records_moves(self, adaptive):
+        _, _, _, monitor, manager = adaptive
+        monitor.observe("latency", 1.0)
+        monitor.observe("latency", 1.0)
+        manager.check()
+        assert manager.track[0][1] == 1
+        assert manager.track[0][2] == "degrade"
+
+    def test_windows_reset_after_move(self, adaptive):
+        _, _, _, monitor, manager = adaptive
+        monitor.observe("latency", 1.0)
+        monitor.observe("latency", 1.0)
+        manager.check()
+        # Without fresh samples the monitor is healthy again.
+        assert monitor.healthy()
+
+    def test_violation_listener_path(self, adaptive):
+        _, _, _, monitor, manager = adaptive
+        monitor.on_violation(manager.on_violation)
+        monitor.observe("latency", 1.0)
+        monitor.observe("latency", 1.0)
+        assert manager.current_level.name == "silver"

@@ -1,0 +1,89 @@
+"""Edge cases: adaptation when ladder levels become unavailable."""
+
+import pytest
+
+from repro.core.adaptation import AdaptationLevel, AdaptationManager
+from repro.core.binding import QoSProvider, establish_qos
+from repro.core.monitoring import Expectation, QoSMonitor
+from repro.core.negotiation import Range
+from repro.orb import World
+from repro.qos.actuality.freshness import ActualityImpl, ActualityMediator
+from repro.workloads.apps import archive_module, make_archive_servant_class
+
+LEVELS = [
+    AdaptationLevel("gold", {"max_age": Range(0.0, 0.5)}),
+    AdaptationLevel("silver", {"max_age": Range(0.5, 2.0)}),
+    AdaptationLevel("bronze", {"max_age": Range(2.0, 10.0)}),
+]
+
+
+@pytest.fixture
+def deployment():
+    world = World()
+    world.lan(["client", "server"], latency=0.002)
+    servant = make_archive_servant_class()()
+    provider = QoSProvider(world, "server", servant)
+
+    state = {"capabilities": {"max_age": Range(0.0, 10.0)}}
+    provider.support(
+        "Actuality",
+        ActualityImpl().attach_clock(world.clock),
+        capabilities_fn=lambda: dict(state["capabilities"]),
+    )
+    ior = provider.activate("arch")
+    stub = archive_module.ArchiveStub(world.orb("client"), ior)
+    binding = establish_qos(
+        stub, "Actuality", LEVELS[0].requirements,
+        mediator=ActualityMediator(cacheable={"fetch"}),
+    )
+    monitor = QoSMonitor(binding.agreement, world.clock, min_samples=2)
+    monitor.expect(Expectation("latency", "<=", 0.05))
+    manager = AdaptationManager(
+        binding, monitor, LEVELS, upgrade_after_healthy_checks=1
+    )
+    return world, state, monitor, manager
+
+
+def _force_violation(monitor):
+    monitor.observe("latency", 1.0)
+    monitor.observe("latency", 1.0)
+
+
+class TestLadderAvailability:
+    def test_degrade_skips_unsatisfiable_level(self, deployment):
+        world, state, monitor, manager = deployment
+        # The server can no longer grant silver's range, only bronze's.
+        state["capabilities"] = {"max_age": Range(2.5, 10.0)}
+        _force_violation(monitor)
+        assert manager.check() == "degrade"
+        assert manager.current_level.name == "bronze"
+
+    def test_degrade_fails_when_nothing_grantable(self, deployment):
+        world, state, monitor, manager = deployment
+        state["capabilities"] = {"max_age": Range(100.0, 200.0)}  # off-ladder
+        _force_violation(monitor)
+        assert manager.check() is None
+        assert manager.current_level.name == "gold"  # stayed put
+        assert manager.renegotiations == 0
+
+    def test_upgrade_skips_unavailable_gold(self, deployment):
+        world, state, monitor, manager = deployment
+        _force_violation(monitor)
+        manager.check()  # -> silver
+        _force_violation(monitor)
+        manager.check()  # -> bronze
+        assert manager.current_level.name == "bronze"
+        # Gold's range is gone; an upgrade attempt lands on silver.
+        state["capabilities"] = {"max_age": Range(0.5, 10.0)}
+        monitor.observe("latency", 0.001)
+        monitor.observe("latency", 0.001)
+        assert manager.check() == "upgrade"
+        assert manager.current_level.name == "silver"
+
+    def test_epoch_advances_only_on_successful_moves(self, deployment):
+        world, state, monitor, manager = deployment
+        epoch_before = manager.binding.agreement.epoch
+        state["capabilities"] = {"max_age": Range(100.0, 200.0)}
+        _force_violation(monitor)
+        manager.check()
+        assert manager.binding.agreement.epoch == epoch_before

@@ -1,0 +1,177 @@
+"""Tests for QoS binding: provider wiring and client establishment."""
+
+import pytest
+
+from repro.core.binding import (
+    BindingError,
+    QoSProvider,
+    establish_qos,
+)
+from repro.core.mediator import CHARACTERISTIC_CONTEXT
+from repro.core.negotiation import NegotiationFailed, Range
+from repro.qos.compression.payload import CompressionImpl, CompressionMediator
+from repro.qos.encryption.privacy import EncryptionMediator
+from tests.core.conftest import make_archive_class
+
+
+class TestProvider:
+    def test_activate_tags_ior(self, archive):
+        _, _, ior, _ = archive
+        assert ior.is_qos_aware
+        assert ior.qos_characteristics() == [
+            "Actuality",
+            "Compression",
+            "Encryption",
+        ]
+
+    def test_tag_names_negotiator_and_modules(self, archive):
+        _, _, ior, _ = archive
+        from repro.orb.ior import QOS_TAG
+
+        data = ior.component(QOS_TAG).data
+        assert data["negotiator"] == "archive-negotiation"
+        assert data["modules"] == {"Compression": "compression"}
+
+    def test_mismatched_impl_rejected(self, world, gen):
+        servant = make_archive_class(gen)()
+        provider = QoSProvider(world, "server", servant)
+        with pytest.raises(BindingError):
+            provider.support("Encryption", CompressionImpl())
+
+    def test_unassigned_characteristic_rejected(self, world, gen):
+        servant = make_archive_class(gen)()
+        provider = QoSProvider(world, "server", servant)
+        impl = CompressionImpl()
+        impl.characteristic = "Realtime"
+        with pytest.raises(BindingError):
+            provider.support("Realtime", impl)
+
+
+class TestEstablish:
+    def test_full_binding(self, archive):
+        servant, _, _, stub = archive
+        binding = establish_qos(
+            stub,
+            "Compression",
+            {"threshold": Range(64, 512)},
+            mediator=CompressionMediator(),
+        )
+        assert binding.characteristic == "Compression"
+        assert binding.granted == {"threshold": 512}
+        assert servant.active_qos == "Compression"
+        # Mediator installed and parameterised.
+        assert stub._get_mediator() is binding.mediator
+        assert binding.mediator.threshold == 512
+
+    def test_transport_module_assigned(self, world, archive):
+        _, _, ior, stub = archive
+        binding = establish_qos(stub, "Compression", mediator=CompressionMediator())
+        client = world.orb("client")
+        assert client.qos_transport.assigned_module(ior).name == "compression"
+        assert binding.module_name == "compression"
+
+    def test_characteristic_without_module_assigns_none(self, world, archive):
+        _, _, ior, stub = archive
+        binding = establish_qos(stub, "Encryption", mediator=EncryptionMediator())
+        assert binding.module_name is None
+        assert world.orb("client").qos_transport.assigned_module(ior) is None
+
+    def test_requests_carry_characteristic_context(self, archive):
+        servant, _, _, stub = archive
+        establish_qos(stub, "Compression", mediator=CompressionMediator())
+        seen = []
+        original = servant._dispatch
+
+        def spy(operation, args, contexts=None):
+            seen.append(dict(contexts or {}))
+            return original(operation, args, contexts)
+
+        servant._dispatch = spy
+        stub.size()
+        assert seen[0][CHARACTERISTIC_CONTEXT] == "Compression"
+
+    def test_unoffered_characteristic_rejected(self, archive):
+        _, _, _, stub = archive
+        with pytest.raises(BindingError):
+            establish_qos(stub, "Realtime")
+
+    def test_wrong_mediator_rejected(self, archive):
+        _, _, _, stub = archive
+        with pytest.raises(BindingError):
+            establish_qos(stub, "Compression", mediator=EncryptionMediator())
+
+    def test_unsatisfiable_requirement_propagates(self, archive):
+        _, _, _, stub = archive
+        with pytest.raises(NegotiationFailed):
+            establish_qos(stub, "Compression", {"threshold": Range(100_000, 200_000)})
+
+    def test_plain_stub_cannot_bind(self, world, gen):
+        from repro.orb.servant import Servant
+
+        class Plain(Servant):
+            def fetch(self, path):
+                return ""
+
+        ior = world.orb("server").poa.activate_object(Plain())
+        stub = gen.ArchiveStub(world.orb("client"), ior)
+        with pytest.raises(BindingError):
+            establish_qos(stub, "Compression")
+
+    def test_configure_module_hook(self, world, archive):
+        _, _, _, stub = archive
+        calls = []
+        establish_qos(
+            stub,
+            "Compression",
+            mediator=CompressionMediator(),
+            configure_module=lambda module, binding: calls.append(
+                (module.name, binding)
+            ),
+        )
+        assert calls and calls[0][0] == "compression"
+
+
+class TestRelease:
+    def test_release_restores_plain_stub(self, world, archive):
+        servant, _, ior, stub = archive
+        binding = establish_qos(stub, "Compression", mediator=CompressionMediator())
+        binding.release()
+        assert servant.active_qos is None
+        assert stub._get_mediator() is None
+        assert CHARACTERISTIC_CONTEXT not in stub._contexts
+        assert world.orb("client").qos_transport.assigned_module(ior) is None
+
+    def test_release_is_idempotent(self, archive):
+        _, _, _, stub = archive
+        binding = establish_qos(stub, "Compression", mediator=CompressionMediator())
+        binding.release()
+        binding.release()
+
+    def test_renegotiate_after_release_rejected(self, archive):
+        _, _, _, stub = archive
+        binding = establish_qos(stub, "Compression", mediator=CompressionMediator())
+        binding.release()
+        with pytest.raises(BindingError):
+            binding.renegotiate({"threshold": Range(64, 128)})
+
+    def test_renegotiate_updates_mediator(self, archive):
+        _, _, _, stub = archive
+        binding = establish_qos(
+            stub,
+            "Compression",
+            {"threshold": Range(64, 512)},
+            mediator=CompressionMediator(),
+        )
+        binding.renegotiate({"threshold": Range(64, 128)})
+        assert binding.mediator.threshold == 128
+        assert binding.agreement.epoch == 2
+
+    def test_rebinding_in_time(self, archive):
+        # "This assignment can vary in time" — release one
+        # characteristic and establish another on the same stub.
+        servant, _, _, stub = archive
+        first = establish_qos(stub, "Compression", mediator=CompressionMediator())
+        first.release()
+        second = establish_qos(stub, "Encryption", mediator=EncryptionMediator())
+        assert servant.active_qos == "Encryption"
+        second.release()

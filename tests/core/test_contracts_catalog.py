@@ -1,0 +1,226 @@
+"""Tests for preference contracts and the characteristics catalog."""
+
+import pytest
+
+from repro.core.catalog import CATALOG, CatalogEntry, CharacteristicCatalog
+from repro.core.contracts import (
+    Candidate,
+    CompositeContract,
+    LeafContract,
+    choose,
+    linear_utility,
+    rank,
+    step_utility,
+)
+
+
+class TestUtilities:
+    def test_linear_rising(self):
+        utility = linear_utility(0.0, 10.0)
+        assert utility(0.0) == 0.0
+        assert utility(5.0) == 0.5
+        assert utility(10.0) == 1.0
+        assert utility(20.0) == 1.0  # clamped
+
+    def test_linear_falling(self):
+        utility = linear_utility(1.0, 0.0)  # smaller is better
+        assert utility(1.0) == 0.0
+        assert utility(0.0) == 1.0
+        assert utility(0.25) == 0.75
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            linear_utility(1.0, 1.0)
+
+    def test_step(self):
+        utility = step_utility(5.0)
+        assert utility(5.0) == 1.0
+        assert utility(4.9) == 0.0
+        falling = step_utility(5.0, greater_is_better=False)
+        assert falling(4.0) == 1.0
+        assert falling(6.0) == 0.0
+
+
+class TestLeafContract:
+    def test_scores_matching_candidate(self):
+        leaf = LeafContract("Compression", {"level": linear_utility(0, 10)})
+        assert leaf.score([Candidate("Compression", {"level": 5})]) == 0.5
+
+    def test_ignores_other_characteristics(self):
+        leaf = LeafContract("Compression", {})
+        assert leaf.score([Candidate("Encryption", {})]) == 0.0
+
+    def test_budget_cap(self):
+        leaf = LeafContract("Compression", {}, budget=10.0)
+        assert leaf.score([Candidate("Compression", {}, price=5.0)]) == 1.0
+        assert leaf.score([Candidate("Compression", {}, price=15.0)]) == 0.0
+
+    def test_missing_parameter_scores_zero(self):
+        leaf = LeafContract("Compression", {"level": linear_utility(0, 10)})
+        assert leaf.score([Candidate("Compression", {})]) == 0.0
+
+    def test_best_candidate(self):
+        leaf = LeafContract("Compression", {"level": linear_utility(0, 10)})
+        low = Candidate("Compression", {"level": 2})
+        high = Candidate("Compression", {"level": 8})
+        assert leaf.best([low, high]) is high
+
+    def test_multiple_parameters_average(self):
+        leaf = LeafContract(
+            "X",
+            {"a": linear_utility(0, 10), "b": linear_utility(0, 10)},
+        )
+        assert leaf.score([Candidate("X", {"a": 10, "b": 0})]) == 0.5
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            LeafContract("X", {}, weight=-1.0)
+
+
+class TestComposites:
+    def _leaves(self):
+        ft = LeafContract("FaultTolerance", {"replicas": linear_utility(1, 5)})
+        comp = LeafContract("Compression", {"level": linear_utility(0, 10)})
+        return ft, comp
+
+    def test_any_takes_best_child(self):
+        ft, comp = self._leaves()
+        contract = CompositeContract("any", [ft, comp])
+        candidates = [Candidate("Compression", {"level": 8})]
+        assert contract.score(candidates) == pytest.approx(0.8)
+
+    def test_all_requires_every_child(self):
+        ft, comp = self._leaves()
+        contract = CompositeContract("all", [ft, comp])
+        only_compression = [Candidate("Compression", {"level": 8})]
+        assert contract.score(only_compression) == 0.0
+        both = only_compression + [Candidate("FaultTolerance", {"replicas": 3})]
+        assert contract.score(both) > 0.0
+
+    def test_all_weighted_mean(self):
+        strong = LeafContract("A", {}, weight=3.0)
+        weak = LeafContract("B", {}, weight=1.0)
+        contract = CompositeContract("all", [strong, weak])
+        candidates = [Candidate("A", {}), Candidate("B", {})]
+        assert contract.score(candidates) == 1.0
+
+    def test_priority_prefers_first_satisfiable(self):
+        ft, comp = self._leaves()
+        contract = CompositeContract("priority", [ft, comp])
+        # Only the second (compression) is satisfiable: discounted rank.
+        score = contract.score([Candidate("Compression", {"level": 10})])
+        assert score == pytest.approx(0.5)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeContract("xor", [LeafContract("A", {})])
+
+    def test_empty_children_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeContract("all", [])
+
+
+class TestChooseAndRank:
+    def _contract(self):
+        return CompositeContract(
+            "any",
+            [
+                LeafContract(
+                    "FaultTolerance",
+                    {"replicas": linear_utility(1, 5)},
+                    budget=100.0,
+                ),
+                LeafContract(
+                    "Compression", {"level": linear_utility(0, 10)}, budget=10.0
+                ),
+            ],
+        )
+
+    def test_choose_picks_preferred(self):
+        contract = self._contract()
+        candidates = [
+            Candidate("Compression", {"level": 6}, price=5.0),
+            Candidate("FaultTolerance", {"replicas": 5}, price=50.0),
+        ]
+        chosen, score = choose(contract, candidates)
+        assert chosen.characteristic == "FaultTolerance"
+        assert score == 1.0
+
+    def test_price_changes_the_choice(self):
+        # "There is no system wide shared view on QoS levels especially
+        # when the price is embraced."
+        contract = self._contract()
+        candidates = [
+            Candidate("Compression", {"level": 6}, price=5.0),
+            Candidate("FaultTolerance", {"replicas": 5}, price=500.0),
+        ]
+        chosen, _ = choose(contract, candidates)
+        assert chosen.characteristic == "Compression"
+
+    def test_nothing_acceptable(self):
+        contract = self._contract()
+        chosen, score = choose(
+            contract, [Candidate("Compression", {"level": 5}, price=99.0)]
+        )
+        assert chosen is None
+        assert score == 0.0
+
+    def test_rank_orders_best_first(self):
+        contract = self._contract()
+        candidates = [
+            Candidate("Compression", {"level": 2}, price=1.0),
+            Candidate("Compression", {"level": 9}, price=1.0),
+        ]
+        ranking = rank(contract, candidates)
+        assert [c.granted["level"] for c, _ in ranking] == [9, 2]
+
+
+class TestCatalog:
+    def test_all_five_characteristics_documented(self):
+        import repro.qos  # noqa: F401 - registers entries
+
+        assert set(CATALOG.names()) >= {
+            "Actuality",
+            "Compression",
+            "Encryption",
+            "FaultTolerance",
+            "LoadBalancing",
+        }
+
+    def test_categories_are_diverse(self):
+        import repro.qos  # noqa: F401
+
+        assert {"fault-tolerance", "performance", "privacy", "actuality"} <= set(
+            CATALOG.categories()
+        )
+
+    def test_entry_renders_both_audiences(self):
+        import repro.qos  # noqa: F401
+
+        text = CATALOG.entry("FaultTolerance").render()
+        assert "For application developers" in text
+        assert "For QoS implementors" in text
+        assert "qos FaultTolerance" in text
+
+    def test_render_whole_catalog(self):
+        import repro.qos  # noqa: F401
+
+        text = CATALOG.render()
+        assert text.count("==") >= 10
+
+    def test_duplicate_registration_rejected(self):
+        catalog = CharacteristicCatalog()
+        entry = CatalogEntry("X", "cat", "i", "a", "b", [])
+        catalog.register(entry)
+        with pytest.raises(ValueError):
+            catalog.register(entry)
+
+    def test_unknown_entry_rejected(self):
+        with pytest.raises(KeyError):
+            CharacteristicCatalog().entry("Ghost")
+
+    def test_by_category(self):
+        import repro.qos  # noqa: F401
+
+        names = [e.name for e in CATALOG.by_category("performance")]
+        assert "Compression" in names and "LoadBalancing" in names

@@ -1,0 +1,80 @@
+"""Property-based tests for core-layer invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.contracts import Candidate, LeafContract, linear_utility
+from repro.core.monitoring import MetricWindow
+from repro.core.negotiation import Range
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@given(finite, finite, finite)
+def test_range_clamp_always_inside(a, b, value):
+    low, high = min(a, b), max(a, b)
+    r = Range(low, high)
+    clamped = r.clamp(value)
+    assert low <= clamped <= high
+    if r.contains(value):
+        assert clamped == value
+
+
+@given(finite, finite)
+def test_range_wire_roundtrip(a, b):
+    low, high = min(a, b), max(a, b)
+    r = Range(low, high, preferred=(low + high) / 2)
+    restored = Range.from_wire(r.as_wire())
+    assert restored.minimum == r.minimum
+    assert restored.maximum == r.maximum
+    assert restored.preferred == r.preferred
+
+
+@given(finite, finite, finite, finite)
+def test_range_intersection_is_symmetric(a, b, c, d):
+    first = Range(min(a, b), max(a, b))
+    second = Range(min(c, d), max(c, d))
+    assert first.intersects(second) == second.intersects(first)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+        min_size=1,
+        max_size=200,
+    ),
+    st.integers(min_value=1, max_value=50),
+)
+def test_metric_window_aggregates_are_consistent(values, size):
+    window = MetricWindow(size=size)
+    for value in values:
+        window.observe(value)
+    kept = values[-size:]
+    epsilon = 1e-9 * (1.0 + abs(max(kept)))
+    assert window.min() == min(kept)
+    assert window.max() == max(kept)
+    assert window.min() - epsilon <= window.mean() <= window.max() + epsilon
+    assert window.min() <= window.p95() <= window.max()
+    assert window.last() == kept[-1]
+    assert window.total_observations == len(values)
+
+
+@given(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    st.floats(min_value=0.01, max_value=1e3, allow_nan=False),
+)
+def test_leaf_contract_scores_bounded(value, budget):
+    leaf = LeafContract(
+        "X", {"p": linear_utility(0.0, 100.0)}, budget=budget
+    )
+    candidate = Candidate("X", {"p": value}, price=budget / 2)
+    score = leaf.score([candidate])
+    assert 0.0 <= score <= 1.0
+
+
+@given(st.floats(min_value=0.0, max_value=100.0, allow_nan=False))
+def test_utility_monotone(value):
+    utility = linear_utility(0.0, 100.0)
+    assert utility(value) <= utility(min(value + 1.0, 100.0)) + 1e-12

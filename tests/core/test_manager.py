@@ -1,0 +1,160 @@
+"""Tests for the QoS manager facade (trader + contracts + negotiation)."""
+
+import pytest
+
+from repro.core.binding import QoSProvider
+from repro.core.contracts import (
+    CompositeContract,
+    LeafContract,
+    linear_utility,
+)
+from repro.core.manager import NoAcceptableOffer, QoSManager
+from repro.core.negotiation import Range
+from repro.core.trading import TraderServant, TraderStub
+from repro.orb import World
+from repro.qos.actuality.freshness import ActualityImpl, ActualityMediator
+from repro.qos.compression.payload import CompressionImpl, CompressionMediator
+from repro.workloads.apps import archive_module, make_archive_servant_class
+
+
+@pytest.fixture
+def deployment():
+    world = World()
+    world.lan(["client", "s1", "s2", "registry"], latency=0.003)
+    trader_ior = world.orb("registry").poa.activate_object(TraderServant(), "Trader")
+    trader = TraderStub(world.orb("client"), trader_ior)
+
+    servants = {}
+    # s1 offers Compression only; s2 offers Compression + Actuality.
+    for host, with_actuality in (("s1", False), ("s2", True)):
+        servant = make_archive_servant_class()()
+        provider = QoSProvider(world, host, servant)
+        provider.support(
+            "Compression",
+            CompressionImpl(),
+            capabilities={"threshold": Range(64, 4096, preferred=256)},
+        )
+        if with_actuality:
+            provider.support(
+                "Actuality",
+                ActualityImpl().attach_clock(world.clock),
+                capabilities={"max_age": Range(0.1, 5.0, preferred=0.5)},
+            )
+        ior = provider.activate("archive")
+        trader.export(
+            "archive", ior,
+            ["Compression"] + (["Actuality"] if with_actuality else []),
+            {},
+        )
+        servants[host] = servant
+
+    def price(characteristic, granted):
+        return {"Compression": 1.0, "Actuality": 3.0}[characteristic]
+
+    manager = QoSManager(world.orb("client"), trader, price)
+    return world, manager, servants
+
+
+FRESHNESS_FIRST = CompositeContract(
+    "priority",
+    [
+        LeafContract(
+            "Actuality", {"max_age": linear_utility(10.0, 0.0)}, budget=5.0
+        ),
+        LeafContract("Compression", {}, budget=5.0),
+    ],
+)
+
+CHEAP_ONLY = LeafContract("Compression", {}, budget=2.0)
+
+
+class TestDiscovery:
+    def test_discover_finds_exports(self, deployment):
+        _, manager, _ = deployment
+        assert len(manager.discover("archive")) == 2
+
+    def test_discover_unknown_type_is_empty(self, deployment):
+        _, manager, _ = deployment
+        assert manager.discover("database") == []
+
+    def test_collect_offers_per_characteristic(self, deployment):
+        _, manager, _ = deployment
+        offers = manager.collect_offers("archive")
+        kinds = sorted(offer.candidate.characteristic for offer in offers)
+        assert kinds == ["Actuality", "Compression", "Compression"]
+
+    def test_offers_carry_prices(self, deployment):
+        _, manager, _ = deployment
+        offers = manager.collect_offers("archive")
+        prices = {o.candidate.characteristic: o.candidate.price for o in offers}
+        assert prices["Actuality"] == 3.0
+
+    def test_unreachable_server_skipped(self, deployment):
+        world, manager, _ = deployment
+        world.faults.crash("s1")
+        offers = manager.collect_offers("archive")
+        assert all(o.ior.profile.host == "s2" for o in offers)
+
+
+class TestSelection:
+    def test_contract_picks_freshness(self, deployment):
+        _, manager, _ = deployment
+        offer, score = manager.select("archive", FRESHNESS_FIRST)
+        assert offer.candidate.characteristic == "Actuality"
+        assert offer.ior.profile.host == "s2"
+        assert score > 0.9
+
+    def test_budget_redirects_choice(self, deployment):
+        _, manager, _ = deployment
+        offer, _ = manager.select("archive", CHEAP_ONLY)
+        assert offer.candidate.characteristic == "Compression"
+
+    def test_unsatisfiable_contract_raises(self, deployment):
+        _, manager, _ = deployment
+        impossible = LeafContract("FaultTolerance", {})
+        with pytest.raises(NoAcceptableOffer):
+            manager.select("archive", impossible)
+
+
+class TestSelectAndBind:
+    def _mediators(self, characteristic):
+        return {
+            "Actuality": ActualityMediator(cacheable={"fetch"}),
+            "Compression": CompressionMediator(),
+        }[characteristic]
+
+    def test_one_call_binding(self, deployment):
+        _, manager, servants = deployment
+        stub, binding, score = manager.select_and_bind(
+            "archive",
+            FRESHNESS_FIRST,
+            archive_module.ArchiveStub,
+            mediator_factory=self._mediators,
+        )
+        assert binding.characteristic == "Actuality"
+        assert servants["s2"].active_qos == "Actuality"
+        stub.store("k", "v")
+        assert stub.fetch("k") == "v"
+        binding.release()
+
+    def test_requirements_applied_for_winner(self, deployment):
+        _, manager, _ = deployment
+        stub, binding, _ = manager.select_and_bind(
+            "archive",
+            FRESHNESS_FIRST,
+            archive_module.ArchiveStub,
+            mediator_factory=self._mediators,
+            requirements={"Actuality": {"max_age": Range(0.1, 1.0)}},
+        )
+        assert binding.granted["max_age"] == 1.0
+        assert binding.mediator.max_age == 1.0
+        binding.release()
+
+    def test_mediatorless_binding(self, deployment):
+        _, manager, servants = deployment
+        stub, binding, _ = manager.select_and_bind(
+            "archive", CHEAP_ONLY, archive_module.ArchiveStub
+        )
+        assert binding.mediator is None
+        assert servants[stub._ior.profile.host].active_qos == "Compression"
+        binding.release()

@@ -1,0 +1,161 @@
+"""Tests for QoS monitoring."""
+
+import math
+
+import pytest
+
+from repro.core.monitoring import (
+    Expectation,
+    MeasuringMediator,
+    MetricWindow,
+    QoSMonitor,
+)
+from repro.core.negotiation import Agreement
+from repro.netsim.clock import Clock
+
+
+class TestMetricWindow:
+    def test_aggregates(self):
+        window = MetricWindow(size=10)
+        for value in (1.0, 2.0, 3.0, 4.0):
+            window.observe(value)
+        assert window.mean() == 2.5
+        assert window.min() == 1.0
+        assert window.max() == 4.0
+        assert window.last() == 4.0
+
+    def test_p95(self):
+        window = MetricWindow(size=100)
+        for value in range(1, 101):
+            window.observe(float(value))
+        assert window.p95() == 95.0
+
+    def test_sliding_eviction(self):
+        window = MetricWindow(size=3)
+        for value in (1.0, 2.0, 3.0, 10.0):
+            window.observe(value)
+        assert window.min() == 2.0
+        assert window.total_observations == 4
+
+    def test_empty_window_is_nan(self):
+        assert math.isnan(MetricWindow().mean())
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            MetricWindow(size=0)
+
+
+class TestExpectation:
+    @pytest.mark.parametrize(
+        "comparator,bound,value,ok",
+        [
+            ("<=", 5.0, 5.0, True),
+            ("<=", 5.0, 5.1, False),
+            (">=", 5.0, 5.0, True),
+            ("<", 5.0, 5.0, False),
+            (">", 5.0, 6.0, True),
+        ],
+    )
+    def test_holds(self, comparator, bound, value, ok):
+        assert Expectation("m", comparator, bound).holds(value) is ok
+
+    def test_unknown_comparator_rejected(self):
+        with pytest.raises(ValueError):
+            Expectation("m", "!=", 1.0)
+
+    def test_unknown_aggregate_rejected(self):
+        with pytest.raises(ValueError):
+            Expectation("m", "<=", 1.0, aggregate="median")
+
+
+@pytest.fixture
+def monitor():
+    return QoSMonitor(Agreement("X", {}), Clock(), min_samples=3)
+
+
+class TestQoSMonitor:
+    def test_no_violation_during_warmup(self, monitor):
+        monitor.expect(Expectation("latency", "<=", 0.01))
+        assert monitor.observe("latency", 99.0) == []
+        assert monitor.observe("latency", 99.0) == []
+
+    def test_violation_after_warmup(self, monitor):
+        monitor.expect(Expectation("latency", "<=", 0.01))
+        for _ in range(3):
+            violations = monitor.observe("latency", 1.0)
+        assert violations
+        assert monitor.violations
+
+    def test_listener_notified(self, monitor):
+        seen = []
+        monitor.expect(Expectation("latency", "<=", 0.01)).on_violation(seen.append)
+        for _ in range(3):
+            monitor.observe("latency", 1.0)
+        assert seen
+
+    def test_healthy_when_within_bounds(self, monitor):
+        monitor.expect(Expectation("latency", "<=", 0.5))
+        for _ in range(5):
+            monitor.observe("latency", 0.1)
+        assert monitor.healthy()
+
+    def test_unhealthy_on_breach(self, monitor):
+        monitor.expect(Expectation("latency", "<=", 0.05))
+        for _ in range(5):
+            monitor.observe("latency", 0.1)
+        assert not monitor.healthy()
+
+    def test_healthy_during_warmup(self, monitor):
+        monitor.expect(Expectation("latency", "<=", 0.0))
+        monitor.observe("latency", 1.0)
+        assert monitor.healthy()
+
+    def test_unrelated_metric_not_checked(self, monitor):
+        monitor.expect(Expectation("latency", "<=", 0.01))
+        for _ in range(5):
+            assert monitor.observe("throughput", 100.0) == []
+
+    def test_report_snapshot(self, monitor):
+        monitor.observe("latency", 0.1)
+        monitor.observe("latency", 0.3)
+        report = monitor.report()
+        assert report["latency"]["mean"] == pytest.approx(0.2)
+        assert report["latency"]["samples"] == 2.0
+
+
+class TestMeasuringMediator:
+    def test_measures_round_trips(self, world, archive):
+        servant, _, _, stub = archive
+        monitor = QoSMonitor(Agreement("X", {}), world.clock, min_samples=1)
+        MeasuringMediator(monitor).install(stub)
+        stub.size()
+        stub.size()
+        report = monitor.report()
+        assert report["latency"]["samples"] == 2.0
+        assert report["latency"]["mean"] > 0.0
+
+    def test_measures_even_on_failure(self, world, archive):
+        _, _, _, stub = archive
+        monitor = QoSMonitor(Agreement("X", {}), world.clock, min_samples=1)
+        MeasuringMediator(monitor).install(stub)
+        world.faults.crash("server")
+        with pytest.raises(Exception):
+            stub.size()
+        assert monitor.window("latency").total_observations == 1
+
+    def test_stacks_over_inner_mediator(self, world, archive, gen):
+        _, _, _, stub = archive
+        from repro.core.binding import establish_qos
+        from repro.qos.compression.payload import CompressionMediator
+
+        # Bind Compression so the server-side impl restores payloads,
+        # then stack the measuring mediator on top of the inner one.
+        binding = establish_qos(
+            stub, "Compression", mediator=CompressionMediator()
+        )
+        inner = binding.mediator
+        monitor = QoSMonitor(Agreement("X", {}), world.clock, min_samples=1)
+        MeasuringMediator(monitor, inner=inner).install(stub)
+        stub.store("k", "v" * 1000)
+        assert inner.calls_intercepted == 1
+        assert monitor.window("latency").total_observations == 1

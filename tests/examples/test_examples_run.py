@@ -1,0 +1,50 @@
+"""Smoke tests: every shipped example must run clean end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_populated():
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_reports_speedup():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert "speedup" in result.stdout
+    assert "negotiated" in result.stdout
+
+
+def test_bank_reports_masking():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "fault_tolerant_bank.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert "still served" in result.stdout
+    assert "majority-voted balance: 150.00" in result.stdout

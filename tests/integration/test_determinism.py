@@ -1,0 +1,92 @@
+"""Determinism: identical scenarios produce bit-identical results.
+
+The whole reproduction rests on the substrate being deterministic —
+every benchmark number in EXPERIMENTS.md is only meaningful if a rerun
+reproduces it exactly.  These tests run non-trivial scenarios twice
+and compare complete observable state.
+"""
+
+import pytest
+
+import repro.qos as qos
+from repro.core.binding import QoSProvider, establish_qos
+from repro.core.negotiation import Range
+from repro.orb import World
+from repro.orb.exceptions import COMM_FAILURE, TRANSIENT
+from repro.qos.compression.payload import CompressionImpl, CompressionMediator
+from repro.qos.fault_tolerance import ReplicaGroupManager
+from repro.workloads import compressible_text, poisson_arrivals
+from repro.workloads.apps import (
+    archive_module,
+    compute_module,
+    make_archive_servant_class,
+    make_compute_servant_class,
+)
+
+
+def _faulty_replicated_run():
+    world = World()
+    world.lan(["client", "a", "b", "c"], latency=0.004, bandwidth_bps=8e6)
+    group = ReplicaGroupManager(
+        world, "grp", make_compute_servant_class(unit_cost=0.001)
+    )
+    for host in ("a", "b", "c"):
+        group.add_replica(host)
+    stub = group.bind_client(world.orb("client"), compute_module.ComputeStub)
+    # Lossy link plus a crash schedule.
+    world.faults.set_loss(world.network.link_between("client", "a"), 0.2)
+    world.faults.crash_schedule([(1.0, 3.0, "b")])
+
+    outcomes = []
+    for arrival in poisson_arrivals(rate=20.0, duration=5.0, seed=42):
+        world.kernel.run_until(arrival)
+        try:
+            outcomes.append(stub.busy_work(1))
+        except (COMM_FAILURE, TRANSIENT):
+            outcomes.append("fail")
+    world.kernel.run()
+    stats = world.statistics()
+    return outcomes, stats, world.clock.now
+
+
+def _compressed_archive_run():
+    world = World()
+    world.add_host("client")
+    world.add_host("server")
+    world.connect("client", "server", latency=0.01, bandwidth_bps=256e3)
+    servant = make_archive_servant_class()()
+    provider = QoSProvider(world, "server", servant)
+    provider.support(
+        "Compression", CompressionImpl(), capabilities={"threshold": Range(64, 64)}
+    )
+    ior = provider.activate("arch")
+    stub = archive_module.ArchiveStub(world.orb("client"), ior)
+    mediator = CompressionMediator()
+    establish_qos(stub, "Compression", {"threshold": Range(64, 64)},
+                  mediator=mediator)
+    for index in range(10):
+        stub.store(f"doc-{index}", compressible_text(1500, seed=index))
+    return (
+        world.clock.now,
+        world.network.bytes_sent,
+        mediator.observed_ratio(),
+        sorted(servant.files),
+    )
+
+
+class TestDeterminism:
+    def test_faulty_replicated_scenario_repeats_exactly(self):
+        first = _faulty_replicated_run()
+        second = _faulty_replicated_run()
+        assert first[0] == second[0]          # per-call outcomes
+        assert first[1] == second[1]          # aggregate statistics
+        assert first[2] == second[2]          # final simulated time
+
+    def test_compressed_archive_scenario_repeats_exactly(self):
+        assert _compressed_archive_run() == _compressed_archive_run()
+
+    def test_qidl_compilation_is_deterministic(self):
+        from repro.qidl import compile_qidl_to_source
+
+        source = qos.qidl_prelude() + "\ninterface T { void op(); };"
+        assert compile_qidl_to_source(source) == compile_qidl_to_source(source)

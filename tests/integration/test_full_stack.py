@@ -1,0 +1,244 @@
+"""Whole-stack integration scenarios crossing every layer.
+
+Each test stands up a realistic deployment (weaving, naming, trading,
+negotiation, transport modules, faults) and checks end-to-end
+behaviour rather than single-module contracts.
+"""
+
+import pytest
+
+import repro.qos as qos
+from repro.core.accounting import AccountingService, MeteringMediator, Tariff
+from repro.core.binding import QoSProvider, establish_qos
+from repro.core.mediator import MediatorChain
+from repro.core.negotiation import NegotiationFailed, Range
+from repro.core.trading import TraderServant, TraderStub
+from repro.orb import World
+from repro.orb.exceptions import BAD_QOS, COMM_FAILURE
+from repro.qos.compression.payload import CompressionImpl, CompressionMediator
+from repro.qos.encryption.privacy import EncryptionImpl, EncryptionMediator
+from repro.qos.fault_tolerance import ReplicaGroupManager
+from repro.workloads import compressible_text
+from repro.workloads.apps import (
+    archive_module,
+    compute_module,
+    make_archive_servant_class,
+    make_compute_servant_class,
+)
+
+
+@pytest.fixture
+def world():
+    w = World()
+    w.lan(
+        ["client", "alpha", "beta", "gamma", "registry"],
+        latency=0.004,
+        bandwidth_bps=5e6,
+    )
+    return w
+
+
+class TestDiscoveryToBinding:
+    """Trader → resolve → negotiate → call, all over the wire."""
+
+    def test_end_to_end(self, world):
+        # Two archive servers with different QoS offers register with
+        # a trader; the client discovers, binds and calls.
+        trader_ior = world.orb("registry").poa.activate_object(
+            TraderServant(), "Trader"
+        )
+        trader = TraderStub(world.orb("client"), trader_ior)
+
+        offers = {}
+        for host, characteristics, speed in (
+            ("alpha", ["Compression"], 5.0),
+            ("beta", ["Compression", "Encryption"], 9.0),
+        ):
+            servant = make_archive_servant_class()()
+            provider = QoSProvider(world, host, servant)
+            provider.support(
+                "Compression",
+                CompressionImpl(),
+                capabilities={"threshold": Range(64, 4096)},
+            )
+            if "Encryption" in characteristics:
+                provider.support("Encryption", EncryptionImpl(), capabilities={})
+            ior = provider.activate("archive")
+            trader.export("archive", ior, characteristics, {"speed": speed})
+            offers[host] = ior
+
+        # The client wants an encrypting archive, fastest first.
+        matches = trader.query("archive", "Encryption", rank_by="speed")
+        assert matches[0] == offers["beta"]
+
+        stub = archive_module.ArchiveStub(world.orb("client"), matches[0])
+        mediator = EncryptionMediator()
+        binding = establish_qos(stub, "Encryption", mediator=mediator)
+        mediator.establish_key(stub)
+        stub.store("contract", "signed in triplicate")
+        assert stub.fetch("contract") == "signed in triplicate"
+        binding.release()
+
+
+class TestCharacteristicSwitchOver:
+    """One server object re-negotiated across characteristics at runtime."""
+
+    def test_compression_then_encryption(self, world):
+        servant = make_archive_servant_class()()
+        provider = QoSProvider(world, "alpha", servant)
+        provider.support(
+            "Compression",
+            CompressionImpl(),
+            capabilities={"threshold": Range(64, 64)},
+        )
+        provider.support("Encryption", EncryptionImpl(), capabilities={})
+        ior = provider.activate("archive")
+        stub = archive_module.ArchiveStub(world.orb("client"), ior)
+        payload = compressible_text(3000, seed=1)
+
+        first = establish_qos(
+            stub, "Compression", {"threshold": Range(64, 64)},
+            mediator=CompressionMediator(),
+        )
+        stub.store("a", payload)
+        assert servant.files["a"] == payload
+        # While Compression is active, Encryption's ops are refused.
+        with pytest.raises(BAD_QOS):
+            stub.get_cipher()
+        first.release()
+
+        second = establish_qos(stub, "Encryption", mediator=EncryptionMediator())
+        second.mediator.establish_key(stub)
+        stub.store("b", "secret")
+        assert servant.files["b"] == "secret"
+        with pytest.raises(BAD_QOS):
+            stub.get_codec()
+        second.release()
+
+
+class TestMeteredEncryptedCompressedSession:
+    """Mediator chain: metering over encryption, with server-side QoS."""
+
+    def test_stacked_concerns(self, world):
+        servant = make_archive_servant_class()()
+        provider = QoSProvider(world, "alpha", servant)
+        provider.support("Encryption", EncryptionImpl(), capabilities={})
+        ior = provider.activate("archive")
+        stub = archive_module.ArchiveStub(world.orb("client"), ior)
+
+        mediator = EncryptionMediator()
+        binding = establish_qos(stub, "Encryption", mediator=mediator)
+        mediator.establish_key(stub)
+
+        accounting = AccountingService()
+        accounting.open_account(binding.agreement, Tariff(per_call=0.01))
+        MeteringMediator(accounting, binding.agreement, inner=mediator).install(stub)
+
+        for index in range(5):
+            stub.store(f"doc-{index}", f"payload {index} " * 30)
+        assert stub.fetch("doc-3") == "payload 3 " * 30
+
+        invoice = accounting.invoice(binding.agreement.agreement_id)
+        assert invoice["calls"] == 6.0
+        assert invoice["amount"] == pytest.approx(0.06)
+        # The server only ever saw plaintext application data.
+        assert servant.files["doc-0"].startswith("payload 0")
+
+
+class TestReplicatedComputeFarm:
+    """FT group + crash schedule + naming, driven through the kernel."""
+
+    def test_group_survives_schedule(self, world):
+        world.start_naming("registry")
+        group = ReplicaGroupManager(
+            world, "farm", make_compute_servant_class(unit_cost=0.001)
+        )
+        for host in ("alpha", "beta", "gamma"):
+            group.add_replica(host)
+        naming = world.naming("client")
+        naming.bind("farm", group.group_ior())
+
+        resolved = naming.resolve("farm")
+        stub = compute_module.ComputeStub(world.orb("client"), resolved)
+        world.orb("client").qos_transport.assign(resolved, "multicast")
+
+        world.faults.crash_schedule(
+            [(2.0, 8.0, "alpha"), (5.0, 11.0, "beta")]
+        )
+        completed = 0
+        for step in range(1, 15):
+            world.kernel.run_until(float(step))
+            assert stub.busy_work(1) == 1.0
+            completed += 1
+        assert completed == 14
+        world.kernel.run()
+        # Replicas that crashed missed calls (fail-stop loses state)...
+        counts = {group.replica(h).done for h in group.hosts()}
+        assert len(counts) > 1
+        # ...until the recovery protocol re-syncs them from the member
+        # that never crashed.
+        group.resync("alpha", source="gamma")
+        group.resync("beta", source="gamma")
+        counts = {group.replica(h).done for h in group.hosts()}
+        assert counts == {14}
+
+
+class TestNegotiationUnderPartition:
+    def test_negotiation_fails_cleanly_then_recovers(self, world):
+        servant = make_archive_servant_class()()
+        provider = QoSProvider(world, "alpha", servant)
+        provider.support(
+            "Compression",
+            CompressionImpl(),
+            capabilities={"threshold": Range(64, 4096)},
+        )
+        ior = provider.activate("archive")
+        stub = archive_module.ArchiveStub(world.orb("client"), ior)
+
+        world.faults.partition({"client"}, {"alpha", "beta", "gamma", "registry"})
+        with pytest.raises(Exception):
+            establish_qos(stub, "Compression", mediator=CompressionMediator())
+        assert servant.active_qos is None  # nothing half-committed
+
+        world.faults.heal()
+        binding = establish_qos(stub, "Compression", mediator=CompressionMediator())
+        assert servant.active_qos == "Compression"
+        binding.release()
+
+
+class TestDynamicRequirementsRejection:
+    def test_capability_shrinks_with_resources(self, world):
+        # A capabilities_fn consulting the resource manager: the offered
+        # bandwidth range shrinks once another flow reserves the link.
+        link = world.network.link_between("client", "alpha")
+
+        def capabilities():
+            reservable = world.resources.reservable(link)
+            return {"rate": Range(0.0, reservable)}
+
+        servant = make_archive_servant_class()()
+        provider = QoSProvider(world, "alpha", servant)
+        provider.support(
+            "Compression",  # reusing the assigned characteristic slot
+            CompressionImpl(),
+            capabilities_fn=lambda: {
+                "threshold": Range(64, 4096),
+                **capabilities(),
+            },
+        )
+        ior = provider.activate("archive")
+        stub = archive_module.ArchiveStub(world.orb("client"), ior)
+
+        binding = establish_qos(
+            stub, "Compression", {"rate": Range(1e6, 4e6)},
+            mediator=CompressionMediator(),
+        )
+        assert binding.granted["rate"] == 4e6
+        binding.release()
+
+        world.resources.reserve("client", "alpha", 4.2e6)  # hog the link
+        with pytest.raises(NegotiationFailed):
+            establish_qos(
+                stub, "Compression", {"rate": Range(1e6, 4e6)},
+                mediator=CompressionMediator(),
+            )

@@ -1,0 +1,139 @@
+"""Soak test: a larger deployment exercised end to end with invariants.
+
+A 12-host world runs naming, trading, two replicated services, a
+load-balanced pool and payload-characteristic bindings concurrently
+under a fault schedule, then cross-checks global accounting
+invariants.
+"""
+
+import pytest
+
+import repro.qos as qos
+from repro.core.binding import QoSProvider, establish_qos
+from repro.core.negotiation import Range
+from repro.core.trading import TraderServant, TraderStub
+from repro.orb import World
+from repro.orb.exceptions import COMM_FAILURE, TRANSIENT
+from repro.qos.compression.payload import CompressionImpl, CompressionMediator
+from repro.qos.fault_tolerance import ReplicaGroupManager
+from repro.qos.load_balancing import LoadBalancingMediator, WorkerPool
+from repro.workloads import compressible_text
+from repro.workloads.apps import (
+    archive_module,
+    compute_module,
+    make_archive_servant_class,
+    make_compute_servant_class,
+)
+
+HOSTS = [f"h{i}" for i in range(10)] + ["client", "registry"]
+
+
+@pytest.fixture
+def soak_world():
+    world = World()
+    world.lan(HOSTS, latency=0.002, bandwidth_bps=20e6)
+    world.start_naming("registry")
+    return world
+
+
+def test_soak_mixed_workload(soak_world):
+    world = soak_world
+    client = world.orb("client")
+    naming = world.naming("client")
+
+    # Trading infrastructure.
+    trader_ior = world.orb("registry").poa.activate_object(TraderServant(), "T")
+    trader = TraderStub(client, trader_ior)
+
+    # A replicated counter across h0-h2.
+    group = ReplicaGroupManager(
+        world, "grp", make_compute_servant_class(unit_cost=0.0005)
+    )
+    for host in ("h0", "h1", "h2"):
+        group.add_replica(host)
+    naming.bind("group", group.group_ior())
+    group_stub = group.bind_client(client, compute_module.ComputeStub)
+
+    # A load-balanced pool across h3-h5.
+    pool = WorkerPool(world, "pool", make_compute_servant_class(unit_cost=0.0005))
+    for host in ("h3", "h4", "h5"):
+        pool.add_worker(host)
+    lb_stub = compute_module.ComputeStub(client, pool.worker_iors()[0])
+    lb_mediator = LoadBalancingMediator("round_robin")
+    lb_mediator.set_workers(pool.worker_iors())
+    lb_mediator.install(lb_stub)
+
+    # A compressed archive on h6, discovered through the trader.
+    archive_servant = make_archive_servant_class()()
+    provider = QoSProvider(world, "h6", archive_servant)
+    provider.support(
+        "Compression",
+        CompressionImpl(),
+        capabilities={"threshold": Range(64, 64)},
+    )
+    archive_ior = provider.activate("arch")
+    trader.export("archive", archive_ior, ["Compression"], {"speed": 1.0})
+    found = trader.query("archive", "Compression")
+    archive_stub = archive_module.ArchiveStub(client, found[0])
+    establish_qos(
+        archive_stub, "Compression", {"threshold": Range(64, 64)},
+        mediator=CompressionMediator(),
+    )
+
+    # Fault schedule across the run.
+    world.faults.crash_schedule(
+        [(5.0, 15.0, "h1"), (10.0, 20.0, "h4")]
+    )
+
+    # The mixed workload.
+    payload = compressible_text(2000, seed=9)
+    failures = 0
+    for step in range(1, 41):
+        world.kernel.run_until(step * 0.75)
+        try:
+            group_stub.busy_work(1)
+            lb_stub.busy_work(1)
+            archive_stub.store(f"doc-{step}", payload)
+        except (COMM_FAILURE, TRANSIENT):
+            failures += 1
+    world.kernel.run()
+
+    # -- invariants -----------------------------------------------------
+
+    stats = world.statistics()
+    # Conservation: per-link carried bytes cover every non-loopback
+    # network byte (multi-hop paths would count more, never less).
+    link_bytes = sum(link.bytes_carried for link in world.network.links())
+    assert link_bytes >= stats["bytes"] - world.network.loopback_bytes
+    # Every request the client issued was received by some ORB, except
+    # those lost to crashed hosts.
+    assert stats["requests_received"] >= stats["requests_invoked"] * 0.5
+    # The replicated counter survived the crash of h1 entirely.
+    assert failures == 0
+    # All archive writes landed intact despite compression.
+    assert archive_servant.files["doc-40"] == payload
+    assert archive_servant.size() == 40
+    # Load balancing kept using the surviving workers through h4's
+    # outage.
+    assert len(lb_mediator.workers) >= 2
+    # Replicas that never crashed agree on the group count.
+    live_counts = {
+        group.replica(h).done
+        for h in group.hosts()
+        if h not in ("h1",)
+    }
+    assert len(live_counts) == 1
+    assert live_counts == {40}
+    # Simulated time advanced monotonically through the schedule.
+    assert stats["time"] >= 30.0
+
+
+def test_soak_statistics_shape(soak_world):
+    stats = soak_world.statistics()
+    for key in (
+        "time", "hosts", "orbs", "messages", "bytes",
+        "requests_invoked", "requests_received", "oneway_failures",
+        "events_fired",
+    ):
+        assert key in stats
+    assert stats["hosts"] == float(len(HOSTS))

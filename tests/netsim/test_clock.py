@@ -1,0 +1,46 @@
+"""Tests for the logical clock."""
+
+import pytest
+
+from repro.netsim.clock import Clock, ClockError
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert Clock(5.0).now == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ClockError):
+            Clock(-1.0)
+
+    def test_advance_returns_new_time(self):
+        clock = Clock()
+        assert clock.advance(1.5) == 1.5
+        assert clock.now == 1.5
+
+    def test_advance_accumulates(self):
+        clock = Clock()
+        clock.advance(1.0)
+        clock.advance(2.0)
+        assert clock.now == 3.0
+
+    def test_negative_advance_rejected(self):
+        clock = Clock()
+        with pytest.raises(ClockError):
+            clock.advance(-0.1)
+
+    def test_zero_advance_allowed(self):
+        clock = Clock(1.0)
+        assert clock.advance(0.0) == 1.0
+
+    def test_advance_to_future(self):
+        clock = Clock()
+        assert clock.advance_to(4.0) == 4.0
+
+    def test_advance_to_past_is_noop(self):
+        clock = Clock(10.0)
+        assert clock.advance_to(4.0) == 10.0
+        assert clock.now == 10.0

@@ -1,0 +1,86 @@
+"""Tests for fault injection."""
+
+import pytest
+
+from repro.netsim.faults import FaultInjector
+from repro.netsim.kernel import EventKernel
+from repro.netsim.network import HostCrashed, Network, NoRoute
+
+
+@pytest.fixture
+def world():
+    kernel = EventKernel()
+    net = Network(kernel.clock)
+    net.add_host("a")
+    net.add_host("b")
+    net.connect("a", "b")
+    return kernel, net, FaultInjector(net, kernel)
+
+
+class TestImmediateFaults:
+    def test_crash_blocks_sends(self, world):
+        _, net, faults = world
+        faults.crash("b")
+        with pytest.raises(HostCrashed):
+            net.send("a", "b", 1)
+
+    def test_recover_restores(self, world):
+        _, net, faults = world
+        faults.crash("b")
+        faults.recover("b")
+        assert net.send("a", "b", 1) >= 0
+
+    def test_recover_resets_queue(self, world):
+        kernel, net, faults = world
+        net.host("b").occupy(0.0, 100.0)
+        kernel.clock.advance_to(5.0)
+        faults.crash("b")
+        faults.recover("b")
+        assert net.host("b").busy_until == 5.0
+
+    def test_partition_and_heal(self, world):
+        _, net, faults = world
+        faults.partition({"a"}, {"b"})
+        with pytest.raises(NoRoute):
+            net.send("a", "b", 1)
+        faults.heal()
+        assert net.send("a", "b", 1) >= 0
+
+    def test_set_loss_validates_rate(self, world):
+        _, net, faults = world
+        with pytest.raises(ValueError):
+            faults.set_loss(net.link_between("a", "b"), 1.0)
+
+    def test_log_records_events(self, world):
+        _, _, faults = world
+        faults.crash("b")
+        faults.recover("b")
+        assert [entry for _, entry in faults.log] == ["crash b", "recover b"]
+
+
+class TestScheduledFaults:
+    def test_crash_schedule_crashes_and_recovers(self, world):
+        kernel, net, faults = world
+        faults.crash_schedule([(1.0, 2.0, "b")])
+        kernel.run_until(1.5)
+        assert net.host("b").crashed
+        kernel.run_until(2.5)
+        assert not net.host("b").crashed
+
+    def test_permanent_crash(self, world):
+        kernel, net, faults = world
+        faults.crash_schedule([(1.0, float("inf"), "b")])
+        kernel.run_until(100.0)
+        assert net.host("b").crashed
+
+    def test_invalid_schedule_rejected(self, world):
+        _, _, faults = world
+        with pytest.raises(ValueError):
+            faults.crash_schedule([(2.0, 1.0, "b")])
+
+    def test_scheduling_without_kernel_rejected(self):
+        net = Network()
+        net.add_host("x")
+        faults = FaultInjector(net)
+        with pytest.raises(RuntimeError):
+            faults.crash_at(1.0, "x")

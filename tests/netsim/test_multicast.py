@@ -1,0 +1,89 @@
+"""Tests for multicast group communication."""
+
+import pytest
+
+from repro.netsim.multicast import MulticastError, MulticastGroup
+from repro.netsim.network import Network
+
+
+@pytest.fixture
+def net():
+    network = Network()
+    for name in ("coordinator", "r1", "r2", "r3"):
+        network.add_host(name)
+    for name in ("r1", "r2", "r3"):
+        network.connect("coordinator", name, latency=0.005, bandwidth_bps=10e6)
+    return network
+
+
+@pytest.fixture
+def group(net):
+    grp = MulticastGroup(net, "replicas")
+    for name in ("coordinator", "r1", "r2", "r3"):
+        grp.join(name)
+    return grp
+
+
+class TestMembership:
+    def test_join_order_preserved(self, group):
+        assert group.members == ["coordinator", "r1", "r2", "r3"]
+
+    def test_duplicate_join_rejected(self, group):
+        with pytest.raises(MulticastError):
+            group.join("r1")
+
+    def test_join_unknown_host_rejected(self, net):
+        grp = MulticastGroup(net, "g")
+        with pytest.raises(Exception):
+            grp.join("ghost")
+
+    def test_leave(self, group):
+        group.leave("r2")
+        assert "r2" not in group.members
+        assert len(group) == 3
+
+    def test_leave_nonmember_rejected(self, net):
+        grp = MulticastGroup(net, "g")
+        with pytest.raises(MulticastError):
+            grp.leave("r1")
+
+
+class TestSend:
+    def test_delivers_to_all_other_members(self, group):
+        report = group.send("coordinator", nbytes=100)
+        assert report.delivered == ["r1", "r2", "r3"]
+        assert report.all_delivered()
+
+    def test_exclude_self_default(self, group):
+        report = group.send("coordinator", nbytes=100)
+        assert "coordinator" not in report.delivered
+
+    def test_include_self_loopback(self, group, net):
+        net.connect("r1", "coordinator", latency=0.0) if False else None
+        report = group.send("coordinator", nbytes=100, exclude_self=False)
+        # coordinator->coordinator is an empty route: zero-delay delivery
+        assert "coordinator" in report.delivered
+        assert report.delays["coordinator"] == 0.0
+
+    def test_crashed_member_reported_not_raised(self, group, net):
+        net.host("r2").crashed = True
+        report = group.send("coordinator", nbytes=100)
+        assert report.failed == ["r2"]
+        assert report.delivered == ["r1", "r3"]
+        assert not report.all_delivered()
+
+    def test_max_delay_is_slowest_member(self, group, net):
+        net.connect("coordinator", "r1", latency=1.0) if False else None
+        report = group.send("coordinator", nbytes=100)
+        assert report.max_delay() == max(report.delays.values())
+
+    def test_max_delay_empty_report(self, net):
+        grp = MulticastGroup(net, "empty")
+        report = grp.send("coordinator", nbytes=10)
+        assert report.max_delay() == 0.0
+
+
+class TestLiveMembers:
+    def test_live_members_excludes_crashed(self, group, net):
+        net.host("r1").crashed = True
+        assert group.live_members() == ["coordinator", "r2", "r3"]

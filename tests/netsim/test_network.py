@@ -1,0 +1,238 @@
+"""Tests for the network topology and transfer-time model."""
+
+import pytest
+
+from repro.netsim.network import (
+    BEST_EFFORT_FLOOR,
+    Host,
+    HostCrashed,
+    Link,
+    Network,
+    NoRoute,
+    PacketLost,
+)
+
+
+@pytest.fixture
+def net():
+    network = Network()
+    network.add_host("client")
+    network.add_host("server")
+    network.connect("client", "server", latency=0.010, bandwidth_bps=1e6)
+    return network
+
+
+class TestTopology:
+    def test_duplicate_host_rejected(self, net):
+        with pytest.raises(ValueError):
+            net.add_host("client")
+
+    def test_unknown_host_raises_noroute(self, net):
+        with pytest.raises(NoRoute):
+            net.host("ghost")
+
+    def test_self_link_rejected(self, net):
+        with pytest.raises(ValueError):
+            net.connect("client", "client")
+
+    def test_link_between(self, net):
+        link = net.link_between("client", "server")
+        assert set(link.endpoints()) == {"client", "server"}
+
+    def test_links_iterates_each_once(self, net):
+        net.add_host("third")
+        net.connect("server", "third")
+        assert sum(1 for _ in net.links()) == 2
+
+
+class TestHostQueue:
+    def test_occupy_fifo(self):
+        host = Host("h")
+        first = host.occupy(now=0.0, service_time=1.0)
+        second = host.occupy(now=0.0, service_time=1.0)
+        assert first == 1.0
+        assert second == 2.0
+
+    def test_occupy_idle_host_starts_now(self):
+        host = Host("h")
+        host.occupy(0.0, 1.0)
+        completion = host.occupy(10.0, 1.0)
+        assert completion == 11.0
+
+    def test_cpu_factor_scales_service(self):
+        fast = Host("fast", cpu_factor=2.0)
+        assert fast.occupy(0.0, 1.0) == 0.5
+
+    def test_invalid_cpu_factor_rejected(self):
+        with pytest.raises(ValueError):
+            Host("h", cpu_factor=0.0)
+
+    def test_negative_service_time_rejected(self):
+        with pytest.raises(ValueError):
+            Host("h").occupy(0.0, -1.0)
+
+    def test_reset_clears_state(self):
+        host = Host("h")
+        host.occupy(0.0, 5.0)
+        host.crashed = True
+        host.reset()
+        assert not host.crashed
+        assert host.busy_until == 0.0
+        assert host.load == 0
+
+
+class TestRouting:
+    def test_direct_route(self, net):
+        path = net.route("client", "server")
+        assert len(path) == 1
+
+    def test_route_to_self_is_empty(self, net):
+        assert net.route("client", "client") == []
+
+    def test_multihop_route_prefers_low_latency(self):
+        net = Network()
+        for name in ("a", "b", "c"):
+            net.add_host(name)
+        net.connect("a", "c", latency=0.100)
+        net.connect("a", "b", latency=0.010)
+        net.connect("b", "c", latency=0.010)
+        path = net.route("a", "c")
+        assert len(path) == 2  # a-b-c is faster than direct a-c
+
+    def test_disconnected_raises(self):
+        net = Network()
+        net.add_host("a")
+        net.add_host("b")
+        with pytest.raises(NoRoute):
+            net.route("a", "b")
+
+    def test_route_cache_invalidated_by_new_link(self):
+        net = Network()
+        net.add_host("a")
+        net.add_host("b")
+        with pytest.raises(NoRoute):
+            net.route("a", "b")
+        net.connect("a", "b")
+        assert len(net.route("a", "b")) == 1
+
+
+class TestTransferDelay:
+    def test_delay_is_latency_plus_serialisation(self, net):
+        # 1250 bytes = 10_000 bits over 1 Mbps = 10ms, plus 10ms latency.
+        delay = net.transfer_delay("client", "server", 1250)
+        assert delay == pytest.approx(0.020)
+
+    def test_zero_bytes_costs_latency_only(self, net):
+        assert net.transfer_delay("client", "server", 0) == pytest.approx(0.010)
+
+    def test_negative_bytes_rejected(self, net):
+        with pytest.raises(ValueError):
+            net.transfer_delay("client", "server", -1)
+
+    def test_multihop_sums_links(self):
+        net = Network()
+        for name in ("a", "b", "c"):
+            net.add_host(name)
+        net.connect("a", "b", latency=0.010, bandwidth_bps=1e6)
+        net.connect("b", "c", latency=0.010, bandwidth_bps=1e6)
+        delay = net.transfer_delay("a", "c", 1250)
+        assert delay == pytest.approx(0.040)
+
+    def test_reservation_rate_used_when_given(self, net):
+        link = net.link_between("client", "server")
+        reservations = {id(link): 0.5e6}
+        delay = net.transfer_delay("client", "server", 1250, reservations)
+        # 10_000 bits over 0.5 Mbps = 20ms, plus 10ms latency.
+        assert delay == pytest.approx(0.030)
+
+
+class TestEffectiveBandwidth:
+    def test_best_effort_gets_unreserved_capacity(self):
+        link = Link(Host("a"), Host("b"), 0.0, 1e6)
+        link.reserved_bps = 0.4e6
+        assert link.effective_bandwidth(None) == pytest.approx(0.6e6)
+
+    def test_best_effort_floor_applies(self):
+        link = Link(Host("a"), Host("b"), 0.0, 1e6)
+        link.reserved_bps = 1e6
+        assert link.effective_bandwidth(None) == pytest.approx(
+            1e6 * BEST_EFFORT_FLOOR
+        )
+
+    def test_reserved_flow_capped_by_capacity(self):
+        link = Link(Host("a"), Host("b"), 0.0, 1e6)
+        assert link.effective_bandwidth(2e6) == pytest.approx(1e6)
+
+
+class TestSendFailures:
+    def test_crashed_destination(self, net):
+        net.host("server").crashed = True
+        with pytest.raises(HostCrashed):
+            net.send("client", "server", 100)
+
+    def test_crashed_source(self, net):
+        net.host("client").crashed = True
+        with pytest.raises(HostCrashed):
+            net.send("client", "server", 100)
+
+    def test_partition_blocks_route(self, net):
+        net.set_partitions([{"client"}, {"server"}])
+        with pytest.raises(NoRoute):
+            net.send("client", "server", 100)
+
+    def test_heal_restores_route(self, net):
+        net.set_partitions([{"client"}, {"server"}])
+        net.heal_partitions()
+        assert net.send("client", "server", 100) > 0
+
+    def test_hosts_outside_groups_form_implicit_group(self):
+        net = Network()
+        for name in ("a", "b", "c"):
+            net.add_host(name)
+        net.connect("a", "b")
+        net.connect("b", "c")
+        net.set_partitions([{"a"}])
+        with pytest.raises(NoRoute):
+            net.route("a", "b")
+        assert net.route("b", "c")
+
+    def test_lossy_link_drops_deterministically(self, net):
+        link = net.link_between("client", "server")
+        link.loss_rate = 0.5
+        outcomes = []
+        for _ in range(50):
+            try:
+                net.send("client", "server", 10)
+                outcomes.append(True)
+            except PacketLost:
+                outcomes.append(False)
+        assert any(outcomes) and not all(outcomes)
+        assert link.messages_lost == outcomes.count(False)
+
+    def test_loss_is_reproducible_for_same_seed(self):
+        def run():
+            net = Network()
+            net.add_host("a")
+            net.add_host("b")
+            net.connect("a", "b", loss_rate=0.3, seed=42)
+            results = []
+            for _ in range(30):
+                try:
+                    net.send("a", "b", 1)
+                    results.append(1)
+                except PacketLost:
+                    results.append(0)
+            return results
+
+        assert run() == run()
+
+
+class TestAccounting:
+    def test_send_counts_bytes_and_messages(self, net):
+        net.send("client", "server", 100)
+        net.send("client", "server", 200)
+        assert net.messages_sent == 2
+        assert net.bytes_sent == 300
+        link = net.link_between("client", "server")
+        assert link.bytes_carried == 300
+        assert link.messages_carried == 2

@@ -1,0 +1,122 @@
+"""Tests for bandwidth reservation and capacity traces."""
+
+import pytest
+
+from repro.netsim.network import Network
+from repro.netsim.resources import (
+    InsufficientBandwidth,
+    ResourceManager,
+)
+
+
+@pytest.fixture
+def net():
+    network = Network()
+    network.add_host("a")
+    network.add_host("b")
+    network.connect("a", "b", latency=0.001, bandwidth_bps=10e6)
+    return network
+
+
+@pytest.fixture
+def manager(net):
+    return ResourceManager(net)
+
+
+class TestReservation:
+    def test_reserve_reduces_reservable(self, net, manager):
+        link = net.link_between("a", "b")
+        before = manager.reservable(link)
+        manager.reserve("a", "b", 2e6)
+        assert manager.reservable(link) == pytest.approx(before - 2e6)
+
+    def test_admission_control_rejects_over_ceiling(self, manager):
+        with pytest.raises(InsufficientBandwidth):
+            manager.reserve("a", "b", 9.5e6)  # ceiling is 90% of 10 Mbps
+
+    def test_rejection_reserves_nothing(self, net, manager):
+        link = net.link_between("a", "b")
+        with pytest.raises(InsufficientBandwidth):
+            manager.reserve("a", "b", 20e6)
+        assert link.reserved_bps == 0.0
+
+    def test_multihop_reserves_every_link(self):
+        net = Network()
+        for name in ("a", "b", "c"):
+            net.add_host(name)
+        net.connect("a", "b", bandwidth_bps=10e6)
+        net.connect("b", "c", bandwidth_bps=10e6)
+        manager = ResourceManager(net)
+        manager.reserve("a", "c", 1e6)
+        assert net.link_between("a", "b").reserved_bps == pytest.approx(1e6)
+        assert net.link_between("b", "c").reserved_bps == pytest.approx(1e6)
+
+    def test_multihop_bottleneck_rejects_whole_path(self):
+        net = Network()
+        for name in ("a", "b", "c"):
+            net.add_host(name)
+        net.connect("a", "b", bandwidth_bps=10e6)
+        net.connect("b", "c", bandwidth_bps=1e6)
+        manager = ResourceManager(net)
+        with pytest.raises(InsufficientBandwidth):
+            manager.reserve("a", "c", 5e6)
+        assert net.link_between("a", "b").reserved_bps == 0.0
+
+    def test_release_restores_capacity(self, net, manager):
+        link = net.link_between("a", "b")
+        reservation = manager.reserve("a", "b", 2e6)
+        manager.release(reservation)
+        assert link.reserved_bps == 0.0
+        assert not reservation.active
+        assert reservation not in manager.active_reservations()
+
+    def test_release_is_idempotent(self, net, manager):
+        reservation = manager.reserve("a", "b", 2e6)
+        manager.release(reservation)
+        manager.release(reservation)
+        assert net.link_between("a", "b").reserved_bps == 0.0
+
+    def test_nonpositive_rate_rejected(self, manager):
+        with pytest.raises(ValueError):
+            manager.reserve("a", "b", 0.0)
+
+    def test_link_rates_map_for_active_reservation(self, net, manager):
+        link = net.link_between("a", "b")
+        reservation = manager.reserve("a", "b", 2e6)
+        assert reservation.link_rates() == {id(link): 2e6}
+
+    def test_link_rates_empty_after_release(self, manager):
+        reservation = manager.reserve("a", "b", 2e6)
+        manager.release(reservation)
+        assert reservation.link_rates() == {}
+
+    def test_reserved_flow_transfers_at_reserved_rate(self, net, manager):
+        reservation = manager.reserve("a", "b", 1e6)
+        # 12_500 bytes = 100_000 bits at 1 Mbps = 100ms + 1ms latency
+        delay = net.transfer_delay("a", "b", 12_500, reservation.link_rates())
+        assert delay == pytest.approx(0.101)
+
+
+class TestCapacityTraces:
+    def test_trace_applies_value_in_effect(self, net, manager):
+        link = net.link_between("a", "b")
+        manager.set_capacity_trace(link, [(0.0, 10e6), (5.0, 1e6)])
+        net.clock.advance_to(6.0)
+        manager.apply_traces()
+        assert link.capacity_bps == pytest.approx(1e6)
+
+    def test_trace_before_first_step_leaves_capacity(self, net, manager):
+        link = net.link_between("a", "b")
+        manager.set_capacity_trace(link, [(5.0, 1e6)])
+        manager.apply_traces()  # clock at 0, before first step
+        assert link.capacity_bps == pytest.approx(10e6)
+
+    def test_unsorted_trace_rejected(self, net, manager):
+        link = net.link_between("a", "b")
+        with pytest.raises(ValueError):
+            manager.set_capacity_trace(link, [(5.0, 1e6), (0.0, 2e6)])
+
+    def test_empty_trace_rejected(self, net, manager):
+        link = net.link_between("a", "b")
+        with pytest.raises(ValueError):
+            manager.set_capacity_trace(link, [])

@@ -1,0 +1,112 @@
+"""Adversarial wire inputs: malformed and mismatched messages."""
+
+import pytest
+
+from repro.orb import World, giop
+from repro.orb.cdr import CDRDecoder
+from repro.orb.exceptions import MARSHAL
+from repro.orb.modules.base import decode_envelope, encode_envelope
+from repro.orb.servant import Servant
+
+
+class Echo(Servant):
+    _repo_id = "IDL:adv/Echo:1.0"
+
+    def echo(self, text):
+        return text
+
+
+@pytest.fixture
+def deployment():
+    world = World()
+    world.lan(["client", "server"], latency=0.001)
+    ior = world.orb("server").poa.activate_object(Echo())
+    return world, ior
+
+
+class TestMalformedEnvelopes:
+    def test_envelope_magic_required(self):
+        with pytest.raises(MARSHAL):
+            decode_envelope(b"GIOP....")
+
+    def test_truncated_envelope(self):
+        wire = encode_envelope("compression", {"codec": "lz"}, b"payload")
+        with pytest.raises(MARSHAL):
+            decode_envelope(wire[: len(wire) // 2])
+
+    def test_non_dict_params_rejected(self):
+        from repro.orb.cdr import CDREncoder
+        from repro.orb.modules.base import ENVELOPE_MAGIC
+
+        encoder = CDREncoder()
+        for byte in ENVELOPE_MAGIC:
+            encoder.write_octet(byte)
+        encoder.write_string("compression")
+        encoder.write_any([1, 2, 3])  # not a map
+        encoder.write_octets(b"x")
+        with pytest.raises(MARSHAL):
+            decode_envelope(encoder.getvalue())
+
+    def test_reply_wrapped_by_wrong_module_rejected(self, deployment):
+        world, ior = deployment
+        client = world.orb("client")
+        server = world.orb("server")
+        client.qos_transport.assign(ior, "compression")
+
+        # Sabotage the server: its replies come back wrapped as "crypto".
+        original = server.handle_incoming
+
+        def relabel(wire, at_time):
+            reply, finish = original(wire, at_time)
+            name, params, payload = decode_envelope(reply)
+            return encode_envelope("crypto", params, payload), finish
+
+        server.handle_incoming = relabel
+        from tests.orb.conftest import EchoStub
+
+        with pytest.raises(MARSHAL):
+            EchoStub(client, ior).echo("x" * 500)
+
+
+class TestMalformedGIOP:
+    def test_truncated_request_rejected_at_server(self, deployment):
+        world, ior = deployment
+        from repro.orb.request import Request
+
+        wire = giop.encode_request(Request(ior, "echo", ("hello",)))
+        with pytest.raises(MARSHAL):
+            world.orb("server").handle_incoming(wire[:-10], 0.0)
+
+    def test_garbage_bytes_rejected(self, deployment):
+        world, _ = deployment
+        with pytest.raises(MARSHAL):
+            world.orb("server").handle_incoming(b"\x00" * 64, 0.0)
+
+    def test_wrong_version_rejected(self, deployment):
+        world, ior = deployment
+        from repro.orb.request import Request
+
+        wire = bytearray(giop.encode_request(Request(ior, "echo", ("x",))))
+        wire[4] = 9  # bogus major version
+        with pytest.raises(MARSHAL):
+            giop.decode_request(bytes(wire))
+
+    def test_reply_as_request_rejected(self):
+        wire = giop.encode_reply(1, "result")
+        with pytest.raises(MARSHAL):
+            giop.decode_request(wire)
+
+    def test_unknown_reply_status(self):
+        from repro.orb.cdr import CDREncoder
+
+        encoder = CDREncoder()
+        for byte in b"GIOP":
+            encoder.write_octet(byte)
+        encoder.write_octet(1)
+        encoder.write_octet(2)
+        encoder.write_octet(giop.MSG_REPLY)
+        encoder.write_ulong(1)
+        encoder.write_any({})
+        encoder.write_octet(99)  # bogus status
+        with pytest.raises(MARSHAL):
+            giop.decode_reply(encoder.getvalue())

@@ -1,0 +1,159 @@
+"""Tests for CDR marshalling."""
+
+import pytest
+
+from repro.orb.cdr import (
+    CDRDecoder,
+    CDREncoder,
+    decode_values,
+    encode_values,
+)
+from repro.orb.exceptions import MARSHAL
+
+
+class TestPrimitives:
+    @pytest.mark.parametrize(
+        "writer,reader,value",
+        [
+            ("write_octet", "read_octet", 255),
+            ("write_boolean", "read_boolean", True),
+            ("write_boolean", "read_boolean", False),
+            ("write_short", "read_short", -12345),
+            ("write_ushort", "read_ushort", 54321),
+            ("write_long", "read_long", -(2**31)),
+            ("write_ulong", "read_ulong", 2**32 - 1),
+            ("write_longlong", "read_longlong", -(2**63)),
+            ("write_double", "read_double", 3.14159),
+            ("write_string", "read_string", "hello κόσμος"),
+            ("write_octets", "read_octets", b"\x00\x01\xff"),
+        ],
+    )
+    def test_roundtrip(self, writer, reader, value):
+        encoder = CDREncoder()
+        getattr(encoder, writer)(value)
+        decoder = CDRDecoder(encoder.getvalue())
+        assert getattr(decoder, reader)() == value
+
+    def test_float_roundtrip_approximate(self):
+        encoder = CDREncoder()
+        encoder.write_float(1.5)
+        assert CDRDecoder(encoder.getvalue()).read_float() == 1.5
+
+    def test_out_of_range_raises_marshal(self):
+        encoder = CDREncoder()
+        with pytest.raises(MARSHAL):
+            encoder.write_octet(256)
+
+    def test_wrong_type_raises_marshal(self):
+        encoder = CDREncoder()
+        with pytest.raises(MARSHAL):
+            encoder.write_string(42)
+
+
+class TestAlignment:
+    def test_long_after_octet_is_aligned(self):
+        encoder = CDREncoder()
+        encoder.write_octet(1)
+        encoder.write_long(7)
+        data = encoder.getvalue()
+        # 1 octet + 3 padding + 4 long
+        assert len(data) == 8
+        decoder = CDRDecoder(data)
+        assert decoder.read_octet() == 1
+        assert decoder.read_long() == 7
+
+    def test_double_alignment(self):
+        encoder = CDREncoder()
+        encoder.write_octet(1)
+        encoder.write_double(2.0)
+        assert len(encoder.getvalue()) == 16
+
+    def test_mixed_sequence_roundtrip(self):
+        encoder = CDREncoder()
+        encoder.write_octet(9)
+        encoder.write_string("pad")
+        encoder.write_short(-3)
+        encoder.write_double(1.25)
+        encoder.write_octets(b"xyz")
+        decoder = CDRDecoder(encoder.getvalue())
+        assert decoder.read_octet() == 9
+        assert decoder.read_string() == "pad"
+        assert decoder.read_short() == -3
+        assert decoder.read_double() == 1.25
+        assert decoder.read_octets() == b"xyz"
+        assert decoder.at_end()
+
+
+class TestAny:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -1,
+            2**62,
+            2**100,          # bignum path
+            -(2**100),
+            1.75,
+            "text",
+            b"bytes",
+            [1, "two", 3.0],
+            {"a": 1, "b": [True, None]},
+            [],
+            {},
+        ],
+    )
+    def test_any_roundtrip(self, value):
+        encoder = CDREncoder()
+        encoder.write_any(value)
+        assert CDRDecoder(encoder.getvalue()).read_any() == value
+
+    def test_bool_is_not_confused_with_int(self):
+        encoder = CDREncoder()
+        encoder.write_any(True)
+        result = CDRDecoder(encoder.getvalue()).read_any()
+        assert result is True
+
+    def test_nested_structures(self):
+        value = {"rows": [{"id": 1, "blob": b"\x00"}, {"id": 2, "blob": b"\x01"}]}
+        encoder = CDREncoder()
+        encoder.write_any(value)
+        assert CDRDecoder(encoder.getvalue()).read_any() == value
+
+    def test_unmarshalable_value_raises(self):
+        encoder = CDREncoder()
+        with pytest.raises(MARSHAL):
+            encoder.write_any(object())
+
+    def test_non_string_map_key_raises(self):
+        encoder = CDREncoder()
+        with pytest.raises(MARSHAL):
+            encoder.write_any({1: "x"})
+
+
+class TestErrors:
+    def test_underrun_raises_marshal(self):
+        with pytest.raises(MARSHAL):
+            CDRDecoder(b"\x00").read_long()
+
+    def test_truncated_string_raises_marshal(self):
+        encoder = CDREncoder()
+        encoder.write_string("hello")
+        data = encoder.getvalue()[:-2]
+        with pytest.raises(MARSHAL):
+            CDRDecoder(data).read_string()
+
+    def test_unknown_any_tag_raises(self):
+        with pytest.raises(MARSHAL):
+            CDRDecoder(b"\xfe").read_any()
+
+
+class TestValueHelpers:
+    def test_encode_decode_values(self):
+        values = ("a", 1, [2.5], {"k": b"v"})
+        assert decode_values(encode_values(*values)) == values
+
+    def test_empty_values(self):
+        assert decode_values(encode_values()) == ()

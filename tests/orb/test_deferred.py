@@ -1,0 +1,102 @@
+"""Tests for deferred synchronous invocation (DII)."""
+
+import pytest
+
+from repro.orb import World
+from repro.orb.dii import DIIRequest
+from repro.orb.exceptions import COMM_FAILURE, SystemException
+from repro.orb.servant import Servant
+
+
+class SlowCalc(Servant):
+    _repo_id = "IDL:def/Calc:1.0"
+    _default_service_time = 0.1
+
+    def square(self, x):
+        return x * x
+
+    def fail(self):
+        raise ValueError("boom")
+
+
+@pytest.fixture
+def deployment():
+    world = World()
+    world.lan(["client", "s1", "s2"], latency=0.005)
+    ior1 = world.orb("s1").poa.activate_object(SlowCalc())
+    ior2 = world.orb("s2").poa.activate_object(SlowCalc())
+    return world, ior1, ior2
+
+
+class TestDeferred:
+    def test_caller_keeps_the_clock(self, deployment):
+        world, ior1, _ = deployment
+        start = world.clock.now
+        request = DIIRequest(world.orb("client"), ior1, "square").add_argument(3)
+        request.send_deferred()
+        # Sending costs only the marshal step, not the round trip.
+        assert world.clock.now - start < 0.01
+
+    def test_poll_then_get(self, deployment):
+        world, ior1, _ = deployment
+        request = (
+            DIIRequest(world.orb("client"), ior1, "square")
+            .add_argument(4)
+            .send_deferred()
+        )
+        assert not request.poll_response()
+        world.clock.advance(1.0)
+        assert request.poll_response()
+        assert request.get_response() == 16
+
+    def test_get_blocks_until_arrival(self, deployment):
+        world, ior1, _ = deployment
+        request = (
+            DIIRequest(world.orb("client"), ior1, "square")
+            .add_argument(5)
+            .send_deferred()
+        )
+        assert request.get_response() == 25
+        # The clock advanced past service time + both link traversals.
+        assert world.clock.now >= 0.11
+
+    def test_overlapping_requests(self, deployment):
+        world, ior1, ior2 = deployment
+        client = world.orb("client")
+        first = DIIRequest(client, ior1, "square").add_argument(2).send_deferred()
+        second = DIIRequest(client, ior2, "square").add_argument(3).send_deferred()
+        sent_at = world.clock.now
+        assert first.get_response() == 4
+        assert second.get_response() == 9
+        # Both were in flight simultaneously: total elapsed is one
+        # round trip (different hosts), not two.
+        assert world.clock.now - sent_at < 0.2
+
+    def test_exception_surfaces_at_get(self, deployment):
+        world, ior1, _ = deployment
+        request = DIIRequest(world.orb("client"), ior1, "fail").send_deferred()
+        with pytest.raises(SystemException):
+            request.get_response()
+
+    def test_transport_failure_surfaces_at_send(self, deployment):
+        world, ior1, _ = deployment
+        world.faults.crash("s1")
+        with pytest.raises(COMM_FAILURE):
+            DIIRequest(world.orb("client"), ior1, "square").add_argument(
+                1
+            ).send_deferred()
+
+    def test_double_send_rejected(self, deployment):
+        world, ior1, _ = deployment
+        request = DIIRequest(world.orb("client"), ior1, "square").add_argument(1)
+        request.send_deferred()
+        with pytest.raises(RuntimeError):
+            request.send_deferred()
+
+    def test_poll_before_send_rejected(self, deployment):
+        world, ior1, _ = deployment
+        request = DIIRequest(world.orb("client"), ior1, "square")
+        with pytest.raises(RuntimeError):
+            request.poll_response()
+        with pytest.raises(RuntimeError):
+            request.get_response()

@@ -1,0 +1,144 @@
+"""Direct unit tests for the DII and the typed-skeleton runtime."""
+
+import pytest
+
+from repro.orb import World
+from repro.orb.dii import DIIRequest, PseudoObject
+from repro.orb.exceptions import BAD_OPERATION, BAD_PARAM
+from repro.orb.servant import Servant
+from repro.orb.skeleton import OperationSignature, TypedSkeleton
+
+
+class Calc(Servant):
+    _repo_id = "IDL:unit/Calc:1.0"
+
+    def add(self, a, b):
+        return a + b
+
+    def noop(self):
+        return None
+
+
+@pytest.fixture
+def deployment():
+    world = World()
+    world.lan(["client", "server"], latency=0.001)
+    ior = world.orb("server").poa.activate_object(Calc())
+    return world, ior
+
+
+class TestDIIRequest:
+    def test_build_and_invoke(self, deployment):
+        world, ior = deployment
+        result = (
+            DIIRequest(world.orb("client"), ior, "add")
+            .add_argument(2)
+            .add_argument(3)
+            .invoke()
+        )
+        assert result == 5
+
+    def test_context_travels(self, deployment):
+        world, ior = deployment
+        servant = world.orb("server").poa.servant(ior.profile.object_key)
+        seen = {}
+        original = servant._dispatch
+
+        def spy(operation, args, contexts=None):
+            seen.update(contexts or {})
+            return original(operation, args, contexts)
+
+        servant._dispatch = spy
+        DIIRequest(world.orb("client"), ior, "noop").set_context(
+            "trace-id", "abc"
+        ).invoke()
+        assert seen["trace-id"] == "abc"
+
+    def test_unknown_operation_raises(self, deployment):
+        world, ior = deployment
+        with pytest.raises(BAD_OPERATION):
+            DIIRequest(world.orb("client"), ior, "subtract").invoke()
+
+
+class TestPseudoObject:
+    def test_call_and_reflection(self):
+        pseudo = PseudoObject("thing", {"ping": lambda: "pong", "double": lambda x: 2 * x})
+        assert pseudo.call("ping") == "pong"
+        assert pseudo.call("double", 4) == 8
+        assert pseudo.operations() == ["double", "ping"]
+
+    def test_unknown_operation(self):
+        with pytest.raises(BAD_OPERATION):
+            PseudoObject("thing", {}).call("vanish")
+
+
+class TestOperationSignature:
+    def test_arity_check(self):
+        signature = OperationSignature("op", ("long", "string"), "void")
+        signature.check_args((1, "x"))
+        with pytest.raises(BAD_PARAM):
+            signature.check_args((1,))
+
+    def test_type_check(self):
+        signature = OperationSignature("op", ("long",), "void")
+        with pytest.raises(BAD_PARAM):
+            signature.check_args(("not-an-int",))
+
+    def test_simple_result(self):
+        signature = OperationSignature("op", (), "double")
+        signature.check_result(1.5)
+        with pytest.raises(BAD_PARAM):
+            signature.check_result("nope")
+
+    def test_composite_result_with_out_params(self):
+        signature = OperationSignature(
+            "op", ("string",), "double", out_types=("long", "string")
+        )
+        signature.check_result((1.0, 2, "x"))
+        with pytest.raises(BAD_PARAM):
+            signature.check_result((1.0, 2))  # wrong arity
+        with pytest.raises(BAD_PARAM):
+            signature.check_result((1.0, "two", "x"))  # wrong element type
+        with pytest.raises(BAD_PARAM):
+            signature.check_result(1.0)  # not a tuple at all
+
+    def test_void_result_with_out_params(self):
+        signature = OperationSignature("op", (), "void", out_types=("long",))
+        signature.check_result((7,))
+        with pytest.raises(BAD_PARAM):
+            signature.check_result(7)
+
+
+class TestTypedSkeleton:
+    class Typed(TypedSkeleton):
+        _signatures = {
+            "add": OperationSignature("add", ("long", "long"), "long"),
+            "ghost": OperationSignature("ghost", (), "void"),
+        }
+
+        def add(self, a, b):
+            return a + b
+
+    def test_typed_dispatch(self):
+        servant = self.Typed()
+        assert servant._dispatch("add", (2, 3)) == 5
+
+    def test_unknown_operation(self):
+        with pytest.raises(BAD_OPERATION):
+            self.Typed()._dispatch("multiply", ())
+
+    def test_declared_but_unimplemented(self):
+        with pytest.raises(BAD_OPERATION):
+            self.Typed()._dispatch("ghost", ())
+
+    def test_argument_validation(self):
+        with pytest.raises(BAD_PARAM):
+            self.Typed()._dispatch("add", (2, "three"))
+
+    def test_result_validation(self):
+        class Lying(self.Typed):
+            def add(self, a, b):
+                return "not-a-long"
+
+        with pytest.raises(BAD_PARAM):
+            Lying()._dispatch("add", (1, 2))

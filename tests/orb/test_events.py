@@ -1,0 +1,160 @@
+"""Tests for the event channel and push-invalidated actuality."""
+
+import pytest
+
+from repro.orb import World
+from repro.orb.events import (
+    CacheInvalidator,
+    EventChannelServant,
+    EventChannelStub,
+    SubscriberServant,
+    UnknownTopic,
+)
+
+
+class Recorder(SubscriberServant):
+    def __init__(self):
+        super().__init__()
+        self.log = []
+
+    def on_event(self, topic, payload):
+        self.log.append((topic, payload))
+
+
+@pytest.fixture
+def world():
+    w = World()
+    w.lan(["hub", "sub1", "sub2", "pub"], latency=0.003)
+    return w
+
+
+@pytest.fixture
+def channel(world):
+    servant = EventChannelServant(world.orb("hub"))
+    ior = world.orb("hub").poa.activate_object(servant, "events")
+    return servant, ior
+
+
+class TestChannel:
+    def _subscriber(self, world, host, name):
+        recorder = Recorder()
+        ior = world.orb(host).poa.activate_object(recorder, name)
+        return recorder, ior
+
+    def test_publish_reaches_subscribers(self, world, channel):
+        servant, channel_ior = channel
+        recorder1, sub1 = self._subscriber(world, "sub1", "r1")
+        recorder2, sub2 = self._subscriber(world, "sub2", "r2")
+        stub = EventChannelStub(world.orb("pub"), channel_ior)
+        stub.subscribe("quotes", sub1)
+        stub.subscribe("quotes", sub2)
+        assert stub.publish("quotes", {"symbol": "ACME"}) == 2
+        assert recorder1.log == [("quotes", {"symbol": "ACME"})]
+        assert recorder2.log == [("quotes", {"symbol": "ACME"})]
+
+    def test_topics_are_isolated(self, world, channel):
+        _, channel_ior = channel
+        recorder, sub = self._subscriber(world, "sub1", "r1")
+        stub = EventChannelStub(world.orb("pub"), channel_ior)
+        stub.subscribe("alpha", sub)
+        stub.publish("beta", "x")
+        assert recorder.log == []
+
+    def test_subscribe_is_idempotent(self, world, channel):
+        _, channel_ior = channel
+        _, sub = self._subscriber(world, "sub1", "r1")
+        stub = EventChannelStub(world.orb("pub"), channel_ior)
+        stub.subscribe("t", sub)
+        stub.subscribe("t", sub)
+        assert stub.subscriber_count("t") == 1
+
+    def test_unsubscribe(self, world, channel):
+        _, channel_ior = channel
+        recorder, sub = self._subscriber(world, "sub1", "r1")
+        stub = EventChannelStub(world.orb("pub"), channel_ior)
+        stub.subscribe("t", sub)
+        stub.unsubscribe("t", sub)
+        stub.publish("t", 1)
+        assert recorder.log == []
+
+    def test_unsubscribe_unknown_raises(self, world, channel):
+        _, channel_ior = channel
+        _, sub = self._subscriber(world, "sub1", "r1")
+        stub = EventChannelStub(world.orb("pub"), channel_ior)
+        with pytest.raises(UnknownTopic):
+            stub.unsubscribe("ghost", sub)
+
+    def test_dead_subscriber_does_not_stall_publication(self, world, channel):
+        servant, channel_ior = channel
+        recorder1, sub1 = self._subscriber(world, "sub1", "r1")
+        recorder2, sub2 = self._subscriber(world, "sub2", "r2")
+        stub = EventChannelStub(world.orb("pub"), channel_ior)
+        stub.subscribe("t", sub1)
+        stub.subscribe("t", sub2)
+        world.faults.crash("sub1")
+        stub.publish("t", "still-flows")
+        assert recorder2.log == [("t", "still-flows")]
+        assert world.orb("hub").oneway_failures == 1
+
+    def test_publication_is_oneway_fast(self, world, channel):
+        servant, channel_ior = channel
+        # Many subscribers: publication cost must not include waiting
+        # for each notify round trip.
+        for index in range(5):
+            recorder = Recorder()
+            sub = world.orb("sub1").poa.activate_object(recorder, f"r{index}")
+            servant.subscribe("t", sub.to_string())
+        stub = EventChannelStub(world.orb("pub"), channel_ior)
+        start = world.clock.now
+        stub.publish("t", "fanout")
+        # One publish round trip, not 1 + 5 notify round trips.
+        assert world.clock.now - start < 0.02
+
+
+class TestPushInvalidatedActuality:
+    def test_push_keeps_cache_fresh_with_huge_max_age(self, world, channel):
+        from repro.core.binding import QoSProvider, establish_qos
+        from repro.core.negotiation import Range
+        from repro.qos.actuality.freshness import ActualityImpl, ActualityMediator
+        from repro.workloads.apps import archive_module, make_archive_servant_class
+
+        channel_servant, channel_ior = channel
+
+        # Server side: archive on 'pub' publishing invalidations.
+        archive = make_archive_servant_class()()
+        provider = QoSProvider(world, "pub", archive)
+        provider.support(
+            "Actuality",
+            ActualityImpl().attach_clock(world.clock),
+            capabilities={"max_age": Range(0.1, 1e6)},
+        )
+        archive_ior = provider.activate("arch")
+
+        # Client side on 'sub1': mediator + push invalidator.
+        client = world.orb("sub1")
+        stub = archive_module.ArchiveStub(client, archive_ior)
+        mediator = ActualityMediator(cacheable={"fetch"}, max_age=1e6)
+        establish_qos(
+            stub, "Actuality",
+            {"max_age": Range(0.1, 1e6, preferred=1e6)},
+            mediator=mediator,
+        )
+        invalidator = CacheInvalidator(mediator)
+        invalidator_ior = client.poa.activate_object(invalidator, "inv")
+        channel_stub = EventChannelStub(client, channel_ior)
+        channel_stub.subscribe("arch-writes", invalidator_ior)
+
+        # Populate and cache.
+        archive.files["doc"] = "v1"
+        assert stub.fetch("doc") == "v1"
+        assert stub.fetch("doc") == "v1"
+        assert mediator.hits == 1
+
+        # A write on the server pushes an invalidation to the client.
+        archive.files["doc"] = "v2"
+        publisher = EventChannelStub(world.orb("pub"), channel_ior)
+        publisher.publish("arch-writes", "fetch")
+        assert invalidator.invalidations >= 1
+
+        # Despite max_age = 1e6, the next read is fresh.
+        assert stub.fetch("doc") == "v2"

@@ -1,0 +1,114 @@
+"""Tests for the GIOP message protocol."""
+
+import pytest
+
+from repro.orb import giop
+from repro.orb.exceptions import (
+    BAD_QOS,
+    COMM_FAILURE,
+    MARSHAL,
+    SystemException,
+    UserException,
+    register_user_exception,
+)
+from repro.orb.ior import IOR, IIOPProfile
+from repro.orb.request import COMMAND, Request
+
+
+@pytest.fixture
+def target():
+    return IOR("IDL:demo/Echo:1.0", IIOPProfile("server", 683, "obj-1"))
+
+
+class TestRequestMessages:
+    def test_request_roundtrip(self, target):
+        request = Request(target, "echo", ("hello", 42), service_contexts={"qos": "c1"})
+        decoded = giop.decode_request(giop.encode_request(request))
+        assert decoded.operation == "echo"
+        assert decoded.args == ("hello", 42)
+        assert decoded.service_contexts == {"qos": "c1"}
+        assert decoded.kind == "request"
+        assert decoded.command_target is None
+        assert decoded.request_id == request.request_id
+        assert decoded.target == target
+
+    def test_command_roundtrip(self, target):
+        request = Request(
+            target, "set_codec", ("b", "rle"), kind=COMMAND, command_target="compression"
+        )
+        decoded = giop.decode_request(giop.encode_request(request))
+        assert decoded.is_command
+        assert decoded.command_target == "compression"
+
+    def test_no_args_roundtrip(self, target):
+        request = Request(target, "ping")
+        decoded = giop.decode_request(giop.encode_request(request))
+        assert decoded.args == ()
+
+    def test_bad_magic_rejected(self, target):
+        wire = bytearray(giop.encode_request(Request(target, "x")))
+        wire[0] = ord("X")
+        with pytest.raises(MARSHAL):
+            giop.decode_request(bytes(wire))
+
+    def test_reply_is_not_a_request(self, target):
+        wire = giop.encode_reply(1, "ok")
+        with pytest.raises(MARSHAL):
+            giop.decode_request(wire)
+
+
+class TestReplyMessages:
+    def test_result_roundtrip(self):
+        reply = giop.decode_reply(giop.encode_reply(7, {"value": [1, 2]}))
+        assert reply.request_id == 7
+        assert reply.value() == {"value": [1, 2]}
+
+    def test_none_result(self):
+        reply = giop.decode_reply(giop.encode_reply(1, None))
+        assert reply.value() is None
+
+    def test_system_exception_rethrown(self):
+        wire = giop.encode_reply(3, exception=COMM_FAILURE("link down", minor=2))
+        reply = giop.decode_reply(wire)
+        with pytest.raises(COMM_FAILURE) as excinfo:
+            reply.value()
+        assert "link down" in str(excinfo.value)
+        assert excinfo.value.minor == 2
+
+    def test_bad_qos_crosses_wire(self):
+        wire = giop.encode_reply(3, exception=BAD_QOS("not negotiated"))
+        with pytest.raises(BAD_QOS):
+            giop.decode_reply(wire).value()
+
+    def test_user_exception_roundtrip(self):
+        @register_user_exception
+        class Overdrawn(UserException):
+            repo_id = "IDL:test/Overdrawn:1.0"
+
+        wire = giop.encode_reply(4, exception=Overdrawn("no funds", balance=-5))
+        reply = giop.decode_reply(wire)
+        with pytest.raises(Overdrawn) as excinfo:
+            reply.value()
+        assert excinfo.value.balance == -5
+
+    def test_unregistered_user_exception_becomes_generic(self):
+        class Unknown(UserException):
+            repo_id = "IDL:test/Unknown:1.0"
+
+        wire = giop.encode_reply(5, exception=Unknown("mystery", code=9))
+        reply = giop.decode_reply(wire)
+        with pytest.raises(UserException) as excinfo:
+            reply.value()
+        assert excinfo.value.code == 9
+        assert excinfo.value.repo_id == "IDL:test/Unknown:1.0"
+
+    def test_non_corba_exception_becomes_system_exception(self):
+        wire = giop.encode_reply(6, exception=ValueError("oops"))
+        reply = giop.decode_reply(wire)
+        with pytest.raises(SystemException) as excinfo:
+            reply.value()
+        assert "ValueError" in str(excinfo.value)
+
+    def test_service_contexts_roundtrip(self):
+        wire = giop.encode_reply(8, "r", service_contexts={"measured": 1.5})
+        assert giop.decode_reply(wire).service_contexts == {"measured": 1.5}

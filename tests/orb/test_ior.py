@@ -1,0 +1,83 @@
+"""Tests for interoperable object references."""
+
+import pytest
+
+from repro.orb.exceptions import MARSHAL
+from repro.orb.ior import GROUP_TAG, IOR, IIOPProfile, QOS_TAG, TaggedComponent
+
+
+@pytest.fixture
+def plain_ior():
+    return IOR("IDL:demo/Echo:1.0", IIOPProfile("server", 683, "obj-1"))
+
+
+@pytest.fixture
+def qos_ior(plain_ior):
+    return plain_ior.with_component(
+        TaggedComponent(QOS_TAG, {"characteristics": ["compression", "encryption"]})
+    )
+
+
+class TestComponents:
+    def test_plain_ior_is_not_qos_aware(self, plain_ior):
+        assert not plain_ior.is_qos_aware
+        assert plain_ior.qos_characteristics() == []
+
+    def test_qos_tag_detected(self, qos_ior):
+        assert qos_ior.is_qos_aware
+        assert qos_ior.qos_characteristics() == ["compression", "encryption"]
+
+    def test_with_component_does_not_mutate_original(self, plain_ior, qos_ior):
+        assert not plain_ior.is_qos_aware
+        assert len(plain_ior.components) == 0
+        assert len(qos_ior.components) == 1
+
+    def test_component_lookup_by_tag(self, qos_ior):
+        assert qos_ior.component(QOS_TAG) is not None
+        assert qos_ior.component(GROUP_TAG) is None
+
+    def test_group_component(self, plain_ior):
+        grouped = plain_ior.with_component(
+            TaggedComponent(GROUP_TAG, {"members": ["IOR:00", "IOR:01"]})
+        )
+        assert grouped.component(GROUP_TAG).data["members"] == ["IOR:00", "IOR:01"]
+
+
+class TestStringification:
+    def test_roundtrip_plain(self, plain_ior):
+        assert IOR.from_string(plain_ior.to_string()) == plain_ior
+
+    def test_roundtrip_with_components(self, qos_ior):
+        restored = IOR.from_string(qos_ior.to_string())
+        assert restored == qos_ior
+        assert restored.qos_characteristics() == ["compression", "encryption"]
+
+    def test_string_form_has_prefix(self, plain_ior):
+        assert plain_ior.to_string().startswith("IOR:")
+
+    def test_bad_prefix_rejected(self):
+        with pytest.raises(MARSHAL):
+            IOR.from_string("ior:deadbeef")
+
+    def test_bad_hex_rejected(self):
+        with pytest.raises(MARSHAL):
+            IOR.from_string("IOR:zzzz")
+
+    def test_truncated_bytes_rejected(self, plain_ior):
+        text = plain_ior.to_string()
+        with pytest.raises(MARSHAL):
+            IOR.from_string(text[: len(text) // 2 * 2 - 8])
+
+
+class TestIdentity:
+    def test_equal_iors_hash_equal(self, plain_ior):
+        other = IOR("IDL:demo/Echo:1.0", IIOPProfile("server", 683, "obj-1"))
+        assert plain_ior == other
+        assert hash(plain_ior) == hash(other)
+
+    def test_different_keys_not_equal(self, plain_ior):
+        other = IOR("IDL:demo/Echo:1.0", IIOPProfile("server", 683, "obj-2"))
+        assert plain_ior != other
+
+    def test_component_changes_identity(self, plain_ior, qos_ior):
+        assert plain_ior != qos_ior

@@ -1,0 +1,114 @@
+"""Tests for GIOP locate requests and ORB wire observers."""
+
+import pytest
+
+from repro.orb import World, giop
+from repro.orb.exceptions import COMM_FAILURE, MARSHAL
+from repro.orb.servant import Servant
+from repro.orb.stub import Stub
+
+
+class EchoServant(Servant):
+    _repo_id = "IDL:loc/Echo:1.0"
+
+    def echo(self, text):
+        return text
+
+
+class EchoStub(Stub):
+    def echo(self, text):
+        return self._call("echo", text)
+
+
+@pytest.fixture
+def deployment():
+    world = World()
+    world.lan(["client", "server"], latency=0.002)
+    ior = world.orb("server").poa.activate_object(EchoServant(), "echo-1")
+    return world, ior
+
+
+class TestLocate:
+    def test_existing_object_located(self, deployment):
+        world, ior = deployment
+        assert world.orb("client").locate(ior)
+
+    def test_unknown_object_not_located(self, deployment):
+        world, ior = deployment
+        from repro.orb.ior import IOR, IIOPProfile
+
+        ghost = IOR("IDL:loc/Echo:1.0", IIOPProfile("server", 683, "nope"))
+        assert not world.orb("client").locate(ghost)
+
+    def test_deactivated_object_not_located(self, deployment):
+        world, ior = deployment
+        world.orb("server").poa.deactivate_object("echo-1")
+        assert not world.orb("client").locate(ior)
+
+    def test_crashed_host_raises(self, deployment):
+        world, ior = deployment
+        world.faults.crash("server")
+        with pytest.raises(COMM_FAILURE):
+            world.orb("client").locate(ior)
+
+    def test_locate_costs_a_round_trip(self, deployment):
+        world, ior = deployment
+        start = world.clock.now
+        world.orb("client").locate(ior)
+        assert world.clock.now - start >= 0.004
+
+    def test_wire_format_roundtrip(self):
+        wire = giop.encode_locate_request(7, "obj-key")
+        assert giop.message_type(wire) == giop.MSG_LOCATE_REQUEST
+        assert giop.decode_locate_request(wire) == (7, "obj-key")
+        reply = giop.encode_locate_reply(7, giop.OBJECT_HERE)
+        assert giop.decode_locate_reply(reply) == (7, giop.OBJECT_HERE)
+
+    def test_wrong_message_type_rejected(self):
+        wire = giop.encode_locate_request(1, "k")
+        with pytest.raises(MARSHAL):
+            giop.decode_locate_reply(wire)
+
+
+class TestWireObservers:
+    def test_observer_sees_both_directions(self, deployment):
+        world, ior = deployment
+        seen = []
+        world.orb("server").add_wire_observer(
+            lambda direction, wire: seen.append(direction)
+        )
+        EchoStub(world.orb("client"), ior).echo("x")
+        assert seen == ["in", "out"]
+
+    def test_observer_sees_raw_bytes(self, deployment):
+        world, ior = deployment
+        frames = []
+        world.orb("server").add_wire_observer(
+            lambda direction, wire: frames.append(wire)
+        )
+        EchoStub(world.orb("client"), ior).echo("needle")
+        assert any(b"needle" in frame for frame in frames)
+
+    def test_observer_removal(self, deployment):
+        world, ior = deployment
+        seen = []
+        observer = lambda direction, wire: seen.append(direction)  # noqa: E731
+        server = world.orb("server")
+        server.add_wire_observer(observer)
+        stub = EchoStub(world.orb("client"), ior)
+        stub.echo("x")
+        server.remove_wire_observer(observer)
+        stub.echo("y")
+        assert len(seen) == 2
+
+    def test_locate_also_observed(self, deployment):
+        world, ior = deployment
+        seen = []
+        world.orb("server").add_wire_observer(
+            lambda direction, wire: seen.append((direction, giop.message_type(wire)))
+        )
+        world.orb("client").locate(ior)
+        assert (
+            ("in", giop.MSG_LOCATE_REQUEST) in seen
+            and ("out", giop.MSG_LOCATE_REPLY) in seen
+        )

@@ -1,0 +1,136 @@
+"""Tests for the multicast (replica group) module."""
+
+import pytest
+
+from repro.orb.exceptions import BAD_PARAM, COMM_FAILURE, TRANSIENT
+from repro.orb.modules.base import binding_key
+from tests.orb.conftest import EchoStub
+
+
+@pytest.fixture
+def group_stub(world, client_orb, group_ior):
+    client_orb.qos_transport.assign(group_ior, "multicast")
+    return EchoStub(client_orb, group_ior)
+
+
+def set_policy(client_orb, group_ior, policy):
+    module = client_orb.qos_transport.module("multicast")
+    module.set_policy(binding_key(group_ior), policy)
+
+
+class TestFirstPolicy:
+    def test_returns_result(self, group_stub):
+        assert group_stub.echo("hi") == "HI"
+
+    def test_all_replicas_execute(self, world, group_stub):
+        group_stub.echo("x")
+        for name in ("s1", "s2", "s3"):
+            assert world.orb(name).poa.requests_dispatched == 1
+
+    def test_masks_single_crash(self, world, group_stub):
+        world.faults.crash("s1")
+        assert group_stub.echo("still-alive") == "STILL-ALIVE"
+
+    def test_masks_all_but_one_crash(self, world, group_stub):
+        world.faults.crash("s1")
+        world.faults.crash("s3")
+        assert group_stub.echo("last-one") == "LAST-ONE"
+
+    def test_total_failure_raises_comm_failure(self, world, group_stub):
+        for name in ("s1", "s2", "s3"):
+            world.faults.crash(name)
+        with pytest.raises(COMM_FAILURE):
+            group_stub.echo("anyone")
+
+    def test_latency_is_fastest_member(self, world, client_orb, group_ior, group_stub):
+        # Slow s1 and s2 down drastically; 'first' should still be quick.
+        world.network.host("s1").cpu_factor = 0.01
+        world.network.host("s2").cpu_factor = 0.01
+        start = world.clock.now
+        group_stub.echo("quick")
+        elapsed = world.clock.now - start
+        assert elapsed < 0.1  # dominated by the fast member, not 100x ones
+
+
+class TestAllPolicy:
+    def test_succeeds_when_all_up(self, world, client_orb, group_ior, group_stub):
+        set_policy(client_orb, group_ior, "all")
+        assert group_stub.echo("x") == "X"
+
+    def test_single_crash_fails_call(self, world, client_orb, group_ior, group_stub):
+        set_policy(client_orb, group_ior, "all")
+        world.faults.crash("s2")
+        with pytest.raises(COMM_FAILURE):
+            group_stub.echo("x")
+
+    def test_latency_is_slowest_member(self, world, client_orb, group_ior, group_stub):
+        set_policy(client_orb, group_ior, "all")
+        world.network.host("s3").cpu_factor = 0.01  # 100x slower
+        start = world.clock.now
+        group_stub.echo("x")
+        assert world.clock.now - start >= 0.05
+
+
+class TestMajorityPolicy:
+    def test_agreeing_replicas_win(self, world, client_orb, group_ior, group_stub):
+        set_policy(client_orb, group_ior, "majority")
+        assert group_stub.echo("vote") == "VOTE"
+
+    def test_masks_one_value_fault(self, world, client_orb, group_ior, group_stub):
+        set_policy(client_orb, group_ior, "majority")
+        # Corrupt one replica: it answers differently.
+        bad = world.orb("s2").poa.servant("rep-s2")
+        bad.echo = lambda text: "CORRUPTED"
+        assert group_stub.echo("vote") == "VOTE"
+
+    def test_two_value_faults_break_majority(
+        self, world, client_orb, group_ior, group_stub
+    ):
+        set_policy(client_orb, group_ior, "majority")
+        world.orb("s1").poa.servant("rep-s1").echo = lambda text: "BAD-A"
+        world.orb("s2").poa.servant("rep-s2").echo = lambda text: "BAD-B"
+        with pytest.raises(TRANSIENT):
+            group_stub.echo("vote")
+
+    def test_crash_plus_agreement_still_wins(
+        self, world, client_orb, group_ior, group_stub
+    ):
+        set_policy(client_orb, group_ior, "majority")
+        world.faults.crash("s3")
+        assert group_stub.echo("vote") == "VOTE"
+
+    def test_crash_leaving_minority_fails(
+        self, world, client_orb, group_ior, group_stub
+    ):
+        set_policy(client_orb, group_ior, "majority")
+        world.faults.crash("s2")
+        world.faults.crash("s3")
+        with pytest.raises(TRANSIENT):
+            group_stub.echo("vote")
+
+
+class TestGroupPlumbing:
+    def test_non_group_ior_rejected(self, world, client_orb, qos_echo_ior):
+        # QoS-aware (so the assignment engages) but lacking a group
+        # component: the module must refuse it.
+        client_orb.qos_transport.assign(qos_echo_ior, "multicast")
+        stub = EchoStub(client_orb, qos_echo_ior)
+        with pytest.raises(BAD_PARAM):
+            stub.echo("x")
+
+    def test_unknown_policy_rejected(self, client_orb):
+        module = client_orb.qos_transport.load_module("multicast")
+        with pytest.raises(BAD_PARAM):
+            module.set_policy("b", "quorum-of-one")
+
+    def test_group_members_introspection(self, client_orb, group_ior):
+        module = client_orb.qos_transport.load_module("multicast")
+        hosts = module.group_members(group_ior.to_string())
+        assert hosts == ["s1", "s2", "s3"]
+
+    def test_failure_statistics(self, world, client_orb, group_ior, group_stub):
+        world.faults.crash("s1")
+        group_stub.echo("x")
+        module = client_orb.qos_transport.module("multicast")
+        assert module.fanouts == 1
+        assert module.member_failures == 1

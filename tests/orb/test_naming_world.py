@@ -1,0 +1,91 @@
+"""Tests for the naming service and the World bootstrap."""
+
+import pytest
+
+from repro.orb import World
+from repro.orb.exceptions import COMM_FAILURE, TRANSIENT
+from repro.orb.naming import AlreadyBound, NotFound
+
+
+@pytest.fixture
+def named_world(world, echo_ior):
+    world.start_naming("server")
+    return world
+
+
+class TestNaming:
+    def test_bind_and_resolve(self, named_world, echo_ior):
+        naming = named_world.naming("client")
+        naming.bind("echo", echo_ior)
+        assert naming.resolve("echo") == echo_ior
+
+    def test_resolve_unknown_raises_not_found(self, named_world):
+        naming = named_world.naming("client")
+        with pytest.raises(NotFound):
+            naming.resolve("ghost")
+
+    def test_double_bind_raises_already_bound(self, named_world, echo_ior):
+        naming = named_world.naming("client")
+        naming.bind("echo", echo_ior)
+        with pytest.raises(AlreadyBound):
+            naming.bind("echo", echo_ior)
+
+    def test_rebind_replaces(self, named_world, echo_ior, qos_echo_ior):
+        naming = named_world.naming("client")
+        naming.bind("echo", echo_ior)
+        naming.rebind("echo", qos_echo_ior)
+        assert naming.resolve("echo") == qos_echo_ior
+
+    def test_unbind(self, named_world, echo_ior):
+        naming = named_world.naming("client")
+        naming.bind("echo", echo_ior)
+        naming.unbind("echo")
+        with pytest.raises(NotFound):
+            naming.resolve("echo")
+
+    def test_unbind_unknown_raises(self, named_world):
+        naming = named_world.naming("client")
+        with pytest.raises(NotFound):
+            naming.unbind("ghost")
+
+    def test_list_names_sorted(self, named_world, echo_ior):
+        naming = named_world.naming("client")
+        naming.bind("zeta", echo_ior)
+        naming.bind("alpha", echo_ior)
+        assert naming.list_names() == ["alpha", "zeta"]
+
+    def test_naming_crosses_the_wire(self, named_world, echo_ior):
+        before = named_world.network.messages_sent
+        named_world.naming("client").bind("echo", echo_ior)
+        assert named_world.network.messages_sent > before
+
+
+class TestWorld:
+    def test_orb_created_lazily_once(self, world):
+        first = world.orb("client")
+        assert world.orb("client") is first
+
+    def test_orb_at_requires_listener(self, world):
+        world.add_host("quiet")
+        with pytest.raises(COMM_FAILURE):
+            world.orb_at("quiet")
+
+    def test_naming_requires_start(self, world):
+        with pytest.raises(TRANSIENT):
+            world.naming("client")
+
+    def test_lan_full_mesh(self):
+        world = World()
+        world.lan(["a", "b", "c"])
+        assert world.network.route("a", "c")
+        assert world.network.route("b", "c")
+
+    def test_lan_is_idempotent(self):
+        world = World()
+        world.lan(["a", "b"])
+        world.lan(["a", "b", "c"])
+        assert len(world.network.hosts) == 3
+
+    def test_initial_reference_unknown(self, world):
+        with pytest.raises(TRANSIENT):
+            world.orb("client").resolve_initial_references("TimeService")

@@ -1,0 +1,129 @@
+"""End-to-end invocation tests over the simulated wire."""
+
+import pytest
+
+from repro.orb.exceptions import (
+    BAD_OPERATION,
+    COMM_FAILURE,
+    OBJECT_NOT_EXIST,
+    SystemException,
+    TRANSIENT,
+)
+from tests.orb.conftest import EchoServant, EchoStub
+
+
+class TestBasicInvocation:
+    def test_echo_roundtrip(self, echo_stub):
+        assert echo_stub.echo("hello") == "HELLO"
+
+    def test_result_types_cross_wire(self, echo_stub):
+        assert echo_stub.add(2, 3) == 5
+        assert echo_stub.add(2.5, 0.5) == 3.0
+        assert echo_stub.add("a", "b") == "ab"
+        assert echo_stub.add([1], [2]) == [1, 2]
+
+    def test_clock_advances_per_call(self, world, echo_stub):
+        before = world.clock.now
+        echo_stub.echo("x")
+        after = world.clock.now
+        # two link traversals at 5ms plus 1ms service time, minimum
+        assert after - before >= 0.011
+
+    def test_servant_saw_the_call(self, echo_stub, echo_servant):
+        echo_stub.echo("x")
+        assert echo_servant.calls == 1
+
+    def test_server_exception_crosses_wire(self, echo_stub):
+        with pytest.raises(SystemException) as excinfo:
+            echo_stub.fail("kaput")
+        assert "kaput" in str(excinfo.value)
+
+    def test_unknown_operation_raises_bad_operation(self, client_orb, echo_ior):
+        from repro.orb.request import Request
+
+        with pytest.raises(BAD_OPERATION):
+            client_orb.invoke(Request(echo_ior, "no_such_op"))
+
+    def test_private_operation_rejected(self, client_orb, echo_ior):
+        from repro.orb.request import Request
+
+        with pytest.raises(BAD_OPERATION):
+            client_orb.invoke(Request(echo_ior, "_dispatch"))
+
+
+class TestFailures:
+    def test_crashed_server_raises_comm_failure(self, world, echo_stub):
+        world.faults.crash("server")
+        with pytest.raises(COMM_FAILURE):
+            echo_stub.echo("x")
+
+    def test_recovered_server_works_again(self, world, echo_stub):
+        world.faults.crash("server")
+        with pytest.raises(COMM_FAILURE):
+            echo_stub.echo("x")
+        world.faults.recover("server")
+        assert echo_stub.echo("x") == "X"
+
+    def test_partition_raises_transient(self, world, echo_stub):
+        world.faults.partition({"client"}, {"server", "s1", "s2", "s3"})
+        with pytest.raises(TRANSIENT):
+            echo_stub.echo("x")
+
+    def test_deactivated_object_raises_object_not_exist(
+        self, world, echo_stub, echo_ior
+    ):
+        world.orb("server").poa.deactivate_object(echo_ior.profile.object_key)
+        with pytest.raises(OBJECT_NOT_EXIST):
+            echo_stub.echo("x")
+
+    def test_no_orb_on_host_raises_comm_failure(self, world, client_orb):
+        world.add_host("silent")
+        world.connect("client", "silent")
+        from repro.orb.ior import IOR, IIOPProfile
+        from repro.orb.request import Request
+
+        ghost = IOR("IDL:test/Echo:1.0", IIOPProfile("silent", 683, "k"))
+        with pytest.raises(COMM_FAILURE):
+            client_orb.invoke(Request(ghost, "echo", ("x",)))
+
+
+class TestQueueing:
+    def test_serial_calls_queue_on_one_host(self, world):
+        servant = EchoServant()
+        servant._default_service_time = 0.1
+        ior = world.orb("server").poa.activate_object(servant)
+        stub = EchoStub(world.orb("client"), ior)
+        start = world.clock.now
+        stub.echo("a")
+        first = world.clock.now - start
+        stub.echo("b")
+        second = world.clock.now - start
+        assert first >= 0.11
+        assert second >= 2 * 0.1
+
+    def test_fast_host_serves_faster(self, world):
+        world.add_host("fast", cpu_factor=10.0)
+        world.connect("client", "fast", latency=0.005, bandwidth_bps=10e6)
+        servant = EchoServant()
+        servant._default_service_time = 0.1
+        slow_ior = world.orb("server").poa.activate_object(EchoServant())
+        fast_ior = world.orb("fast").poa.activate_object(servant)
+        stub = EchoStub(world.orb("client"), fast_ior)
+        start = world.clock.now
+        stub.echo("x")
+        elapsed = world.clock.now - start
+        # 100ms of work at 10x speed is 10ms
+        assert 0.01 <= elapsed - 0.01 < 0.1
+
+
+class TestStatistics:
+    def test_request_counters(self, world, echo_stub):
+        echo_stub.echo("x")
+        echo_stub.echo("y")
+        assert world.orb("client").requests_invoked == 2
+        assert world.orb("server").requests_received == 2
+
+    def test_network_bytes_accounted(self, world, echo_stub):
+        before = world.network.bytes_sent
+        echo_stub.echo("payload")
+        assert world.network.bytes_sent > before

@@ -1,0 +1,88 @@
+"""Tests for POA-injected timestamps and loopback accounting."""
+
+import pytest
+
+from repro.orb import World
+from repro.orb.servant import Servant
+from repro.orb.stub import Stub
+
+
+class ContextSpy(Servant):
+    _repo_id = "IDL:ctx/Spy:1.0"
+    _default_service_time = 0.05
+
+    def __init__(self):
+        self.contexts = []
+
+    def probe(self):
+        return None
+
+    def _dispatch(self, operation, args, contexts=None):
+        self.contexts.append(dict(contexts or {}))
+        return super()._dispatch(operation, args, contexts)
+
+
+class SpyStub(Stub):
+    def probe(self):
+        return self._call("probe")
+
+
+@pytest.fixture
+def deployment():
+    world = World()
+    world.lan(["client", "server"], latency=0.01)
+    servant = ContextSpy()
+    ior = world.orb("server").poa.activate_object(servant)
+    stub = SpyStub(world.orb("client"), ior)
+    return world, servant, stub
+
+
+class TestPOATimestamps:
+    def test_arrival_time_injected(self, deployment):
+        world, servant, stub = deployment
+        stub.probe()
+        contexts = servant.contexts[0]
+        assert "maqs.arrival_time" in contexts
+        assert "maqs.start_time" in contexts
+        # One link traversal of 10ms plus marshalling.
+        assert contexts["maqs.arrival_time"] >= 0.01
+
+    def test_start_time_reflects_queueing(self, deployment):
+        world, servant, stub = deployment
+        # Pre-busy the server for 1 simulated second.
+        world.network.host("server").occupy(world.clock.now, 1.0)
+        stub.probe()
+        contexts = servant.contexts[0]
+        assert contexts["maqs.start_time"] >= 1.0
+        assert contexts["maqs.start_time"] > contexts["maqs.arrival_time"]
+
+    def test_idle_host_starts_at_arrival(self, deployment):
+        world, servant, stub = deployment
+        stub.probe()
+        contexts = servant.contexts[0]
+        assert contexts["maqs.start_time"] == contexts["maqs.arrival_time"]
+
+    def test_caller_contexts_preserved(self, deployment):
+        world, servant, stub = deployment
+        stub._contexts["custom"] = "value"
+        stub.probe()
+        assert servant.contexts[0]["custom"] == "value"
+
+
+class TestLoopbackAccounting:
+    def test_same_host_send_counts_as_loopback(self):
+        world = World()
+        world.add_host("solo")
+        servant = ContextSpy()
+        ior = world.orb("solo").poa.activate_object(servant)
+        stub = SpyStub(world.orb("solo"), ior)
+        stub.probe()
+        network = world.network
+        assert network.loopback_bytes > 0
+        assert network.loopback_bytes <= network.bytes_sent
+        assert sum(l.bytes_carried for l in network.links()) == 0
+
+    def test_cross_host_send_is_not_loopback(self, deployment):
+        world, _, stub = deployment
+        stub.probe()
+        assert world.network.loopback_bytes == 0

@@ -1,0 +1,123 @@
+"""Tests for the QoS transport: loading, assignment, command dispatch."""
+
+import pytest
+
+from repro.orb.dii import ModuleHandle, TransportHandle
+from repro.orb.exceptions import BAD_OPERATION, NO_RESOURCES
+from repro.orb.modules import available_modules
+
+
+class TestModuleAdministration:
+    def test_iiop_always_loaded(self, client_orb):
+        assert client_orb.qos_transport.loaded_modules() == ["iiop"]
+
+    def test_load_by_name(self, client_orb):
+        module = client_orb.qos_transport.load_module("compression")
+        assert module.name == "compression"
+        assert "compression" in client_orb.qos_transport.loaded_modules()
+
+    def test_load_is_idempotent(self, client_orb):
+        first = client_orb.qos_transport.load_module("compression")
+        second = client_orb.qos_transport.load_module("compression")
+        assert first is second
+
+    def test_unknown_module_raises_no_resources(self, client_orb):
+        with pytest.raises(NO_RESOURCES):
+            client_orb.qos_transport.load_module("wormhole")
+
+    def test_unload(self, client_orb):
+        client_orb.qos_transport.load_module("compression")
+        assert client_orb.qos_transport.unload_module("compression")
+        assert "compression" not in client_orb.qos_transport.loaded_modules()
+
+    def test_unload_missing_returns_false(self, client_orb):
+        assert not client_orb.qos_transport.unload_module("compression")
+
+    def test_iiop_cannot_be_unloaded(self, client_orb):
+        with pytest.raises(BAD_OPERATION):
+            client_orb.qos_transport.unload_module("iiop")
+
+    def test_registry_lists_all_modules(self, client_orb):
+        loadable = client_orb.qos_transport.loadable_modules()
+        assert set(loadable) >= {
+            "iiop",
+            "compression",
+            "crypto",
+            "bandwidth",
+            "multicast",
+        }
+        assert loadable == available_modules()
+
+
+class TestAssignments:
+    def test_assign_loads_and_records(self, client_orb, qos_echo_ior):
+        client_orb.qos_transport.assign(qos_echo_ior, "compression")
+        module = client_orb.qos_transport.assigned_module(qos_echo_ior)
+        assert module.name == "compression"
+
+    def test_unassigned_returns_none(self, client_orb, qos_echo_ior):
+        assert client_orb.qos_transport.assigned_module(qos_echo_ior) is None
+
+    def test_unassign(self, client_orb, qos_echo_ior):
+        client_orb.qos_transport.assign(qos_echo_ior, "compression")
+        assert client_orb.qos_transport.unassign(qos_echo_ior)
+        assert client_orb.qos_transport.assigned_module(qos_echo_ior) is None
+
+    def test_unload_clears_assignments(self, client_orb, qos_echo_ior):
+        client_orb.qos_transport.assign(qos_echo_ior, "compression")
+        client_orb.qos_transport.unload_module("compression")
+        assert client_orb.qos_transport.assigned_module(qos_echo_ior) is None
+
+
+class TestCommands:
+    def test_transport_command_over_wire(self, client_orb, echo_ior):
+        handle = TransportHandle(client_orb, echo_ior)
+        assert handle.call("loaded_modules") == ["iiop"]
+
+    def test_remote_dynamic_loading(self, world, client_orb, echo_ior):
+        handle = TransportHandle(client_orb, echo_ior)
+        handle.call("load_module", "compression")
+        assert "compression" in world.orb("server").qos_transport.loaded_modules()
+
+    def test_module_command_autoloads_module(self, world, client_orb, echo_ior):
+        # Sending a command to an unloaded module loads it on demand
+        # ("dynamic loading of QoS modules on request", Section 4).
+        handle = ModuleHandle(client_orb, echo_ior, "compression")
+        codec = handle.call("get_codec", "any-binding")
+        assert codec == "lz"
+        assert "compression" in world.orb("server").qos_transport.loaded_modules()
+
+    def test_unknown_transport_command_raises(self, client_orb, echo_ior):
+        handle = TransportHandle(client_orb, echo_ior)
+        with pytest.raises(BAD_OPERATION):
+            handle.call("self_destruct")
+
+    def test_unknown_module_command_raises(self, client_orb, echo_ior):
+        handle = ModuleHandle(client_orb, echo_ior, "iiop")
+        with pytest.raises(BAD_OPERATION):
+            handle.call("warp")
+
+    def test_module_statistics_command(self, client_orb, echo_ior, echo_stub):
+        echo_stub.echo("x")
+        handle = TransportHandle(client_orb, echo_ior)
+        stats = handle.call("module_statistics", "iiop")
+        assert stats["requests_served"] == 0  # iiop serves but doesn't wrap
+        assert stats["commands_handled"] == 0
+
+
+class TestPseudoObject:
+    def test_static_interface_resolves_locally(self, client_orb):
+        pseudo = client_orb.resolve_initial_references("QoSTransport")
+        assert "load_module" in pseudo.operations()
+        assert pseudo.call("loaded_modules") == ["iiop"]
+
+    def test_pseudo_object_load(self, client_orb):
+        pseudo = client_orb.resolve_initial_references("QoSTransport")
+        pseudo.call("load_module", "bandwidth")
+        assert "bandwidth" in client_orb.qos_transport.loaded_modules()
+
+    def test_module_pseudo_object(self, client_orb):
+        module = client_orb.qos_transport.load_module("compression")
+        pseudo = module.pseudo_object()
+        assert pseudo.call("name") == "compression"
+        assert "set_codec" in pseudo.call("dynamic_ops")

@@ -1,0 +1,56 @@
+"""Tests for the dual-use request object."""
+
+import pytest
+
+from repro.orb.ior import IOR, IIOPProfile
+from repro.orb.request import COMMAND, REQUEST, Request, command
+
+
+@pytest.fixture
+def target():
+    return IOR("IDL:t/I:1.0", IIOPProfile("h", 683, "k"))
+
+
+class TestConstruction:
+    def test_defaults(self, target):
+        request = Request(target, "op", (1,))
+        assert request.kind == REQUEST
+        assert not request.is_command
+        assert request.response_expected
+        assert request.service_contexts == {}
+
+    def test_ids_are_unique_and_increasing(self, target):
+        first = Request(target, "a")
+        second = Request(target, "b")
+        assert second.request_id > first.request_id
+
+    def test_command_requires_target(self, target):
+        with pytest.raises(ValueError):
+            Request(target, "op", kind=COMMAND)
+
+    def test_request_must_not_name_command_target(self, target):
+        with pytest.raises(ValueError):
+            Request(target, "op", command_target="compression")
+
+    def test_unknown_kind_rejected(self, target):
+        with pytest.raises(ValueError):
+            Request(target, "op", kind="weird")
+
+    def test_args_are_tuple_copies(self, target):
+        args = [1, 2]
+        request = Request(target, "op", args)
+        args.append(3)
+        assert request.args == (1, 2)
+
+
+class TestCommandHelper:
+    def test_command_builder(self, target):
+        request = command(target, "compression", "set_codec", "b", "rle")
+        assert request.is_command
+        assert request.command_target == "compression"
+        assert request.operation == "set_codec"
+        assert request.args == ("b", "rle")
+
+    def test_command_to_transport(self, target):
+        request = command(target, "transport", "loaded_modules")
+        assert request.command_target == "transport"

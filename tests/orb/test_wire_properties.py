@@ -1,0 +1,124 @@
+"""Property-based tests for the wire formats (CDR, GIOP, IOR, envelope)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.orb import giop
+from repro.orb.cdr import CDRDecoder, CDREncoder
+from repro.orb.ior import IOR, IIOPProfile, TaggedComponent
+from repro.orb.modules.base import decode_envelope, encode_envelope
+from repro.orb.request import Request
+
+# Values CDR's `any` can carry, recursively.
+any_values = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-(2**200), max_value=2**200),
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.text(max_size=64),
+        st.binary(max_size=64),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+identifiers = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=16
+)
+
+
+@given(any_values)
+@settings(max_examples=80)
+def test_any_roundtrip(value):
+    encoder = CDREncoder()
+    encoder.write_any(value)
+    decoded = CDRDecoder(encoder.getvalue()).read_any()
+    # Tuples decode as lists; normalise for comparison.
+    assert decoded == _listify(value)
+
+
+def _listify(value):
+    if isinstance(value, tuple):
+        return [_listify(item) for item in value]
+    if isinstance(value, list):
+        return [_listify(item) for item in value]
+    if isinstance(value, dict):
+        return {key: _listify(item) for key, item in value.items()}
+    return value
+
+
+@given(
+    identifiers,
+    st.integers(min_value=0, max_value=65535),
+    identifiers,
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2**32 - 1),
+            st.dictionaries(st.text(max_size=8), any_values, max_size=3),
+        ),
+        max_size=3,
+    ),
+)
+@settings(max_examples=40)
+def test_ior_roundtrip(host, port, object_key, components):
+    ior = IOR(
+        "IDL:prop/Test:1.0",
+        IIOPProfile(host, port, object_key),
+        [TaggedComponent(tag, data) for tag, data in components],
+    )
+    restored = IOR.from_string(ior.to_string())
+    assert restored.profile.host == host
+    assert restored.profile.port == port
+    assert restored.profile.object_key == object_key
+    assert len(restored.components) == len(components)
+    assert restored == IOR.from_string(restored.to_string())
+
+
+@given(
+    identifiers,
+    st.lists(any_values, max_size=4),
+    st.dictionaries(st.text(max_size=8), any_values, max_size=3),
+    st.booleans(),
+)
+@settings(max_examples=60)
+def test_giop_request_roundtrip(operation, args, contexts, response_expected):
+    target = IOR("IDL:prop/Test:1.0", IIOPProfile("host", 683, "key"))
+    request = Request(
+        target,
+        operation,
+        tuple(args),
+        service_contexts=contexts,
+        response_expected=response_expected,
+    )
+    decoded = giop.decode_request(giop.encode_request(request))
+    assert decoded.operation == operation
+    assert list(decoded.args) == [_listify(a) for a in args]
+    assert decoded.service_contexts == _listify(contexts)
+    assert decoded.response_expected == response_expected
+    assert decoded.request_id == request.request_id
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1), any_values)
+@settings(max_examples=60)
+def test_giop_reply_roundtrip(request_id, result):
+    reply = giop.decode_reply(giop.encode_reply(request_id, result))
+    assert reply.request_id == request_id
+    assert reply.value() == _listify(result)
+
+
+@given(
+    identifiers,
+    st.dictionaries(st.text(max_size=8), any_values, max_size=3),
+    st.binary(max_size=256),
+)
+@settings(max_examples=60)
+def test_envelope_roundtrip(module_name, params, payload):
+    wire = encode_envelope(module_name, params, payload)
+    name, decoded_params, decoded_payload = decode_envelope(wire)
+    assert name == module_name
+    assert decoded_params == _listify(params)
+    assert decoded_payload == payload

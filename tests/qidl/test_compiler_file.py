@@ -1,0 +1,47 @@
+"""Tests for the file-based compiler entry point and module caching."""
+
+import sys
+
+import pytest
+
+from repro.qidl import compile_qidl
+from repro.qidl.compiler import compile_qidl_file
+
+
+class TestCompileFile:
+    def test_compile_from_disk(self, tmp_path):
+        path = tmp_path / "svc.qidl"
+        path.write_text("interface Disk { long spin(); };")
+        module = compile_qidl_file(str(path), "disk_gen_test")
+        assert hasattr(module, "DiskStub")
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            compile_qidl_file(str(tmp_path / "ghost.qidl"))
+
+
+class TestModuleCache:
+    def test_same_source_same_module(self):
+        source = "interface CacheTest { void op(); };"
+        first = compile_qidl(source, "cache_probe")
+        second = compile_qidl(source, "cache_probe")
+        assert first is second
+        assert sys.modules["cache_probe"] is first
+
+    def test_changed_source_replaces_module(self):
+        first = compile_qidl("interface R { void a(); };", "cache_replace")
+        second = compile_qidl("interface R { void b(); };", "cache_replace")
+        assert first is not second
+        assert hasattr(second.RStub, "b")
+        assert not hasattr(second.RStub, "a")
+
+    def test_anonymous_names_derived_from_digest(self):
+        source = "interface Anon { void op(); };"
+        first = compile_qidl(source)
+        second = compile_qidl(source)
+        assert first is second
+        assert first.__name__.startswith("maqs_generated_")
+
+    def test_generated_source_retained(self):
+        module = compile_qidl("interface Kept { void op(); };", "cache_kept")
+        assert "class KeptStub(Stub):" in module.__qidl_source__

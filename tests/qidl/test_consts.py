@@ -1,0 +1,80 @@
+"""Tests for QIDL const declarations and string/number literals."""
+
+import pytest
+
+from repro.qidl import compile_qidl_to_source, compile_qidl
+from repro.qidl.errors import QIDLSemanticError, QIDLSyntaxError
+from repro.qidl.lexer import tokenize
+from repro.qidl.parser import parse
+
+
+class TestLiterals:
+    def test_string_literal_token(self):
+        tokens = tokenize('const string S = "hello world";')
+        values = [(t.kind, t.value) for t in tokens if t.kind == "string"]
+        assert values == [("string", "hello world")]
+
+    def test_escaped_quote(self):
+        tokens = tokenize(r'const string S = "say \"hi\"";')
+        assert [t.value for t in tokens if t.kind == "string"] == ['say "hi"']
+
+    def test_unterminated_string_rejected(self):
+        with pytest.raises(QIDLSyntaxError):
+            tokenize('const string S = "oops')
+
+    def test_negative_number_token(self):
+        tokens = tokenize("const short N = -12;")
+        assert [t.value for t in tokens if t.kind == "number"] == ["-12"]
+
+
+class TestConstDeclarations:
+    def test_parse_consts(self):
+        spec = parse(
+            """
+            const long MAX = 10;
+            const double RATIO = 0.5;
+            const string NAME = "maqs";
+            const boolean ON = TRUE;
+            """
+        )
+        consts = {c.name: c.value for c in spec.consts()}
+        assert consts == {"MAX": 10, "RATIO": 0.5, "NAME": "maqs", "ON": True}
+
+    def test_nonconforming_value_rejected(self):
+        with pytest.raises(QIDLSemanticError):
+            parse("const octet BIG = 999;")
+
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(QIDLSemanticError):
+            parse('const long WORDS = "not a number";')
+
+    def test_bad_literal_rejected(self):
+        with pytest.raises(QIDLSyntaxError):
+            parse("const long X = interface;")
+
+    def test_duplicate_const_rejected(self):
+        with pytest.raises(QIDLSemanticError):
+            compile_qidl_to_source("const long A = 1; const long A = 2;")
+
+
+class TestGeneratedConsts:
+    def test_values_exported(self):
+        module = compile_qidl(
+            """
+            const long LIMIT = 42;
+            const string LABEL = "gold";
+            interface S { void op(); };
+            """,
+            "consts_gen_test",
+        )
+        assert module.LIMIT == 42
+        assert module.LABEL == "gold"
+
+    def test_float_const_is_float(self):
+        module = compile_qidl("const double D = 2.0;", "consts_gen_float")
+        assert isinstance(module.D, float)
+
+    def test_integer_const_for_float_type_coerced(self):
+        module = compile_qidl("const double D2 = 3;", "consts_gen_coerce")
+        assert module.D2 == 3.0
+        assert isinstance(module.D2, float)

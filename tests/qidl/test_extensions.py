@@ -1,0 +1,220 @@
+"""Tests for QIDL extensions: enums, oneway plumbing, the CLI."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.orb import World
+from repro.qidl import compile_qidl
+from repro.qidl.errors import QIDLSemanticError
+from repro.qidl.parser import parse
+
+ENUM_SPEC = """
+enum Priority { LOW, NORMAL, HIGH };
+
+interface Queue {
+    void submit(in string job, in Priority priority);
+    Priority head_priority();
+    oneway void nudge(in string reason);
+};
+"""
+
+
+@pytest.fixture(scope="module")
+def gen():
+    return compile_qidl(ENUM_SPEC, "qidl_ext_queue")
+
+
+@pytest.fixture
+def deployment(gen):
+    world = World()
+    world.lan(["client", "server"], latency=0.002)
+
+    class QueueImpl(gen.QueueSkeleton):
+        def __init__(self):
+            super().__init__()
+            self.jobs = []
+            self.nudges = []
+
+        def submit(self, job, priority):
+            self.jobs.append((job, priority))
+
+        def head_priority(self):
+            return self.jobs[0][1] if self.jobs else gen.Priority.LOW
+
+        def nudge(self, reason):
+            self.nudges.append(reason)
+
+    servant = QueueImpl()
+    ior = world.orb("server").poa.activate_object(servant)
+    stub = gen.QueueStub(world.orb("client"), ior)
+    return world, servant, stub
+
+
+class TestEnums:
+    def test_enum_namespace_generated(self, gen):
+        assert gen.Priority.MEMBERS == ("LOW", "NORMAL", "HIGH")
+        assert gen.Priority.HIGH == "HIGH"
+
+    def test_enum_values_cross_wire(self, deployment, gen):
+        _, servant, stub = deployment
+        stub.submit("job-1", gen.Priority.HIGH)
+        assert servant.jobs == [("job-1", "HIGH")]
+        assert stub.head_priority() == gen.Priority.HIGH
+
+    def test_duplicate_member_rejected(self):
+        with pytest.raises(QIDLSemanticError):
+            parse("enum Bad { A, A };")
+
+    def test_enum_usable_in_spec(self):
+        spec = parse(ENUM_SPEC)
+        assert [e.name for e in spec.enums()] == ["Priority"]
+
+
+class TestOneway:
+    def test_oneway_ops_recorded_on_stub(self, gen):
+        assert gen.QueueStub._oneway_ops == frozenset({"nudge"})
+
+    def test_oneway_returns_immediately(self, deployment):
+        world, servant, stub = deployment
+        # Warm-up two-way call for comparison.
+        stub.submit("x", "LOW")
+        start = world.clock.now
+        stub.submit("y", "LOW")
+        two_way = world.clock.now - start
+
+        start = world.clock.now
+        stub.nudge("hurry")
+        one_way = world.clock.now - start
+        assert one_way < two_way / 2
+
+    def test_oneway_still_processed_by_server(self, deployment):
+        _, servant, stub = deployment
+        stub.nudge("wake-up")
+        assert servant.nudges == ["wake-up"]
+
+    def test_oneway_swallows_failures(self, deployment):
+        world, _, stub = deployment
+        world.faults.crash("server")
+        stub.nudge("into the void")  # must not raise
+        assert world.orb("client").oneway_failures == 1
+
+    def test_twoway_still_raises_on_failure(self, deployment):
+        world, _, stub = deployment
+        world.faults.crash("server")
+        with pytest.raises(Exception):
+            stub.head_priority()
+
+
+class TestCLI:
+    def test_compile_to_stdout(self, tmp_path):
+        spec = tmp_path / "queue.qidl"
+        spec.write_text(ENUM_SPEC)
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.qidl", str(spec)],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0
+        assert "class QueueStub(Stub):" in result.stdout
+        assert "class Priority:" in result.stdout
+
+    def test_compile_to_file_is_importable(self, tmp_path):
+        spec = tmp_path / "queue.qidl"
+        spec.write_text(ENUM_SPEC)
+        out = tmp_path / "queue_gen.py"
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.qidl", str(spec), str(out)],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0
+        compiled = compile(out.read_text(), str(out), "exec")
+        namespace = {}
+        exec(compiled, namespace)
+        assert "QueueSkeleton" in namespace
+
+    def test_with_characteristics_flag(self, tmp_path):
+        spec = tmp_path / "svc.qidl"
+        spec.write_text("interface Svc provides Actuality { void poke(); };")
+        result = subprocess.run(
+            [
+                sys.executable, "-m", "repro.qidl",
+                "--with-characteristics", str(spec),
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0
+        assert "ActualityMediator" in result.stdout
+
+    def test_error_reported_on_stderr(self, tmp_path):
+        spec = tmp_path / "bad.qidl"
+        spec.write_text("interface { broken")
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.qidl", str(spec)],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 1
+        assert "qidl:" in result.stderr
+
+
+class TestMediatorChain:
+    def test_chain_composes_links(self, deployment):
+        from repro.core.mediator import Mediator, MediatorChain
+
+        _, servant, stub = deployment
+        order = []
+
+        def make_link(name):
+            class Link(Mediator):
+                characteristic = name
+
+                def before_request(self, stub, operation, args):
+                    order.append(name)
+                    return operation, args
+
+            return Link()
+
+        chain = MediatorChain(make_link("outer"), make_link("inner"))
+        chain.install(stub)
+        stub.submit("job", "LOW")
+        assert order == ["outer", "inner"]
+        assert servant.jobs[-1] == ("job", "LOW")
+        assert chain.calls_intercepted == 1
+
+    def test_chain_rejects_empty(self):
+        from repro.core.mediator import MediatorChain
+
+        with pytest.raises(ValueError):
+            MediatorChain()
+
+    def test_chain_with_measuring_and_compression(self, deployment):
+        from repro.core.mediator import MediatorChain
+        from repro.core.monitoring import QoSMonitor
+        from repro.core.negotiation import Agreement
+
+        world, servant, stub = deployment
+        monitor = QoSMonitor(Agreement("X", {}), world.clock, min_samples=1)
+
+        class Probe:
+            characteristic = "__probe__"
+
+            def __init__(self):
+                self.seen = 0
+
+            def invoke(self, stub, operation, args):
+                self.seen += 1
+                started = stub._orb.clock.now
+                result = stub._invoke(operation, args)
+                monitor.observe("latency", stub._orb.clock.now - started)
+                return result
+
+        probe_a, probe_b = Probe(), Probe()
+        MediatorChain(probe_a, probe_b).install(stub)
+        stub.head_priority()
+        assert probe_a.seen == 1
+        assert probe_b.seen == 1
+        assert monitor.window("latency").total_observations == 2

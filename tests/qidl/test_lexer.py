@@ -1,0 +1,72 @@
+"""Tests for the QIDL lexer."""
+
+import pytest
+
+from repro.qidl.errors import QIDLSyntaxError
+from repro.qidl.lexer import tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.value) for t in tokenize(source) if t.kind != "eof"]
+
+
+class TestTokens:
+    def test_keywords_and_identifiers(self):
+        assert kinds("interface Echo") == [
+            ("keyword", "interface"),
+            ("identifier", "Echo"),
+        ]
+
+    def test_qos_extension_keywords(self):
+        result = kinds("qos provides management peer integration")
+        assert all(kind == "keyword" for kind, _ in result)
+
+    def test_punctuation(self):
+        assert kinds("{}();,:<>") == [("punct", c) for c in "{}();,:<>"]
+
+    def test_numbers(self):
+        assert kinds("42 3.14") == [("number", "42"), ("number", "3.14")]
+
+    def test_underscored_identifier(self):
+        assert kinds("_get_state") == [("identifier", "_get_state")]
+
+    def test_eof_token_always_last(self):
+        tokens = tokenize("x")
+        assert tokens[-1].kind == "eof"
+
+    def test_empty_source(self):
+        assert tokenize("")[0].kind == "eof"
+
+
+class TestCommentsAndWhitespace:
+    def test_line_comment_skipped(self):
+        assert kinds("a // comment\n b") == [
+            ("identifier", "a"),
+            ("identifier", "b"),
+        ]
+
+    def test_block_comment_skipped(self):
+        assert kinds("a /* multi\nline */ b") == [
+            ("identifier", "a"),
+            ("identifier", "b"),
+        ]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(QIDLSyntaxError):
+            tokenize("a /* never closed")
+
+    def test_preprocessor_line_skipped(self):
+        assert kinds("#include <orb.idl>\ninterface") == [("keyword", "interface")]
+
+    def test_line_numbers_tracked(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[1].column == 3
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(QIDLSyntaxError) as excinfo:
+            tokenize("interface @")
+        assert "@" in str(excinfo.value)

@@ -1,0 +1,227 @@
+"""Tests for the QIDL parser and its semantic checks."""
+
+import pytest
+
+from repro.qidl.errors import QIDLSemanticError, QIDLSyntaxError
+from repro.qidl.parser import parse
+
+
+class TestInterfaces:
+    def test_empty_interface(self):
+        spec = parse("interface Empty {};")
+        assert [i.name for i in spec.interfaces()] == ["Empty"]
+
+    def test_operations_and_parameters(self):
+        spec = parse(
+            """
+            interface Calc {
+                double add(in double a, in double b);
+                void reset();
+            };
+            """
+        )
+        calc = spec.interfaces()[0]
+        assert [op.name for op in calc.operations] == ["add", "reset"]
+        add = calc.operations[0]
+        assert [(p.direction, p.idl_type, p.name) for p in add.parameters] == [
+            ("in", "double", "a"),
+            ("in", "double", "b"),
+        ]
+
+    def test_out_and_inout_parameters(self):
+        spec = parse(
+            "interface S { void stats(in string k, out double mean, inout long n); };"
+        )
+        operation = spec.interfaces()[0].operations[0]
+        assert [p.name for p in operation.in_params] == ["k", "n"]
+        assert [p.name for p in operation.out_params] == ["mean", "n"]
+
+    def test_attributes(self):
+        spec = parse(
+            "interface A { attribute string name; readonly attribute long hits; };"
+        )
+        attrs = spec.interfaces()[0].attributes
+        assert [(a.name, a.readonly) for a in attrs] == [
+            ("name", False),
+            ("hits", True),
+        ]
+
+    def test_multi_name_attribute(self):
+        spec = parse("interface A { attribute long x, y; };")
+        assert [a.name for a in spec.interfaces()[0].attributes] == ["x", "y"]
+
+    def test_inheritance(self):
+        spec = parse(
+            """
+            interface Base { void ping(); };
+            interface Derived : Base { void extra(); };
+            """
+        )
+        assert spec.interfaces()[1].bases == ["Base"]
+
+    def test_raises_clause(self):
+        spec = parse(
+            """
+            exception Broken { string why; };
+            interface S { void go() raises (Broken); };
+            """
+        )
+        assert spec.interfaces()[0].operations[0].raises == ["Broken"]
+
+    def test_oneway(self):
+        spec = parse("interface S { oneway void notify(in string msg); };")
+        assert spec.interfaces()[0].operations[0].oneway
+
+    def test_oneway_must_be_void_in_only(self):
+        with pytest.raises(QIDLSemanticError):
+            parse("interface S { oneway long bad(); };")
+        with pytest.raises(QIDLSemanticError):
+            parse("interface S { oneway void bad(out long x); };")
+
+
+class TestQoSDeclarations:
+    def test_qos_block(self):
+        spec = parse(
+            """
+            qos Encryption {
+                attribute string cipher;
+                management void rotate_keys();
+                peer void exchange(in string pub);
+            };
+            """
+        )
+        qos = spec.qos_decls()[0]
+        assert qos.name == "Encryption"
+        assert [a.name for a in qos.attributes] == ["cipher"]
+        assert [(op.name, op.category) for op in qos.operations] == [
+            ("rotate_keys", "management"),
+            ("exchange", "peer"),
+        ]
+
+    def test_qos_inheritance(self):
+        spec = parse(
+            """
+            qos Base { attribute long level; };
+            qos Extended : Base { void extra(); };
+            """
+        )
+        assert spec.qos_decls()[1].base == "Base"
+
+    def test_qos_unknown_base_rejected(self):
+        with pytest.raises(QIDLSemanticError):
+            parse("qos X : Ghost {};")
+
+    def test_provides_clause(self):
+        spec = parse(
+            """
+            qos FT {};
+            qos LB {};
+            interface S provides FT, LB { void op(); };
+            """
+        )
+        assert spec.interfaces()[0].provides == ["FT", "LB"]
+
+    def test_provides_unknown_qos_rejected(self):
+        with pytest.raises(QIDLSemanticError) as excinfo:
+            parse("interface S provides Ghost {};")
+        assert "interfaces" in str(excinfo.value)
+
+    def test_category_forbidden_outside_qos(self):
+        with pytest.raises(QIDLSemanticError):
+            parse("interface S { management void op(); };")
+
+    def test_default_category_is_management(self):
+        spec = parse("qos Q { void op(); };")
+        assert spec.qos_decls()[0].operations[0].category == "management"
+
+
+class TestTypes:
+    @pytest.mark.parametrize(
+        "idl,canonical",
+        [
+            ("long", "long"),
+            ("long long", "long long"),
+            ("unsigned short", "unsigned short"),
+            ("unsigned long", "unsigned long"),
+            ("unsigned long long", "unsigned long long"),
+            ("sequence<double>", "sequence<double>"),
+            ("sequence<sequence<string>>", "sequence<sequence<string>>"),
+        ],
+    )
+    def test_type_spellings(self, idl, canonical):
+        spec = parse(f"interface S {{ {idl} op(); }};")
+        assert spec.interfaces()[0].operations[0].result_type == canonical
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(QIDLSemanticError):
+            parse("interface S { Widget op(); };")
+
+    def test_struct_usable_as_type(self):
+        spec = parse(
+            """
+            struct Point { double x; double y; };
+            interface S { Point origin(); };
+            """
+        )
+        assert spec.interfaces()[0].operations[0].result_type == "Point"
+
+    def test_typedef_usable_as_type(self):
+        spec = parse(
+            """
+            typedef sequence<double> Samples;
+            interface S { Samples history(); };
+            """
+        )
+        assert spec.interfaces()[0].operations[0].result_type == "Samples"
+
+
+class TestModulesAndDuplicates:
+    def test_nested_modules(self):
+        spec = parse(
+            """
+            module outer {
+                module inner {
+                    interface Deep {};
+                };
+            };
+            """
+        )
+        assert [i.name for i in spec.interfaces()] == ["Deep"]
+
+    def test_duplicate_definition_rejected(self):
+        with pytest.raises(QIDLSemanticError):
+            parse("interface A {}; interface A {};")
+
+    def test_duplicate_member_rejected(self):
+        with pytest.raises(QIDLSemanticError):
+            parse("interface A { void op(); void op(); };")
+
+    def test_duplicate_parameter_rejected(self):
+        with pytest.raises(QIDLSemanticError):
+            parse("interface A { void op(in long x, in long x); };")
+
+    def test_duplicate_struct_member_rejected(self):
+        with pytest.raises(QIDLSemanticError):
+            parse("struct S { long a; long a; };")
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "interface {};",
+            "interface S { void op(; };",
+            "interface S { void op() };",
+            "interface S { long; };",
+            "qos;",
+            "interface S {}; trailing",
+        ],
+    )
+    def test_malformed_sources(self, source):
+        with pytest.raises((QIDLSyntaxError, QIDLSemanticError)):
+            parse(source)
+
+    def test_error_carries_position(self):
+        with pytest.raises(QIDLSyntaxError) as excinfo:
+            parse("interface S {\n  void op(;\n};")
+        assert "line 2" in str(excinfo.value)

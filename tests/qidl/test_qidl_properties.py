@@ -1,0 +1,114 @@
+"""Property-based tests: randomly generated QIDL specs compile and run."""
+
+import keyword
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.qidl import compile_qidl_to_source
+from repro.qidl.parser import parse
+
+PRIMITIVES = [
+    "boolean",
+    "octet",
+    "short",
+    "unsigned short",
+    "long",
+    "unsigned long",
+    "long long",
+    "float",
+    "double",
+    "string",
+    "octets",
+    "any",
+]
+
+identifiers = (
+    st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=10)
+    .map(lambda s: f"id_{s}")
+    .filter(lambda s: not keyword.iskeyword(s))
+)
+
+types = st.one_of(
+    st.sampled_from(PRIMITIVES),
+    st.sampled_from(PRIMITIVES).map(lambda t: f"sequence<{t}>"),
+)
+
+
+@st.composite
+def operations(draw):
+    name = draw(identifiers)
+    result = draw(st.one_of(st.just("void"), types))
+    param_count = draw(st.integers(min_value=0, max_value=3))
+    params = []
+    used = set()
+    for index in range(param_count):
+        param_name = f"p{index}"
+        param_type = draw(types)
+        params.append(f"in {param_type} {param_name}")
+        used.add(param_name)
+    return f"{result} {name}({', '.join(params)});"
+
+
+@st.composite
+def interfaces(draw):
+    name = draw(identifiers.map(lambda s: s.capitalize()))
+    ops = draw(st.lists(operations(), min_size=0, max_size=4))
+    # Deduplicate operation names to keep the spec valid.
+    seen = set()
+    unique_ops = []
+    for op in ops:
+        op_name = op.split()[-1].split("(")[0] if "(" in op else op
+        op_name = op.split("(")[0].split()[-1]
+        if op_name not in seen:
+            seen.add(op_name)
+            unique_ops.append(op)
+    body = "\n    ".join(unique_ops)
+    return f"interface {name} {{\n    {body}\n}};"
+
+
+@given(interfaces())
+@settings(max_examples=40, deadline=None)
+def test_generated_specs_compile_to_valid_python(interface_source):
+    python_source = compile_qidl_to_source(interface_source)
+    compiled = compile(python_source, "<test>", "exec")
+    namespace = {}
+    exec(compiled, namespace)
+    spec = parse(interface_source)
+    interface_name = spec.interfaces()[0].name
+    assert f"{interface_name}Stub" in namespace
+    assert f"{interface_name}Skeleton" in namespace
+
+
+@given(
+    st.lists(
+        st.sampled_from(PRIMITIVES),
+        min_size=1,
+        max_size=5,
+        unique=True,
+    )
+)
+@settings(max_examples=20, deadline=None)
+def test_struct_members_of_every_type_compile(member_types):
+    members = "\n    ".join(
+        f"{idl_type} m{index};" for index, idl_type in enumerate(member_types)
+    )
+    source = f"struct Thing {{\n    {members}\n}};"
+    python_source = compile_qidl_to_source(source)
+    namespace = {}
+    exec(compile(python_source, "<test>", "exec"), namespace)
+    assert "make_Thing" in namespace
+    assert len(namespace["THING_FIELDS"]) == len(member_types)
+
+
+@given(st.lists(identifiers, min_size=1, max_size=6, unique=True))
+@settings(max_examples=20, deadline=None)
+def test_enum_members_compile(members):
+    source = f"enum Mode {{ {', '.join(m.upper() for m in members)} }};"
+    python_source = compile_qidl_to_source(source)
+    namespace = {}
+    exec(compile(python_source, "<test>", "exec"), namespace)
+    mode = namespace["Mode"]
+    assert len(mode.MEMBERS) == len(members)
+    for member in members:
+        assert getattr(mode, member.upper()) == member.upper()

@@ -1,0 +1,113 @@
+"""Tests for the interface repository."""
+
+import pytest
+
+from repro.qidl import compile_qidl
+from repro.qidl.repository import (
+    GLOBAL_REPOSITORY,
+    InterfaceRepository,
+    RepositoryError,
+)
+
+SPEC = """
+qos Shadowing {
+    attribute boolean enabled;
+    peer void mirror(in string target);
+};
+
+interface Ledger provides Shadowing {
+    readonly attribute long entries;
+    void post(in string item, in double amount);
+    oneway void audit_ping(in string reason);
+};
+"""
+
+
+@pytest.fixture(scope="module")
+def gen():
+    return compile_qidl(SPEC, "ifr_test_ledger")
+
+
+class TestRegistration:
+    def test_compiled_spec_registers_interface(self, gen):
+        assert "Ledger" in GLOBAL_REPOSITORY.interfaces()
+
+    def test_compiled_spec_registers_qos(self, gen):
+        assert "Shadowing" in GLOBAL_REPOSITORY.qos_characteristics()
+
+    def test_reregistration_overwrites(self, gen):
+        before = GLOBAL_REPOSITORY.describe_interface("Ledger")
+        compile_qidl(SPEC, "ifr_test_ledger_again")
+        after = GLOBAL_REPOSITORY.describe_interface("Ledger")
+        assert before["repo_id"] == after["repo_id"]
+
+
+class TestInterfaceLookup:
+    def test_describe_interface(self, gen):
+        entry = GLOBAL_REPOSITORY.describe_interface("Ledger")
+        assert entry["repo_id"] == "IDL:Ledger:1.0"
+        assert entry["provides"] == ["Shadowing"]
+        assert ("long", "entries", True) in entry["attributes"]
+
+    def test_operations_include_attribute_accessors(self, gen):
+        operations = GLOBAL_REPOSITORY.operations("Ledger")
+        assert "post" in operations
+        assert "get_entries" in operations
+        assert "set_entries" not in operations  # readonly
+
+    def test_lookup_operation_signature(self, gen):
+        signature = GLOBAL_REPOSITORY.lookup_operation("Ledger", "post")
+        assert signature["result"] == "void"
+        assert signature["params"] == [
+            ("in", "string", "item"),
+            ("in", "double", "amount"),
+        ]
+
+    def test_oneway_flag_recorded(self, gen):
+        assert GLOBAL_REPOSITORY.lookup_operation("Ledger", "audit_ping")["oneway"]
+
+    def test_qos_operation_found_through_interface(self, gen):
+        signature = GLOBAL_REPOSITORY.lookup_operation("Ledger", "mirror")
+        assert signature["owner"] == "Shadowing"
+        assert signature["category"] == "peer"
+
+    def test_unknown_operation(self, gen):
+        with pytest.raises(RepositoryError):
+            GLOBAL_REPOSITORY.lookup_operation("Ledger", "erase_everything")
+
+    def test_unknown_interface(self, gen):
+        with pytest.raises(RepositoryError):
+            GLOBAL_REPOSITORY.describe_interface("Ghost")
+
+
+class TestQoSLookup:
+    def test_describe_qos(self, gen):
+        entry = GLOBAL_REPOSITORY.describe_qos("Shadowing")
+        assert ("boolean", "enabled", False) in entry["parameters"]
+
+    def test_qos_categories_recorded(self, gen):
+        signature = GLOBAL_REPOSITORY.lookup_operation("Shadowing", "mirror")
+        assert signature["category"] == "peer"
+        accessor = GLOBAL_REPOSITORY.lookup_operation("Shadowing", "set_enabled")
+        assert accessor["category"] == "management"
+
+    def test_provides_helper(self, gen):
+        assert GLOBAL_REPOSITORY.provides("Ledger") == ["Shadowing"]
+
+
+class TestORBIntegration:
+    def test_initial_reference(self, gen):
+        from repro.orb import World
+
+        world = World()
+        world.add_host("h")
+        repository = world.orb("h").resolve_initial_references(
+            "InterfaceRepository"
+        )
+        assert "Ledger" in repository.interfaces()
+
+    def test_isolated_repository(self):
+        repository = InterfaceRepository()
+        assert repository.interfaces() == []
+        with pytest.raises(RepositoryError):
+            repository.operations("Anything")

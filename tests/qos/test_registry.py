@@ -1,0 +1,78 @@
+"""Tests for the characteristic registry and the weave helper."""
+
+import pytest
+
+import repro.qos as qos
+from repro.qidl.errors import QIDLSemanticError
+
+
+class TestRegistry:
+    def test_all_five_registered(self):
+        # Other tests may register additional (custom) characteristics
+        # in the same process; the five built-ins must always be there.
+        assert set(qos.REGISTRY) >= {
+            "Actuality",
+            "Compression",
+            "Encryption",
+            "FaultTolerance",
+            "LoadBalancing",
+        }
+
+    def test_get_characteristic(self):
+        characteristic = qos.get_characteristic("FaultTolerance")
+        assert characteristic.category == "fault-tolerance"
+        assert characteristic.default_module == "multicast"
+
+    def test_unknown_characteristic(self):
+        with pytest.raises(KeyError):
+            qos.get_characteristic("Teleportation")
+
+    def test_categories_are_diverse(self):
+        # Multi-category support (Section 2.1): at least four distinct
+        # categories among the evaluated characteristics.
+        categories = {c.category for c in qos.REGISTRY.values()}
+        assert len(categories) >= 4
+
+    def test_mediator_and_impl_classes_match(self):
+        for characteristic in qos.REGISTRY.values():
+            assert (
+                characteristic.mediator_class.characteristic == characteristic.name
+            )
+            assert characteristic.impl_class.characteristic == characteristic.name
+
+    def test_duplicate_registration_rejected(self):
+        existing = qos.REGISTRY["Compression"]
+        with pytest.raises(ValueError):
+            qos.register_characteristic(existing)
+
+
+class TestWeave:
+    def test_prelude_contains_all_characteristics(self):
+        prelude = qos.qidl_prelude()
+        for name in qos.REGISTRY:
+            assert f"qos {name}" in prelude
+
+    def test_weave_resolves_provides(self):
+        generated = qos.weave(
+            "interface Probe provides Actuality { double read(); };",
+            "weave_test_probe",
+        )
+        assert generated.ProbeStub.PROVIDES == ("Actuality",)
+        assert "Actuality" in generated.ProbeServerBase._qos_signatures
+
+    def test_weave_without_provides(self):
+        generated = qos.weave(
+            "interface Plain { void noop(); };", "weave_test_plain"
+        )
+        assert generated.PlainStub.PROVIDES == ()
+        assert not hasattr(generated, "PlainServerBase")
+
+    def test_unknown_characteristic_still_rejected(self):
+        with pytest.raises(QIDLSemanticError):
+            qos.weave("interface X provides Teleportation {};")
+
+    def test_interface_cannot_redeclare_integration_ops(self):
+        with pytest.raises(QIDLSemanticError):
+            qos.weave(
+                "interface X provides FaultTolerance { any get_state(); };"
+            )

@@ -1,0 +1,189 @@
+"""Tests for workload generators, demo apps and drivers."""
+
+import pytest
+
+from repro.orb import World
+from repro.workloads import (
+    Arrival,
+    bursty_arrivals,
+    compressible_text,
+    compute_module,
+    make_archive_servant_class,
+    make_compute_servant_class,
+    make_quote_servant_class,
+    market_ticks,
+    open_loop_fanout,
+    poisson_arrivals,
+    random_bytes,
+    run_closed_loop,
+    sensor_samples,
+    uniform_arrivals,
+)
+from repro.workloads.apps import archive_module, quote_module
+
+
+class TestArrivals:
+    def test_poisson_mean_rate(self):
+        times = poisson_arrivals(rate=100.0, duration=10.0, seed=1)
+        assert 800 < len(times) < 1200
+        assert times == sorted(times)
+        assert all(0 < t <= 10.0 for t in times)
+
+    def test_poisson_deterministic_per_seed(self):
+        assert poisson_arrivals(10, 5, seed=3) == poisson_arrivals(10, 5, seed=3)
+        assert poisson_arrivals(10, 5, seed=3) != poisson_arrivals(10, 5, seed=4)
+
+    def test_poisson_invalid_rate(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(0, 1)
+
+    def test_uniform_spacing(self):
+        times = uniform_arrivals(rate=10.0, duration=1.0)
+        assert len(times) == 10
+        assert times[1] - times[0] == pytest.approx(0.1)
+
+    def test_bursty_has_dense_and_sparse_phases(self):
+        times = bursty_arrivals(
+            burst_rate=200.0, idle_rate=5.0, period=1.0, duty=0.3,
+            duration=4.0, seed=2,
+        )
+        on_phase = [t for t in times if (t % 1.0) < 0.3]
+        off_phase = [t for t in times if (t % 1.0) >= 0.3]
+        assert len(on_phase) > 3 * len(off_phase)
+
+    def test_bursty_duty_validation(self):
+        with pytest.raises(ValueError):
+            bursty_arrivals(1, 1, 1, 1.5, 1)
+
+
+class TestPayloads:
+    def test_compressible_text_compresses(self):
+        from repro.codecs import lz
+
+        text = compressible_text(4000, seed=1)
+        assert len(text) == 4000
+        assert len(lz.compress(text.encode())) < 2600
+
+    def test_random_bytes_do_not_compress(self):
+        from repro.codecs import rle
+
+        noise = random_bytes(2000, seed=1)
+        assert len(rle.compress(noise)) > 1900
+
+    def test_market_ticks_deterministic(self):
+        assert market_ticks("ACME", 10) == market_ticks("ACME", 10)
+        assert market_ticks("ACME", 10) != market_ticks("OTHER", 10)
+
+    def test_sensor_samples_delta_friendly(self):
+        from repro.codecs import delta
+
+        samples = sensor_samples(2000, seed=1)
+        assert len(delta.compress(samples)) < len(samples) / 3
+
+
+@pytest.fixture
+def world():
+    w = World()
+    w.lan(["client", "s1", "s2"], latency=0.002, bandwidth_bps=10e6)
+    return w
+
+
+class TestDemoApps:
+    def test_archive_app(self, world):
+        servant = make_archive_servant_class()()
+        ior = world.orb("s1").poa.activate_object(servant)
+        stub = archive_module.ArchiveStub(world.orb("client"), ior)
+        stub.store("k", "v")
+        assert stub.fetch("k") == "v"
+        assert stub.list_paths() == ["k"]
+
+    def test_quote_app(self, world):
+        servant = make_quote_servant_class()()
+        ior = world.orb("s1").poa.activate_object(servant)
+        stub = quote_module.QuoteFeedStub(world.orb("client"), ior)
+        price = stub.quote("ACME")
+        assert price > 0
+        stub.publish("ACME", 42.0)
+        assert stub.quote("ACME") == 42.0
+        assert len(stub.history("ACME", 5)) == 5
+
+    def test_compute_app_service_time_scales(self, world):
+        servant = make_compute_servant_class(unit_cost=0.01)()
+        ior = world.orb("s1").poa.activate_object(servant)
+        stub = compute_module.ComputeStub(world.orb("client"), ior)
+        start = world.clock.now
+        stub.busy_work(10)
+        assert world.clock.now - start >= 0.1
+        assert stub.transform("aBc") == "AbC"
+        assert stub.completed() == 2
+
+
+class TestDrivers:
+    def test_closed_loop_summary(self, world):
+        servant = make_archive_servant_class()()
+        ior = world.orb("s1").poa.activate_object(servant)
+        stub = archive_module.ArchiveStub(world.orb("client"), ior)
+        result = run_closed_loop(world.clock, lambda i: stub.size(), 10)
+        assert result.count == 10
+        assert result.mean() > 0
+        assert result.p95() >= result.mean() * 0.5
+        assert result.throughput() > 0
+
+    def test_closed_loop_swallows_declared_failures(self, world):
+        from repro.orb.exceptions import COMM_FAILURE
+
+        servant = make_archive_servant_class()()
+        ior = world.orb("s1").poa.activate_object(servant)
+        stub = archive_module.ArchiveStub(world.orb("client"), ior)
+        world.faults.crash("s1")
+        result = run_closed_loop(
+            world.clock, lambda i: stub.size(), 5, swallow=(COMM_FAILURE,)
+        )
+        assert result.failures == 5
+
+    def test_open_loop_queueing_builds_up(self, world):
+        # Offered load 2x the service rate: queueing latency must grow
+        # far beyond a single service time.
+        servant_class = make_compute_servant_class(unit_cost=0.01)
+        servant = servant_class()
+        ior = world.orb("s1").poa.activate_object(servant)
+        arrivals = [
+            Arrival(t, ior, "busy_work", (1,))
+            for t in uniform_arrivals(rate=200.0, duration=0.5)
+        ]
+        result = open_loop_fanout(world.orb("client"), arrivals)
+        assert result.count == 100
+        assert result.max() > 0.2  # ~half the backlog queued behind
+
+    def test_open_loop_under_capacity_stays_flat(self, world):
+        servant = make_compute_servant_class(unit_cost=0.001)()
+        ior = world.orb("s1").poa.activate_object(servant)
+        arrivals = [
+            Arrival(t, ior, "busy_work", (1,))
+            for t in uniform_arrivals(rate=50.0, duration=0.5)
+        ]
+        result = open_loop_fanout(world.orb("client"), arrivals)
+        assert result.max() < 0.05
+
+    def test_open_loop_counts_failures(self, world):
+        servant = make_archive_servant_class()()
+        ior = world.orb("s1").poa.activate_object(servant)
+        world.faults.crash("s1")
+        arrivals = [Arrival(0.1, ior, "size")]
+        result = open_loop_fanout(world.orb("client"), arrivals)
+        assert result.failures == 1
+
+    def test_open_loop_empty(self, world):
+        result = open_loop_fanout(world.orb("client"), [])
+        assert result.count == 0
+
+    def test_open_loop_driver_kernel_based(self, world):
+        servant = make_archive_servant_class()()
+        ior = world.orb("s1").poa.activate_object(servant)
+        stub = archive_module.ArchiveStub(world.orb("client"), ior)
+        from repro.workloads import OpenLoopDriver
+
+        driver = OpenLoopDriver(world.kernel, lambda i: stub.size())
+        driver.schedule([0.1, 0.2, 0.3])
+        result = driver.run()
+        assert result.count == 3
