@@ -1,0 +1,308 @@
+# Verbatim copy of src/repro/orb/cdr.py from the growth seed (commit
+# ed92a9f), kept for same-run seed-vs-current benchmarking.  Do not edit.
+"""CDR-style marshalling.
+
+A Common Data Representation encoder/decoder in the spirit of CORBA
+CDR: big-endian primitives with natural alignment, length-prefixed
+strings and sequences, and a tagged ``any`` encoding for dynamically
+typed values (used by the DII and by the GIOP bodies of this ORB).
+
+The encoding is self-contained — both ends of the simulated wire
+really do run through these byte buffers, so marshalling bugs fail
+loudly rather than being papered over by passing Python objects
+around.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Dict, List, Tuple
+
+from repro.orb.exceptions import MARSHAL
+
+# Type tags for the `any` encoding.
+TAG_NULL = 0
+TAG_BOOLEAN = 1
+TAG_OCTET = 2
+TAG_SHORT = 3
+TAG_USHORT = 4
+TAG_LONG = 5
+TAG_ULONG = 6
+TAG_LONGLONG = 7
+TAG_DOUBLE = 8
+TAG_STRING = 9
+TAG_OCTETS = 10
+TAG_SEQUENCE = 11
+TAG_MAP = 12
+TAG_FLOAT = 13
+TAG_BIGNUM = 14
+
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+
+
+class CDREncoder:
+    """Write values into a CDR byte buffer."""
+
+    def __init__(self) -> None:
+        self._chunks: List[bytes] = []
+        self._length = 0
+
+    # -- low-level ------------------------------------------------------
+
+    def _append(self, data: bytes) -> None:
+        self._chunks.append(data)
+        self._length += len(data)
+
+    def _align(self, boundary: int) -> None:
+        padding = (-self._length) % boundary
+        if padding:
+            self._append(b"\x00" * padding)
+
+    def _pack(self, fmt: str, value: Any, alignment: int) -> None:
+        self._align(alignment)
+        try:
+            self._append(struct.pack(fmt, value))
+        except (struct.error, TypeError) as error:
+            raise MARSHAL(f"cannot pack {value!r} as {fmt!r}: {error}") from None
+
+    # -- primitives -----------------------------------------------------
+
+    def write_octet(self, value: int) -> None:
+        self._pack(">B", value, 1)
+
+    def write_boolean(self, value: bool) -> None:
+        self.write_octet(1 if value else 0)
+
+    def write_short(self, value: int) -> None:
+        self._pack(">h", value, 2)
+
+    def write_ushort(self, value: int) -> None:
+        self._pack(">H", value, 2)
+
+    def write_long(self, value: int) -> None:
+        self._pack(">i", value, 4)
+
+    def write_ulong(self, value: int) -> None:
+        self._pack(">I", value, 4)
+
+    def write_longlong(self, value: int) -> None:
+        self._pack(">q", value, 8)
+
+    def write_float(self, value: float) -> None:
+        self._pack(">f", value, 4)
+
+    def write_double(self, value: float) -> None:
+        self._pack(">d", value, 8)
+
+    def write_string(self, value: str) -> None:
+        if not isinstance(value, str):
+            raise MARSHAL(f"expected str, got {type(value).__name__}")
+        data = value.encode("utf-8")
+        self.write_ulong(len(data))
+        self._append(data)
+
+    def write_octets(self, value: bytes) -> None:
+        if not isinstance(value, (bytes, bytearray)):
+            raise MARSHAL(f"expected bytes, got {type(value).__name__}")
+        self.write_ulong(len(value))
+        self._append(bytes(value))
+
+    # -- any --------------------------------------------------------------
+
+    def write_any(self, value: Any) -> None:
+        """Encode a dynamically typed value with a leading type tag.
+
+        Python natives map onto the widest safe IDL type: ``int`` →
+        long long, ``float`` → double.  Lists/tuples become sequences,
+        dicts (string-keyed) become maps.
+        """
+        if value is None:
+            self.write_octet(TAG_NULL)
+        elif isinstance(value, bool):
+            self.write_octet(TAG_BOOLEAN)
+            self.write_boolean(value)
+        elif isinstance(value, int):
+            if _INT64_MIN <= value <= _INT64_MAX:
+                self.write_octet(TAG_LONGLONG)
+                self.write_longlong(value)
+            else:
+                # Arbitrary-precision integers (e.g. Diffie-Hellman
+                # public values) travel as sign + magnitude octets.
+                self.write_octet(TAG_BIGNUM)
+                self.write_boolean(value < 0)
+                magnitude = abs(value)
+                self.write_octets(
+                    magnitude.to_bytes((magnitude.bit_length() + 7) // 8, "big")
+                )
+        elif isinstance(value, float):
+            self.write_octet(TAG_DOUBLE)
+            self.write_double(value)
+        elif isinstance(value, str):
+            self.write_octet(TAG_STRING)
+            self.write_string(value)
+        elif isinstance(value, (bytes, bytearray)):
+            self.write_octet(TAG_OCTETS)
+            self.write_octets(value)
+        elif isinstance(value, (list, tuple)):
+            self.write_octet(TAG_SEQUENCE)
+            self.write_ulong(len(value))
+            for item in value:
+                self.write_any(item)
+        elif isinstance(value, dict):
+            self.write_octet(TAG_MAP)
+            self.write_ulong(len(value))
+            for key, item in value.items():
+                if not isinstance(key, str):
+                    raise MARSHAL(f"map keys must be str, got {type(key).__name__}")
+                self.write_string(key)
+                self.write_any(item)
+        else:
+            raise MARSHAL(f"cannot marshal value of type {type(value).__name__}")
+
+    def getvalue(self) -> bytes:
+        """The encoded buffer."""
+        return b"".join(self._chunks)
+
+    def __len__(self) -> int:
+        return self._length
+
+
+class CDRDecoder:
+    """Read values back out of a CDR byte buffer."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._offset = 0
+
+    # -- low-level ------------------------------------------------------
+
+    def _align(self, boundary: int) -> None:
+        self._offset += (-self._offset) % boundary
+
+    def _unpack(self, fmt: str, size: int, alignment: int) -> Any:
+        self._align(alignment)
+        end = self._offset + size
+        if end > len(self._data):
+            raise MARSHAL(
+                f"buffer underrun: need {size} bytes at {self._offset}, "
+                f"have {len(self._data) - self._offset}"
+            )
+        (value,) = struct.unpack_from(fmt, self._data, self._offset)
+        self._offset = end
+        return value
+
+    # -- primitives -----------------------------------------------------
+
+    def read_octet(self) -> int:
+        return self._unpack(">B", 1, 1)
+
+    def read_boolean(self) -> bool:
+        return bool(self.read_octet())
+
+    def read_short(self) -> int:
+        return self._unpack(">h", 2, 2)
+
+    def read_ushort(self) -> int:
+        return self._unpack(">H", 2, 2)
+
+    def read_long(self) -> int:
+        return self._unpack(">i", 4, 4)
+
+    def read_ulong(self) -> int:
+        return self._unpack(">I", 4, 4)
+
+    def read_longlong(self) -> int:
+        return self._unpack(">q", 8, 8)
+
+    def read_float(self) -> float:
+        return self._unpack(">f", 4, 4)
+
+    def read_double(self) -> float:
+        return self._unpack(">d", 8, 8)
+
+    def read_string(self) -> str:
+        length = self.read_ulong()
+        end = self._offset + length
+        if end > len(self._data):
+            raise MARSHAL(f"string of length {length} overruns buffer")
+        value = self._data[self._offset : end].decode("utf-8")
+        self._offset = end
+        return value
+
+    def read_octets(self) -> bytes:
+        length = self.read_ulong()
+        end = self._offset + length
+        if end > len(self._data):
+            raise MARSHAL(f"octet sequence of length {length} overruns buffer")
+        value = self._data[self._offset : end]
+        self._offset = end
+        return value
+
+    # -- any --------------------------------------------------------------
+
+    def read_any(self) -> Any:
+        tag = self.read_octet()
+        if tag == TAG_NULL:
+            return None
+        if tag == TAG_BOOLEAN:
+            return self.read_boolean()
+        if tag == TAG_OCTET:
+            return self.read_octet()
+        if tag == TAG_SHORT:
+            return self.read_short()
+        if tag == TAG_USHORT:
+            return self.read_ushort()
+        if tag == TAG_LONG:
+            return self.read_long()
+        if tag == TAG_ULONG:
+            return self.read_ulong()
+        if tag == TAG_LONGLONG:
+            return self.read_longlong()
+        if tag == TAG_FLOAT:
+            return self.read_float()
+        if tag == TAG_DOUBLE:
+            return self.read_double()
+        if tag == TAG_STRING:
+            return self.read_string()
+        if tag == TAG_OCTETS:
+            return self.read_octets()
+        if tag == TAG_BIGNUM:
+            negative = self.read_boolean()
+            magnitude = int.from_bytes(self.read_octets(), "big")
+            return -magnitude if negative else magnitude
+        if tag == TAG_SEQUENCE:
+            length = self.read_ulong()
+            return [self.read_any() for _ in range(length)]
+        if tag == TAG_MAP:
+            length = self.read_ulong()
+            result: Dict[str, Any] = {}
+            for _ in range(length):
+                key = self.read_string()
+                result[key] = self.read_any()
+            return result
+        raise MARSHAL(f"unknown any tag: {tag}")
+
+    @property
+    def remaining(self) -> int:
+        """Bytes not yet consumed."""
+        return len(self._data) - self._offset
+
+    def at_end(self) -> bool:
+        return self._offset >= len(self._data)
+
+
+def encode_values(*values: Any) -> bytes:
+    """Encode a tuple of values as a counted sequence of anys."""
+    encoder = CDREncoder()
+    encoder.write_ulong(len(values))
+    for value in values:
+        encoder.write_any(value)
+    return encoder.getvalue()
+
+
+def decode_values(data: bytes) -> Tuple[Any, ...]:
+    """Inverse of :func:`encode_values`."""
+    decoder = CDRDecoder(data)
+    count = decoder.read_ulong()
+    return tuple(decoder.read_any() for _ in range(count))

@@ -1,0 +1,332 @@
+"""The growth seed's wire path, replayable in the current process.
+
+``run_bench.py`` must record seed *and* current numbers in the same
+run, on the same interpreter and the same machine state, so the
+speedup ratio is not polluted by run-to-run noise.  This module keeps
+verbatim copies of the seed hot paths — CDR (``_seed_cdr``), GIOP
+encode/decode, IOR encode/decode, the network send path, and the
+reflective servant dispatch — and a context manager that patches them
+over the live classes for the duration of a measurement.
+
+All patched call sites reference these entry points late (``giop.<fn>``
+module attributes, ``Network``/``Servant`` methods), so swapping the
+attributes is enough to make the whole ORB run on the seed path.
+
+Nothing here is imported by the library; it exists only for the
+benchmark harness.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Optional, Tuple
+
+from _seed_cdr import CDRDecoder as SeedDecoder, CDREncoder as SeedEncoder
+from repro.netsim.network import HostCrashed, Network, NoRoute, PacketLost
+from repro.orb import giop
+from repro.orb.exceptions import (
+    BAD_OPERATION,
+    MARSHAL,
+    SystemException,
+    UserException,
+    system_exception_from_wire,
+    user_exception_from_wire,
+)
+from repro.orb.ior import IIOPProfile, IOR, TaggedComponent
+from repro.orb.qos_transport import QoSTransport
+from repro.orb.request import Request
+from repro.orb.servant import Servant
+from repro.orb.skeleton import TypedSkeleton
+from repro.orb.modules.base import binding_key
+
+MAGIC = giop.MAGIC
+VERSION = giop.VERSION
+
+
+# -- seed GIOP (verbatim seed logic on the seed CDR classes) ------------
+
+
+def _write_header(encoder: SeedEncoder, message_type: int) -> None:
+    for byte in MAGIC:
+        encoder.write_octet(byte)
+    encoder.write_octet(VERSION[0])
+    encoder.write_octet(VERSION[1])
+    encoder.write_octet(message_type)
+
+
+def _read_header(decoder: SeedDecoder) -> int:
+    magic = bytes(decoder.read_octet() for _ in range(4))
+    if magic != MAGIC:
+        raise MARSHAL(f"bad GIOP magic: {magic!r}")
+    major, minor = decoder.read_octet(), decoder.read_octet()
+    if (major, minor) != VERSION:
+        raise MARSHAL(f"unsupported GIOP version {major}.{minor}")
+    return decoder.read_octet()
+
+
+def seed_ior_encode(ior: IOR) -> bytes:
+    """Seed ``IOR.encode``: a full re-encode on every call, no memo."""
+    encoder = SeedEncoder()
+    encoder.write_string(ior.type_id)
+    encoder.write_string(ior.profile.host)
+    encoder.write_ulong(ior.profile.port)
+    encoder.write_string(ior.profile.object_key)
+    encoder.write_ulong(len(ior.components))
+    for component in ior.components:
+        encoder.write_ulong(component.tag)
+        encoder.write_any(component.data)
+    return encoder.getvalue()
+
+
+def seed_ior_decode(data: bytes) -> IOR:
+    """Seed ``IOR.decode``: a full parse on every call, no cache."""
+    decoder = SeedDecoder(data)
+    type_id = decoder.read_string()
+    host = decoder.read_string()
+    port = decoder.read_ulong()
+    object_key = decoder.read_string()
+    count = decoder.read_ulong()
+    components = []
+    for _ in range(count):
+        tag = decoder.read_ulong()
+        payload = decoder.read_any()
+        if not isinstance(payload, dict):
+            raise MARSHAL("tagged component payload must decode to a map")
+        components.append(TaggedComponent(tag, payload))
+    return IOR(type_id, IIOPProfile(host, port, object_key), components)
+
+
+def seed_encode_request(request: Request) -> bytes:
+    encoder = SeedEncoder()
+    _write_header(encoder, giop.MSG_REQUEST)
+    encoder.write_ulong(request.request_id)
+    encoder.write_octets(seed_ior_encode(request.target))
+    encoder.write_string(request.operation)
+    encoder.write_string(request.kind)
+    encoder.write_string(request.command_target or "")
+    encoder.write_boolean(request.response_expected)
+    encoder.write_any(request.service_contexts)
+    encoder.write_ulong(len(request.args))
+    for arg in request.args:
+        encoder.write_any(arg)
+    return encoder.getvalue()
+
+
+def seed_decode_request(data: bytes) -> Request:
+    decoder = SeedDecoder(data)
+    if _read_header(decoder) != giop.MSG_REQUEST:
+        raise MARSHAL("expected a GIOP Request message")
+    request_id = decoder.read_ulong()
+    target = seed_ior_decode(decoder.read_octets())
+    operation = decoder.read_string()
+    kind = decoder.read_string()
+    command_target = decoder.read_string() or None
+    response_expected = decoder.read_boolean()
+    contexts = decoder.read_any()
+    if not isinstance(contexts, dict):
+        raise MARSHAL("service contexts must decode to a map")
+    count = decoder.read_ulong()
+    args = tuple(decoder.read_any() for _ in range(count))
+    request = Request(
+        target,
+        operation,
+        args,
+        kind=kind,
+        command_target=command_target,
+        service_contexts=contexts,
+        response_expected=response_expected,
+    )
+    request.request_id = request_id
+    return request
+
+
+def seed_encode_reply(
+    request_id: int,
+    result: Any = None,
+    exception: Optional[Exception] = None,
+    service_contexts: Optional[Dict[str, Any]] = None,
+) -> bytes:
+    encoder = SeedEncoder()
+    _write_header(encoder, giop.MSG_REPLY)
+    encoder.write_ulong(request_id)
+    encoder.write_any(service_contexts or {})
+    if exception is None:
+        encoder.write_octet(giop.NO_EXCEPTION)
+        encoder.write_any(result)
+    elif isinstance(exception, UserException):
+        encoder.write_octet(giop.USER_EXCEPTION)
+        encoder.write_string(exception.repo_id)
+        encoder.write_string(exception.message)
+        encoder.write_any(exception.members)
+    elif isinstance(exception, SystemException):
+        encoder.write_octet(giop.SYSTEM_EXCEPTION)
+        encoder.write_string(exception.repo_id)
+        encoder.write_string(exception.message)
+        encoder.write_long(exception.minor)
+    else:
+        encoder.write_octet(giop.SYSTEM_EXCEPTION)
+        encoder.write_string(SystemException.repo_id)
+        encoder.write_string(f"{type(exception).__name__}: {exception}")
+        encoder.write_long(0)
+    return encoder.getvalue()
+
+
+def seed_decode_reply(data: bytes) -> "giop.Reply":
+    decoder = SeedDecoder(data)
+    if _read_header(decoder) != giop.MSG_REPLY:
+        raise MARSHAL("expected a GIOP Reply message")
+    request_id = decoder.read_ulong()
+    contexts = decoder.read_any()
+    if not isinstance(contexts, dict):
+        raise MARSHAL("service contexts must decode to a map")
+    status = decoder.read_octet()
+    if status == giop.NO_EXCEPTION:
+        return giop.Reply(request_id, contexts, decoder.read_any(), None)
+    if status == giop.USER_EXCEPTION:
+        repo_id = decoder.read_string()
+        message = decoder.read_string()
+        members = decoder.read_any()
+        exception = user_exception_from_wire(repo_id, message, members)
+        return giop.Reply(request_id, contexts, None, exception)
+    if status == giop.SYSTEM_EXCEPTION:
+        repo_id = decoder.read_string()
+        message = decoder.read_string()
+        minor = decoder.read_long()
+        exception = system_exception_from_wire(repo_id, message, minor)
+        return giop.Reply(request_id, contexts, None, exception)
+    raise MARSHAL(f"unknown reply status: {status}")
+
+
+def seed_message_type(data: bytes) -> int:
+    return _read_header(SeedDecoder(data))
+
+
+# -- seed network send path ---------------------------------------------
+
+
+def seed_route(self: Network, src: str, dst: str):
+    self.host(src)
+    self.host(dst)
+    if src == dst:
+        return []
+    key = (src, dst)
+    if key not in self._route_cache:
+        self._route_cache[key] = self._dijkstra(src, dst)
+    path = self._route_cache[key]
+    if path is None:
+        raise NoRoute(f"no route from {src!r} to {dst!r}")
+    return path
+
+
+def seed_transfer_delay(
+    self: Network,
+    src: str,
+    dst: str,
+    nbytes: int,
+    reservations: Optional[Dict[int, float]] = None,
+) -> float:
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be non-negative: {nbytes}")
+    delay = 0.0
+    for link in self.route(src, dst):
+        reserved = reservations.get(id(link)) if reservations else None
+        bandwidth = link.effective_bandwidth(reserved)
+        delay += link.latency + (nbytes * 8.0) / bandwidth
+    return delay
+
+
+def seed_send(
+    self: Network,
+    src: str,
+    dst: str,
+    nbytes: int,
+    reservations: Optional[Dict[int, float]] = None,
+) -> float:
+    source, target = self.host(src), self.host(dst)
+    if source.crashed:
+        raise HostCrashed(f"source host {src!r} is crashed")
+    if target.crashed:
+        raise HostCrashed(f"destination host {dst!r} is crashed")
+    path = self.route(src, dst)
+    for link in path:
+        if link.sample_loss():
+            link.messages_lost += 1
+            raise PacketLost(f"message lost on {link!r}")
+    delay = self.transfer_delay(src, dst, nbytes, reservations)
+    for link in path:
+        link.bytes_carried += nbytes
+        link.messages_carried += 1
+    if not path:
+        self.loopback_bytes += nbytes
+    self.messages_sent += 1
+    self.bytes_sent += nbytes
+    return delay
+
+
+# -- seed dispatch ------------------------------------------------------
+
+
+def seed_servant_dispatch(self, operation: str, args: Tuple[Any, ...],
+                          contexts: Optional[Dict[str, Any]] = None) -> Any:
+    if operation.startswith("_"):
+        raise BAD_OPERATION(f"operation {operation!r} is not remotely accessible")
+    method = getattr(self, operation, None)
+    if method is None or not callable(method):
+        raise BAD_OPERATION(
+            f"{type(self).__name__} has no operation {operation!r}"
+        )
+    return method(*args)
+
+
+def seed_typed_dispatch(self, operation: str, args: Tuple[Any, ...],
+                        contexts: Optional[Dict[str, Any]] = None) -> Any:
+    signature = self._signatures.get(operation)
+    if signature is None:
+        raise BAD_OPERATION(
+            f"{type(self).__name__} has no operation {operation!r}"
+        )
+    signature.check_args(args)
+    method = getattr(self, operation, None)
+    if method is None:
+        raise BAD_OPERATION(
+            f"{type(self).__name__} does not implement {operation!r}"
+        )
+    result = method(*args)
+    signature.check_result(result)
+    return result
+
+
+def seed_assigned_module(self: QoSTransport, target: IOR):
+    name = self._assignments.get(binding_key(target))
+    if name is None:
+        return None
+    return self._modules.get(name)
+
+
+#: (owner object, attribute name, seed implementation) for every patch.
+_PATCHES = [
+    (giop, "encode_request", seed_encode_request),
+    (giop, "decode_request", seed_decode_request),
+    (giop, "encode_reply", seed_encode_reply),
+    (giop, "decode_reply", seed_decode_reply),
+    (giop, "message_type", seed_message_type),
+    (Network, "route", seed_route),
+    (Network, "transfer_delay", seed_transfer_delay),
+    (Network, "send", seed_send),
+    (Servant, "_dispatch", seed_servant_dispatch),
+    (TypedSkeleton, "_dispatch", seed_typed_dispatch),
+    (QoSTransport, "assigned_module", seed_assigned_module),
+]
+
+
+@contextmanager
+def seed_wire():
+    """Run the ORB on the seed wire path for the duration of the block."""
+    saved = [(owner, name, owner.__dict__[name]) for owner, name, _ in _PATCHES]
+    try:
+        for owner, name, fn in _PATCHES:
+            setattr(owner, name, fn)
+        yield
+    finally:
+        for owner, name, original in saved:
+            setattr(owner, name, original)

@@ -1,0 +1,255 @@
+#!/usr/bin/env python
+"""Run the ORB wire-path benchmarks and write ``BENCH_orb.json``.
+
+Two layers of numbers:
+
+1. the pytest-benchmark suites ``test_bench_orb_micro.py`` and
+   ``test_bench_orb_dispatch.py`` (medians per benchmark), and
+2. a same-run seed-vs-current comparison: the growth seed's wire path
+   (verbatim copies in ``_seed_wire``) is patched over the live ORB and
+   timed against the current implementation *in the same process*, so
+   the speedup ratios are immune to machine-to-machine and run-to-run
+   drift.
+
+Usage::
+
+    python benchmarks/run_bench.py [--quick] [--out BENCH_orb.json]
+        [--min-speedup 1.5] [--no-check]
+
+``--quick`` shrinks iteration counts for CI smoke runs.  Unless
+``--no-check`` is given, the run fails (exit 1) if any of the headline
+metrics (cdr_encode, cdr_decode, echo_roundtrip) comes in under
+``--min-speedup``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import subprocess
+import sys
+import tempfile
+from time import perf_counter
+from typing import Tuple
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.dirname(HERE)
+SRC = os.path.join(ROOT, "src")
+for path in (SRC, HERE):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+from repro.orb import World, giop  # noqa: E402
+from repro.orb.cdr import CDRDecoder, CDREncoder  # noqa: E402
+from repro.orb.ior import IOR, IIOPProfile  # noqa: E402
+from repro.orb.request import Request  # noqa: E402
+from repro.orb.servant import Servant  # noqa: E402
+from repro.orb.stub import Stub  # noqa: E402
+from repro.perf import COUNTERS  # noqa: E402
+
+import _seed_cdr  # noqa: E402
+import _seed_wire  # noqa: E402
+
+#: Same payload the micro suite uses, so the numbers line up.
+PAYLOAD = {
+    "symbol": "ACME",
+    "prices": [101.25, 101.5, 101.75, 102.0],
+    "blob": b"\x00\x01" * 64,
+    "nested": {"depth": 2, "flag": True},
+}
+
+#: Headline metrics the acceptance gate applies to.
+HEADLINE = ("cdr_encode", "cdr_decode", "echo_roundtrip")
+
+
+def _timed_batch(fn, number: int) -> float:
+    start = perf_counter()
+    for _ in range(number):
+        fn()
+    return (perf_counter() - start) / number
+
+
+def _compare(seed_fn, new_fn, *, number: int, repeats: int,
+             seed_ctx=None) -> Tuple[float, float]:
+    """Best per-call seconds for seed and new, batches interleaved.
+
+    Alternating seed/new batches within each round cancels the clock
+    drift (CPU frequency, background load) that sequential phases
+    would bake into the ratio, and taking each side's best batch
+    discards interruptions — noise only ever adds time.  ``seed_ctx``
+    is an optional context manager factory entered around every seed
+    batch (the wire patch).
+    """
+    from contextlib import nullcontext
+
+    seed_samples, new_samples = [], []
+    for round_index in range(repeats + 1):
+        with (seed_ctx() if seed_ctx else nullcontext()):
+            seed_time = _timed_batch(seed_fn, number)
+        new_time = _timed_batch(new_fn, number)
+        if round_index == 0:
+            continue  # warm-up round: caches, allocator, branch history
+        seed_samples.append(seed_time)
+        new_samples.append(new_time)
+    return min(seed_samples), min(new_samples)
+
+
+class _Echo(Servant):
+    _repo_id = "IDL:bench/Echo:1.0"
+
+    def echo(self, value):
+        return value
+
+
+class _EchoStub(Stub):
+    def echo(self, value):
+        return self._call("echo", value)
+
+
+def _echo_stub() -> _EchoStub:
+    world = World()
+    world.lan(["client", "server"], latency=0.001)
+    ior = world.orb("server").poa.activate_object(_Echo())
+    return _EchoStub(world.orb("client"), ior)
+
+
+def seed_comparison(quick: bool) -> dict:
+    """Time seed and current wire paths in this process; return metrics."""
+    number = 300 if quick else 2000
+    repeats = 3 if quick else 5
+
+    target = IOR("IDL:bench/Echo:1.0", IIOPProfile("host", 683, "key"))
+
+    def cdr_encode_new():
+        encoder = CDREncoder()
+        encoder.write_any(PAYLOAD)
+        return encoder.getvalue()
+
+    def cdr_encode_seed():
+        encoder = _seed_cdr.CDREncoder()
+        encoder.write_any(PAYLOAD)
+        return encoder.getvalue()
+
+    wire = cdr_encode_new()
+    assert wire == cdr_encode_seed(), "seed and current CDR bytes diverged"
+
+    def giop_roundtrip_new():
+        request = Request(target, "echo", (PAYLOAD,))
+        return giop.decode_request(giop.encode_request(request))
+
+    def giop_roundtrip_seed():
+        request = Request(target, "echo", (PAYLOAD,))
+        return _seed_wire.seed_decode_request(
+            _seed_wire.seed_encode_request(request)
+        )
+
+    metrics = {}
+
+    def record(name, seed_s, new_s):
+        metrics[name] = {
+            "seed_us": round(seed_s * 1e6, 3),
+            "new_us": round(new_s * 1e6, 3),
+            "speedup": round(seed_s / new_s, 3) if new_s > 0 else None,
+        }
+
+    record("cdr_encode", *_compare(
+        cdr_encode_seed, cdr_encode_new, number=number, repeats=repeats))
+    record("cdr_decode", *_compare(
+        lambda: _seed_cdr.CDRDecoder(wire).read_any(),
+        lambda: CDRDecoder(wire).read_any(),
+        number=number, repeats=repeats))
+    record("giop_roundtrip", *_compare(
+        giop_roundtrip_seed, giop_roundtrip_new,
+        number=number, repeats=repeats))
+
+    echo_number = max(number // 2, 100)
+    stub_seed = _echo_stub()
+    stub_new = _echo_stub()
+    record("echo_roundtrip", *_compare(
+        lambda: stub_seed.echo(PAYLOAD),
+        lambda: stub_new.echo(PAYLOAD),
+        number=echo_number, repeats=repeats + 2,
+        seed_ctx=_seed_wire.seed_wire))
+    return metrics
+
+
+def pytest_benchmarks(quick: bool) -> dict:
+    """Run the two ORB bench suites; return {benchmark name: median seconds}."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        report = handle.name
+    cmd = [
+        sys.executable, "-m", "pytest",
+        os.path.join(HERE, "test_bench_orb_micro.py"),
+        os.path.join(HERE, "test_bench_orb_dispatch.py"),
+        "-q", "-p", "no:cacheprovider",
+        f"--benchmark-json={report}",
+    ]
+    if quick:
+        cmd += ["--benchmark-min-rounds=3", "--benchmark-max-time=0.1",
+                "--benchmark-warmup=off"]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run(cmd, cwd=HERE, env=env)
+    if result.returncode != 0:
+        raise SystemExit(f"benchmark suites failed (exit {result.returncode})")
+    try:
+        with open(report) as handle:
+            data = json.load(handle)
+    finally:
+        os.unlink(report)
+    return {
+        bench["name"]: round(bench["stats"]["median"] * 1e6, 3)
+        for bench in data.get("benchmarks", [])
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer iterations (CI smoke run)")
+    parser.add_argument("--out", default=os.path.join(ROOT, "BENCH_orb.json"),
+                        help="output path (default: repo root BENCH_orb.json)")
+    parser.add_argument("--min-speedup", type=float, default=1.5,
+                        help="required seed-vs-current ratio on headline metrics")
+    parser.add_argument("--no-check", action="store_true",
+                        help="record numbers without enforcing --min-speedup")
+    parser.add_argument("--skip-suites", action="store_true",
+                        help="skip the pytest-benchmark suites (comparison only)")
+    args = parser.parse_args(argv)
+
+    COUNTERS.enable()
+    comparison = seed_comparison(args.quick)
+    counters = COUNTERS.snapshot()
+    COUNTERS.disable()
+
+    suites = {} if args.skip_suites else pytest_benchmarks(args.quick)
+
+    payload = {
+        "quick": args.quick,
+        "seed_comparison": comparison,
+        "suite_medians_us": suites,
+        "perf_counters": counters,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print(f"\nwrote {args.out}")
+    width = max(len(name) for name in comparison)
+    for name, row in comparison.items():
+        print(f"  {name:<{width}}  seed {row['seed_us']:>9.2f} us"
+              f"  new {row['new_us']:>9.2f} us  speedup {row['speedup']:.2f}x")
+
+    if not args.no_check:
+        slow = [name for name in HEADLINE
+                if comparison[name]["speedup"] < args.min_speedup]
+        if slow:
+            print(f"\nFAIL: below {args.min_speedup}x: {', '.join(slow)}")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,7 +24,8 @@ class KernelError(Exception):
 class Event:
     """A scheduled callback.  Returned by :meth:`EventKernel.schedule`."""
 
-    __slots__ = ("time", "seq", "fn", "args", "kwargs", "cancelled", "label")
+    __slots__ = ("time", "seq", "fn", "args", "kwargs", "cancelled", "label",
+                 "kernel")
 
     def __init__(
         self,
@@ -34,6 +35,7 @@ class Event:
         args: Tuple[Any, ...],
         kwargs: dict,
         label: str,
+        kernel: "Optional[EventKernel]" = None,
     ) -> None:
         self.time = time
         self.seq = seq
@@ -42,10 +44,20 @@ class Event:
         self.kwargs = kwargs
         self.cancelled = False
         self.label = label
+        self.kernel = kernel
 
     def cancel(self) -> None:
-        """Prevent the event from firing; safe to call more than once."""
-        self.cancelled = True
+        """Prevent the event from firing; safe to call more than once.
+
+        Cancellation is lazy: the event stays in the heap and is
+        discarded when it surfaces, but the kernel counts cancellations
+        and compacts the heap when dead entries dominate, so cancelled
+        events never churn the pop loop.
+        """
+        if not self.cancelled:
+            self.cancelled = True
+            if self.kernel is not None:
+                self.kernel._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -70,11 +82,16 @@ class EventKernel:
     ['a', 'b']
     """
 
+    #: Compact the heap once this many cancelled events accumulate and
+    #: they outnumber the live ones.
+    COMPACT_THRESHOLD = 64
+
     def __init__(self, clock: Optional[Clock] = None) -> None:
         self.clock = clock if clock is not None else Clock()
         self._queue: List[Event] = []
         self._seq = itertools.count()
         self._events_fired = 0
+        self._cancelled_pending = 0
 
     @property
     def events_fired(self) -> int:
@@ -85,6 +102,11 @@ class EventKernel:
     def pending(self) -> int:
         """Number of events still queued (including cancelled ones)."""
         return len(self._queue)
+
+    @property
+    def pending_live(self) -> int:
+        """Number of queued events that have not been cancelled."""
+        return len(self._queue) - self._cancelled_pending
 
     def schedule(
         self,
@@ -112,9 +134,22 @@ class EventKernel:
             raise KernelError(
                 f"cannot schedule at {time} before current time {self.clock.now}"
             )
-        event = Event(time, next(self._seq), fn, args, kwargs, label or fn.__name__)
+        event = Event(
+            time, next(self._seq), fn, args, kwargs, label or fn.__name__, self
+        )
         heapq.heappush(self._queue, event)
         return event
+
+    def _note_cancelled(self) -> None:
+        """Lazy-deletion bookkeeping: compact when dead entries dominate."""
+        self._cancelled_pending += 1
+        if (
+            self._cancelled_pending >= self.COMPACT_THRESHOLD
+            and self._cancelled_pending * 2 > len(self._queue)
+        ):
+            self._queue = [event for event in self._queue if not event.cancelled]
+            heapq.heapify(self._queue)
+            self._cancelled_pending = 0
 
     def schedule_iter(
         self,
@@ -136,6 +171,8 @@ class EventKernel:
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                if self._cancelled_pending:
+                    self._cancelled_pending -= 1
                 continue
             self.clock.advance_to(event.time)
             event.fn(*event.args, **event.kwargs)
@@ -162,6 +199,8 @@ class EventKernel:
             head = self._queue[0]
             if head.cancelled:
                 heapq.heappop(self._queue)
+                if self._cancelled_pending:
+                    self._cancelled_pending -= 1
                 continue
             if head.time > deadline:
                 break

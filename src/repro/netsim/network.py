@@ -37,6 +37,11 @@ class PacketLost(NetworkError):
     """The message was dropped by a lossy link."""
 
 
+#: Sentinel distinguishing "no cache entry" from a cached ``None``
+#: (= no route exists) in the route cache.
+_ROUTE_MISS = object()
+
+
 class Host:
     """A named machine in the simulated network.
 
@@ -279,14 +284,13 @@ class Network:
         Raises :class:`NoRoute` if none exists (unknown hosts, missing
         connectivity, or an active partition separating the two).
         """
-        self.host(src)
-        self.host(dst)
-        if src == dst:
-            return []
         key = (src, dst)
-        if key not in self._route_cache:
-            self._route_cache[key] = self._dijkstra(src, dst)
-        path = self._route_cache[key]
+        path = self._route_cache.get(key, _ROUTE_MISS)
+        if path is _ROUTE_MISS:
+            self.host(src)
+            self.host(dst)
+            path = [] if src == dst else self._dijkstra(src, dst)
+            self._route_cache[key] = path
         if path is None:
             raise NoRoute(f"no route from {src!r} to {dst!r}")
         return path
@@ -363,13 +367,20 @@ class Network:
             raise HostCrashed(f"source host {src!r} is crashed")
         if target.crashed:
             raise HostCrashed(f"destination host {dst!r} is crashed")
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative: {nbytes}")
         path = self.route(src, dst)
         for link in path:
-            if link.sample_loss():
+            if link.loss_rate > 0.0 and link.sample_loss():
                 link.messages_lost += 1
                 raise PacketLost(f"message lost on {link!r}")
-        delay = self.transfer_delay(src, dst, nbytes, reservations)
+        # Inlined transfer_delay: one route lookup, one pass over the
+        # path for both the delay model and the accounting.
+        delay = 0.0
+        nbits = nbytes * 8.0
         for link in path:
+            reserved = reservations.get(id(link)) if reservations else None
+            delay += link.latency + nbits / link.effective_bandwidth(reserved)
             link.bytes_carried += nbytes
             link.messages_carried += 1
         if not path:

@@ -4,10 +4,21 @@ Requests and replies really are flattened to bytes and parsed back on
 the receiving ORB; the byte counts feed the network model, so protocol
 overhead (headers, service contexts) is visible in the transfer times
 just as it would be on a real wire.
+
+Hot-path machinery (the encodings themselves are unchanged):
+
+- the constant 7-byte header (magic + version + message type) is
+  precomputed once per message type and appended verbatim;
+- service contexts — usually empty or identical call after call — are
+  encoded once per (alignment, content) and replayed from a bounded
+  LRU instead of being re-encoded per message;
+- when :data:`repro.perf.COUNTERS` is enabled, request/reply encode
+  and decode record nanoseconds and byte counts.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, Optional, Tuple
 
 from repro.orb.cdr import CDRDecoder, CDREncoder
@@ -20,6 +31,8 @@ from repro.orb.exceptions import (
 )
 from repro.orb.ior import IOR
 from repro.orb.request import Request
+from repro.perf.counters import COUNTERS
+from repro.perf.lru import LRUCache
 
 MAGIC = b"GIOP"
 VERSION = (1, 2)
@@ -38,40 +51,132 @@ NO_EXCEPTION = 0
 USER_EXCEPTION = 1
 SYSTEM_EXCEPTION = 2
 
+#: The constant wire header per message type: GIOP magic, version
+#: bytes, message type — seven octets, no alignment, so one literal.
+_HEADER_WIRE = {
+    message_type: MAGIC + bytes((VERSION[0], VERSION[1], message_type))
+    for message_type in (MSG_REQUEST, MSG_REPLY, MSG_LOCATE_REQUEST, MSG_LOCATE_REPLY)
+}
+_HEADER_SIZE = 7
+
 
 def _write_header(encoder: CDREncoder, message_type: int) -> None:
-    for byte in MAGIC:
-        encoder.write_octet(byte)
-    encoder.write_octet(VERSION[0])
-    encoder.write_octet(VERSION[1])
-    encoder.write_octet(message_type)
+    encoder.write_raw(_HEADER_WIRE[message_type])
 
 
 def _read_header(decoder: CDRDecoder) -> int:
-    magic = bytes(decoder.read_octet() for _ in range(4))
-    if magic != MAGIC:
-        raise MARSHAL(f"bad GIOP magic: {magic!r}")
-    major, minor = decoder.read_octet(), decoder.read_octet()
+    header = decoder.read_raw(_HEADER_SIZE)
+    if header[:4] != MAGIC:
+        raise MARSHAL(f"bad GIOP magic: {header[:4]!r}")
+    major, minor = header[4], header[5]
     if (major, minor) != VERSION:
         raise MARSHAL(f"unsupported GIOP version {major}.{minor}")
-    return decoder.read_octet()
+    return header[6]
+
+
+# -- service-context cache ---------------------------------------------
+
+#: Encoded service-context maps keyed by (buffer offset mod 8, frozen
+#: content).  The alignment is part of the key because the `any`
+#: encoding pads relative to the absolute offset.
+_context_cache = LRUCache(maxsize=256)
+
+_UNFREEZABLE = object()
+
+# struct used to key floats by bit pattern: -0.0 == 0.0 and NaN != NaN
+# would otherwise corrupt or defeat the cache.
+from repro.orb.cdr import _S_DOUBLE  # noqa: E402  (private by design)
+
+
+def _freeze(value: Any) -> Any:
+    """A hashable, type-tagged key for a context value, or _UNFREEZABLE.
+
+    Type tags keep 1, 1.0 and True — equal and same-hash in Python but
+    encoded differently — from colliding in the cache.
+    """
+    kind = type(value)
+    if kind is str:
+        return value
+    if kind is bool:
+        return ("b", value)
+    if kind is int:
+        return ("i", value)
+    if kind is float:
+        return ("f", _S_DOUBLE.pack(value))
+    if value is None:
+        return ("n",)
+    if kind is bytes:
+        return ("y", value)
+    if kind is dict:
+        items = []
+        for key, item in value.items():
+            if type(key) is not str:
+                return _UNFREEZABLE
+            frozen = _freeze(item)
+            if frozen is _UNFREEZABLE:
+                return _UNFREEZABLE
+            items.append((key, frozen))
+        return ("d", tuple(items))
+    if kind is list or kind is tuple:
+        items = []
+        for item in value:
+            frozen = _freeze(item)
+            if frozen is _UNFREEZABLE:
+                return _UNFREEZABLE
+            items.append(frozen)
+        return ("l", tuple(items))
+    return _UNFREEZABLE
+
+
+def _write_contexts(encoder: CDREncoder, contexts: Dict[str, Any]) -> None:
+    """write_any(contexts), replayed from cache when seen before."""
+    frozen = _freeze(contexts)
+    if frozen is _UNFREEZABLE:
+        encoder.write_any(contexts)
+        return
+    key = (len(encoder) % 8, frozen)
+    cached = _context_cache.get(key)
+    if cached is not None:
+        encoder.write_raw(cached)
+        COUNTERS.ctx_cache_hits += 1
+        return
+    mark = encoder.mark()
+    encoder.write_any(contexts)
+    _context_cache.put(key, encoder.bytes_since(mark))
+    COUNTERS.ctx_cache_misses += 1
+
+
+def clear_caches() -> None:
+    """Drop the service-context cache (tests and memory hygiene)."""
+    _context_cache.clear()
+
+
+# -- requests -----------------------------------------------------------
 
 
 def encode_request(request: Request) -> bytes:
     """Flatten a :class:`Request` (including its dual-use tag) to bytes."""
+    counters = COUNTERS
+    start = time.perf_counter_ns() if counters.enabled else 0
     encoder = CDREncoder()
-    _write_header(encoder, MSG_REQUEST)
+    encoder.write_raw(_HEADER_WIRE[MSG_REQUEST])
     encoder.write_ulong(request.request_id)
     encoder.write_octets(request.target.encode())
     encoder.write_string(request.operation)
     encoder.write_string(request.kind)
     encoder.write_string(request.command_target or "")
     encoder.write_boolean(request.response_expected)
-    encoder.write_any(request.service_contexts)
-    encoder.write_ulong(len(request.args))
-    for arg in request.args:
+    _write_contexts(encoder, request.service_contexts)
+    args = request.args
+    encoder.write_ulong(len(args))
+    for arg in args:
         encoder.write_any(arg)
-    return encoder.getvalue()
+    wire = encoder.getvalue()
+    if counters.enabled:
+        counters.encode_calls += 1
+        counters.encode_ns += time.perf_counter_ns() - start
+        counters.encode_bytes += len(wire)
+    return wire
 
 
 def decode_request(data: bytes) -> Request:
@@ -80,6 +185,8 @@ def decode_request(data: bytes) -> Request:
     The decoded request keeps the sender's request id so replies can be
     correlated.
     """
+    counters = COUNTERS
+    start = time.perf_counter_ns() if counters.enabled else 0
     decoder = CDRDecoder(data)
     if _read_header(decoder) != MSG_REQUEST:
         raise MARSHAL("expected a GIOP Request message")
@@ -93,7 +200,7 @@ def decode_request(data: bytes) -> Request:
     if not isinstance(contexts, dict):
         raise MARSHAL("service contexts must decode to a map")
     count = decoder.read_ulong()
-    args = tuple(decoder.read_any() for _ in range(count))
+    args = tuple([decoder.read_any() for _ in range(count)])
     request = Request(
         target,
         operation,
@@ -104,13 +211,17 @@ def decode_request(data: bytes) -> Request:
         response_expected=response_expected,
     )
     request.request_id = request_id
+    if counters.enabled:
+        counters.decode_calls += 1
+        counters.decode_ns += time.perf_counter_ns() - start
+        counters.decode_bytes += len(data)
     return request
 
 
 def encode_locate_request(request_id: int, object_key: str) -> bytes:
     """A GIOP LocateRequest: does the peer serve this object?"""
     encoder = CDREncoder()
-    _write_header(encoder, MSG_LOCATE_REQUEST)
+    encoder.write_raw(_HEADER_WIRE[MSG_LOCATE_REQUEST])
     encoder.write_ulong(request_id)
     encoder.write_string(object_key)
     return encoder.getvalue()
@@ -125,7 +236,7 @@ def decode_locate_request(data: bytes) -> Tuple[int, str]:
 
 def encode_locate_reply(request_id: int, status: int) -> bytes:
     encoder = CDREncoder()
-    _write_header(encoder, MSG_LOCATE_REPLY)
+    encoder.write_raw(_HEADER_WIRE[MSG_LOCATE_REPLY])
     encoder.write_ulong(request_id)
     encoder.write_octet(status)
     return encoder.getvalue()
@@ -140,7 +251,10 @@ def decode_locate_reply(data: bytes) -> Tuple[int, int]:
 
 def message_type(data: bytes) -> int:
     """Peek at a GIOP message's type without consuming it."""
-    return _read_header(CDRDecoder(data))
+    if len(data) >= _HEADER_SIZE and data[:4] == MAGIC:
+        if (data[4], data[5]) == VERSION:
+            return data[6]
+    return _read_header(CDRDecoder(data))  # fall through for exact errors
 
 
 def encode_reply(
@@ -150,10 +264,12 @@ def encode_reply(
     service_contexts: Optional[Dict[str, Any]] = None,
 ) -> bytes:
     """Flatten a reply: a result, a user exception or a system exception."""
+    counters = COUNTERS
+    start = time.perf_counter_ns() if counters.enabled else 0
     encoder = CDREncoder()
-    _write_header(encoder, MSG_REPLY)
+    encoder.write_raw(_HEADER_WIRE[MSG_REPLY])
     encoder.write_ulong(request_id)
-    encoder.write_any(service_contexts or {})
+    _write_contexts(encoder, service_contexts or {})
     if exception is None:
         encoder.write_octet(NO_EXCEPTION)
         encoder.write_any(result)
@@ -174,7 +290,12 @@ def encode_reply(
         encoder.write_string(SystemException.repo_id)
         encoder.write_string(f"{type(exception).__name__}: {exception}")
         encoder.write_long(0)
-    return encoder.getvalue()
+    wire = encoder.getvalue()
+    if counters.enabled:
+        counters.encode_calls += 1
+        counters.encode_ns += time.perf_counter_ns() - start
+        counters.encode_bytes += len(wire)
+    return wire
 
 
 class Reply:
@@ -203,6 +324,8 @@ class Reply:
 
 def decode_reply(data: bytes) -> Reply:
     """Parse a reply message."""
+    counters = COUNTERS
+    start = time.perf_counter_ns() if counters.enabled else 0
     decoder = CDRDecoder(data)
     if _read_header(decoder) != MSG_REPLY:
         raise MARSHAL("expected a GIOP Reply message")
@@ -212,17 +335,23 @@ def decode_reply(data: bytes) -> Reply:
         raise MARSHAL("service contexts must decode to a map")
     status = decoder.read_octet()
     if status == NO_EXCEPTION:
-        return Reply(request_id, contexts, decoder.read_any(), None)
-    if status == USER_EXCEPTION:
+        reply = Reply(request_id, contexts, decoder.read_any(), None)
+    elif status == USER_EXCEPTION:
         repo_id = decoder.read_string()
         message = decoder.read_string()
         members = decoder.read_any()
         exception = user_exception_from_wire(repo_id, message, members)
-        return Reply(request_id, contexts, None, exception)
-    if status == SYSTEM_EXCEPTION:
+        reply = Reply(request_id, contexts, None, exception)
+    elif status == SYSTEM_EXCEPTION:
         repo_id = decoder.read_string()
         message = decoder.read_string()
         minor = decoder.read_long()
         exception = system_exception_from_wire(repo_id, message, minor)
-        return Reply(request_id, contexts, None, exception)
-    raise MARSHAL(f"unknown reply status: {status}")
+        reply = Reply(request_id, contexts, None, exception)
+    else:
+        raise MARSHAL(f"unknown reply status: {status}")
+    if counters.enabled:
+        counters.decode_calls += 1
+        counters.decode_ns += time.perf_counter_ns() - start
+        counters.decode_bytes += len(data)
+    return reply

@@ -7,6 +7,12 @@ which can be determined by a distinct tag in the interoperable object
 reference — it is handed over to the QoS transport."  The QoS
 component carries the characteristics the server offers and, for
 group-served objects, the multicast group address and member list.
+
+IORs are value objects: once constructed (or decoded) they are never
+mutated — :meth:`with_component` returns a copy.  That invariant lets
+the hot path memoise the CDR encoding, the stringified form, the QoS
+flag and the binding key per instance, and share parsed references
+through bounded LRU caches keyed by the wire/text form.
 """
 
 from __future__ import annotations
@@ -16,12 +22,26 @@ from typing import Any, Dict, List, Optional
 
 from repro.orb.cdr import CDRDecoder, CDREncoder
 from repro.orb.exceptions import MARSHAL
+from repro.perf.counters import COUNTERS
+from repro.perf.lru import LRUCache
 
 #: Component tag marking a QoS-aware object reference (Section 4).
 QOS_TAG = 0x4D415153  # "MAQS"
 
 #: Component tag carrying a replica-group address and member references.
 GROUP_TAG = 0x47525550  # "GRUP"
+
+#: Parsed references keyed by CDR bytes / stringified text.  Every
+#: incoming request re-delivers the same handful of target references,
+#: so both caches sit on the per-message hot path.
+_decode_cache = LRUCache(maxsize=512)
+_parse_cache = LRUCache(maxsize=512)
+
+
+def clear_caches() -> None:
+    """Drop the parse caches (tests and memory hygiene)."""
+    _decode_cache.clear()
+    _parse_cache.clear()
 
 
 class TaggedComponent:
@@ -68,6 +88,16 @@ class IIOPProfile:
 class IOR:
     """An interoperable object reference."""
 
+    __slots__ = (
+        "type_id",
+        "profile",
+        "components",
+        "_wire",
+        "_text",
+        "_qos_aware",
+        "_binding",
+    )
+
     def __init__(
         self,
         type_id: str,
@@ -77,6 +107,11 @@ class IOR:
         self.type_id = type_id
         self.profile = profile
         self.components = list(components or [])
+        # Lazily filled memos; valid because IORs are value objects.
+        self._wire: Optional[bytes] = None
+        self._text: Optional[str] = None
+        self._qos_aware: Optional[bool] = None
+        self._binding: Optional[str] = None
 
     # -- components -----------------------------------------------------
 
@@ -94,7 +129,11 @@ class IOR:
     @property
     def is_qos_aware(self) -> bool:
         """True if the reference carries the MAQS QoS tag."""
-        return self.component(QOS_TAG) is not None
+        aware = self._qos_aware
+        if aware is None:
+            aware = self.component(QOS_TAG) is not None
+            self._qos_aware = aware
+        return aware
 
     def qos_characteristics(self) -> List[str]:
         """Names of the QoS characteristics the server assigned (may be [])."""
@@ -103,25 +142,44 @@ class IOR:
             return []
         return list(component.data.get("characteristics", []))
 
+    def binding_key(self) -> str:
+        """Canonical ``host:port/key`` naming this client/server relationship."""
+        binding = self._binding
+        if binding is None:
+            profile = self.profile
+            binding = f"{profile.host}:{profile.port}/{profile.object_key}"
+            self._binding = binding
+        return binding
+
     # -- stringification --------------------------------------------------
 
     def encode(self) -> bytes:
-        """CDR encoding of the full reference."""
-        encoder = CDREncoder()
-        encoder.write_string(self.type_id)
-        encoder.write_string(self.profile.host)
-        encoder.write_ulong(self.profile.port)
-        encoder.write_string(self.profile.object_key)
-        encoder.write_ulong(len(self.components))
-        for component in self.components:
-            encoder.write_ulong(component.tag)
-            encoder.write_any(component.data)
-        return encoder.getvalue()
+        """CDR encoding of the full reference (memoised)."""
+        wire = self._wire
+        if wire is None:
+            encoder = CDREncoder()
+            encoder.write_string(self.type_id)
+            encoder.write_string(self.profile.host)
+            encoder.write_ulong(self.profile.port)
+            encoder.write_string(self.profile.object_key)
+            encoder.write_ulong(len(self.components))
+            for component in self.components:
+                encoder.write_ulong(component.tag)
+                encoder.write_any(component.data)
+            wire = encoder.getvalue()
+            self._wire = wire
+        return wire
 
     @classmethod
     def decode(cls, data: bytes) -> "IOR":
-        """Inverse of :meth:`encode`."""
-        decoder = CDRDecoder(data)
+        """Inverse of :meth:`encode` (cached by wire bytes)."""
+        key = bytes(data)
+        cached = _decode_cache.get(key)
+        if cached is not None:
+            COUNTERS.ior_parse_hits += 1
+            return cached
+        COUNTERS.ior_parse_misses += 1
+        decoder = CDRDecoder(key)
         type_id = decoder.read_string()
         host = decoder.read_string()
         port = decoder.read_ulong()
@@ -134,22 +192,36 @@ class IOR:
             if not isinstance(payload, dict):
                 raise MARSHAL("tagged component payload must decode to a map")
             components.append(TaggedComponent(tag, payload))
-        return cls(type_id, IIOPProfile(host, port, object_key), components)
+        ior = cls(type_id, IIOPProfile(host, port, object_key), components)
+        ior._wire = key  # decoding round-trips, so keep the wire form too
+        _decode_cache.put(key, ior)
+        return ior
 
     def to_string(self) -> str:
-        """The classic ``IOR:<hex>`` stringified form."""
-        return "IOR:" + binascii.hexlify(self.encode()).decode("ascii")
+        """The classic ``IOR:<hex>`` stringified form (memoised)."""
+        text = self._text
+        if text is None:
+            text = "IOR:" + binascii.hexlify(self.encode()).decode("ascii")
+            self._text = text
+        return text
 
     @classmethod
     def from_string(cls, text: str) -> "IOR":
-        """Parse a stringified reference."""
+        """Parse a stringified reference (cached by text)."""
+        cached = _parse_cache.get(text)
+        if cached is not None:
+            COUNTERS.ior_parse_hits += 1
+            return cached
+        COUNTERS.ior_parse_misses += 1
         if not text.startswith("IOR:"):
             raise MARSHAL(f"not a stringified IOR: {text[:16]!r}")
         try:
             raw = binascii.unhexlify(text[4:])
         except (binascii.Error, ValueError) as error:
             raise MARSHAL(f"bad IOR hex: {error}") from None
-        return cls.decode(raw)
+        ior = cls.decode(raw)
+        _parse_cache.put(text, ior)
+        return ior
 
     # -- identity ---------------------------------------------------------
 

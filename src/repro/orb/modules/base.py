@@ -37,8 +37,7 @@ ENVELOPE_MAGIC = b"MQOS"
 def encode_envelope(module_name: str, params: Dict[str, Any], payload: bytes) -> bytes:
     """Wrap a transformed message body for the wire."""
     encoder = CDREncoder()
-    for byte in ENVELOPE_MAGIC:
-        encoder.write_octet(byte)
+    encoder.write_raw(ENVELOPE_MAGIC)
     encoder.write_string(module_name)
     encoder.write_any(params)
     encoder.write_octets(payload)
@@ -48,7 +47,7 @@ def encode_envelope(module_name: str, params: Dict[str, Any], payload: bytes) ->
 def decode_envelope(data: bytes) -> Tuple[str, Dict[str, Any], bytes]:
     """Split an envelope into (module name, params, payload)."""
     decoder = CDRDecoder(data)
-    magic = bytes(decoder.read_octet() for _ in range(4))
+    magic = decoder.read_raw(4)
     if magic != ENVELOPE_MAGIC:
         raise MARSHAL(f"not a module envelope: {magic!r}")
     module_name = decoder.read_string()
@@ -66,8 +65,7 @@ def is_envelope(data: bytes) -> bool:
 
 def binding_key(ior: IOR) -> str:
     """Canonical key naming one client/server relationship."""
-    profile = ior.profile
-    return f"{profile.host}:{profile.port}/{profile.object_key}"
+    return ior.binding_key()
 
 
 class QoSModule:

@@ -34,6 +34,11 @@ class QoSTransport:
         self.orb = orb
         self._modules: Dict[str, QoSModule] = {}
         self._assignments: Dict[str, str] = {}
+        #: Resolved assignment lookups keyed by binding key; invalidated
+        #: whenever assignments or the module set change.  Every QoS-aware
+        #: invocation consults the assignment, so this turns the per-call
+        #: cost into one dict hit per target.
+        self._assignment_cache: Dict[str, Optional[QoSModule]] = {}
         self.commands_interpreted = 0
         # The default transport is always available (Figure 3's
         # GIOP/IIOP path).
@@ -51,6 +56,7 @@ class QoSTransport:
             raise NO_RESOURCES(str(error)) from None
         module.on_load(self)
         self._modules[name] = module
+        self._assignment_cache.clear()
         return module
 
     def unload_module(self, name: str) -> bool:
@@ -66,6 +72,7 @@ class QoSTransport:
             for binding, assigned in self._assignments.items()
             if assigned != name
         }
+        self._assignment_cache.clear()
         return True
 
     def module(self, name: str) -> Optional[QoSModule]:
@@ -93,18 +100,26 @@ class QoSTransport:
         self.load_module(module_name)
         binding = binding_key(target)
         self._assignments[binding] = module_name
+        self._assignment_cache.clear()
         return binding
 
     def unassign(self, target: IOR) -> bool:
         """Drop the assignment for a relationship."""
+        self._assignment_cache.clear()
         return self._assignments.pop(binding_key(target), None) is not None
 
     def assigned_module(self, target: IOR) -> Optional[QoSModule]:
         """The module assigned to the relationship, or None (use IIOP)."""
-        name = self._assignments.get(binding_key(target))
-        if name is None:
-            return None
-        return self._modules.get(name)
+        binding = target.binding_key()
+        cache = self._assignment_cache
+        try:
+            return cache[binding]
+        except KeyError:
+            pass
+        name = self._assignments.get(binding)
+        module = self._modules.get(name) if name is not None else None
+        cache[binding] = module
+        return module
 
     def assignments(self) -> Dict[str, str]:
         return dict(self._assignments)

@@ -13,6 +13,11 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.orb.exceptions import BAD_OPERATION
 
+#: Reflective dispatch cache: class -> {operation: plain function}.
+#: Filled lazily; only plain functions are cached (descriptors and
+#: instance attributes keep the generic getattr binding path).
+_METHOD_TABLES: Dict[type, Dict[str, Any]] = {}
+
 
 class Servant:
     """Base of all object implementations.
@@ -44,6 +49,28 @@ class Servant:
         """
         if operation.startswith("_"):
             raise BAD_OPERATION(f"operation {operation!r} is not remotely accessible")
+        cls = type(self)
+        table = _METHOD_TABLES.get(cls)
+        if table is None:
+            table = _METHOD_TABLES.setdefault(cls, {})
+        if operation not in self.__dict__:
+            fn = table.get(operation)
+            if fn is not None:
+                return fn(self, *args)
+            # Not cached yet: resolve once.  Plain functions found on
+            # the class go into the table; anything else (descriptors,
+            # instance attributes) binds through getattr every time.
+            for base in cls.__mro__:
+                attr = base.__dict__.get(operation)
+                if attr is None:
+                    continue
+                if (
+                    callable(attr)
+                    and not isinstance(attr, (staticmethod, classmethod, property))
+                ):
+                    table[operation] = attr
+                    return attr(self, *args)
+                break
         method = getattr(self, operation, None)
         if method is None or not callable(method):
             raise BAD_OPERATION(

@@ -85,6 +85,42 @@ class OperationSignature:
         return f"{self.result_type} {self.name}({params})"
 
 
+#: Per-class operation tables: class -> {operation: (signature, function)}.
+#: Built once on first dispatch so the per-request path is two dict hits
+#: instead of a signature lookup plus a getattr through the MRO.
+_OP_TABLES: Dict[type, Dict[str, Tuple[OperationSignature, Any]]] = {}
+
+
+def _plain_function(cls: type, name: str) -> Optional[Any]:
+    """The plain function implementing ``name`` on ``cls``, if any.
+
+    Walks the MRO like ``getattr`` but returns None for descriptors
+    (static/class methods, properties) and non-callables — those keep
+    the generic instance-``getattr`` binding path so their semantics
+    are unchanged.
+    """
+    for base in cls.__mro__:
+        attr = base.__dict__.get(name)
+        if attr is None:
+            continue
+        if isinstance(attr, (staticmethod, classmethod, property)):
+            return None
+        if callable(attr):
+            return attr
+        return None
+    return None
+
+
+def _build_op_table(cls: type) -> Dict[str, Tuple[OperationSignature, Any]]:
+    table: Dict[str, Tuple[OperationSignature, Any]] = {}
+    for name, signature in cls._signatures.items():
+        fn = _plain_function(cls, name)
+        if fn is not None:
+            table[name] = (signature, fn)
+    _OP_TABLES[cls] = table
+    return table
+
+
 class TypedSkeleton(Servant):
     """A servant with an IDL-typed dispatch table."""
 
@@ -93,6 +129,19 @@ class TypedSkeleton(Servant):
 
     def _dispatch(self, operation: str, args: Tuple[Any, ...],
                   contexts: Optional[Dict[str, Any]] = None) -> Any:
+        cls = type(self)
+        table = _OP_TABLES.get(cls)
+        if table is None:
+            table = _build_op_table(cls)
+        entry = table.get(operation)
+        if entry is not None and operation not in self.__dict__:
+            signature, fn = entry
+            signature.check_args(args)
+            result = fn(self, *args)
+            signature.check_result(result)
+            return result
+        # Slow path: unknown operation, or one implemented through a
+        # descriptor / instance attribute the table cannot pre-bind.
         signature = self._signatures.get(operation)
         if signature is None:
             raise BAD_OPERATION(

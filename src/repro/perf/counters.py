@@ -1,0 +1,151 @@
+"""Hot-path counters and the wire-observer statistics tap.
+
+:data:`COUNTERS` is the process-global instrument panel.  The GIOP
+codec records encode/decode nanoseconds and byte counts into it when
+``enabled`` is set (one boolean attribute check per message when off);
+the CDR batcher and the IOR/service-context caches bump their counters
+unconditionally because an integer increment is cheaper than a guard.
+
+:class:`WireStats` rides the existing ``ORB.add_wire_observer`` hook,
+so per-ORB traffic accounting needs no monkey-patching:
+
+    stats = WireStats().attach(orb)
+    ...
+    stats.snapshot()  # messages/bytes in and out, plus global counters
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+
+class PerfCounters:
+    """Process-wide wire-path counters (see :data:`COUNTERS`)."""
+
+    __slots__ = (
+        "enabled",
+        "encode_calls",
+        "encode_ns",
+        "encode_bytes",
+        "decode_calls",
+        "decode_ns",
+        "decode_bytes",
+        "cdr_batch_encodes",
+        "cdr_batch_decodes",
+        "ior_parse_hits",
+        "ior_parse_misses",
+        "ctx_cache_hits",
+        "ctx_cache_misses",
+    )
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.reset()
+
+    def enable(self) -> "PerfCounters":
+        """Turn on encode/decode timing (adds two clock reads per message)."""
+        self.enabled = True
+        return self
+
+    def disable(self) -> "PerfCounters":
+        self.enabled = False
+        return self
+
+    def reset(self) -> None:
+        """Zero every counter; the enabled flag is left as it is."""
+        self.encode_calls = 0
+        self.encode_ns = 0
+        self.encode_bytes = 0
+        self.decode_calls = 0
+        self.decode_ns = 0
+        self.decode_bytes = 0
+        self.cdr_batch_encodes = 0
+        self.cdr_batch_decodes = 0
+        self.ior_parse_hits = 0
+        self.ior_parse_misses = 0
+        self.ctx_cache_hits = 0
+        self.ctx_cache_misses = 0
+
+    @staticmethod
+    def _rate(hits: int, misses: int) -> float:
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """All counters plus derived per-call and hit-rate figures."""
+        return {
+            "enabled": self.enabled,
+            "encode_calls": self.encode_calls,
+            "encode_ns": self.encode_ns,
+            "encode_bytes": self.encode_bytes,
+            "encode_ns_per_call": (
+                self.encode_ns / self.encode_calls if self.encode_calls else 0.0
+            ),
+            "decode_calls": self.decode_calls,
+            "decode_ns": self.decode_ns,
+            "decode_bytes": self.decode_bytes,
+            "decode_ns_per_call": (
+                self.decode_ns / self.decode_calls if self.decode_calls else 0.0
+            ),
+            "cdr_batch_encodes": self.cdr_batch_encodes,
+            "cdr_batch_decodes": self.cdr_batch_decodes,
+            "ior_parse_hits": self.ior_parse_hits,
+            "ior_parse_misses": self.ior_parse_misses,
+            "ior_parse_hit_rate": self._rate(
+                self.ior_parse_hits, self.ior_parse_misses
+            ),
+            "ctx_cache_hits": self.ctx_cache_hits,
+            "ctx_cache_misses": self.ctx_cache_misses,
+            "ctx_cache_hit_rate": self._rate(
+                self.ctx_cache_hits, self.ctx_cache_misses
+            ),
+        }
+
+
+#: The process-global counter panel used by the ORB wire path.
+COUNTERS = PerfCounters()
+
+
+class WireStats:
+    """A wire observer accumulating message and byte totals for one ORB."""
+
+    __slots__ = ("messages_in", "bytes_in", "messages_out", "bytes_out")
+
+    def __init__(self) -> None:
+        self.messages_in = 0
+        self.bytes_in = 0
+        self.messages_out = 0
+        self.bytes_out = 0
+
+    def __call__(self, direction: str, wire: bytes) -> None:
+        if direction == "in":
+            self.messages_in += 1
+            self.bytes_in += len(wire)
+        else:
+            self.messages_out += 1
+            self.bytes_out += len(wire)
+
+    def attach(self, orb: Any) -> "WireStats":
+        """Register on ``orb`` via the standard wire-observer hook."""
+        orb.add_wire_observer(self)
+        return self
+
+    def detach(self, orb: Any) -> None:
+        orb.remove_wire_observer(self)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """This tap's traffic totals merged with the global counters."""
+        merged = COUNTERS.snapshot()
+        merged.update(
+            messages_in=self.messages_in,
+            bytes_in=self.bytes_in,
+            messages_out=self.messages_out,
+            bytes_out=self.bytes_out,
+        )
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WireStats(in={self.messages_in}/{self.bytes_in}B, "
+            f"out={self.messages_out}/{self.bytes_out}B)"
+        )

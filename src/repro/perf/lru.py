@@ -1,0 +1,64 @@
+"""A small bounded LRU map for hot-path caches.
+
+``functools.lru_cache`` cannot be used for the GIOP/IOR caches: the
+keys are built from request data at call time, misses must be handled
+inline (the caller encodes and then inserts), and tests need to reset
+the cache.  This is the minimal dict-ordered implementation: Python
+dicts preserve insertion order, so eviction pops the oldest entry and
+hits are refreshed by re-inserting.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Optional
+
+
+class LRUCache:
+    """Bounded mapping with least-recently-used eviction."""
+
+    __slots__ = ("_data", "maxsize", "hits", "misses")
+
+    def __init__(self, maxsize: int = 256) -> None:
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be positive: {maxsize}")
+        self.maxsize = maxsize
+        self._data: Dict[Hashable, Any] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """The cached value, refreshed as most recent, or None."""
+        data = self._data
+        try:
+            value = data.pop(key)
+        except KeyError:
+            self.misses += 1
+            return None
+        data[key] = value  # re-insert: now the newest entry
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        data = self._data
+        if key in data:
+            del data[key]
+        elif len(data) >= self.maxsize:
+            del data[next(iter(data))]  # evict the oldest entry
+        data[key] = value
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LRUCache({len(self._data)}/{self.maxsize}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -2,6 +2,7 @@
 
 import pytest
 
+import repro.orb.cdr as cdr
 from repro.orb.cdr import (
     CDRDecoder,
     CDREncoder,
@@ -157,3 +158,106 @@ class TestValueHelpers:
 
     def test_empty_values(self):
         assert decode_values(encode_values()) == ()
+
+
+class TestStringDecoding:
+    """Malformed UTF-8 on the wire must surface as MARSHAL, not a bare
+    UnicodeDecodeError leaking out of the decoder."""
+
+    @staticmethod
+    def _string_wire(raw: bytes) -> bytes:
+        encoder = CDREncoder()
+        encoder.write_ulong(len(raw))
+        encoder.write_raw(raw)
+        return encoder.getvalue()
+
+    def test_truncated_multibyte_sequence_raises_marshal(self):
+        # First two bytes of the three-byte encoding of the euro sign.
+        wire = self._string_wire(b"\xe2\x82")
+        with pytest.raises(MARSHAL, match="UTF-8"):
+            CDRDecoder(wire).read_string()
+
+    def test_invalid_byte_raises_marshal(self):
+        wire = self._string_wire(b"ab\xff")
+        with pytest.raises(MARSHAL, match="UTF-8"):
+            CDRDecoder(wire).read_string()
+
+    def test_lone_continuation_byte_raises_marshal(self):
+        wire = self._string_wire(b"\x80")
+        with pytest.raises(MARSHAL, match="UTF-8"):
+            CDRDecoder(wire).read_string()
+
+    def test_valid_multibyte_still_decodes(self):
+        encoder = CDREncoder()
+        encoder.write_string("€λ")
+        assert CDRDecoder(encoder.getvalue()).read_string() == "€λ"
+
+
+class TestTagCoverage:
+    """Every `any` tag decodes; encoder-producible ones round-trip."""
+
+    @pytest.mark.parametrize(
+        "value,expected_tag",
+        [
+            (None, cdr.TAG_NULL),
+            (True, cdr.TAG_BOOLEAN),
+            (False, cdr.TAG_BOOLEAN),
+            (7, cdr.TAG_LONGLONG),
+            (-(2**63), cdr.TAG_LONGLONG),
+            (2**63 - 1, cdr.TAG_LONGLONG),
+            (2**63, cdr.TAG_BIGNUM),
+            (-(2**63) - 1, cdr.TAG_BIGNUM),
+            (2.5, cdr.TAG_DOUBLE),
+            ("hi", cdr.TAG_STRING),
+            (b"\x00\x01", cdr.TAG_OCTETS),
+            ([1, "two"], cdr.TAG_SEQUENCE),
+            ({"k": 1}, cdr.TAG_MAP),
+        ],
+    )
+    def test_encoded_tag_and_roundtrip(self, value, expected_tag):
+        encoder = CDREncoder()
+        encoder.write_any(value)
+        wire = encoder.getvalue()
+        assert wire[0] == expected_tag
+        assert CDRDecoder(wire).read_any() == value
+
+    def test_bytearray_encodes_as_octets(self):
+        encoder = CDREncoder()
+        encoder.write_any(bytearray(b"xy"))
+        wire = encoder.getvalue()
+        assert wire[0] == cdr.TAG_OCTETS
+        assert CDRDecoder(wire).read_any() == b"xy"
+
+    def test_tuple_decodes_as_list(self):
+        encoder = CDREncoder()
+        encoder.write_any((1, 2))
+        assert CDRDecoder(encoder.getvalue()).read_any() == [1, 2]
+
+    @pytest.mark.parametrize("value", [2**80, -(2**80), 2**200, -(2**200)])
+    def test_bignum_sign_roundtrip(self, value):
+        encoder = CDREncoder()
+        encoder.write_any(value)
+        wire = encoder.getvalue()
+        assert wire[0] == cdr.TAG_BIGNUM
+        decoded = CDRDecoder(wire).read_any()
+        assert decoded == value
+        assert (decoded < 0) == (value < 0)
+
+    @pytest.mark.parametrize(
+        "tag,writer,value",
+        [
+            (cdr.TAG_OCTET, "write_octet", 200),
+            (cdr.TAG_SHORT, "write_short", -1234),
+            (cdr.TAG_USHORT, "write_ushort", 65535),
+            (cdr.TAG_LONG, "write_long", -(2**31)),
+            (cdr.TAG_ULONG, "write_ulong", 2**32 - 1),
+            (cdr.TAG_FLOAT, "write_float", 1.5),
+        ],
+    )
+    def test_decode_only_tags(self, tag, writer, value):
+        # The encoder never emits these tags for `any`, but a peer may;
+        # hand-build the tagged buffer and decode it.
+        encoder = CDREncoder()
+        encoder.write_octet(tag)
+        getattr(encoder, writer)(value)
+        assert CDRDecoder(encoder.getvalue()).read_any() == value

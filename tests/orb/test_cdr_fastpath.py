@@ -1,0 +1,159 @@
+"""The batched `any` fast path must be invisible on the wire.
+
+The encoder batches homogeneous float/int64 sequences and the decoder
+bulk-unpacks them; both must produce bytes and values identical to the
+generic tag-per-element path.  These tests force the generic path by
+raising the batching threshold and compare against the fast path
+byte for byte.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.orb.cdr as cdr
+from repro.orb.cdr import (
+    CDRDecoder,
+    CDREncoder,
+    decode_values,
+    encode_values,
+)
+from repro.perf import COUNTERS
+
+
+def _generic_encoding(value, monkeypatch):
+    """Encode with batching disabled (threshold no list can reach)."""
+    monkeypatch.setattr(cdr, "_BATCH_MIN", 2**31)
+    try:
+        encoder = CDREncoder()
+        encoder.write_any(value)
+        return encoder.getvalue()
+    finally:
+        monkeypatch.undo()
+
+
+def _fast_encoding(value):
+    encoder = CDREncoder()
+    encoder.write_any(value)
+    return encoder.getvalue()
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("prefix", range(9))
+    @pytest.mark.parametrize("length", [0, 1, 3, 4, 5, 8, 17, 600])
+    def test_float_batch_matches_generic(self, prefix, length, monkeypatch):
+        # The prefix octets shift the sequence start across every
+        # alignment class; batching pads relative to absolute offset.
+        value = [b"x"] * prefix + [[float(i) * 0.5 for i in range(length)]]
+        assert _fast_encoding(value) == _generic_encoding(value, monkeypatch)
+
+    @pytest.mark.parametrize("prefix", range(9))
+    @pytest.mark.parametrize("length", [0, 1, 3, 4, 5, 8, 17, 600])
+    def test_int_batch_matches_generic(self, prefix, length, monkeypatch):
+        value = [b"x"] * prefix + [[i * 31 - 7 for i in range(length)]]
+        assert _fast_encoding(value) == _generic_encoding(value, monkeypatch)
+
+    def test_mixed_sequence_matches_generic(self, monkeypatch):
+        value = [1.0, 2.0, 3.0, "not a float", 5.0]
+        assert _fast_encoding(value) == _generic_encoding(value, monkeypatch)
+
+    def test_special_floats_match_generic(self, monkeypatch):
+        value = [0.0, -0.0, float("inf"), float("-inf"), float("nan"), 1e308]
+        assert _fast_encoding(value) == _generic_encoding(value, monkeypatch)
+
+    def test_int64_boundaries_match_generic(self, monkeypatch):
+        value = [2**63 - 1, -(2**63), 0, 1]
+        assert _fast_encoding(value) == _generic_encoding(value, monkeypatch)
+
+    def test_bignum_defeats_batching_identically(self, monkeypatch):
+        # One element outside int64 forces the generic loop either way.
+        value = [1, 2, 3, 2**70]
+        assert _fast_encoding(value) == _generic_encoding(value, monkeypatch)
+
+    def test_bool_in_int_sequence_matches_generic(self, monkeypatch):
+        # bool is an int subclass but encodes with a different tag; the
+        # batcher must not treat [1, 2, True, 4] as homogeneous ints.
+        value = [1, 2, True, 4]
+        assert _fast_encoding(value) == _generic_encoding(value, monkeypatch)
+
+
+class TestBatchDecoding:
+    def test_batched_floats_roundtrip(self):
+        value = [float(i) for i in range(100)]
+        COUNTERS.reset()
+        wire = _fast_encoding(value)
+        assert CDRDecoder(wire).read_any() == value
+        assert COUNTERS.cdr_batch_encodes == 1
+        assert COUNTERS.cdr_batch_decodes == 1
+
+    def test_batched_ints_roundtrip(self):
+        value = list(range(-50, 50))
+        wire = _fast_encoding(value)
+        assert CDRDecoder(wire).read_any() == value
+
+    def test_mixed_sequence_decoder_falls_back(self, monkeypatch):
+        # Starts with enough doubles to tempt the bulk decoder, then a
+        # string: the decoder must rewind and replay element by element.
+        value = [1.0, 2.0, 3.0, 4.0, 5.0, "tail"]
+        wire = _generic_encoding(value, monkeypatch)
+        assert CDRDecoder(wire).read_any() == value
+
+    def test_generic_wire_decodes_on_fast_decoder(self, monkeypatch):
+        # Bytes produced by the generic encoder feed the batched decoder.
+        value = [0.25 * i for i in range(32)]
+        wire = _generic_encoding(value, monkeypatch)
+        assert CDRDecoder(wire).read_any() == value
+
+
+# Property-style round-trip over the full `any` domain, weighted
+# toward the homogeneous sequences the fast path special-cases.
+any_values = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-(2**100), max_value=2**100),
+        st.floats(allow_nan=False),
+        st.text(max_size=32),
+        st.binary(max_size=32),
+        st.lists(st.floats(allow_nan=False), max_size=24),
+        st.lists(st.integers(min_value=-(2**63), max_value=2**63 - 1),
+                 max_size=24),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=16,
+)
+
+
+@given(st.lists(any_values, max_size=4))
+@settings(max_examples=120)
+def test_property_values_roundtrip(values):
+    decoded = decode_values(encode_values(*values))
+    assert list(decoded) == [_listify(v) for v in values]
+
+
+@given(any_values)
+@settings(max_examples=120)
+def test_property_fast_path_bytes_match_generic(value):
+    fast = _fast_encoding(value)
+    # hypothesis does not mix with pytest fixtures; patch manually.
+    original = cdr._BATCH_MIN
+    cdr._BATCH_MIN = 2**31
+    try:
+        encoder = CDREncoder()
+        encoder.write_any(value)
+        generic = encoder.getvalue()
+    finally:
+        cdr._BATCH_MIN = original
+    assert fast == generic
+    assert CDRDecoder(fast).read_any() == _listify(value)
+
+
+def _listify(value):
+    if isinstance(value, (list, tuple)):
+        return [_listify(item) for item in value]
+    if isinstance(value, dict):
+        return {key: _listify(item) for key, item in value.items()}
+    return value

@@ -1,0 +1,150 @@
+"""Tests for the perf instrumentation package (counters, LRU, taps)."""
+
+import pytest
+
+from repro.orb import World
+from repro.orb.servant import Servant
+from repro.orb.stub import Stub
+from repro.perf import COUNTERS, LRUCache, PerfCounters, WireStats
+
+
+class TestLRUCache:
+    def test_get_put_and_len(self):
+        cache = LRUCache(maxsize=4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert len(cache) == 1
+        assert "a" in cache
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a"; "b" is now the oldest
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_hit_and_miss_counters(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("a")
+        cache.get("missing")
+        assert cache.hits == 2
+        assert cache.misses == 1
+
+    def test_clear(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("a") is None
+
+    def test_put_existing_key_updates_without_evicting(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        assert len(cache) == 2
+        assert cache.get("a") == 10
+        assert cache.get("b") == 2
+
+
+class TestPerfCounters:
+    def test_enable_disable_chain(self):
+        counters = PerfCounters()
+        assert counters.enable() is counters
+        assert counters.enabled
+        counters.disable()
+        assert not counters.enabled
+
+    def test_reset_zeroes_but_keeps_enabled_flag(self):
+        counters = PerfCounters().enable()
+        counters.encode_calls = 5
+        counters.reset()
+        assert counters.encode_calls == 0
+        assert counters.enabled
+
+    def test_snapshot_derived_rates(self):
+        counters = PerfCounters()
+        counters.ior_parse_hits = 3
+        counters.ior_parse_misses = 1
+        counters.encode_calls = 2
+        counters.encode_ns = 500
+        snap = counters.snapshot()
+        assert snap["ior_parse_hit_rate"] == pytest.approx(0.75)
+        assert snap["encode_ns_per_call"] == pytest.approx(250.0)
+
+    def test_snapshot_rates_with_no_traffic(self):
+        snap = PerfCounters().snapshot()
+        assert snap["ior_parse_hit_rate"] == 0.0
+        assert snap["encode_ns_per_call"] == 0.0
+
+
+class _Echo(Servant):
+    _repo_id = "IDL:perf/Echo:1.0"
+
+    def echo(self, value):
+        return value
+
+
+class _EchoStub(Stub):
+    def echo(self, value):
+        return self._call("echo", value)
+
+
+class TestWireStats:
+    def _world(self):
+        world = World()
+        world.lan(["client", "server"], latency=0.001)
+        ior = world.orb("server").poa.activate_object(_Echo())
+        return world, _EchoStub(world.orb("client"), ior)
+
+    def test_observer_counts_served_traffic(self):
+        # The wire-observer hook fires on the serving ORB: requests in,
+        # replies out.
+        world, stub = self._world()
+        stats = WireStats().attach(world.orb("server"))
+        stub.echo("x")
+        stub.echo("y")
+        assert stats.messages_in == 2
+        assert stats.messages_out == 2
+        assert stats.bytes_in > 0
+        assert stats.bytes_out > 0
+
+    def test_detach_stops_counting(self):
+        world, stub = self._world()
+        stats = WireStats().attach(world.orb("server"))
+        stub.echo("x")
+        seen = stats.messages_in
+        stats.detach(world.orb("server"))
+        stub.echo("y")
+        assert stats.messages_in == seen
+
+    def test_snapshot_merges_global_counters(self):
+        world, stub = self._world()
+        stats = WireStats().attach(world.orb("server"))
+        COUNTERS.enable()
+        COUNTERS.reset()
+        try:
+            stub.echo("hello")
+        finally:
+            COUNTERS.disable()
+        snap = stats.snapshot()
+        assert snap["messages_in"] == 1
+        # Request encode on the client plus reply encode on the server.
+        assert snap["encode_calls"] >= 2
+        assert snap["encode_bytes"] > 0
+
+    def test_hot_loop_hits_wire_caches(self):
+        world, stub = self._world()
+        COUNTERS.reset()
+        for _ in range(10):
+            stub.echo("payload")
+        # Steady-state: the same target IOR and the same (empty) service
+        # contexts recur, so both caches should be mostly hits.
+        assert COUNTERS.ior_parse_hits > COUNTERS.ior_parse_misses
+        assert COUNTERS.ctx_cache_hits > COUNTERS.ctx_cache_misses
