@@ -96,7 +96,8 @@ def seed_ior_decode(data: bytes) -> IOR:
     return IOR(type_id, IIOPProfile(host, port, object_key), components)
 
 
-def seed_encode_request(request: Request) -> bytes:
+def seed_encode_request(request: Request, pools: Any = None) -> bytes:
+    # ``pools`` arrived after the seed; ignored to reproduce seed behaviour.
     encoder = SeedEncoder()
     _write_header(encoder, giop.MSG_REQUEST)
     encoder.write_ulong(request.request_id)
@@ -145,6 +146,7 @@ def seed_encode_reply(
     result: Any = None,
     exception: Optional[Exception] = None,
     service_contexts: Optional[Dict[str, Any]] = None,
+    pools: Any = None,  # post-seed; ignored
 ) -> bytes:
     encoder = SeedEncoder()
     _write_header(encoder, giop.MSG_REPLY)

@@ -1,0 +1,179 @@
+#!/usr/bin/env python
+"""Run the request-scheduler overload benchmark; write ``BENCH_sched.json``.
+
+The canonical QoS-scheduling scenario: one server offered ~2x its
+capacity with interleaved **gold** (weight 4, priority 1) and
+**bronze** (weight 1, priority 6) traffic, replayed once per policy —
+FIFO, strict priority, WFQ — plus a WFQ run with a 50 ms bronze
+deadline contract to measure shedding.  Everything runs on the
+simulated clock, so the numbers are exactly reproducible.
+
+The headline criterion (the subsystem's acceptance bar)::
+
+    gold p95 under WFQ  <=  0.5 * gold p95 under FIFO
+
+Usage::
+
+    python benchmarks/run_sched_bench.py [--quick] [--out BENCH_sched.json]
+        [--max-ratio 0.5] [--no-check]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, Optional
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.dirname(HERE)
+SRC = os.path.join(ROOT, "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+from repro.orb import World  # noqa: E402
+from repro.orb.servant import Servant  # noqa: E402
+from repro.sched import CLASS_CONTEXT  # noqa: E402
+from repro.workloads.drivers import (  # noqa: E402
+    Arrival,
+    ClosedLoopResult,
+    open_loop_fanout,
+)
+
+#: 10 ms of server CPU per request -> 100 req/s capacity.
+SERVICE_TIME = 0.010
+#: One arrival every 5 ms -> 200 req/s offered, 2x overload.
+CADENCE = 0.005
+#: Class parameters: gold is the protected contract traffic.
+CLASSES = {
+    "gold": {"weight": 4.0, "priority": 1},
+    "bronze": {"weight": 1.0, "priority": 6},
+}
+
+
+class _Echo(Servant):
+    _repo_id = "IDL:bench/Echo:1.0"
+    _default_service_time = SERVICE_TIME
+
+    def echo(self, text):
+        return text
+
+
+def run_scenario(
+    policy: str, count: int, bronze_deadline: Optional[float] = None
+) -> Dict[str, object]:
+    """One overload replay; returns per-class quantiles and shed counts."""
+    world = World()
+    world.lan(["client", "server"], latency=0.001, bandwidth_bps=10e6)
+    server = world.orb("server")
+    scheduler = server.install_scheduler(policy=policy, max_depth=10_000)
+    scheduler.define_class("gold", **CLASSES["gold"])
+    scheduler.define_class(
+        "bronze", deadline=bronze_deadline, **CLASSES["bronze"]
+    )
+    ior = server.poa.activate_object(_Echo(), object_key="echo")
+
+    latencies = {"gold": [], "bronze": []}
+    shed = {"gold": 0, "bronze": 0}
+
+    def observer(arrival, latency, error):
+        if latency is not None:
+            latencies[arrival.label].append(latency)
+        else:
+            shed[arrival.label] += 1
+
+    arrivals = [
+        Arrival(
+            i * CADENCE,
+            ior,
+            "echo",
+            ("x",),
+            contexts={CLASS_CONTEXT: "gold" if i % 2 == 0 else "bronze"},
+            label="gold" if i % 2 == 0 else "bronze",
+        )
+        for i in range(count)
+    ]
+    open_loop_fanout(world.orb("client"), arrivals, observer=observer)
+
+    report: Dict[str, object] = {"policy": policy}
+    for name in ("gold", "bronze"):
+        series = ClosedLoopResult(latencies[name], shed[name], world.clock.now)
+        offered = len(latencies[name]) + shed[name]
+        report[name] = {
+            "offered": offered,
+            "served": len(latencies[name]),
+            "shed": shed[name],
+            "shed_rate": round(shed[name] / offered, 4) if offered else 0.0,
+            "p50_ms": round(series.p50() * 1e3, 3),
+            "p95_ms": round(series.p95() * 1e3, 3),
+            "p99_ms": round(series.p99() * 1e3, 3),
+        }
+    report["scheduler_stats"] = scheduler.stats_snapshot()
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer arrivals (CI smoke run)")
+    parser.add_argument("--out", default=os.path.join(ROOT, "BENCH_sched.json"),
+                        help="output path (default: repo root BENCH_sched.json)")
+    parser.add_argument("--max-ratio", type=float, default=0.5,
+                        help="required gold-p95 WFQ/FIFO ceiling")
+    parser.add_argument("--no-check", action="store_true",
+                        help="record numbers without enforcing --max-ratio")
+    args = parser.parse_args(argv)
+
+    count = 100 if args.quick else 200
+    scenarios = {
+        "fifo": run_scenario("fifo", count),
+        "priority": run_scenario("priority", count),
+        "wfq": run_scenario("wfq", count),
+        "wfq_deadline": run_scenario("wfq", count, bronze_deadline=0.050),
+    }
+
+    fifo_gold_p95 = scenarios["fifo"]["gold"]["p95_ms"]
+    wfq_gold_p95 = scenarios["wfq"]["gold"]["p95_ms"]
+    ratio = round(wfq_gold_p95 / fifo_gold_p95, 4) if fifo_gold_p95 else None
+
+    payload = {
+        "quick": args.quick,
+        "offered_load": {
+            "service_time_s": SERVICE_TIME,
+            "cadence_s": CADENCE,
+            "arrivals": count,
+            "overload_factor": round(SERVICE_TIME / CADENCE, 2),
+        },
+        "classes": CLASSES,
+        "scenarios": scenarios,
+        "headline": {
+            "gold_p95_fifo_ms": fifo_gold_p95,
+            "gold_p95_wfq_ms": wfq_gold_p95,
+            "gold_p95_wfq_over_fifo": ratio,
+            "max_ratio": args.max_ratio,
+            "bronze_shed_rate_with_deadline":
+                scenarios["wfq_deadline"]["bronze"]["shed_rate"],
+        },
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print(f"wrote {args.out}\n")
+    print(f"  {'policy':<14} {'gold p95':>10} {'bronze p95':>11} {'bronze shed':>12}")
+    for name, row in scenarios.items():
+        print(f"  {name:<14} {row['gold']['p95_ms']:>8.1f}ms"
+              f" {row['bronze']['p95_ms']:>9.1f}ms"
+              f" {row['bronze']['shed_rate']:>11.1%}")
+    print(f"\n  gold p95 WFQ/FIFO ratio: {ratio}  (ceiling {args.max_ratio})")
+
+    if not args.no_check and (ratio is None or ratio > args.max_ratio):
+        print(f"\nFAIL: WFQ does not hold gold p95 under "
+              f"{args.max_ratio}x FIFO")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -36,6 +36,7 @@ from repro.core.qos_skeleton import QoSImplementation
 from repro.orb.ior import IOR, QOS_TAG, TaggedComponent
 from repro.orb.modules.base import binding_key
 from repro.orb.stub import Stub
+from repro.sched.scheduler import BINDING_CONTEXT, CLASS_CONTEXT
 
 
 class BindingError(Exception):
@@ -43,7 +44,13 @@ class BindingError(Exception):
 
 
 class _SupportEntry:
-    __slots__ = ("impl", "capabilities", "module_name", "configure_module")
+    __slots__ = (
+        "impl",
+        "capabilities",
+        "module_name",
+        "configure_module",
+        "sched_class",
+    )
 
     def __init__(
         self,
@@ -51,11 +58,13 @@ class _SupportEntry:
         capabilities: Dict[str, Range],
         module_name: Optional[str],
         configure_module: Optional[Callable[..., None]],
+        sched_class: Optional[str] = None,
     ) -> None:
         self.impl = impl
         self.capabilities = capabilities
         self.module_name = module_name
         self.configure_module = configure_module
+        self.sched_class = sched_class
 
 
 class QoSProvider:
@@ -78,6 +87,7 @@ class QoSProvider:
         capabilities: Optional[Dict[str, Range]] = None,
         capabilities_fn: Optional[Callable[[], Dict[str, Range]]] = None,
         module_name: Optional[str] = None,
+        sched_class: Optional[str] = None,
     ) -> "QoSProvider":
         """Declare support for a characteristic.
 
@@ -85,6 +95,11 @@ class QoSProvider:
         ``capabilities_fn`` a dynamic provider (e.g. consulting the
         resource manager).  ``module_name`` names the transport module
         clients of this characteristic should be carried by.
+        ``sched_class`` names the request-scheduler class requests
+        bound under this characteristic are served in; committing an
+        agreement then also binds the granted ``rate``/``delay`` into
+        that class's admission contract, and commits are vetoed when
+        the scheduler cannot cover the promised rate.
         """
         if impl.characteristic != characteristic:
             raise BindingError(
@@ -106,10 +121,11 @@ class QoSProvider:
                 provider,
                 on_commit=self._commit_fn(characteristic, impl),
                 on_terminate=lambda: self.servant.activate_qos(None),
+                admission=self._admission_fn(characteristic),
             )
         )
         self._entries[characteristic] = _SupportEntry(
-            impl, static, module_name, None
+            impl, static, module_name, None, sched_class
         )
         return self
 
@@ -124,8 +140,40 @@ class QoSProvider:
                 if callable(setter):
                     setter(_coerce_like(impl, name, value))
             self.servant.activate_qos(characteristic)
+            # Enforcement side: tie the agreement into the request
+            # scheduler so the negotiated rate/delay is what admission
+            # control and deadline shedding actually apply.
+            entry = self._entries.get(characteristic)
+            scheduler = self.orb.scheduler
+            if scheduler is not None and entry is not None and entry.sched_class:
+                scheduler.ensure_class(entry.sched_class)
+                scheduler.map_characteristic(characteristic, entry.sched_class)
+                scheduler.bind_contract(entry.sched_class, granted)
 
         return commit
+
+    def _admission_fn(
+        self, characteristic: str
+    ) -> Callable[[Dict[str, float]], Optional[str]]:
+        def admission(granted: Dict[str, float]) -> Optional[str]:
+            entry = self._entries.get(characteristic)
+            scheduler = self.orb.scheduler
+            if scheduler is None or entry is None or not entry.sched_class:
+                return None
+            rate = granted.get("rate")
+            if not rate:
+                return None
+            cls = scheduler.find_class(entry.sched_class)
+            committed = cls.rate if cls is not None and cls.rate else 0.0
+            if not scheduler.admissible_rate(float(rate) - committed):
+                return (
+                    f"admission control: committing {rate}/s for class "
+                    f"{entry.sched_class!r} would exceed the server "
+                    f"capacity of {scheduler.capacity_rps}/s"
+                )
+            return None
+
+        return admission
 
     def module_for(self, characteristic: str) -> Optional[str]:
         entry = self._entries.get(characteristic)
@@ -147,12 +195,21 @@ class QoSProvider:
                     for name, entry in self._entries.items()
                     if entry.module_name
                 },
+                "sched": {
+                    name: entry.sched_class
+                    for name, entry in self._entries.items()
+                    if entry.sched_class
+                },
             },
         )
         self.ior = self.orb.poa.activate_object(
             self.servant, object_key, components=[component]
         )
         self.negotiation_ior = negotiation_ior
+        if self.orb.scheduler is not None:
+            # Negotiation traffic is control plane: it must get through
+            # precisely when the server is overloaded.
+            self.orb.scheduler.mark_control(negotiation_ior.profile.object_key)
         return self.ior
 
 
@@ -223,6 +280,8 @@ class QoSBinding:
         self.negotiator.stub.terminate(self.agreement.agreement_id)
         self.stub._set_mediator(None)
         self.stub._contexts.pop(CHARACTERISTIC_CONTEXT, None)
+        self.stub._contexts.pop(CLASS_CONTEXT, None)
+        self.stub._contexts.pop(BINDING_CONTEXT, None)
         if self.module_name:
             self.stub._orb.qos_transport.unassign(self.stub._ior)
         self.released = True
@@ -283,5 +342,15 @@ def establish_qos(
         if configure_module is not None:
             module = orb.qos_transport.module(module_name)
             configure_module(module, binding_key(ior))
+
+    sched_class = None
+    if component is not None:
+        sched_class = component.data.get("sched", {}).get(characteristic)
+    if sched_class:
+        # Tag every request of this binding for the server's scheduler:
+        # the class it is served in, and a client-distinct binding key
+        # so the admission token bucket is per client/server pair.
+        stub._contexts[CLASS_CONTEXT] = sched_class
+        stub._contexts[BINDING_CONTEXT] = f"{orb.host_name}->{binding_key(ior)}"
 
     return QoSBinding(stub, mediator, agreement, negotiator, module_name)

@@ -140,7 +140,14 @@ CapabilityFn = Callable[[], Dict[str, Range]]
 
 
 class CharacteristicSupport:
-    """Everything the server side needs to offer one characteristic."""
+    """Everything the server side needs to offer one characteristic.
+
+    ``admission`` is an optional gate consulted before any commit (or
+    renegotiation): called with the granted values, it returns ``None``
+    to accept or a refusal message — the hook through which the request
+    scheduler's admission controller vetoes contracts the server could
+    not enforce (e.g. promised rates beyond its capacity).
+    """
 
     def __init__(
         self,
@@ -148,11 +155,13 @@ class CharacteristicSupport:
         capabilities: CapabilityFn,
         on_commit: Callable[[Dict[str, float]], None],
         on_terminate: Optional[Callable[[], None]] = None,
+        admission: Optional[Callable[[Dict[str, float]], Optional[str]]] = None,
     ) -> None:
         self.characteristic = characteristic
         self.capabilities = capabilities
         self.on_commit = on_commit
         self.on_terminate = on_terminate
+        self.admission = admission
 
 
 class NegotiationServant(Servant):
@@ -230,6 +239,7 @@ class NegotiationServant(Servant):
     ) -> int:
         """Create the agreement and activate the characteristic."""
         support = self._require(characteristic)
+        self._check_admission(support, granted)
         agreement = Agreement(characteristic, granted)
         self._agreements[agreement.agreement_id] = agreement
         support.on_commit(granted)
@@ -240,9 +250,11 @@ class NegotiationServant(Servant):
     ) -> Dict[str, float]:
         """Re-run propose/commit under an existing agreement."""
         agreement = self.agreement(agreement_id)
+        support = self._support[agreement.characteristic]
         counter = self.propose(agreement.characteristic, requirements)
+        self._check_admission(support, counter)
         agreement.renegotiated(counter)
-        self._support[agreement.characteristic].on_commit(counter)
+        support.on_commit(counter)
         return counter
 
     def terminate(self, agreement_id: int) -> None:
@@ -256,6 +268,15 @@ class NegotiationServant(Servant):
 
     def agreement_epoch(self, agreement_id: int) -> int:
         return self.agreement(agreement_id).epoch
+
+    @staticmethod
+    def _check_admission(
+        support: CharacteristicSupport, granted: Dict[str, float]
+    ) -> None:
+        if support.admission is not None:
+            refusal = support.admission(granted)
+            if refusal:
+                raise NegotiationFailed(refusal, parameter="")
 
     def _require(self, characteristic: str) -> CharacteristicSupport:
         support = self._support.get(characteristic)

@@ -76,6 +76,20 @@ class Host:
         self.load += 1
         return completion
 
+    def commit_completion(self, completion: float) -> None:
+        """Record externally scheduled work finishing at ``completion``.
+
+        The request scheduler plans start/finish times itself (its
+        policies reorder work that plain :meth:`occupy` would serve
+        FIFO) but still owns this host's CPU: unscheduled dispatch on
+        the same host must queue behind scheduled work, so the single-
+        server ``busy_until`` is pulled forward to the committed
+        completion.
+        """
+        if completion > self.busy_until:
+            self.busy_until = completion
+        self.load += 1
+
     def reset(self) -> None:
         """Clear queue state and failure status (used between runs)."""
         self.crashed = False
@@ -85,6 +99,51 @@ class Host:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "crashed" if self.crashed else "up"
         return f"Host({self.name!r}, {state})"
+
+
+class WorkLedger:
+    """Committed-work accounting for one virtual server.
+
+    The analytic counterpart of :attr:`Host.busy_until` for a *share*
+    of a host: the request scheduler keeps one ledger per QoS class
+    and commits each admitted request's (possibly share-expanded)
+    service demand at arrival time.  Deterministic by construction —
+    the same arrival sequence always produces the same start/finish
+    instants, which is what the simulated-time scheduler tests rely
+    on.
+    """
+
+    __slots__ = ("busy_until", "committed", "completions")
+
+    def __init__(self) -> None:
+        self.busy_until = 0.0
+        #: Total seconds of work ever committed (for utilisation stats).
+        self.committed = 0.0
+        #: Number of commits (requests planned onto this ledger).
+        self.completions = 0
+
+    def remaining(self, now: float) -> float:
+        """Backlog still to be served at ``now``, in seconds."""
+        return self.busy_until - now if self.busy_until > now else 0.0
+
+    def commit(self, now: float, seconds: float) -> Tuple[float, float]:
+        """Append ``seconds`` of work; returns ``(start, completion)``."""
+        if seconds < 0.0:
+            raise ValueError(f"work must be non-negative: {seconds}")
+        start = max(now, self.busy_until)
+        completion = start + seconds
+        self.busy_until = completion
+        self.committed += seconds
+        self.completions += 1
+        return start, completion
+
+    def reset(self) -> None:
+        self.busy_until = 0.0
+        self.committed = 0.0
+        self.completions = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WorkLedger(busy_until={self.busy_until:.6f})"
 
 
 class Link:

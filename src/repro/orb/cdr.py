@@ -100,6 +100,15 @@ class CDREncoder:
 
     # -- low-level ------------------------------------------------------
 
+    def reset(self) -> "CDREncoder":
+        """Clear the buffer for reuse, keeping its allocated capacity.
+
+        The per-ORB wire pools recycle encoders through this instead of
+        allocating a fresh ``bytearray`` per message.
+        """
+        del self._buf[:]
+        return self
+
     def _align(self, boundary: int) -> None:
         buf = self._buf
         padding = -len(buf) % boundary

@@ -81,6 +81,27 @@ class BAD_QOS(SystemException):
     repo_id = "IDL:maqs/BAD_QOS:1.0"
 
 
+class OVERLOAD(TRANSIENT):
+    """MAQS: the server's request scheduler refused to serve the request.
+
+    Raised instead of queueing a request to death: admission control
+    (token-bucket non-conformance, queue-depth limits) and deadline
+    shedding both surface as this TRANSIENT subclass, so existing
+    retry logic keeps working while schedulers can be told apart by
+    the minor code (see :mod:`repro.sched.scheduler`).  A server-side
+    ``retry_after`` hint travels in the reply service contexts and is
+    re-attached to the decoded exception on the client.
+    """
+
+    repo_id = "IDL:maqs/OVERLOAD:1.0"
+
+    def __init__(
+        self, message: str = "", minor: int = 0, retry_after: Optional[float] = None
+    ) -> None:
+        super().__init__(message, minor)
+        self.retry_after = retry_after
+
+
 #: repo_id -> class, for re-raising exceptions decoded from replies.
 SYSTEM_EXCEPTIONS: Dict[str, type] = {
     cls.repo_id: cls
@@ -95,6 +116,7 @@ SYSTEM_EXCEPTIONS: Dict[str, type] = {
         NO_PERMISSION,
         NO_RESOURCES,
         BAD_QOS,
+        OVERLOAD,
     )
 }
 

@@ -154,11 +154,15 @@ def clear_caches() -> None:
 # -- requests -----------------------------------------------------------
 
 
-def encode_request(request: Request) -> bytes:
-    """Flatten a :class:`Request` (including its dual-use tag) to bytes."""
+def encode_request(request: Request, pools: Optional[Any] = None) -> bytes:
+    """Flatten a :class:`Request` (including its dual-use tag) to bytes.
+
+    ``pools`` is an optional :class:`~repro.orb.pool.WirePools`; when
+    given, the encoder buffer is recycled through its free list.
+    """
     counters = COUNTERS
     start = time.perf_counter_ns() if counters.enabled else 0
-    encoder = CDREncoder()
+    encoder = pools.acquire_encoder() if pools is not None else CDREncoder()
     encoder.write_raw(_HEADER_WIRE[MSG_REQUEST])
     encoder.write_ulong(request.request_id)
     encoder.write_octets(request.target.encode())
@@ -172,6 +176,8 @@ def encode_request(request: Request) -> bytes:
     for arg in args:
         encoder.write_any(arg)
     wire = encoder.getvalue()
+    if pools is not None:
+        pools.release_encoder(encoder)
     if counters.enabled:
         counters.encode_calls += 1
         counters.encode_ns += time.perf_counter_ns() - start
@@ -262,11 +268,12 @@ def encode_reply(
     result: Any = None,
     exception: Optional[Exception] = None,
     service_contexts: Optional[Dict[str, Any]] = None,
+    pools: Optional[Any] = None,
 ) -> bytes:
     """Flatten a reply: a result, a user exception or a system exception."""
     counters = COUNTERS
     start = time.perf_counter_ns() if counters.enabled else 0
-    encoder = CDREncoder()
+    encoder = pools.acquire_encoder() if pools is not None else CDREncoder()
     encoder.write_raw(_HEADER_WIRE[MSG_REPLY])
     encoder.write_ulong(request_id)
     _write_contexts(encoder, service_contexts or {})
@@ -291,6 +298,8 @@ def encode_reply(
         encoder.write_string(f"{type(exception).__name__}: {exception}")
         encoder.write_long(0)
     wire = encoder.getvalue()
+    if pools is not None:
+        pools.release_encoder(encoder)
     if counters.enabled:
         counters.encode_calls += 1
         counters.encode_ns += time.perf_counter_ns() - start

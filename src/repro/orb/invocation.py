@@ -2,19 +2,19 @@
 
 ::
 
-                         With QoS?
-    Invocation ──no──► GIOP/IIOP module
-       │
-       yes (QoS tag in the IOR)
-       ▼
-    QoS transport ──command?──► transport / target module
-       │
-       request
-       ▼
-    module assigned to the relationship?  ──no──► GIOP/IIOP module
-       │yes
-       ▼
-    assigned QoS module
+                     With QoS?
+Invocation ──no──► GIOP/IIOP module
+   │
+   yes (QoS tag in the IOR)
+   ▼
+QoS transport ──command?──► transport / target module
+   │
+   request
+   ▼
+module assigned to the relationship?  ──no──► GIOP/IIOP module
+   │yes
+   ▼
+assigned QoS module
 """
 
 from __future__ import annotations
@@ -22,6 +22,28 @@ from __future__ import annotations
 from typing import Any
 
 from repro.orb.request import Request
+
+#: Reply service-context key carrying the server's retry-after hint
+#: (mirrors :data:`repro.sched.scheduler.RETRY_AFTER_CONTEXT`; the
+#: literal is repeated so repro.orb stays import-independent of sched).
+_RETRY_AFTER_CONTEXT = "maqs.sched.retry_after"
+
+
+def _complete(orb: "ORB", request: Request, reply) -> Any:  # noqa: F821
+    """Absorb reply service contexts, then return/raise the outcome.
+
+    The server's scheduler piggybacks backpressure hints on the reply;
+    record them client-side so pacing mediators can slow down, and
+    re-attach the retry-after to a decoded OVERLOAD exception (the
+    wire format only carries repo-id/message/minor).
+    """
+    contexts = reply.service_contexts
+    if contexts:
+        server_host = request.target.profile.host
+        orb.backpressure.observe_reply(server_host, contexts, orb.clock.now)
+        if reply.exception is not None and _RETRY_AFTER_CONTEXT in contexts:
+            reply.exception.retry_after = contexts[_RETRY_AFTER_CONTEXT]
+    return reply.value()
 
 
 def dispatch(orb: "ORB", request: Request) -> Any:  # noqa: F821
@@ -31,14 +53,14 @@ def dispatch(orb: "ORB", request: Request) -> Any:  # noqa: F821
         # Commands ride the plain transport to the peer ORB, where the
         # receiving QoS transport interprets them (handle_incoming).
         reply = transport.iiop_module.send_request(orb, request)
-        return reply.value()
+        return _complete(orb, request, reply)
     if not request.target.is_qos_aware:
         reply = transport.iiop_module.send_request(orb, request)
-        return reply.value()
+        return _complete(orb, request, reply)
     module = transport.assigned_module(request.target)
     if module is None:
         # No module assigned yet: the default transport carries the
         # request, which is how initial negotiation traffic flows.
         module = transport.iiop_module
     reply = module.send_request(orb, request)
-    return reply.value()
+    return _complete(orb, request, reply)

@@ -53,14 +53,18 @@ class CompressionModule(QoSModule):
 
     # -- data plane ----------------------------------------------------------
 
-    def wrap(
-        self, body: bytes, context: Dict[str, Any]
-    ) -> Tuple[Dict[str, Any], bytes, float]:
+    def _burst_prolog(self, context: Dict[str, Any]) -> Tuple[str, Any]:
         # On the server side the reply is wrapped with the *request's*
         # envelope params as context; "requested" preserves the binding's
         # codec choice even when the request itself was incompressible.
         codec_name = context.get("requested", context.get("codec", DEFAULT_CODEC))
         compress, _ = codecs.get_codec(codec_name)
+        return codec_name, compress
+
+    def _wrap_one(
+        self, body: bytes, context: Dict[str, Any], state: Tuple[str, Any]
+    ) -> Tuple[Dict[str, Any], bytes, float]:
+        codec_name, compress = state
         compressed = compress(body)
         cpu = codecs.cpu_cost(codec_name, len(body))
         self.bytes_in += len(body)
@@ -71,9 +75,20 @@ class CompressionModule(QoSModule):
         self.bytes_out += len(compressed)
         return {"codec": codec_name, "requested": codec_name}, compressed, cpu
 
-    def unwrap(self, params: Dict[str, Any], payload: bytes) -> Tuple[bytes, float]:
+    def _unwrap_prolog(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        # Memo of codec name -> decompress fn; a burst can mix codecs
+        # (identity markers for incompressible messages) so resolution
+        # stays per-item but each codec is looked up only once.
+        return {}
+
+    def _unwrap_one(
+        self, params: Dict[str, Any], payload: bytes, state: Dict[str, Any]
+    ) -> Tuple[bytes, float]:
         codec_name = params.get("codec", "identity")
-        _, decompress = codecs.get_codec(codec_name)
+        try:
+            decompress = state[codec_name]
+        except KeyError:
+            decompress = state[codec_name] = codecs.get_codec(codec_name)[1]
         body = decompress(payload)
         return body, codecs.cpu_cost(codec_name, len(body))
 

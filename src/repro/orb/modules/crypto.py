@@ -89,23 +89,41 @@ class CryptoModule(QoSModule):
         except KeyError:
             raise NO_PERMISSION(f"no session key installed under {key_id!r}") from None
 
-    def wrap(
-        self, body: bytes, context: Dict[str, Any]
-    ) -> Tuple[Dict[str, Any], bytes, float]:
+    def _burst_prolog(self, context: Dict[str, Any]) -> Tuple[str, str, Any, bytes]:
         cipher_name = context.get("cipher", DEFAULT_CIPHER)
         key_id = context.get("key_id")
         if key_id is None:
             raise NO_PERMISSION("binding has no key_id configured; negotiate first")
         encrypt, _ = ciphers.get_cipher(cipher_name)
-        payload = encrypt(self._key(key_id), body)
+        return cipher_name, key_id, encrypt, self._key(key_id)
+
+    def _wrap_one(
+        self,
+        body: bytes,
+        context: Dict[str, Any],
+        state: Tuple[str, str, Any, bytes],
+    ) -> Tuple[Dict[str, Any], bytes, float]:
+        cipher_name, key_id, encrypt, key = state
+        payload = encrypt(key, body)
         params = {"cipher": cipher_name, "key_id": key_id}
         return params, payload, ciphers.cpu_cost(cipher_name, len(body))
 
-    def unwrap(self, params: Dict[str, Any], payload: bytes) -> Tuple[bytes, float]:
+    def _unwrap_prolog(self, params: Dict[str, Any]) -> Dict[Any, Any]:
+        # Memo of (cipher, key id) -> (decrypt fn, session key).
+        return {}
+
+    def _unwrap_one(
+        self, params: Dict[str, Any], payload: bytes, state: Dict[Any, Any]
+    ) -> Tuple[bytes, float]:
         cipher_name = params.get("cipher", DEFAULT_CIPHER)
         key_id = params.get("key_id", "")
-        _, decrypt = ciphers.get_cipher(cipher_name)
-        body = decrypt(self._key(key_id), payload)
+        try:
+            decrypt, key = state[cipher_name, key_id]
+        except KeyError:
+            decrypt = ciphers.get_cipher(cipher_name)[1]
+            key = self._key(key_id)
+            state[cipher_name, key_id] = (decrypt, key)
+        body = decrypt(key, payload)
         return body, ciphers.cpu_cost(cipher_name, len(body))
 
 

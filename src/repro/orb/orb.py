@@ -28,6 +28,7 @@ from repro.orb.exceptions import (
 from repro.orb.ior import IOR
 from repro.orb.modules.base import decode_envelope, encode_envelope, is_envelope
 from repro.orb.poa import POA
+from repro.orb.pool import WirePools
 from repro.orb.qos_transport import QoSTransport
 from repro.orb.request import Request
 
@@ -47,6 +48,16 @@ class ORB:
         self.host = world.network.host(host_name)
         self.poa = POA(self)
         self.qos_transport = QoSTransport(self)
+        #: Optional request scheduler (admission control, fair queuing,
+        #: overload protection) — see :meth:`install_scheduler`.
+        self.scheduler = None
+        #: Free lists for encoder buffers / request objects (hot path).
+        self.pools = WirePools()
+        # Client-side record of server retry-after hints; lazy import
+        # keeps repro.orb free of a package-level repro.sched dependency.
+        from repro.sched.backpressure import Backpressure
+
+        self.backpressure = Backpressure()
         self.requests_invoked = 0
         self.requests_received = 0
         self.oneway_failures = 0
@@ -92,6 +103,31 @@ class ORB:
             return self._initial_references[name]
         except KeyError:
             raise TRANSIENT(f"no initial reference {name!r} registered") from None
+
+    # -- request scheduling ------------------------------------------------
+
+    def install_scheduler(self, policy: str = "wfq", **config: Any):
+        """Install a :class:`~repro.sched.scheduler.RequestScheduler`.
+
+        Sits between request receipt and servant dispatch: admission
+        control (token buckets + queue-depth limit), the selected
+        scheduling policy ("fifo", "priority" or "wfq"), and deadline
+        shedding.  Returns the scheduler so callers can define QoS
+        classes.  Idempotent per ORB — installing again replaces the
+        scheduler wholesale.
+        """
+        # Imported here (not at module scope): repro.sched builds on
+        # repro.orb, so the dependency must point downward only.
+        from repro.sched.scheduler import RequestScheduler
+
+        self.scheduler = RequestScheduler(self, policy=policy, **config)
+        # Negotiation endpoints already active on this POA are control
+        # traffic: always admitted, or an overloaded server could never
+        # be renegotiated out of its overload.
+        for key, servant in self.poa._servants.items():
+            if getattr(servant, "_repo_id", "") == "IDL:maqs/Negotiation:1.0":
+                self.scheduler.mark_control(key)
+        return self.scheduler
 
     # -- client side --------------------------------------------------------
 
@@ -210,18 +246,31 @@ class ORB:
         request = giop.decode_request(wire)
         result: Any = None
         exception: Optional[Exception] = None
+        reply_contexts: Optional[Dict[str, Any]] = None
         finish = at_time
         try:
             if request.is_command:
                 result = self.qos_transport.handle_command(request)
                 finish = at_time + self.HOP_COST
             else:
-                result, finish = self.poa.dispatch(request, at_time)
+                result, finish, reply_contexts = self.poa.dispatch(request, at_time)
         except Exception as error:  # encoded into the reply, like a real ORB
             exception = error
             finish = at_time
+            # Overload rejections carry a retry-after hint; surface it
+            # in the reply service contexts so the client-side mediator
+            # can observe backpressure without parsing exception text.
+            retry_after = getattr(error, "retry_after", None)
+            if retry_after is not None:
+                reply_contexts = {"maqs.sched.retry_after": retry_after}
 
-        reply_wire = giop.encode_reply(request.request_id, result, exception)
+        reply_wire = giop.encode_reply(
+            request.request_id,
+            result,
+            exception,
+            service_contexts=reply_contexts,
+            pools=self.pools,
+        )
         finish += self.marshal_cost(len(reply_wire))
         if module is not None:
             params, payload, cpu = module.wrap(reply_wire, dict(envelope_params))

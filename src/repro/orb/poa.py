@@ -69,13 +69,19 @@ class POA:
 
     # -- dispatch ---------------------------------------------------------
 
-    def dispatch(self, request: Request, at_time: float) -> Tuple[Any, float]:
+    def dispatch(
+        self, request: Request, at_time: float
+    ) -> Tuple[Any, float, Optional[Dict[str, Any]]]:
         """Deliver a request to its servant.
 
-        Returns ``(result, finish_time)`` where ``finish_time`` accounts
-        for queueing and the servant's simulated service time on this
-        host.  Exceptions propagate to the caller (the ORB encodes them
-        into the reply).
+        Returns ``(result, finish_time, reply_contexts)`` where
+        ``finish_time`` accounts for queueing and the servant's
+        simulated service time on this host and ``reply_contexts`` are
+        scheduler-piggybacked reply service contexts (``None`` unless a
+        scheduler is installed and has something to say, e.g. a
+        backpressure retry-after hint).  Exceptions propagate to the
+        caller (the ORB encodes them into the reply) — including the
+        scheduler's OVERLOAD rejections.
         """
         servant = self.servant(request.target.profile.object_key)
         host = self._orb.host
@@ -85,8 +91,19 @@ class POA:
         # prologs use them e.g. for deadline admission control.
         contexts = dict(request.service_contexts)
         contexts["maqs.arrival_time"] = at_time
-        contexts["maqs.start_time"] = max(at_time, host.busy_until)
-        finish_time = host.occupy(at_time, service_time)
+        scheduler = self._orb.scheduler
+        reply_contexts: Optional[Dict[str, Any]] = None
+        if scheduler is not None:
+            # Admission control + policy scheduling; raises OVERLOAD
+            # when the request is not admissible (the POA never sees
+            # the servant in that case — shed before dispatch).
+            grant = scheduler.admit(request, at_time, service_time)
+            contexts["maqs.start_time"] = grant.start
+            finish_time = grant.completion
+            reply_contexts = grant.reply_contexts
+        else:
+            contexts["maqs.start_time"] = max(at_time, host.busy_until)
+            finish_time = host.occupy(at_time, service_time)
         result = servant._dispatch(request.operation, request.args, contexts)
         self.requests_dispatched += 1
-        return result, finish_time
+        return result, finish_time, reply_contexts

@@ -1,0 +1,86 @@
+"""Per-ORB free lists for the wire hot path.
+
+Every message used to allocate a fresh ``bytearray`` (inside
+:class:`~repro.orb.cdr.CDREncoder`) and every stub call a fresh
+:class:`~repro.orb.request.Request`.  On the echo hot path both
+objects have strictly call-scoped lifetimes, so each ORB keeps small
+free lists and recycles them; :data:`repro.perf.COUNTERS` records hit
+rates (``encoder_pool_*``, ``request_pool_*``).
+
+The pools are deliberately dumb: bounded LIFO stacks, no locking (the
+simulation is single-threaded), and callers that forget to release
+simply fall back to allocation — correctness never depends on a
+release happening.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.orb.cdr import CDREncoder
+from repro.orb.ior import IOR
+from repro.orb.request import Request
+from repro.perf.counters import COUNTERS
+
+
+class WirePools:
+    """One ORB's encoder-buffer and request free lists."""
+
+    __slots__ = ("_encoders", "_requests", "max_encoders", "max_requests")
+
+    def __init__(self, max_encoders: int = 8, max_requests: int = 8) -> None:
+        self._encoders: List[CDREncoder] = []
+        self._requests: List[Request] = []
+        self.max_encoders = max_encoders
+        self.max_requests = max_requests
+
+    # -- encoder buffers --------------------------------------------------
+
+    def acquire_encoder(self) -> CDREncoder:
+        """A cleared encoder, recycled when the free list has one."""
+        if self._encoders:
+            COUNTERS.encoder_pool_hits += 1
+            return self._encoders.pop()
+        COUNTERS.encoder_pool_misses += 1
+        return CDREncoder()
+
+    def release_encoder(self, encoder: CDREncoder) -> None:
+        """Return an encoder once its ``getvalue()`` bytes are taken."""
+        if len(self._encoders) < self.max_encoders:
+            self._encoders.append(encoder.reset())
+
+    # -- request objects --------------------------------------------------
+
+    def acquire_request(
+        self,
+        target: IOR,
+        operation: str,
+        args: Tuple[Any, ...],
+        service_contexts: Dict[str, Any],
+        response_expected: bool,
+    ) -> Request:
+        """A service request, recycled from the free list when possible."""
+        if self._requests:
+            COUNTERS.request_pool_hits += 1
+            return self._requests.pop()._reuse(
+                target, operation, args, service_contexts, response_expected
+            )
+        COUNTERS.request_pool_misses += 1
+        return Request(
+            target,
+            operation,
+            args,
+            service_contexts=service_contexts,
+            response_expected=response_expected,
+        )
+
+    def release_request(self, request: Request) -> None:
+        """Return a request whose invocation has fully completed."""
+        if not request.is_command and len(self._requests) < self.max_requests:
+            self._requests.append(request)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WirePools(encoders={len(self._encoders)}, "
+            f"requests={len(self._requests)})"
+        )

@@ -144,6 +144,13 @@ class QoSTransport:
             "loadable_modules": self.loadable_modules,
             "assignments": self.assignments,
             "module_statistics": self._module_statistics,
+            # Request-scheduler control plane: policy is a separable
+            # concern, swappable at runtime through the same dual-use
+            # command channel as module administration.
+            "sched_policy": lambda: self._scheduler().policy_name,
+            "set_sched_policy": lambda name: self._scheduler().set_policy(name),
+            "sched_stats": lambda: self._scheduler().stats_snapshot(),
+            "sched_classes": lambda: self._scheduler().class_table(),
         }
         handler = operations.get(request.operation)
         if handler is None:
@@ -152,6 +159,14 @@ class QoSTransport:
                 f"offers {sorted(operations)}"
             )
         return handler(*request.args)
+
+    def _scheduler(self):
+        scheduler = self.orb.scheduler
+        if scheduler is None:
+            raise NO_RESOURCES(
+                f"no request scheduler installed on {self.orb.host_name!r}"
+            )
+        return scheduler
 
     def _module_statistics(self, name: str) -> Dict[str, int]:
         module = self._modules.get(name)

@@ -78,6 +78,31 @@ class Request:
     def is_command(self) -> bool:
         return self.kind == COMMAND
 
+    def _reuse(
+        self,
+        target: IOR,
+        operation: str,
+        args: Tuple[Any, ...],
+        service_contexts: Dict[str, Any],
+        response_expected: bool,
+    ) -> "Request":
+        """Re-initialise a pooled instance as a fresh service request.
+
+        Only plain (non-command) requests are pooled, so the kind and
+        command-target invariants hold by construction; a new request
+        id is drawn so reply correlation behaves exactly as for a
+        newly constructed request.
+        """
+        self.request_id = next(_request_ids)
+        self.target = target
+        self.operation = operation
+        self.args = tuple(args)
+        self.kind = REQUEST
+        self.command_target = None
+        self.service_contexts = service_contexts
+        self.response_expected = response_expected
+        return self
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         if self.is_command:
             return (

@@ -69,14 +69,20 @@ class Stub:
         contexts = dict(self._contexts)
         if extra_contexts:
             contexts.update(extra_contexts)
-        request = Request(
+        pools = self._orb.pools
+        request = pools.acquire_request(
             target if target is not None else self._ior,
             operation,
             args,
-            service_contexts=contexts,
-            response_expected=operation not in self._oneway_ops,
+            contexts,
+            operation not in self._oneway_ops,
         )
-        return self._orb.invoke(request)
+        try:
+            return self._orb.invoke(request)
+        finally:
+            # The request's lifetime is call-scoped: the server decodes
+            # its own copy from the wire, so recycling here is safe.
+            pools.release_request(request)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         mediated = " mediated" if self._mediator is not None else ""

@@ -36,6 +36,15 @@ class PerfCounters:
         "ior_parse_misses",
         "ctx_cache_hits",
         "ctx_cache_misses",
+        "sched_admitted",
+        "sched_rejected",
+        "sched_shed",
+        "encoder_pool_hits",
+        "encoder_pool_misses",
+        "request_pool_hits",
+        "request_pool_misses",
+        "module_bursts",
+        "module_burst_messages",
     )
 
     def __init__(self) -> None:
@@ -65,6 +74,15 @@ class PerfCounters:
         self.ior_parse_misses = 0
         self.ctx_cache_hits = 0
         self.ctx_cache_misses = 0
+        self.sched_admitted = 0
+        self.sched_rejected = 0
+        self.sched_shed = 0
+        self.encoder_pool_hits = 0
+        self.encoder_pool_misses = 0
+        self.request_pool_hits = 0
+        self.request_pool_misses = 0
+        self.module_bursts = 0
+        self.module_burst_messages = 0
 
     @staticmethod
     def _rate(hits: int, misses: int) -> float:
@@ -99,6 +117,18 @@ class PerfCounters:
             "ctx_cache_hit_rate": self._rate(
                 self.ctx_cache_hits, self.ctx_cache_misses
             ),
+            "sched_admitted": self.sched_admitted,
+            "sched_rejected": self.sched_rejected,
+            "sched_shed": self.sched_shed,
+            "encoder_pool_hits": self.encoder_pool_hits,
+            "encoder_pool_misses": self.encoder_pool_misses,
+            "encoder_pool_hit_rate": self._rate(
+                self.encoder_pool_hits, self.encoder_pool_misses
+            ),
+            "request_pool_hits": self.request_pool_hits,
+            "request_pool_misses": self.request_pool_misses,
+            "module_bursts": self.module_bursts,
+            "module_burst_messages": self.module_burst_messages,
         }
 
 

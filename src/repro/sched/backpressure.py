@@ -1,0 +1,93 @@
+"""Client-side backpressure: observing the server's retry-after hints.
+
+The scheduler piggybacks a ``maqs.sched.retry_after`` service context
+on replies once its queue passes the backpressure watermark, and on
+every OVERLOAD rejection.  The invocation path feeds those hints into
+the client ORB's :class:`Backpressure` tracker; mediators (the MAQS
+client-side QoS weaving point) consult it to degrade gracefully —
+:class:`PacingMediator` simply waits the suggested delay out in
+simulated time before issuing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.mediator import Mediator
+
+
+class Backpressure:
+    """Per-destination-host retry-after bookkeeping on one client ORB."""
+
+    __slots__ = ("_hints", "hints_observed")
+
+    def __init__(self) -> None:
+        #: host -> (simulated instant until which to hold off).
+        self._hints: Dict[str, float] = {}
+        self.hints_observed = 0
+
+    def note(self, host: str, retry_after: float, now: float) -> None:
+        """Record a hint received from ``host`` at ``now``."""
+        if retry_after <= 0.0:
+            return
+        until = now + retry_after
+        if until > self._hints.get(host, 0.0):
+            self._hints[host] = until
+        self.hints_observed += 1
+
+    def observe_reply(
+        self, host: str, service_contexts: Optional[Dict[str, Any]], now: float
+    ) -> None:
+        """Harvest the scheduler's hint from a reply's service contexts."""
+        if not service_contexts:
+            return
+        from repro.sched.scheduler import RETRY_AFTER_CONTEXT
+
+        hint = service_contexts.get(RETRY_AFTER_CONTEXT)
+        if hint is not None:
+            self.note(host, float(hint), now)
+
+    def suggested_delay(self, host: str, now: float) -> float:
+        """Seconds a polite client should wait before calling ``host``."""
+        until = self._hints.get(host)
+        if until is None:
+            return 0.0
+        if until <= now:
+            del self._hints[host]
+            return 0.0
+        return until - now
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"hints_observed": self.hints_observed, "active": dict(self._hints)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Backpressure(active={len(self._hints)})"
+
+
+class PacingMediator(Mediator):
+    """A mediator that honours the server's backpressure hints.
+
+    Before issuing, it waits (in simulated time) for any retry-after
+    the target host advertised — the graceful-degradation half of the
+    scheduler's overload protection.  Stacks under richer mediators in
+    a :class:`~repro.core.mediator.MediatorChain`.
+    """
+
+    characteristic = "__pacing__"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.delays_taken = 0
+        self.delay_total = 0.0
+
+    def invoke(self, stub: Any, operation: str, args: Tuple[Any, ...]) -> Any:
+        self.calls_intercepted += 1
+        orb = stub._orb
+        delay = orb.backpressure.suggested_delay(
+            stub._ior.profile.host, orb.clock.now
+        )
+        if delay > 0.0:
+            orb.clock.advance(delay)
+            self.delays_taken += 1
+            self.delay_total += delay
+        return stub._invoke(operation, args)

@@ -1,0 +1,157 @@
+"""Pluggable scheduling policies for the serving path.
+
+Distribution *policy* is kept separable from the dispatch *mechanism*
+(the RAFDA argument): the scheduler owns queues and admission, a
+policy only decides when admitted work runs.  Three policies ship:
+
+- **fifo** — the seed behaviour: one global queue, arrival order.
+- **priority** — strict priority by negotiated QoS level: a request
+  waits only for backlog of classes at its own or a higher priority.
+- **wfq** — weighted fair queuing across classes, modelled as the
+  GPS fluid limit WFQ approximates: an active class with weight
+  ``w`` owns share ``w / Σ active weights`` of the server, so its
+  service demand is expanded by the inverse share when committed.
+
+Time model: the serving path is synchronous per request and arrivals
+are processed in arrival order, so every policy *commits* a request's
+start/finish at its arrival instant from the backlog visible then
+(exactly how ``Host.occupy`` already models the FIFO queue).  For
+priority and WFQ this is the standard at-arrival, non-preemptive
+approximation: work arriving later never revises an earlier commitment.
+Decisions depend only on committed ledgers, never on wall-clock time,
+so runs are deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Type
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sched.scheduler import QoSClass, RequestScheduler
+
+
+class SchedulerPolicy:
+    """Plans admitted requests onto the scheduler's work ledgers."""
+
+    #: Registry name; subclasses must override.
+    name = ""
+
+    def __init__(self) -> None:
+        self.sched: "RequestScheduler" = None  # type: ignore[assignment]
+
+    def attach(self, scheduler: "RequestScheduler") -> "SchedulerPolicy":
+        self.sched = scheduler
+        return self
+
+    def projected_wait(
+        self, cls: "QoSClass", now: float, service: float = 0.0
+    ) -> float:
+        """Seconds a ``service``-second request of ``cls`` arriving at
+        ``now`` would spend not being served (queueing plus any fair-
+        share dilution of its own demand).
+
+        Used by deadline shedding *before* any work is committed; for
+        an admitted request it equals the realised wait exactly.
+        """
+        raise NotImplementedError
+
+    def plan(self, cls: "QoSClass", now: float, service: float) -> tuple:
+        """Commit ``service`` seconds (already CPU-scaled) of work.
+
+        Returns ``(start, completion)`` in simulated time.
+        """
+        raise NotImplementedError
+
+
+class FIFOPolicy(SchedulerPolicy):
+    """Arrival order, one shared queue — the baseline the seed had."""
+
+    name = "fifo"
+
+    def projected_wait(
+        self, cls: "QoSClass", now: float, service: float = 0.0
+    ) -> float:
+        return self.sched.total.remaining(now)
+
+    def plan(self, cls: "QoSClass", now: float, service: float) -> tuple:
+        return self.sched.total.commit(now, service)
+
+
+class StrictPriorityPolicy(SchedulerPolicy):
+    """Strict priority by QoS level (lower number = more urgent).
+
+    A class's ledger holds its own backlog *plus* all work committed by
+    better classes, so a request waits exactly for the work that may
+    legally run before it, and work admitted at one priority consumes
+    capacity at every worse priority — the server never serves more
+    than one request's worth of time per unit time in aggregate.
+    Backlog of worse classes stays invisible.
+    """
+
+    name = "priority"
+
+    def projected_wait(
+        self, cls: "QoSClass", now: float, service: float = 0.0
+    ) -> float:
+        return self.sched.ledger(cls.name).remaining(now)
+
+    def plan(self, cls: "QoSClass", now: float, service: float) -> tuple:
+        sched = self.sched
+        planned = sched.ledger(cls.name).commit(now, service)
+        for other in sched.classes():
+            if other.name != cls.name and other.priority >= cls.priority:
+                sched.ledger(other.name).commit(now, service)
+        return planned
+
+
+class WFQPolicy(SchedulerPolicy):
+    """Weighted fair queuing via the GPS fluid model.
+
+    Each backlogged class drains concurrently at its weight share of
+    the server, so a committed request's demand is expanded by
+    ``Σ active weights / w``.  A class that stays inside its share
+    never queues behind a misbehaving neighbour — the property the
+    overload benchmark measures.
+    """
+
+    name = "wfq"
+
+    def _share(self, cls: "QoSClass", now: float) -> float:
+        sched = self.sched
+        total_weight = cls.weight
+        for other in sched.classes():
+            if other.name != cls.name and sched.ledger(other.name).remaining(now) > 0.0:
+                total_weight += other.weight
+        return cls.weight / total_weight
+
+    def projected_wait(
+        self, cls: "QoSClass", now: float, service: float = 0.0
+    ) -> float:
+        # Backlog ahead of the request, plus the share dilution of its
+        # own demand: at share s, ``service`` takes service/s wall-
+        # clock seconds of which only ``service`` is actual service.
+        backlog = self.sched.ledger(cls.name).remaining(now)
+        if service <= 0.0:
+            return backlog
+        return backlog + service * (1.0 / self._share(cls, now) - 1.0)
+
+    def plan(self, cls: "QoSClass", now: float, service: float) -> tuple:
+        share = self._share(cls, now)
+        return self.sched.ledger(cls.name).commit(now, service / share)
+
+
+#: name -> policy class, for runtime swapping through transport commands.
+POLICIES: Dict[str, Type[SchedulerPolicy]] = {
+    policy.name: policy
+    for policy in (FIFOPolicy, StrictPriorityPolicy, WFQPolicy)
+}
+
+
+def create_policy(name: str) -> SchedulerPolicy:
+    """Instantiate a policy by registry name."""
+    try:
+        return POLICIES[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown scheduling policy {name!r}; available {sorted(POLICIES)}"
+        ) from None

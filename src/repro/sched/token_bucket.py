@@ -1,0 +1,88 @@
+"""Token-bucket rate limiting on the simulated clock.
+
+The admission controller keeps one bucket per client/server binding:
+tokens accrue at the *negotiated* rate (the throughput the server
+agreed to in the QoS contract), up to a burst capacity.  A request is
+conformant if a whole token is available at its arrival instant;
+non-conformant requests are rejected immediately with an overload
+exception instead of being queued (Section 4's enforcement along the
+communication path, applied to the serving path).
+
+Everything is driven by explicit ``now`` arguments — the bucket never
+reads wall-clock time, so admission decisions are deterministic and
+replayable in the netsim tests.
+"""
+
+from __future__ import annotations
+
+
+class TokenBucket:
+    """A classic token bucket in simulated time.
+
+    >>> bucket = TokenBucket(rate=2.0, burst=2.0)
+    >>> bucket.try_consume(0.0), bucket.try_consume(0.0), bucket.try_consume(0.0)
+    (True, True, False)
+    >>> round(bucket.time_until(0.0), 3)   # next token accrues at 0.5s
+    0.5
+    >>> bucket.try_consume(0.5)
+    True
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "_last")
+
+    def __init__(self, rate: float, burst: float = 1.0) -> None:
+        if rate <= 0.0:
+            raise ValueError(f"rate must be positive: {rate}")
+        if burst < 1.0:
+            raise ValueError(f"burst must allow at least one token: {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self._last = 0.0
+
+    def _refill(self, now: float) -> None:
+        if now > self._last:
+            self.tokens = min(self.burst, self.tokens + (now - self._last) * self.rate)
+            self._last = now
+
+    def available(self, now: float) -> float:
+        """Tokens available at ``now`` (refills as a side effect)."""
+        self._refill(now)
+        return self.tokens
+
+    def try_consume(self, now: float, tokens: float = 1.0) -> bool:
+        """Consume ``tokens`` if conformant at ``now``; False otherwise."""
+        self._refill(now)
+        if self.tokens >= tokens:
+            self.tokens -= tokens
+            return True
+        return False
+
+    def time_until(self, now: float, tokens: float = 1.0) -> float:
+        """Seconds from ``now`` until ``tokens`` will be available.
+
+        Zero if already conformant — this is the retry-after hint sent
+        back to rejected clients.
+        """
+        self._refill(now)
+        deficit = tokens - self.tokens
+        if deficit <= 0.0:
+            return 0.0
+        return deficit / self.rate
+
+    def reconfigure(self, rate: float, burst: float) -> None:
+        """Adopt a renegotiated rate/burst; accrued tokens are clamped."""
+        if rate <= 0.0:
+            raise ValueError(f"rate must be positive: {rate}")
+        if burst < 1.0:
+            raise ValueError(f"burst must allow at least one token: {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        if self.tokens > self.burst:
+            self.tokens = self.burst
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TokenBucket(rate={self.rate}, burst={self.burst}, "
+            f"tokens={self.tokens:.3f})"
+        )

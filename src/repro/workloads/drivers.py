@@ -42,12 +42,22 @@ class ClosedLoopResult:
             return float("nan")
         return sum(self.latencies) / len(self.latencies)
 
-    def p95(self) -> float:
+    def percentile(self, quantile: float) -> float:
+        """The ``quantile`` (0..1] latency, nearest-rank convention."""
         if not self.latencies:
             return float("nan")
         ordered = sorted(self.latencies)
-        index = max(0, min(len(ordered) - 1, int(0.95 * len(ordered)) - 1))
+        index = max(0, min(len(ordered) - 1, int(quantile * len(ordered)) - 1))
         return ordered[index]
+
+    def p50(self) -> float:
+        return self.percentile(0.50)
+
+    def p95(self) -> float:
+        return self.percentile(0.95)
+
+    def p99(self) -> float:
+        return self.percentile(0.99)
 
     def max(self) -> float:
         return max(self.latencies) if self.latencies else float("nan")
@@ -62,7 +72,9 @@ class ClosedLoopResult:
             "count": float(self.count),
             "failures": float(self.failures),
             "mean": self.mean(),
+            "p50": self.p50(),
             "p95": self.p95(),
+            "p99": self.p99(),
             "max": self.max(),
             "throughput": self.throughput(),
         }
@@ -134,27 +146,48 @@ class OpenLoopDriver:
 
 
 class Arrival:
-    """One open-loop request: when it departs and what it invokes."""
+    """One open-loop request: when it departs and what it invokes.
 
-    __slots__ = ("time", "target", "operation", "args")
+    ``contexts`` travel as the request's service contexts (e.g. the
+    scheduling class/binding tags); ``label`` is an opaque caller tag
+    handed back through the ``observer`` of :func:`open_loop_fanout`
+    for per-class bookkeeping.
+    """
+
+    __slots__ = ("time", "target", "operation", "args", "contexts", "label")
 
     def __init__(
-        self, time: float, target: IOR, operation: str, args: Tuple[Any, ...] = ()
+        self,
+        time: float,
+        target: IOR,
+        operation: str,
+        args: Tuple[Any, ...] = (),
+        contexts: Optional[Dict[str, Any]] = None,
+        label: Optional[str] = None,
     ) -> None:
         self.time = time
         self.target = target
         self.operation = operation
         self.args = tuple(args)
+        self.contexts = dict(contexts or {})
+        self.label = label
 
 
 def open_loop_fanout(
-    orb: Any, arrivals: Sequence[Arrival]
+    orb: Any,
+    arrivals: Sequence[Arrival],
+    observer: Optional[Callable[[Arrival, Optional[float], Optional[Exception]], None]] = None,
 ) -> ClosedLoopResult:
     """Issue every arrival at its own departure instant, in parallel.
 
     Requests overlap in simulated time: server FIFO queues build up
     whenever the offered load exceeds a host's service rate.  The
     global clock is advanced once, to the last completion.
+
+    ``observer`` is called per arrival as ``observer(arrival, latency,
+    exception)`` — latency is None exactly when the request failed —
+    letting callers keep per-label series (the scheduler benchmark
+    splits gold/bronze this way).
     """
     if not arrivals:
         return ClosedLoopResult([], 0, 0.0)
@@ -166,8 +199,13 @@ def open_loop_fanout(
     last_finish = base
     for arrival in ordered:
         depart = base + arrival.time
-        request = Request(arrival.target, arrival.operation, arrival.args)
-        wire = giop.encode_request(request)
+        request = Request(
+            arrival.target,
+            arrival.operation,
+            arrival.args,
+            service_contexts=arrival.contexts,
+        )
+        wire = giop.encode_request(request, pools=getattr(orb, "pools", None))
         depart += orb.marshal_cost(len(wire))
         try:
             reply_wire, finish = orb.round_trip(
@@ -175,12 +213,24 @@ def open_loop_fanout(
             )
             finish += orb.marshal_cost(len(reply_wire))
             reply = giop.decode_reply(reply_wire)
+            backpressure = getattr(orb, "backpressure", None)
+            if backpressure is not None:
+                backpressure.observe_reply(
+                    arrival.target.profile.host, reply.service_contexts, finish
+                )
             if reply.exception is not None:
                 failures += 1
+                if observer is not None:
+                    observer(arrival, None, reply.exception)
             else:
-                latencies.append(finish - (base + arrival.time))
+                latency = finish - (base + arrival.time)
+                latencies.append(latency)
+                if observer is not None:
+                    observer(arrival, latency, None)
             last_finish = max(last_finish, finish)
-        except SystemException:
+        except SystemException as error:
             failures += 1
+            if observer is not None:
+                observer(arrival, None, error)
     clock.advance_to(last_finish)
     return ClosedLoopResult(latencies, failures, last_finish - base)

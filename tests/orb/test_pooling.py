@@ -1,0 +1,95 @@
+"""Wire-path object pooling: recycled encoders and requests.
+
+Pooling must be invisible except in the perf counters: identical bytes
+on the wire, identical results, fresh request ids.
+"""
+
+from repro.orb import giop
+from repro.orb.cdr import CDREncoder
+from repro.orb.ior import IIOPProfile, IOR
+from repro.orb.pool import WirePools
+from repro.orb.request import Request
+from repro.perf.counters import COUNTERS
+
+
+def make_request(op="echo", args=("x",)):
+    ior = IOR("IDL:test/Echo:1.0", IIOPProfile("server", 683, "obj-1"))
+    return Request(ior, op, args)
+
+
+class TestEncoderPool:
+    def test_bytes_identical_with_and_without_pool(self):
+        pools = WirePools()
+        request = make_request()
+        plain = giop.encode_request(request)
+        pooled_cold = giop.encode_request(request, pools=pools)
+        pooled_warm = giop.encode_request(request, pools=pools)
+        assert plain == pooled_cold == pooled_warm
+
+    def test_hit_after_release_cycle(self):
+        COUNTERS.reset()
+        pools = WirePools()
+        giop.encode_request(make_request(), pools=pools)  # miss, then release
+        giop.encode_request(make_request(), pools=pools)  # hit
+        assert COUNTERS.encoder_pool_misses == 1
+        assert COUNTERS.encoder_pool_hits == 1
+
+    def test_reset_clears_buffer(self):
+        encoder = CDREncoder()
+        encoder.write_string("leftover")
+        assert encoder.reset() is encoder
+        assert encoder.getvalue() == b""
+
+    def test_pool_is_bounded(self):
+        pools = WirePools(max_encoders=2)
+        encoders = [CDREncoder() for _ in range(5)]
+        for encoder in encoders:
+            pools.release_encoder(encoder)
+        assert len(pools._encoders) == 2
+
+    def test_reply_path_uses_pool_identically(self):
+        pools = WirePools()
+        plain = giop.encode_reply(7, result="ok")
+        pooled = giop.encode_reply(7, result="ok", pools=pools)
+        assert plain == pooled
+
+
+class TestRequestPool:
+    def test_acquire_recycles_released_instance(self):
+        COUNTERS.reset()
+        pools = WirePools()
+        ior = IOR("IDL:test/Echo:1.0", IIOPProfile("server", 683, "obj-1"))
+        first = pools.acquire_request(ior, "echo", ("a",), {}, True)
+        first_id = first.request_id
+        pools.release_request(first)
+        second = pools.acquire_request(ior, "echo", ("b",), {}, True)
+        assert second is first  # recycled object...
+        assert second.request_id > first_id  # ...with a fresh id
+        assert second.args == ("b",)
+        assert COUNTERS.request_pool_misses == 1
+        assert COUNTERS.request_pool_hits == 1
+
+    def test_commands_are_never_pooled(self):
+        pools = WirePools()
+        ior = IOR("IDL:test/Echo:1.0", IIOPProfile("server", 683, "obj-1"))
+        command = Request(
+            ior, "load_module", ("trace",), kind="command",
+            command_target="transport",
+        )
+        pools.release_request(command)
+        assert len(pools._requests) == 0
+
+
+class TestPooledEchoPath:
+    def test_hot_path_hits_pool_and_stays_correct(self, echo_stub):
+        COUNTERS.reset()
+        results = [echo_stub.echo(f"msg-{i}") for i in range(10)]
+        assert results == [f"MSG-{i}".upper() for i in range(10)]
+        assert COUNTERS.request_pool_hits >= 9
+        assert COUNTERS.encoder_pool_hits > 0
+
+    def test_pooled_and_plain_runs_agree(self, world, echo_stub, echo_servant):
+        before = echo_servant.calls
+        assert echo_stub.echo("alpha") == "ALPHA"
+        assert echo_stub.echo("alpha") == "ALPHA"
+        assert echo_servant.calls == before + 2

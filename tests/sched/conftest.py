@@ -1,0 +1,56 @@
+"""Shared fixtures: a scheduled echo deployment on a tiny LAN."""
+
+import pytest
+
+from repro.orb import World
+from repro.orb.servant import Servant
+from repro.orb.stub import Stub
+
+
+class EchoServant(Servant):
+    _repo_id = "IDL:test/Echo:1.0"
+    _default_service_time = 0.010  # 100 req/s of server capacity
+
+    def __init__(self):
+        self.calls = 0
+
+    def echo(self, text):
+        self.calls += 1
+        return text.upper()
+
+
+class EchoStub(Stub):
+    def echo(self, text):
+        return self._call("echo", text)
+
+
+@pytest.fixture
+def world():
+    w = World()
+    w.lan(["client", "server"], latency=0.001, bandwidth_bps=10e6)
+    return w
+
+
+@pytest.fixture
+def server_orb(world):
+    return world.orb("server")
+
+
+@pytest.fixture
+def client_orb(world):
+    return world.orb("client")
+
+
+@pytest.fixture
+def echo_servant():
+    return EchoServant()
+
+
+@pytest.fixture
+def echo_ior(server_orb, echo_servant):
+    return server_orb.poa.activate_object(echo_servant, object_key="echo")
+
+
+@pytest.fixture
+def echo_stub(client_orb, echo_ior):
+    return EchoStub(client_orb, echo_ior)

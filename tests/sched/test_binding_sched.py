@@ -1,0 +1,189 @@
+"""Negotiated contracts driving the scheduler through the binding layer.
+
+A characteristic declared with ``sched_class=...`` ties the negotiation
+plane to the enforcement plane: committing an agreement binds the
+granted rate/delay into the named scheduling class, the client's stub
+is tagged with the class and a per-client binding key, and commits the
+scheduler cannot cover are vetoed during negotiation.
+"""
+
+import pytest
+
+import repro.qos as qos
+from repro.core.binding import QoSProvider, establish_qos
+from repro.core.mediator import Mediator
+from repro.core.negotiation import NegotiationFailed, Range
+from repro.core.qos_skeleton import QoSImplementation
+from repro.orb import World
+from repro.orb.exceptions import OVERLOAD
+from repro.sched import BINDING_CONTEXT, CLASS_CONTEXT
+
+SERVING_QIDL = """
+qos Serving {
+    attribute double rate;
+    attribute double delay;
+};
+"""
+
+
+class ServingMediator(Mediator):
+    characteristic = "Serving"
+
+    def __init__(self):
+        super().__init__()
+        self.rate = 10.0
+        self.delay = 1.0
+
+
+class ServingImpl(QoSImplementation):
+    characteristic = "Serving"
+
+    def __init__(self):
+        self.rate = 10.0
+        self.delay = 1.0
+
+    def get_rate(self):
+        return self.rate
+
+    def set_rate(self, value):
+        self.rate = float(value)
+
+    def get_delay(self):
+        return self.delay
+
+    def set_delay(self, value):
+        self.delay = float(value)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def registered():
+    if "Serving" not in qos.REGISTRY:
+        qos.register_characteristic(
+            qos.Characteristic(
+                name="Serving",
+                category="load-control",
+                qidl=SERVING_QIDL,
+                mediator_class=ServingMediator,
+                impl_class=ServingImpl,
+            )
+        )
+    yield
+
+
+@pytest.fixture(scope="module")
+def gen():
+    return qos.weave(
+        "interface Api provides Serving { long hit(); };",
+        "sched_binding_api",
+    )
+
+
+def deploy(gen, capacity_rps=None):
+    world = World()
+    world.lan(["client", "server"], latency=0.001, bandwidth_bps=10e6)
+    server = world.orb("server")
+    scheduler = server.install_scheduler(
+        policy="wfq", capacity_rps=capacity_rps
+    )
+    scheduler.define_class("gold", weight=4.0, priority=1)
+
+    class ApiImpl(gen.ApiServerBase):
+        def __init__(self):
+            super().__init__()
+            self.count = 0
+
+        def hit(self):
+            self.count += 1
+            return self.count
+
+    servant = ApiImpl()
+    provider = QoSProvider(world, "server", servant)
+    provider.support(
+        "Serving",
+        ServingImpl(),
+        capabilities={
+            "rate": Range(1.0, 50.0, preferred=10.0),
+            "delay": Range(0.01, 2.0, preferred=0.5),
+        },
+        sched_class="gold",
+    )
+    ior = provider.activate("api")
+    stub = gen.ApiStub(world.orb("client"), ior)
+    return world, scheduler, provider, ior, stub
+
+
+class TestContractBinding:
+    def test_commit_binds_rate_and_deadline_into_class(self, gen):
+        _, scheduler, _, _, stub = deploy(gen)
+        establish_qos(
+            stub,
+            "Serving",
+            {"rate": Range(1.0, 20.0, preferred=4.0), "delay": Range(0.01, 0.2)},
+        )
+        gold = scheduler.qos_class("gold")
+        assert gold.rate == 4.0
+        assert gold.deadline == 0.2
+        assert scheduler._characteristic_classes["Serving"] == "gold"
+
+    def test_stub_is_tagged_with_class_and_binding(self, gen):
+        _, _, _, ior, stub = deploy(gen)
+        binding = establish_qos(stub, "Serving", {"rate": Range(1.0, 20.0)})
+        assert stub._contexts[CLASS_CONTEXT] == "gold"
+        assert stub._contexts[BINDING_CONTEXT].startswith("client->")
+        binding.release()
+        assert CLASS_CONTEXT not in stub._contexts
+        assert BINDING_CONTEXT not in stub._contexts
+
+    def test_negotiated_rate_is_enforced_per_binding(self, gen):
+        _, _, _, _, stub = deploy(gen)
+        establish_qos(
+            stub,
+            "Serving",
+            {"rate": Range(1.0, 50.0, preferred=2.0)},
+        )
+        # burst defaults to 4 tokens: four immediate calls pass, the
+        # fifth exceeds the negotiated 2/s contract.
+        for _ in range(4):
+            stub.hit()
+        with pytest.raises(OVERLOAD):
+            stub.hit()
+
+    def test_negotiation_endpoint_is_control_traffic(self, gen):
+        _, scheduler, provider, _, _ = deploy(gen)
+        key = provider.negotiation_ior.profile.object_key
+        assert key in scheduler._control_keys
+
+    def test_renegotiation_retunes_the_live_contract(self, gen):
+        _, scheduler, _, _, stub = deploy(gen)
+        binding = establish_qos(
+            stub, "Serving", {"rate": Range(1.0, 50.0, preferred=5.0)}
+        )
+        assert scheduler.qos_class("gold").rate == 5.0
+        binding.renegotiate({"rate": Range(1.0, 50.0, preferred=30.0)})
+        assert scheduler.qos_class("gold").rate == 30.0
+
+
+class TestCapacityVeto:
+    def test_commit_beyond_capacity_fails_negotiation(self, gen):
+        _, _, _, _, stub = deploy(gen, capacity_rps=10.0)
+        with pytest.raises(NegotiationFailed):
+            establish_qos(
+                stub,
+                "Serving",
+                {"rate": Range(20.0, 50.0, preferred=20.0)},
+            )
+
+    def test_commit_within_capacity_succeeds(self, gen):
+        _, scheduler, _, _, stub = deploy(gen, capacity_rps=10.0)
+        establish_qos(
+            stub, "Serving", {"rate": Range(1.0, 50.0, preferred=8.0)}
+        )
+        assert scheduler.qos_class("gold").rate == 8.0
+
+    def test_renegotiation_respects_capacity_too(self, gen):
+        _, _, _, _, stub = deploy(gen, capacity_rps=10.0)
+        binding = establish_qos(
+            stub, "Serving", {"rate": Range(1.0, 50.0, preferred=8.0)}
+        )
+        with pytest.raises(NegotiationFailed):
+            binding.renegotiate({"rate": Range(20.0, 50.0, preferred=20.0)})

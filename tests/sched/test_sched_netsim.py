@@ -1,0 +1,110 @@
+"""Deterministic overload scenarios on the simulated network.
+
+The acceptance scenario of the scheduler subsystem: a server at ~2x
+its capacity with mixed gold/bronze traffic.  Under FIFO the gold
+class collapses with the bronze flood; under WFQ gold keeps its
+latency while bronze absorbs the overload (or is shed once a deadline
+contract is attached).  Everything runs on the simulated clock, so
+each scenario is exactly reproducible.
+"""
+
+import pytest
+
+from repro.orb import World
+from repro.orb.exceptions import OVERLOAD
+from repro.sched import CLASS_CONTEXT, OVERLOAD_DEADLINE
+from repro.workloads.drivers import Arrival, ClosedLoopResult, open_loop_fanout
+from tests.sched.conftest import EchoServant
+
+SERVICE_TIME = 0.010  # 100 req/s capacity
+CADENCE = 0.005  # 200 req/s offered -> 2x overload
+COUNT = 200
+
+
+def overload_scenario(policy, bronze_deadline=None, max_depth=10_000):
+    """Run the canonical 2x overload and return per-class outcomes."""
+    world = World()
+    world.lan(["client", "server"], latency=0.001, bandwidth_bps=10e6)
+    server = world.orb("server")
+    scheduler = server.install_scheduler(policy=policy, max_depth=max_depth)
+    scheduler.define_class("gold", weight=4.0, priority=1)
+    scheduler.define_class("bronze", weight=1.0, priority=6, deadline=bronze_deadline)
+    servant = EchoServant()
+    servant._default_service_time = SERVICE_TIME
+    ior = server.poa.activate_object(servant, object_key="echo")
+    client = world.orb("client")
+
+    latencies = {"gold": [], "bronze": []}
+    errors = {"gold": [], "bronze": []}
+
+    def observer(arrival, latency, error):
+        if latency is not None:
+            latencies[arrival.label].append(latency)
+        else:
+            errors[arrival.label].append(error)
+
+    arrivals = [
+        Arrival(
+            i * CADENCE,
+            ior,
+            "echo",
+            ("x",),
+            contexts={CLASS_CONTEXT: "gold" if i % 2 == 0 else "bronze"},
+            label="gold" if i % 2 == 0 else "bronze",
+        )
+        for i in range(COUNT)
+    ]
+    open_loop_fanout(client, arrivals, observer=observer)
+    return latencies, errors, scheduler
+
+
+def p95(series):
+    return ClosedLoopResult(series, 0, 1.0).p95()
+
+
+class TestOverloadScenario:
+    def test_fifo_collapses_gold_with_bronze(self):
+        latencies, _, _ = overload_scenario("fifo")
+        assert p95(latencies["gold"]) > 0.5
+        assert p95(latencies["gold"]) == pytest.approx(
+            p95(latencies["bronze"]), rel=0.1
+        )
+
+    def test_wfq_holds_gold_p95_where_fifo_collapses(self):
+        fifo_latencies, _, _ = overload_scenario("fifo")
+        wfq_latencies, _, _ = overload_scenario("wfq")
+        # The acceptance bar: gold p95 under WFQ at most half of FIFO's.
+        assert p95(wfq_latencies["gold"]) <= 0.5 * p95(fifo_latencies["gold"])
+        # Bronze pays for it: the overload lands on the flooding class.
+        assert p95(wfq_latencies["bronze"]) > p95(wfq_latencies["gold"])
+
+    def test_priority_shields_gold_entirely(self):
+        latencies, _, _ = overload_scenario("priority")
+        assert p95(latencies["gold"]) < 0.05
+        assert p95(latencies["bronze"]) > 0.5
+
+    def test_deadline_contract_sheds_bronze_instead_of_serving_late(self):
+        latencies, errors, scheduler = overload_scenario(
+            "wfq", bronze_deadline=0.05
+        )
+        shed = errors["bronze"]
+        assert len(shed) > 0
+        assert all(isinstance(e, OVERLOAD) for e in shed)
+        assert {e.minor for e in shed} == {OVERLOAD_DEADLINE}
+        # Served bronze requests were served in time, not late.
+        stats = scheduler.stats_snapshot()["classes"]["bronze"]
+        assert stats["wait_max"] <= 0.05 + 1e-9
+        assert stats["shed_deadline"] == len(shed)
+        # Gold saw no shedding at all.
+        assert errors["gold"] == []
+
+    def test_scenario_is_deterministic(self):
+        first = overload_scenario("wfq", bronze_deadline=0.05)
+        second = overload_scenario("wfq", bronze_deadline=0.05)
+        assert first[0] == second[0]
+        assert [e.minor for e in first[1]["bronze"]] == [
+            e.minor for e in second[1]["bronze"]
+        ]
+        assert (
+            first[2].stats_snapshot() == second[2].stats_snapshot()
+        )

@@ -1,0 +1,95 @@
+"""Token-bucket conformance: unit checks plus property tests."""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sched.token_bucket import TokenBucket
+
+
+class TestBasics:
+    def test_burst_then_starve(self):
+        bucket = TokenBucket(rate=1.0, burst=2.0)
+        assert bucket.try_consume(0.0)
+        assert bucket.try_consume(0.0)
+        assert not bucket.try_consume(0.0)
+
+    def test_refills_at_rate(self):
+        bucket = TokenBucket(rate=10.0, burst=1.0)
+        assert bucket.try_consume(0.0)
+        assert not bucket.try_consume(0.05)
+        assert bucket.try_consume(0.1)
+
+    def test_tokens_cap_at_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=3.0)
+        assert bucket.available(1000.0) == 3.0
+
+    def test_time_until_matches_refill(self):
+        bucket = TokenBucket(rate=2.0, burst=1.0)
+        assert bucket.try_consume(0.0)
+        wait = bucket.time_until(0.0)
+        assert math.isclose(wait, 0.5)
+        assert bucket.try_consume(0.0 + wait)
+
+    def test_time_until_zero_when_token_ready(self):
+        bucket = TokenBucket(rate=1.0, burst=1.0)
+        assert bucket.time_until(0.0) == 0.0
+
+    def test_reconfigure_applies_new_rate(self):
+        bucket = TokenBucket(rate=1.0, burst=1.0)
+        assert bucket.try_consume(0.0)
+        bucket.reconfigure(rate=100.0, burst=1.0)
+        assert bucket.try_consume(0.01)
+
+
+class TestConformanceProperties:
+    @given(
+        rate=st.floats(min_value=0.5, max_value=100.0, allow_nan=False),
+        burst=st.floats(min_value=1.0, max_value=10.0, allow_nan=False),
+        gaps=st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=1,
+            max_size=80,
+        ),
+    )
+    def test_admissions_never_exceed_contract(self, rate, burst, gaps):
+        """Over any run, admits <= burst + rate * elapsed (the defining
+        property of a (rate, burst) regulator)."""
+        bucket = TokenBucket(rate=rate, burst=burst)
+        now = 0.0
+        admitted = 0
+        for gap in gaps:
+            now += gap
+            if bucket.try_consume(now):
+                admitted += 1
+        assert admitted <= burst + rate * now + 1e-6
+
+    @given(
+        rate=st.floats(min_value=0.5, max_value=50.0, allow_nan=False),
+        burst=st.floats(min_value=1.0, max_value=8.0, allow_nan=False),
+        gaps=st.lists(
+            st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+            max_size=40,
+        ),
+    )
+    def test_tokens_stay_within_bounds(self, rate, burst, gaps):
+        bucket = TokenBucket(rate=rate, burst=burst)
+        now = 0.0
+        for gap in gaps:
+            now += gap
+            bucket.try_consume(now)
+            level = bucket.available(now)
+            assert -1e-9 <= level <= burst + 1e-9
+
+    @given(
+        rate=st.floats(min_value=0.5, max_value=50.0, allow_nan=False),
+        start=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    )
+    def test_time_until_is_sufficient(self, rate, start):
+        """Waiting exactly the hinted time always yields a token."""
+        bucket = TokenBucket(rate=rate, burst=1.0)
+        assert bucket.try_consume(start)
+        hint = bucket.time_until(start)
+        assert hint >= 0.0
+        assert bucket.try_consume(start + hint + 1e-9)

@@ -187,3 +187,41 @@ class TestDrivers:
         driver.schedule([0.1, 0.2, 0.3])
         result = driver.run()
         assert result.count == 3
+
+
+class TestPercentiles:
+    def make_result(self, latencies):
+        from repro.workloads.drivers import ClosedLoopResult
+
+        return ClosedLoopResult(list(latencies), 0, 1.0)
+
+    def test_nearest_rank_quantiles(self):
+        result = self.make_result(float(i) for i in range(1, 101))
+        assert result.p50() == 50.0
+        assert result.p95() == 95.0
+        assert result.p99() == 99.0
+        assert result.percentile(1.0) == 100.0
+
+    def test_quantiles_are_ordered(self):
+        result = self.make_result([0.4, 0.1, 9.0, 0.2, 0.3])
+        assert result.p50() <= result.p95() <= result.p99() <= result.max()
+
+    def test_single_sample_collapses(self):
+        result = self.make_result([0.25])
+        assert result.p50() == result.p95() == result.p99() == 0.25
+
+    def test_empty_result_is_nan(self):
+        import math
+
+        result = self.make_result([])
+        assert math.isnan(result.p99())
+
+    def test_summary_reports_all_quantiles(self, world):
+        servant = make_archive_servant_class()()
+        ior = world.orb("s1").poa.activate_object(servant)
+        stub = archive_module.ArchiveStub(world.orb("client"), ior)
+        summary = run_closed_loop(world.clock, lambda i: stub.size(), 20).summary()
+        for key in ("p50", "p95", "p99"):
+            assert key in summary
+            assert summary[key] > 0
+        assert summary["p50"] <= summary["p95"] <= summary["p99"]
