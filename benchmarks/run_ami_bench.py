@@ -1,0 +1,251 @@
+#!/usr/bin/env python
+"""Run the AMI pipelining benchmark; write ``BENCH_ami.json``.
+
+The deferred-invocation scenario: one client calling a 1 ms echo
+servant across a 10 ms-RTT link (5 ms each way).  The synchronous
+closed loop pays one full round trip per call; a pipelined window of N
+deferred calls pays ~one RTT plus the serialized service time for the
+whole window, so latency *per call* falls roughly as RTT/N.
+
+Replayed per window size on the simulated clock, so the numbers are
+exactly reproducible.  Two correctness side-checks run with the
+numbers: ``send_deferred(...).result()`` must match ``invoke``
+value-for-value and clock-tick-for-clock-tick, and a pipelined
+window's wire bytes must be identical per message to the synchronous
+path's.
+
+The headline criterion (the subsystem's acceptance bar)::
+
+    pipelined p50 latency-per-call at window >= 8  <=  0.5 * sync p50
+
+Usage::
+
+    python benchmarks/run_ami_bench.py [--quick] [--out BENCH_ami.json]
+        [--max-ratio 0.5] [--no-check]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.dirname(HERE)
+SRC = os.path.join(ROOT, "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+from repro.orb import World  # noqa: E402
+from repro.orb.request import reset_request_ids  # noqa: E402
+from repro.orb.servant import Servant  # noqa: E402
+from repro.orb.stub import Stub  # noqa: E402
+from repro.perf import COUNTERS, snapshot  # noqa: E402
+from repro.workloads.drivers import ClosedLoopResult  # noqa: E402
+
+#: 5 ms one-way link latency -> the ISSUE's 10 ms-RTT topology.
+LINK_LATENCY = 0.005
+#: 1 ms of server CPU per request.
+SERVICE_TIME = 0.001
+#: Pipeline window sizes swept (1 == sanity: must equal sync).
+WINDOWS = [1, 2, 4, 8, 16]
+
+
+class _Echo(Servant):
+    _repo_id = "IDL:bench/AmiEcho:1.0"
+    _default_service_time = SERVICE_TIME
+
+    def echo(self, text):
+        return text
+
+
+class _EchoStub(Stub):
+    def echo(self, text):
+        return self._call("echo", text)
+
+    def echo_deferred(self, text):
+        return self.send_deferred("echo", text)
+
+
+def build_world():
+    """One deterministic client/server deployment, ids reset to 1."""
+    reset_request_ids()
+    world = World()
+    world.lan(["client", "server"], latency=LINK_LATENCY, bandwidth_bps=10e6)
+    ior = world.orb("server").poa.activate_object(_Echo(), object_key="echo")
+    return world, _EchoStub(world.orb("client"), ior)
+
+
+def run_sync(count: int) -> Dict[str, object]:
+    """Closed-loop synchronous calls; per-call latency quantiles."""
+    world, stub = build_world()
+    latencies: List[float] = []
+    for i in range(count):
+        start = world.clock.now
+        stub.echo(f"m{i}")
+        latencies.append(world.clock.now - start)
+    series = ClosedLoopResult(latencies, 0, world.clock.now)
+    return {
+        "calls": count,
+        "p50_ms": round(series.p50() * 1e3, 3),
+        "p95_ms": round(series.p95() * 1e3, 3),
+        "elapsed_s": round(world.clock.now, 6),
+    }
+
+
+def run_pipelined(count: int, window: int) -> Dict[str, object]:
+    """Closed-loop windows of deferred calls; latency per call."""
+    world, stub = build_world()
+    client = world.orb("client")
+    latencies: List[float] = []
+    issued = 0
+    while issued < count:
+        burst = min(window, count - issued)
+        start = world.clock.now
+        futures = [
+            stub.echo_deferred(f"m{issued + i}") for i in range(burst)
+        ]
+        client.ami.flush()
+        for i, future in enumerate(futures):
+            if future.result() != f"m{issued + i}":
+                raise AssertionError("pipelined reply mismatched its future")
+        elapsed = world.clock.now - start
+        latencies.extend([elapsed / burst] * burst)
+        issued += burst
+    series = ClosedLoopResult(latencies, 0, world.clock.now)
+    return {
+        "calls": count,
+        "window": window,
+        "p50_ms": round(series.p50() * 1e3, 3),
+        "p95_ms": round(series.p95() * 1e3, 3),
+        "elapsed_s": round(world.clock.now, 6),
+    }
+
+
+def check_sync_equivalence(count: int = 8) -> Dict[str, object]:
+    """``send_deferred(...).result()`` must *be* the synchronous call."""
+    world_a, stub_a = build_world()
+    values_a = [stub_a.echo(f"m{i}") for i in range(count)]
+
+    world_b, stub_b = build_world()
+    values_b = [stub_b.echo_deferred(f"m{i}").result() for i in range(count)]
+
+    drift = abs(world_a.clock.now - world_b.clock.now)
+    return {
+        "calls": count,
+        "values_match": values_a == values_b,
+        "clock_drift_s": drift,
+        "ok": values_a == values_b and drift < 1e-12,
+    }
+
+
+def check_wire_identity(count: int = 6) -> Dict[str, object]:
+    """A pipelined window's bytes must equal the sync path's, per message."""
+
+    def capture(pipelined: bool) -> List[bytes]:
+        world, stub = build_world()
+        wires: List[bytes] = []
+        world.orb("server").add_wire_observer(
+            lambda direction, wire: wires.append(bytes(wire))
+        )
+        if pipelined:
+            futures = [stub.echo_deferred(f"m{i}") for i in range(count)]
+            for future in futures:
+                future.result()
+        else:
+            for i in range(count):
+                stub.echo(f"m{i}")
+        return wires
+
+    sync_wires = capture(pipelined=False)
+    pipe_wires = capture(pipelined=True)
+    return {
+        "messages": len(sync_wires),
+        "ok": sync_wires == pipe_wires,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer calls per sweep (CI smoke run)")
+    parser.add_argument("--out", default=os.path.join(ROOT, "BENCH_ami.json"),
+                        help="output path (default: repo root BENCH_ami.json)")
+    parser.add_argument("--max-ratio", type=float, default=0.5,
+                        help="required pipelined/sync p50 ceiling at window >= 8")
+    parser.add_argument("--no-check", action="store_true",
+                        help="record numbers without enforcing --max-ratio")
+    args = parser.parse_args(argv)
+
+    count = 64 if args.quick else 256
+    equivalence = check_sync_equivalence()
+    wire_identity = check_wire_identity()
+
+    sync = run_sync(count)
+    COUNTERS.reset()
+    sweeps = {str(window): run_pipelined(count, window) for window in WINDOWS}
+
+    # Perf panel of the last pipelined run (counters span the sweep).
+    world, _ = build_world()
+    panel = snapshot(world.orb("client"))
+    panel.pop("host", None)
+
+    sync_p50 = sync["p50_ms"]
+    ratios = {
+        window: round(row["p50_ms"] / sync_p50, 4) if sync_p50 else None
+        for window, row in sweeps.items()
+    }
+    gated = [ratios[str(w)] for w in WINDOWS if w >= 8]
+
+    payload = {
+        "quick": args.quick,
+        "topology": {
+            "link_latency_s": LINK_LATENCY,
+            "rtt_s": 2 * LINK_LATENCY,
+            "service_time_s": SERVICE_TIME,
+        },
+        "checks": {
+            "sync_equivalence": equivalence,
+            "wire_identity": wire_identity,
+        },
+        "sync": sync,
+        "pipelined": sweeps,
+        "perf": panel,
+        "headline": {
+            "sync_p50_ms": sync_p50,
+            "pipelined_p50_over_sync": ratios,
+            "max_ratio": args.max_ratio,
+        },
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print(f"wrote {args.out}\n")
+    print(f"  sync closed loop: p50 {sync_p50:.3f} ms/call\n")
+    print(f"  {'window':>8} {'p50/call':>10} {'vs sync':>9}")
+    for window in WINDOWS:
+        row = sweeps[str(window)]
+        print(f"  {window:>8} {row['p50_ms']:>8.3f}ms {ratios[str(window)]:>8.3f}x")
+
+    failures = []
+    if not equivalence["ok"]:
+        failures.append("send_deferred().result() diverged from invoke")
+    if not wire_identity["ok"]:
+        failures.append("pipelined wire bytes diverged from the sync path")
+    if not args.no_check and any(r is None or r > args.max_ratio for r in gated):
+        failures.append(
+            f"pipelined p50 at window >= 8 not under "
+            f"{args.max_ratio}x sync (got {gated})"
+        )
+    if failures:
+        print("\nFAIL: " + "; ".join(failures))
+        return 1
+    print(f"\n  window>=8 ratio(s) {gated} under ceiling {args.max_ratio}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,6 +33,7 @@ from repro.orb.exceptions import (
     SystemException,
     UserException,
 )
+from repro.orb.ami import AMIEngine, PipelinedChannel, ReplyFuture
 from repro.orb.ior import IOR, IIOPProfile, QOS_TAG, TaggedComponent
 from repro.orb.orb import ORB
 from repro.orb.poa import POA
@@ -42,6 +43,7 @@ from repro.orb.stub import Stub
 from repro.orb.world import World
 
 __all__ = [
+    "AMIEngine",
     "BAD_OPERATION",
     "BAD_PARAM",
     "BAD_QOS",
@@ -55,8 +57,10 @@ __all__ = [
     "OBJECT_NOT_EXIST",
     "ORB",
     "POA",
+    "PipelinedChannel",
     "QOS_TAG",
     "REQUEST",
+    "ReplyFuture",
     "Request",
     "Servant",
     "Stub",

@@ -42,6 +42,7 @@ class DIIRequest:
         self._operation = operation
         self._args: List[Any] = []
         self._contexts: Dict[str, Any] = {}
+        self._future: Optional["ReplyFuture"] = None  # noqa: F821
 
     def add_argument(self, value: Any) -> "DIIRequest":
         self._args.append(value)
@@ -62,17 +63,27 @@ class DIIRequest:
 
     # -- deferred synchronous invocation ---------------------------------
 
-    def send_deferred(self) -> "DIIRequest":
+    @property
+    def future(self) -> Optional["ReplyFuture"]:  # noqa: F821
+        """The reply future, once :meth:`send_deferred` was called."""
+        return self._future
+
+    def send_deferred(self, flush: bool = True) -> "DIIRequest":
         """Issue the request without waiting for the reply.
 
-        The request departs now; the caller keeps the simulated clock
-        and can do other work (including sending more deferred
-        requests) while it is in flight.  Collect the outcome with
-        :meth:`poll_response` / :meth:`get_response`.
-        """
-        from repro.orb import giop  # local import to avoid a cycle
+        The request joins the AMI pipeline (:mod:`repro.orb.ami`); the
+        caller keeps the simulated clock and can do other work
+        (including sending more deferred requests) while it is in
+        flight.  Collect the outcome with :meth:`poll_response` /
+        :meth:`get_response` (or through :attr:`future` directly).
 
-        if getattr(self, "_deferred", None) is not None:
+        By default the pipeline window is flushed immediately —
+        CORBA's classic deferred-synchronous semantics, where transport
+        failures surface at send time.  Pass ``flush=False`` to only
+        enqueue, letting several DII requests share one pipelined
+        window; failures then surface at :meth:`get_response`.
+        """
+        if self._future is not None:
             raise RuntimeError("request already sent")
         request = Request(
             self._target,
@@ -80,31 +91,24 @@ class DIIRequest:
             tuple(self._args),
             service_contexts=self._contexts,
         )
-        wire = giop.encode_request(request)
-        depart = self._orb.clock.now + self._orb.marshal_cost(len(wire))
-        reply_wire, finish = self._orb.round_trip(
-            self._target.profile.host, wire, depart
-        )
-        finish += self._orb.marshal_cost(len(reply_wire))
-        # The outcome is known to the simulation but not yet to the
-        # caller: it becomes visible once the clock reaches `finish`.
-        self._deferred = (giop.decode_reply(reply_wire), finish)
+        self._future = self._orb.invoke_deferred(request)
+        if flush:
+            self._future.flush()
+            if self._future.transport_error:
+                raise self._future.error
         return self
 
     def poll_response(self) -> bool:
         """Has the reply arrived by the current simulated time?"""
-        if getattr(self, "_deferred", None) is None:
+        if self._future is None:
             raise RuntimeError("request not sent; call send_deferred() first")
-        _, finish = self._deferred
-        return self._orb.clock.now >= finish
+        return self._future.poll()
 
     def get_response(self) -> Any:
         """Block (advance the clock) until the reply is in; return it."""
-        if getattr(self, "_deferred", None) is None:
+        if self._future is None:
             raise RuntimeError("request not sent; call send_deferred() first")
-        reply, finish = self._deferred
-        self._orb.clock.advance_to(finish)
-        return reply.value()
+        return self._future.result()
 
 
 class ModuleHandle:

@@ -215,8 +215,8 @@ def decode_request(data: bytes) -> Request:
         command_target=command_target,
         service_contexts=contexts,
         response_expected=response_expected,
+        request_id=request_id,
     )
-    request.request_id = request_id
     if counters.enabled:
         counters.decode_calls += 1
         counters.decode_ns += time.perf_counter_ns() - start

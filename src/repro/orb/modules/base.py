@@ -152,6 +152,17 @@ class QoSModule:
 
     # -- data plane -----------------------------------------------------------
 
+    @property
+    def supports_pipelining(self) -> bool:
+        """Can the AMI pipeline carry this module's requests?
+
+        True for every module riding the default point-to-point
+        :meth:`send_request`; modules that replace it wholesale (group
+        delivery) own their clock arithmetic, so deferred invocations
+        through them fall back to the synchronous path.
+        """
+        return type(self).send_request is QoSModule.send_request
+
     def context_for(self, request: Request) -> Dict[str, Any]:
         """Transform parameters for this request's binding."""
         return self.binding_config(binding_key(request.target))

@@ -18,6 +18,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.netsim.network import HostCrashed, NoRoute, PacketLost
 from repro.orb import giop, invocation
+from repro.orb.ami import AMIEngine, ReplyFuture
 from repro.orb.dii import PseudoObject
 from repro.orb.exceptions import (
     COMM_FAILURE,
@@ -30,7 +31,7 @@ from repro.orb.modules.base import decode_envelope, encode_envelope, is_envelope
 from repro.orb.poa import POA
 from repro.orb.pool import WirePools
 from repro.orb.qos_transport import QoSTransport
-from repro.orb.request import Request
+from repro.orb.request import Request, next_request_id
 
 
 class ORB:
@@ -53,6 +54,9 @@ class ORB:
         self.scheduler = None
         #: Free lists for encoder buffers / request objects (hot path).
         self.pools = WirePools()
+        #: Deferred-invocation engine: reply futures and the pipelined
+        #: channels of :mod:`repro.orb.ami`.
+        self.ami = AMIEngine(self)
         # Client-side record of server retry-after hints; lazy import
         # keeps repro.orb free of a package-level repro.sched dependency.
         from repro.sched.backpressure import Backpressure
@@ -136,6 +140,26 @@ class ORB:
         self.requests_invoked += 1
         return invocation.dispatch(self, request)
 
+    def invoke_deferred(self, request: Request) -> ReplyFuture:
+        """Issue a request asynchronously; returns its reply future.
+
+        The request joins the AMI pipeline of its binding (see
+        :mod:`repro.orb.ami`); ``invoke(r)`` and
+        ``invoke_deferred(r).result()`` are behaviourally identical.
+        """
+        self.requests_invoked += 1
+        return invocation.dispatch_deferred(self, request)
+
+    def allocate_request_id(self) -> int:
+        """Draw a fresh GIOP request id for a broker-originated message.
+
+        Ids come from the same allocator :class:`Request` construction
+        (and therefore the AMI pipeline's correlation map) uses, so a
+        LocateRequest in flight can never collide with a pipelined
+        service request's id.
+        """
+        return next_request_id()
+
     def round_trip(
         self,
         dest_host: str,
@@ -183,11 +207,17 @@ class ORB:
         Returns False for unknown objects; raises COMM_FAILURE/TRANSIENT
         when the host itself is unreachable.
         """
-        wire = giop.encode_locate_request(0, ior.profile.object_key)
+        request_id = self.allocate_request_id()
+        wire = giop.encode_locate_request(request_id, ior.profile.object_key)
         depart = self.clock.now + self.marshal_cost(len(wire))
         reply_wire, finish = self.round_trip(ior.profile.host, wire, depart)
         self.clock.advance_to(finish + self.marshal_cost(len(reply_wire)))
-        _, status = giop.decode_locate_reply(reply_wire)
+        reply_id, status = giop.decode_locate_reply(reply_wire)
+        if reply_id != request_id:
+            raise MARSHAL(
+                f"LocateReply correlates to request {reply_id}, "
+                f"expected {request_id}"
+            )
         return status == giop.OBJECT_HERE
 
     def one_way(self, dest_host: str, wire: bytes, depart_time: float) -> None:

@@ -30,6 +30,30 @@ TRANSPORT_TARGET = "transport"
 _request_ids = itertools.count(1)
 
 
+def next_request_id() -> int:
+    """Draw the next id from the shared request-id allocator.
+
+    Every :class:`Request` (constructed or recycled through the pools)
+    and every GIOP message the ORB originates itself (LocateRequest,
+    the AMI pipeline) draws from this one sequence, so reply
+    correlation by ``request_id`` can never collide across message
+    kinds in flight on the same binding.
+    """
+    return next(_request_ids)
+
+
+def reset_request_ids(start: int = 1) -> None:
+    """Restart the shared id sequence (deterministic replay only).
+
+    Tests and benchmarks that compare two separately built worlds
+    byte-for-byte call this between runs so both draw the same ids —
+    the id is part of the encoded request, so without it the wire
+    bytes of otherwise identical runs differ.
+    """
+    global _request_ids
+    _request_ids = itertools.count(start)
+
+
 class Request:
     """One invocation travelling through the ORB.
 
@@ -58,6 +82,7 @@ class Request:
         command_target: Optional[str] = None,
         service_contexts: Optional[Dict[str, Any]] = None,
         response_expected: bool = True,
+        request_id: Optional[int] = None,
     ) -> None:
         if kind not in (REQUEST, COMMAND):
             raise ValueError(f"kind must be {REQUEST!r} or {COMMAND!r}: {kind!r}")
@@ -65,7 +90,10 @@ class Request:
             raise ValueError("a command must name its target (transport or module)")
         if kind == REQUEST and command_target is not None:
             raise ValueError("a service request must not name a command target")
-        self.request_id = next(_request_ids)
+        # An explicit id means the request is a *decoded copy* of one
+        # already in flight (the server's half); only originals draw
+        # from the shared allocator — decoding must never perturb it.
+        self.request_id = next_request_id() if request_id is None else request_id
         self.target = target
         self.operation = operation
         self.args = tuple(args)
@@ -93,7 +121,7 @@ class Request:
         id is drawn so reply correlation behaves exactly as for a
         newly constructed request.
         """
-        self.request_id = next(_request_ids)
+        self.request_id = next_request_id()
         self.target = target
         self.operation = operation
         self.args = tuple(args)

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional, Tuple
 
+from repro.orb.ami import ReplyFuture
 from repro.orb.ior import IOR
 from repro.orb.request import Request
 
@@ -35,6 +36,10 @@ class Stub:
         #: Service contexts attached to every outgoing request (the
         #: negotiated characteristic rides here, see core.binding).
         self._contexts: Dict[str, Any] = {}
+        #: Non-zero while a ``send_deferred`` is unwinding through the
+        #: mediator chain: the innermost ``_invoke`` then returns a
+        #: :class:`~repro.orb.ami.ReplyFuture` instead of blocking.
+        self._deferred_depth = 0
 
     # -- mediator delegation (the MAQS client-side weaving hook) ---------
 
@@ -52,6 +57,29 @@ class Stub:
         if self._mediator is not None:
             return self._mediator.invoke(self, operation, args)
         return self._invoke(operation, args)
+
+    def send_deferred(self, operation: str, *args: Any) -> ReplyFuture:
+        """Issue ``operation`` asynchronously; returns its reply future.
+
+        The call takes the exact same route as a synchronous one —
+        through the installed mediator (chain), so QoS interception
+        still wraps it — but the underlying invocation joins the AMI
+        pipeline instead of blocking: collect the outcome with
+        ``future.result()`` (or poll / attach a callback; see
+        :class:`~repro.orb.ami.ReplyFuture`).  A lone
+        ``send_deferred(op).result()`` is behaviourally identical to
+        calling ``op`` synchronously.  Mediators that answer without
+        invoking (caches) short-circuit into an already-resolved
+        future.
+        """
+        self._deferred_depth += 1
+        try:
+            outcome = self._call(operation, *args)
+        finally:
+            self._deferred_depth -= 1
+        if isinstance(outcome, ReplyFuture):
+            return outcome
+        return self._orb.ami.completed(outcome, self._ior.profile.host)
 
     def _invoke(
         self,
@@ -78,6 +106,11 @@ class Stub:
             operation not in self._oneway_ops,
         )
         try:
+            if self._deferred_depth:
+                # Deferred mode: the AMI engine snapshots (encodes) the
+                # request before returning, so recycling below is just
+                # as safe as on the synchronous path.
+                return self._orb.invoke_deferred(request)
             return self._orb.invoke(request)
         finally:
             # The request's lifetime is call-scoped: the server decodes

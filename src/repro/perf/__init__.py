@@ -11,7 +11,7 @@ message; enable with ``COUNTERS.enable()`` (or construct a
 :class:`WireStats` and read its byte totals, which are always live).
 """
 
-from repro.perf.counters import COUNTERS, PerfCounters, WireStats
+from repro.perf.counters import COUNTERS, PerfCounters, WireStats, snapshot
 from repro.perf.lru import LRUCache
 
-__all__ = ["COUNTERS", "PerfCounters", "WireStats", "LRUCache"]
+__all__ = ["COUNTERS", "PerfCounters", "WireStats", "LRUCache", "snapshot"]

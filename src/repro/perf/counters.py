@@ -45,6 +45,10 @@ class PerfCounters:
         "request_pool_misses",
         "module_bursts",
         "module_burst_messages",
+        "pipeline_windows",
+        "pipeline_messages",
+        "pipeline_inflight_peak",
+        "pipeline_out_of_order",
     )
 
     def __init__(self) -> None:
@@ -83,6 +87,15 @@ class PerfCounters:
         self.request_pool_misses = 0
         self.module_bursts = 0
         self.module_burst_messages = 0
+        self.pipeline_windows = 0
+        self.pipeline_messages = 0
+        self.pipeline_inflight_peak = 0
+        self.pipeline_out_of_order = 0
+
+    def note_inflight(self, depth: int) -> None:
+        """Record the AMI pipeline's current in-flight future count."""
+        if depth > self.pipeline_inflight_peak:
+            self.pipeline_inflight_peak = depth
 
     @staticmethod
     def _rate(hits: int, misses: int) -> float:
@@ -129,11 +142,45 @@ class PerfCounters:
             "request_pool_misses": self.request_pool_misses,
             "module_bursts": self.module_bursts,
             "module_burst_messages": self.module_burst_messages,
+            "pipeline_windows": self.pipeline_windows,
+            "pipeline_messages": self.pipeline_messages,
+            "pipeline_messages_per_window": (
+                self.pipeline_messages / self.pipeline_windows
+                if self.pipeline_windows
+                else 0.0
+            ),
+            "pipeline_inflight_peak": self.pipeline_inflight_peak,
+            "pipeline_out_of_order": self.pipeline_out_of_order,
         }
 
 
 #: The process-global counter panel used by the ORB wire path.
 COUNTERS = PerfCounters()
+
+
+def snapshot(orb: Any = None) -> Dict[str, Any]:
+    """One-call instrument panel: global counters, optionally one ORB's.
+
+    Without arguments this is :meth:`PerfCounters.snapshot` on the
+    global panel.  Given an ORB, the per-broker figures that used to
+    require poking attributes by hand — request totals, oneway
+    delivery failures, backpressure hints, the AMI pipeline's
+    in-flight state — are merged in alongside the pool hit/miss and
+    pipeline counters.
+    """
+    merged = COUNTERS.snapshot()
+    if orb is not None:
+        merged.update(
+            host=orb.host_name,
+            requests_invoked=orb.requests_invoked,
+            requests_received=orb.requests_received,
+            oneway_failures=orb.oneway_failures,
+            backpressure_hints_observed=orb.backpressure.hints_observed,
+            ami_inflight=orb.ami.inflight,
+            ami_inflight_peak=orb.ami.inflight_peak,
+            ami_queued=orb.ami.queued,
+        )
+    return merged
 
 
 class WireStats:

@@ -1,0 +1,155 @@
+"""Fault injection against the AMI pipeline.
+
+The pipelining contract under partial failure: a fault that hits one
+message of a flushed window fails *only that message's* future — with
+the same CORBA exception types the synchronous path raises
+(``HostCrashed`` → COMM_FAILURE, ``PacketLost``/``NoRoute`` →
+TRANSIENT) — while the rest of the window completes normally, and
+every future queued at flush time is resolved: none ever hangs.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.orb import World
+from repro.orb.exceptions import COMM_FAILURE, TRANSIENT
+from repro.orb.request import reset_request_ids
+from repro.orb.servant import Servant
+from repro.orb.stub import Stub
+
+
+class EchoServant(Servant):
+    _repo_id = "IDL:amifault/Echo:1.0"
+    _default_service_time = 0.001
+
+    def echo(self, text):
+        return text.upper()
+
+
+class EchoStub(Stub):
+    def echo(self, text):
+        return self._call("echo", text)
+
+
+def build_world(latency=0.005):
+    reset_request_ids()
+    world = World()
+    world.lan(["client", "server"], latency=latency, bandwidth_bps=10e6)
+    ior = world.orb("server").poa.activate_object(EchoServant(), object_key="echo")
+    return world, world.orb("client"), ior
+
+
+def send_window(client, ior, count):
+    stub = EchoStub(client, ior)
+    return [stub.send_deferred("echo", f"m{i}") for i in range(count)]
+
+
+class TestCrashMidWindow:
+    def test_crash_after_kth_request_splits_the_window(self):
+        """Messages received before the crash succeed; the rest fail."""
+        count, crash_after = 6, 3
+        world, client, ior = build_world()
+        server = world.orb("server")
+        received = []
+
+        def crash_tap(direction, wire):
+            if direction == "in":
+                received.append(wire)
+                if len(received) == crash_after:
+                    world.faults.crash("server")
+
+        server.add_wire_observer(crash_tap)
+        futures = send_window(client, ior, count)
+        client.ami.flush()
+
+        assert all(f.done for f in futures)
+        # The first k-1 made it there and back before the crash.
+        for i, future in enumerate(futures[: crash_after - 1]):
+            assert future.result() == f"M{i}"
+        # The k-th was received but its reply leg hit the dead host;
+        # everything after it never even reached the server.
+        for future in futures[crash_after - 1 :]:
+            assert future.transport_error
+            assert isinstance(future.error, COMM_FAILURE)
+            with pytest.raises(COMM_FAILURE):
+                future.result()
+        assert len(received) == crash_after
+
+    def test_full_crash_fails_every_future(self):
+        world, client, ior = build_world()
+        futures = send_window(client, ior, 5)
+        world.faults.crash("server")
+        start = world.clock.now
+        client.ami.flush()
+        assert all(f.done for f in futures)
+        for future in futures:
+            assert isinstance(future.exception(), COMM_FAILURE)
+        # The client still paid its own send-side marshal work.
+        assert world.clock.now > start
+
+    def test_crash_exception_matches_sync_path(self):
+        world_a, client_a, ior_a = build_world()
+        world_a.faults.crash("server")
+        with pytest.raises(COMM_FAILURE) as sync_error:
+            EchoStub(client_a, ior_a).echo("x")
+
+        world_b, client_b, ior_b = build_world()
+        world_b.faults.crash("server")
+        future = EchoStub(client_b, ior_b).send_deferred("echo", "x")
+        with pytest.raises(COMM_FAILURE) as deferred_error:
+            future.result()
+        assert type(deferred_error.value) is type(sync_error.value)
+        assert deferred_error.value.minor == sync_error.value.minor
+
+
+class TestLossMidWindow:
+    def lossy_world(self, loss, seed):
+        world, client, ior = build_world()
+        link = world.network.link_between("client", "server")
+        link.loss_rate = loss
+        link._rng.seed(seed)
+        return world, client, ior
+
+    def test_lost_packets_fail_only_their_futures(self):
+        # Seed chosen so this window sees both losses and successes.
+        world, client, ior = self.lossy_world(0.3, seed=5)
+        futures = send_window(client, ior, 10)
+        client.ami.flush()
+        assert all(f.done for f in futures)
+        succeeded = [f for f in futures if f.error is None]
+        failed = [f for f in futures if f.error is not None]
+        assert succeeded and failed, "seed must exercise both outcomes"
+        for i, future in enumerate(futures):
+            if future.error is None:
+                assert future.result() == f"M{i}"
+            else:
+                assert future.transport_error
+                assert isinstance(future.error, TRANSIENT)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        loss=st.floats(min_value=0.0, max_value=0.9),
+        seed=st.integers(min_value=0, max_value=2**16),
+        count=st.integers(min_value=1, max_value=12),
+    )
+    def test_every_future_resolves_exactly_once(self, loss, seed, count):
+        """Whatever the loss pattern: no future hangs, none double-fires."""
+        world, client, ior = self.lossy_world(loss, seed)
+        fired = []
+        futures = send_window(client, ior, count)
+        for future in futures:
+            future.add_done_callback(lambda f: fired.append(f.request_id))
+        assert not any(f.done for f in futures)
+        client.ami.flush()
+        assert all(f.done for f in futures)
+        # One completion callback per future — resolution is exactly-once.
+        assert sorted(fired) == sorted(f.request_id for f in futures)
+        for i, future in enumerate(futures):
+            if future.error is None:
+                assert future.result() == f"M{i}"
+                assert future.ready_time >= world.clock.now or future.poll()
+            else:
+                assert future.transport_error
+                assert isinstance(future.error, (TRANSIENT, COMM_FAILURE))
+                assert isinstance(future.exception(), TRANSIENT)

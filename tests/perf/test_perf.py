@@ -5,7 +5,7 @@ import pytest
 from repro.orb import World
 from repro.orb.servant import Servant
 from repro.orb.stub import Stub
-from repro.perf import COUNTERS, LRUCache, PerfCounters, WireStats
+from repro.perf import COUNTERS, LRUCache, PerfCounters, WireStats, snapshot
 
 
 class TestLRUCache:
@@ -83,6 +83,20 @@ class TestPerfCounters:
         assert snap["ior_parse_hit_rate"] == 0.0
         assert snap["encode_ns_per_call"] == 0.0
 
+    def test_snapshot_includes_pipeline_counters(self):
+        counters = PerfCounters()
+        counters.pipeline_windows = 2
+        counters.pipeline_messages = 8
+        counters.note_inflight(5)
+        counters.note_inflight(3)  # peak never regresses
+        counters.pipeline_out_of_order = 1
+        snap = counters.snapshot()
+        assert snap["pipeline_windows"] == 2
+        assert snap["pipeline_messages"] == 8
+        assert snap["pipeline_messages_per_window"] == pytest.approx(4.0)
+        assert snap["pipeline_inflight_peak"] == 5
+        assert snap["pipeline_out_of_order"] == 1
+
 
 class _Echo(Servant):
     _repo_id = "IDL:perf/Echo:1.0"
@@ -148,3 +162,55 @@ class TestWireStats:
         # contexts recur, so both caches should be mostly hits.
         assert COUNTERS.ior_parse_hits > COUNTERS.ior_parse_misses
         assert COUNTERS.ctx_cache_hits > COUNTERS.ctx_cache_misses
+
+
+class TestModuleSnapshot:
+    """The one-call ``repro.perf.snapshot`` instrument panel."""
+
+    def test_global_snapshot_matches_counters(self):
+        assert snapshot() == COUNTERS.snapshot()
+
+    def test_orb_snapshot_merges_broker_figures(self):
+        world = World()
+        world.lan(["client", "server"], latency=0.001)
+        ior = world.orb("server").poa.activate_object(_Echo())
+        client = world.orb("client")
+        stub = _EchoStub(client, ior)
+        stub.echo("one")
+        future = stub.send_deferred("echo", "two")
+        panel = snapshot(client)
+        assert panel["host"] == "client"
+        assert panel["requests_invoked"] == 2
+        assert panel["oneway_failures"] == 0
+        assert panel["backpressure_hints_observed"] == 0
+        assert panel["ami_inflight"] == 1
+        assert panel["ami_queued"] == 1
+        assert future.result() == "two"
+        panel = snapshot(client)
+        assert panel["ami_inflight"] == 0
+        assert panel["ami_inflight_peak"] == 1
+        # The global counter block is still present alongside.
+        assert "pipeline_windows" in panel
+
+    def test_oneway_failures_surface(self):
+        world = World()
+        world.lan(["client", "server"], latency=0.001)
+
+        class _Fire(Servant):
+            _repo_id = "IDL:perf/Fire:1.0"
+
+            def ping(self):
+                return None
+
+        class _FireStub(Stub):
+            _oneway_ops = frozenset({"ping"})
+
+            def ping(self):
+                return self._call("ping")
+
+        ior = world.orb("server").poa.activate_object(_Fire())
+        client = world.orb("client")
+        stub = _FireStub(client, ior)
+        world.faults.crash("server")
+        stub.ping()  # best-effort: swallowed, but counted
+        assert snapshot(client)["oneway_failures"] == 1

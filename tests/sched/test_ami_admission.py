@@ -1,0 +1,101 @@
+"""Pipelined bursts against the server's admission control.
+
+A flushed AMI window is N back-to-back requests: the server's
+:class:`~repro.sched.scheduler.RequestScheduler` must treat them
+exactly like N synchronous arrivals — token-bucket admission applies
+per message, over-rate requests are rejected per-request with
+OVERLOAD(minor=OVERLOAD_RATE) carrying a ``maqs.sched.retry_after``
+hint, and the client-side :class:`PacingMediator` uses those hints to
+pace subsequent flushes.
+"""
+
+import pytest
+
+from repro.orb import World
+from repro.orb.exceptions import OVERLOAD
+from repro.orb.request import reset_request_ids
+from repro.sched import CLASS_CONTEXT, OVERLOAD_RATE
+from repro.sched.backpressure import PacingMediator
+from tests.sched.conftest import EchoServant, EchoStub
+
+RATE = 50.0  # tokens per second
+BURST = 2.0  # bucket depth: only 2 admitted from a back-to-back window
+
+
+@pytest.fixture
+def deployment():
+    reset_request_ids()
+    world = World()
+    world.lan(["client", "server"], latency=0.001, bandwidth_bps=10e6)
+    server = world.orb("server")
+    scheduler = server.install_scheduler(policy="wfq")
+    scheduler.define_class("limited", weight=1.0, priority=4, rate=RATE, burst=BURST)
+    servant = EchoServant()
+    servant._default_service_time = 0.001
+    ior = server.poa.activate_object(servant, object_key="echo")
+    stub = EchoStub(world.orb("client"), ior)
+    stub._contexts[CLASS_CONTEXT] = "limited"
+    return world, world.orb("client"), stub, scheduler
+
+
+class TestPipelinedAdmission:
+    def test_over_rate_window_rejected_per_request(self, deployment):
+        _, client, stub, scheduler = deployment
+        futures = [stub.send_deferred("echo", f"x{i}") for i in range(8)]
+        client.ami.flush()
+
+        admitted = [f for f in futures if f.error is None]
+        rejected = [f for f in futures if f.error is not None]
+        # The bucket held BURST tokens; a back-to-back window refills
+        # essentially nothing, so exactly the burst is admitted.
+        assert len(admitted) == int(BURST)
+        assert admitted == futures[: int(BURST)]
+        assert [f.result() for f in admitted] == ["X0", "X1"]
+
+        for future in rejected:
+            # A scheduler rejection is an *encoded reply*, not a
+            # transport fault: the request crossed the wire and came
+            # back with the same OVERLOAD the sync path would raise.
+            assert not future.transport_error
+            error = future.exception()
+            assert isinstance(error, OVERLOAD)
+            assert error.minor == OVERLOAD_RATE
+            assert error.retry_after > 0.0
+
+        stats = scheduler.stats_snapshot()["classes"]["limited"]
+        assert stats["admitted"] == len(admitted)
+        assert stats["rejected_rate"] == len(rejected)
+
+    def test_rejections_feed_client_backpressure(self, deployment):
+        _, client, stub, _ = deployment
+        assert client.backpressure.hints_observed == 0
+        futures = [stub.send_deferred("echo", f"x{i}") for i in range(6)]
+        client.ami.flush()
+        rejected = sum(1 for f in futures if f.error is not None)
+        assert rejected > 0
+        for future in futures:
+            future.exception()
+        assert client.backpressure.hints_observed >= rejected
+        host_delay = client.backpressure.suggested_delay(
+            "server", client.clock.now
+        )
+        assert host_delay > 0.0
+
+    def test_pacing_mediator_paces_the_next_flush(self, deployment):
+        world, client, stub, _ = deployment
+        pacer = PacingMediator().install(stub)
+
+        first = [stub.send_deferred("echo", f"a{i}") for i in range(6)]
+        client.ami.flush()
+        for future in first:
+            future.exception()  # advance to every reply; harvest hints
+        assert pacer.delays_taken == 0  # no hints existed when these left
+
+        # The mediator now waits the advertised retry-after out before
+        # the next deferred call joins its window...
+        before = world.clock.now
+        follow_up = stub.send_deferred("echo", "later")
+        assert pacer.delays_taken == 1
+        assert world.clock.now > before
+        # ...so the paced request finds a refilled bucket and succeeds.
+        assert follow_up.result() == "LATER"
