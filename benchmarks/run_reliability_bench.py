@@ -1,0 +1,275 @@
+#!/usr/bin/env python
+"""Run the reliability-layer benchmark; write ``BENCH_reliability.json``.
+
+The scenario: a client runs multi-call *transactions* (a chain of
+idempotent ``process`` calls ending in one non-idempotent ``commit``)
+against a three-replica group, under a fault process that crashes each
+replica independently with 10% probability per call slot (fail-stop:
+the crash lands *before* the call, so every failure is a forward-leg,
+provably-unexecuted one).  The draws are a pure function of
+``(seed, txn, call)``, so both contenders face the identical fault
+environment and the whole run replays exactly.
+
+- **baseline** — a plain stub bound to the primary, no recovery: the
+  first failed call aborts the transaction (its work is wasted).
+- **reliable** — the same stub wrapped by the reliability mediator:
+  retry + failover turn almost every fault into a transparent re-issue
+  on a surviving replica.
+
+Goodput is committed transactions per simulated second.  The headline
+criterion (the subsystem's acceptance bar)::
+
+    reliable goodput  >=  3.0 * baseline goodput
+    duplicate non-idempotent executions  ==  0
+
+Usage::
+
+    python benchmarks/run_reliability_bench.py [--quick]
+        [--out BENCH_reliability.json] [--min-ratio 3.0] [--no-check]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+from typing import Dict, List
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.dirname(HERE)
+SRC = os.path.join(ROOT, "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+from repro.orb import World  # noqa: E402
+from repro.orb.exceptions import SystemException  # noqa: E402
+from repro.orb.ior import GROUP_TAG, IOR, TaggedComponent  # noqa: E402
+from repro.orb.request import reset_request_ids  # noqa: E402
+from repro.orb.servant import Servant  # noqa: E402
+from repro.orb.stub import Stub  # noqa: E402
+from repro.perf import COUNTERS  # noqa: E402
+from repro.reliability import ReliabilityPolicy, reliable  # noqa: E402
+
+REPLICAS = ("a", "b", "c")
+#: Per-replica, per-call-slot crash probability (the "10% crash rate").
+CRASH_RATE = 0.10
+#: Calls per transaction: the last one is the non-idempotent commit.
+TXN_CALLS = 25
+LINK_LATENCY = 0.0005
+SERVICE_TIME = 0.0002
+
+
+class _Ledger(Servant):
+    _repo_id = "IDL:bench/Ledger:1.0"
+    _default_service_time = SERVICE_TIME
+
+    def __init__(self):
+        self.processed = 0
+        #: token -> times the non-idempotent commit ran here.
+        self.commits: Dict[str, int] = {}
+
+    def process(self, token):
+        self.processed += 1
+        return token
+
+    def commit(self, token):
+        self.commits[token] = self.commits.get(token, 0) + 1
+        return self.commits[token]
+
+
+class _LedgerStub(Stub):
+    _idempotent_ops = frozenset({"process"})
+
+    def process(self, token):
+        return self._call("process", token)
+
+    def commit(self, token):
+        return self._call("commit", token)
+
+
+def build_world():
+    """Fresh deterministic deployment: client + one servant per replica."""
+    reset_request_ids()
+    COUNTERS.reset()
+    world = World()
+    world.lan(("client",) + REPLICAS, latency=LINK_LATENCY, bandwidth_bps=100e6)
+    servants = {}
+    members = []
+    for host in REPLICAS:
+        servant = _Ledger()
+        servants[host] = servant
+        members.append(
+            world.orb(host).poa.activate_object(servant, object_key=f"ledger-{host}")
+        )
+    group_ior = IOR(
+        members[0].type_id,
+        members[0].profile,
+        [
+            TaggedComponent(
+                GROUP_TAG,
+                {
+                    "group": "ledger",
+                    "members": [member.to_string() for member in members],
+                    "policy": "first",
+                },
+            )
+        ],
+    )
+    return world, world.orb("client"), group_ior, servants
+
+
+def crashed_replicas(seed: int, txn: int, call: int) -> List[str]:
+    """The replicas down for this call slot — identical for every run."""
+    rng = random.Random((seed * 1_000_003 + txn) * 1_009 + call)
+    return [host for host in REPLICAS if rng.random() < CRASH_RATE]
+
+
+def run_contender(reliable_stub: bool, txns: int, seed: int) -> Dict[str, object]:
+    world, client, group_ior, servants = build_world()
+    stub = _LedgerStub(client, group_ior)
+    if reliable_stub:
+        stub = reliable(
+            stub,
+            ReliabilityPolicy(
+                max_retries=3,
+                base_backoff=0.0005,
+                jitter=0.0,
+                breaker_threshold=8,
+                breaker_cooldown=0.002,
+                seed=seed,
+            ),
+        )
+    committed = 0
+    aborted = 0
+    calls_issued = 0
+    for txn in range(txns):
+        ok = True
+        for call in range(TXN_CALLS):
+            downed = crashed_replicas(seed, txn, call)
+            for host in downed:
+                world.faults.crash(host)
+            try:
+                calls_issued += 1
+                if call < TXN_CALLS - 1:
+                    stub.process(f"{txn}.{call}")
+                else:
+                    stub.commit(f"txn{txn}")
+            except SystemException:
+                ok = False
+            finally:
+                for host in downed:
+                    world.faults.recover(host)
+            if not ok:
+                break
+        if ok:
+            committed += 1
+        else:
+            aborted += 1
+    elapsed = world.clock.now
+    commit_counts = [
+        count for servant in servants.values() for count in servant.commits.values()
+    ]
+    return {
+        "transactions": txns,
+        "committed": committed,
+        "aborted": aborted,
+        "commit_rate": round(committed / txns, 4),
+        "calls_issued": calls_issued,
+        "elapsed_s": round(elapsed, 6),
+        "goodput_txn_per_s": round(committed / elapsed, 3) if elapsed else 0.0,
+        "duplicate_commits": sum(1 for count in commit_counts if count > 1),
+        "commits_executed": sum(commit_counts),
+        "recovery": {
+            "retries": COUNTERS.rel_retries,
+            "failovers": COUNTERS.rel_failovers,
+            "breaker_opens": COUNTERS.rel_breaker_opens,
+            "breaker_fast_fails": COUNTERS.rel_breaker_fast_fails,
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer transactions (CI smoke run)")
+    parser.add_argument("--out",
+                        default=os.path.join(ROOT, "BENCH_reliability.json"),
+                        help="output path (default: repo root)")
+    parser.add_argument("--seed", type=int, default=2001,
+                        help="fault-process seed (default: 2001)")
+    parser.add_argument("--min-ratio", type=float, default=3.0,
+                        help="required reliable/baseline goodput floor")
+    parser.add_argument("--no-check", action="store_true",
+                        help="record numbers without enforcing --min-ratio")
+    args = parser.parse_args(argv)
+
+    txns = 60 if args.quick else 240
+    baseline = run_contender(reliable_stub=False, txns=txns, seed=args.seed)
+    reliable_run = run_contender(reliable_stub=True, txns=txns, seed=args.seed)
+
+    base_goodput = baseline["goodput_txn_per_s"]
+    rel_goodput = reliable_run["goodput_txn_per_s"]
+    ratio = round(rel_goodput / base_goodput, 3) if base_goodput else None
+    duplicates = (
+        baseline["duplicate_commits"] + reliable_run["duplicate_commits"]
+    )
+
+    payload = {
+        "quick": args.quick,
+        "scenario": {
+            "replicas": list(REPLICAS),
+            "crash_rate_per_call": CRASH_RATE,
+            "calls_per_transaction": TXN_CALLS,
+            "transactions": txns,
+            "link_latency_s": LINK_LATENCY,
+            "service_time_s": SERVICE_TIME,
+            "seed": args.seed,
+        },
+        "baseline": baseline,
+        "reliable": reliable_run,
+        "checks": {
+            "zero_duplicate_commits": duplicates == 0,
+            "reliable_commits_exactly_once": (
+                reliable_run["commits_executed"] == reliable_run["committed"]
+            ),
+        },
+        "headline": {
+            "baseline_goodput_txn_per_s": base_goodput,
+            "reliable_goodput_txn_per_s": rel_goodput,
+            "goodput_ratio": ratio,
+            "min_ratio": args.min_ratio,
+        },
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print(f"wrote {args.out}\n")
+    print(f"  {'contender':>10} {'committed':>10} {'goodput':>12} {'dup commits':>12}")
+    for name, row in (("baseline", baseline), ("reliable", reliable_run)):
+        print(
+            f"  {name:>10} {row['committed']:>7}/{row['transactions']:<3}"
+            f" {row['goodput_txn_per_s']:>9.3f}/s {row['duplicate_commits']:>12}"
+        )
+
+    failures = []
+    if duplicates:
+        failures.append(f"{duplicates} non-idempotent commit(s) executed twice")
+    if not payload["checks"]["reliable_commits_exactly_once"]:
+        failures.append("reliable committed count diverged from executions")
+    if not args.no_check and (ratio is None or ratio < args.min_ratio):
+        failures.append(
+            f"reliable goodput only {ratio}x baseline "
+            f"(floor {args.min_ratio}x)"
+        )
+    if failures:
+        print("\nFAIL: " + "; ".join(failures))
+        return 1
+    print(f"\n  goodput ratio {ratio}x over floor {args.min_ratio}x, zero duplicates")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

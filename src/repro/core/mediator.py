@@ -107,14 +107,20 @@ class MediatorChain:
         return self._invoke_link(0, stub, operation, args)
 
     def _invoke_link(
-        self, index: int, stub: Any, operation: str, args: Tuple[Any, ...]
+        self,
+        index: int,
+        stub: Any,
+        operation: str,
+        args: Tuple[Any, ...],
+        extra_contexts: Optional[Dict[str, Any]] = None,
+        target: Any = None,
     ) -> Any:
         if index >= len(self.links):
-            return stub._invoke(operation, args)
+            return stub._invoke(operation, args, extra_contexts, target)
         link = self.links[index]
         # Present the rest of the chain as the link's "stub": the link
         # calls _invoke on it, which recurses into the next link.
-        view = _ChainView(self, index, stub)
+        view = _ChainView(self, index, stub, extra_contexts, target)
         return link.invoke(view, operation, args)
 
     def install(self, stub: Any) -> "MediatorChain":
@@ -127,12 +133,28 @@ class MediatorChain:
 
 
 class _ChainView:
-    """Stub facade handed to a chain link: forwards _invoke down-chain."""
+    """Stub facade handed to a chain link: forwards _invoke down-chain.
 
-    def __init__(self, chain: MediatorChain, index: int, stub: Any) -> None:
+    Service contexts accumulate outermost-to-innermost (an inner link
+    wins a key conflict: it sits closer to the wire and owns the
+    request it actually issues); the innermost explicit ``target``
+    wins likewise, so an outer failover link's redirect holds unless
+    an inner link re-redirects.
+    """
+
+    def __init__(
+        self,
+        chain: MediatorChain,
+        index: int,
+        stub: Any,
+        extra_contexts: Optional[Dict[str, Any]] = None,
+        target: Any = None,
+    ) -> None:
         self._chain = chain
         self._index = index
         self._stub = stub
+        self._extra_contexts = extra_contexts
+        self._target = target
 
     def _invoke(
         self,
@@ -141,14 +163,17 @@ class _ChainView:
         extra_contexts: Optional[Dict[str, Any]] = None,
         target: Any = None,
     ) -> Any:
+        merged = self._extra_contexts
+        if extra_contexts:
+            merged = dict(merged) if merged else {}
+            merged.update(extra_contexts)
+        if target is None:
+            target = self._target
         if self._index + 1 < len(self._chain.links):
-            # Contexts/target rewrites by outer links would have to be
-            # threaded through every inner link; the innermost link is
-            # the one that owns them, so forward plainly here.
             return self._chain._invoke_link(
-                self._index + 1, self._stub, operation, args
+                self._index + 1, self._stub, operation, args, merged, target
             )
-        return self._stub._invoke(operation, args, extra_contexts, target)
+        return self._stub._invoke(operation, args, merged, target)
 
     def __getattr__(self, name: str) -> Any:
         return getattr(self._stub, name)

@@ -22,8 +22,13 @@ class FaultInjector:
         self.kernel = kernel
         self.log: List[Tuple[float, str]] = []
 
-    def _record(self, description: str) -> None:
-        self.log.append((self.network.clock.now, description))
+    def _record(self, description: str, at: Optional[float] = None) -> None:
+        # ``at`` is the *scheduled* fire time of a kernel-driven fault.
+        # The clock cannot be trusted for that: a synchronous workload
+        # step may have advanced it past the fault's instant before the
+        # kernel re-enters here (Clock.advance_to tolerates the past),
+        # which used to log the apply time instead of the fire time.
+        self.log.append((self.network.clock.now if at is None else at, description))
 
     def _require_kernel(self) -> EventKernel:
         if self.kernel is None:
@@ -32,47 +37,68 @@ class FaultInjector:
 
     # -- immediate faults ----------------------------------------------
 
-    def crash(self, host_name: str) -> None:
+    def crash(self, host_name: str, at: Optional[float] = None) -> None:
         """Crash a host now; in-flight state is lost (fail-stop model)."""
         self.network.host(host_name).crashed = True
-        self._record(f"crash {host_name}")
+        self._record(f"crash {host_name}", at)
 
-    def recover(self, host_name: str) -> None:
+    def recover(self, host_name: str, at: Optional[float] = None) -> None:
         """Bring a crashed host back up (empty queue, no state)."""
         host = self.network.host(host_name)
         host.crashed = False
         host.busy_until = self.network.clock.now
-        self._record(f"recover {host_name}")
+        self._record(f"recover {host_name}", at)
 
-    def partition(self, *groups: Iterable[str]) -> None:
+    def partition(self, *groups: Iterable[str], at: Optional[float] = None) -> None:
         """Split the network into the given groups."""
         self.network.set_partitions(groups)
-        self._record(f"partition {[sorted(g) for g in map(set, groups)]}")
+        self._record(f"partition {[sorted(g) for g in map(set, groups)]}", at)
 
-    def heal(self) -> None:
+    def heal(self, at: Optional[float] = None) -> None:
         """Heal all partitions."""
         self.network.heal_partitions()
-        self._record("heal")
+        self._record("heal", at)
 
-    def set_loss(self, link: Link, loss_rate: float) -> None:
+    def set_loss(
+        self, link: Link, loss_rate: float, at: Optional[float] = None
+    ) -> None:
         """Make a link lossy from now on."""
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError(f"loss_rate must be in [0, 1): {loss_rate}")
         link.loss_rate = loss_rate
-        self._record(f"loss {link.endpoints()} p={loss_rate}")
+        self._record(f"loss {link.endpoints()} p={loss_rate}", at)
 
     # -- scheduled faults ----------------------------------------------
 
     def crash_at(self, time: float, host_name: str) -> None:
         """Schedule a crash at an absolute simulated time."""
         self._require_kernel().schedule_at(
-            time, self.crash, host_name, label=f"crash:{host_name}"
+            time, self.crash, host_name, at=time, label=f"crash:{host_name}"
         )
 
     def recover_at(self, time: float, host_name: str) -> None:
         """Schedule a recovery at an absolute simulated time."""
         self._require_kernel().schedule_at(
-            time, self.recover, host_name, label=f"recover:{host_name}"
+            time, self.recover, host_name, at=time, label=f"recover:{host_name}"
+        )
+
+    def partition_at(self, time: float, *groups: Iterable[str]) -> None:
+        """Schedule a partition at an absolute simulated time."""
+        frozen = [tuple(group) for group in groups]
+        self._require_kernel().schedule_at(
+            time, self.partition, *frozen, at=time, label="partition"
+        )
+
+    def heal_at(self, time: float) -> None:
+        """Schedule the healing of all partitions."""
+        self._require_kernel().schedule_at(time, self.heal, at=time, label="heal")
+
+    def set_loss_at(self, time: float, link: Link, loss_rate: float) -> None:
+        """Schedule a link loss-rate change."""
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1): {loss_rate}")
+        self._require_kernel().schedule_at(
+            time, self.set_loss, link, loss_rate, at=time, label="loss"
         )
 
     def crash_schedule(

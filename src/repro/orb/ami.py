@@ -40,7 +40,13 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.netsim.network import HostCrashed, NoRoute, PacketLost
 from repro.orb import giop
-from repro.orb.exceptions import COMM_FAILURE, MARSHAL, SystemException, TRANSIENT
+from repro.orb.exceptions import (
+    COMM_FAILURE,
+    MARSHAL,
+    SystemException,
+    TRANSIENT,
+    mark_unexecuted,
+)
 from repro.orb.invocation import absorb_reply
 from repro.orb.modules.base import decode_envelope, encode_envelope, is_envelope
 from repro.orb.request import Request
@@ -289,18 +295,30 @@ class PipelinedChannel:
             else:
                 wire = item.body
             pending[item.future.request_id] = item.future
+            # Forward-leg failures are marked unexecuted (the request
+            # never reached a live servant) so reliability replay knows
+            # a re-issue cannot duplicate an execution; reply-leg
+            # failures below stay ambiguous.
             try:
                 delay = network.send(
                     orb.host_name, self.dest_host, len(wire), item.reservations
                 )
             except HostCrashed as error:
-                self._fail(item.future, COMM_FAILURE(str(error)), cursor)
+                self._fail(
+                    item.future, mark_unexecuted(COMM_FAILURE(str(error))), cursor
+                )
                 continue
             except (NoRoute, PacketLost) as error:
-                self._fail(item.future, TRANSIENT(str(error)), cursor)
+                self._fail(
+                    item.future, mark_unexecuted(TRANSIENT(str(error))), cursor
+                )
                 continue
             try:
                 server = orb.world.orb_at(self.dest_host)
+            except COMM_FAILURE as error:
+                self._fail(item.future, mark_unexecuted(error), cursor + delay)
+                continue
+            try:
                 reply_wire, finish = server.handle_incoming(wire, cursor + delay)
             except SystemException as error:
                 self._fail(item.future, error, cursor + delay)

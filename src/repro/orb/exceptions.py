@@ -81,6 +81,18 @@ class BAD_QOS(SystemException):
     repo_id = "IDL:maqs/BAD_QOS:1.0"
 
 
+class TIMEOUT(SystemException):
+    """The request's reliability deadline expired before completion.
+
+    Mirrors CORBA Messaging's TIMEOUT: raised on the *client* when the
+    per-call/per-binding deadline of :mod:`repro.reliability` runs out
+    — before issuing (no budget left for another attempt) or between
+    retries.  Never retried: the budget is gone by definition.
+    """
+
+    repo_id = "IDL:omg.org/CORBA/TIMEOUT:1.0"
+
+
 class OVERLOAD(TRANSIENT):
     """MAQS: the server's request scheduler refused to serve the request.
 
@@ -115,10 +127,35 @@ SYSTEM_EXCEPTIONS: Dict[str, type] = {
         MARSHAL,
         NO_PERMISSION,
         NO_RESOURCES,
+        TIMEOUT,
         BAD_QOS,
         OVERLOAD,
     )
 }
+
+
+def mark_unexecuted(error: SystemException) -> SystemException:
+    """Flag ``error`` as raised *before* the servant could execute.
+
+    The transport sets this on forward-leg failures (the request never
+    reached a live server), which is the information at-most-once retry
+    needs: replaying such a call — idempotent or not — cannot duplicate
+    an execution.  Reply-leg failures stay unflagged: the servant may
+    have run, so only declared-idempotent operations may be retried.
+    """
+    error.unexecuted = True
+    return error
+
+
+def is_unexecuted(error: Exception) -> bool:
+    """Did ``error`` provably occur before any servant execution?
+
+    True for transport errors flagged by :func:`mark_unexecuted` and
+    for :class:`OVERLOAD` (the scheduler sheds at admission, strictly
+    before servant dispatch — the guarantee survives the wire, where
+    ad-hoc attributes do not).
+    """
+    return isinstance(error, OVERLOAD) or getattr(error, "unexecuted", False)
 
 
 class UserException(Exception):

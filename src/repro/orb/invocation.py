@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.orb.exceptions import OVERLOAD, mark_unexecuted
 from repro.orb.request import Request
 
 #: Reply service-context key carrying the server's retry-after hint
@@ -44,6 +45,12 @@ def absorb_reply(orb: "ORB", server_host: str, reply, now: float) -> None:  # no
         orb.backpressure.observe_reply(server_host, contexts, now)
         if reply.exception is not None and _RETRY_AFTER_CONTEXT in contexts:
             reply.exception.retry_after = contexts[_RETRY_AFTER_CONTEXT]
+    # OVERLOAD is shed at admission, strictly before servant dispatch;
+    # restore the pre-execution flag the wire format cannot carry so
+    # reliability retry sees uniform semantics for local and decoded
+    # instances alike.
+    if isinstance(reply.exception, OVERLOAD):
+        mark_unexecuted(reply.exception)
 
 
 def _complete(orb: "ORB", request: Request, reply) -> Any:  # noqa: F821

@@ -142,6 +142,20 @@ class IOR:
             return []
         return list(component.data.get("characteristics", []))
 
+    def group_members(self) -> List["IOR"]:
+        """Member references of a replica-group IOR (may be []).
+
+        The :data:`GROUP_TAG` component carries each member as a
+        stringified reference (strings survive ``write_any`` untouched
+        and the parse cache absorbs the repeated decoding).  Used by
+        the reliability layer's failover to re-bind to the next member
+        on fail-stop.
+        """
+        component = self.component(GROUP_TAG)
+        if component is None:
+            return []
+        return [IOR.from_string(text) for text in component.data.get("members", [])]
+
     def binding_key(self) -> str:
         """Canonical ``host:port/key`` naming this client/server relationship."""
         binding = self._binding

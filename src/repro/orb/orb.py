@@ -25,6 +25,7 @@ from repro.orb.exceptions import (
     MARSHAL,
     SystemException,
     TRANSIENT,
+    mark_unexecuted,
 )
 from repro.orb.ior import IOR
 from repro.orb.modules.base import decode_envelope, encode_envelope, is_envelope
@@ -174,13 +175,20 @@ class ORB:
         Network failures surface as CORBA system exceptions.
         """
         network = self.network
+        # Forward-leg failures are marked *unexecuted*: the request
+        # never reached a live servant, so a retry cannot duplicate an
+        # execution (see repro.reliability).  Reply-leg failures are
+        # ambiguous and stay unmarked.
         try:
             delay = network.send(self.host_name, dest_host, len(wire), reservations)
         except HostCrashed as error:
-            raise COMM_FAILURE(str(error)) from None
+            raise mark_unexecuted(COMM_FAILURE(str(error))) from None
         except (NoRoute, PacketLost) as error:
-            raise TRANSIENT(str(error)) from None
-        server = self.world.orb_at(dest_host)
+            raise mark_unexecuted(TRANSIENT(str(error))) from None
+        try:
+            server = self.world.orb_at(dest_host)
+        except COMM_FAILURE as error:
+            raise mark_unexecuted(error) from None
         reply_wire, finish = server.handle_incoming(wire, depart_time + delay)
         try:
             back = network.send(dest_host, self.host_name, len(reply_wire), reservations)

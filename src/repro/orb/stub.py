@@ -29,6 +29,13 @@ class Stub:
     #: forget: the caller resumes once the message has left.
     _oneway_ops: frozenset = frozenset()
 
+    #: Operations declared ``idempotent`` in the IDL (attribute reads
+    #: and writes are idempotent by construction); the QIDL compiler
+    #: fills this on generated stubs.  The reliability layer may retry
+    #: these after an *ambiguous* failure — when the servant might
+    #: already have executed — because re-execution is harmless.
+    _idempotent_ops: frozenset = frozenset()
+
     def __init__(self, orb: "ORB", ior: IOR) -> None:  # noqa: F821
         self._orb = orb
         self._ior = ior

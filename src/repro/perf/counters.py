@@ -49,6 +49,14 @@ class PerfCounters:
         "pipeline_messages",
         "pipeline_inflight_peak",
         "pipeline_out_of_order",
+        "rel_retries",
+        "rel_retry_exhausted",
+        "rel_failovers",
+        "rel_deadline_expired",
+        "rel_breaker_opens",
+        "rel_breaker_fast_fails",
+        "rel_breaker_probes",
+        "rel_replays",
     )
 
     def __init__(self) -> None:
@@ -91,6 +99,14 @@ class PerfCounters:
         self.pipeline_messages = 0
         self.pipeline_inflight_peak = 0
         self.pipeline_out_of_order = 0
+        self.rel_retries = 0
+        self.rel_retry_exhausted = 0
+        self.rel_failovers = 0
+        self.rel_deadline_expired = 0
+        self.rel_breaker_opens = 0
+        self.rel_breaker_fast_fails = 0
+        self.rel_breaker_probes = 0
+        self.rel_replays = 0
 
     def note_inflight(self, depth: int) -> None:
         """Record the AMI pipeline's current in-flight future count."""
@@ -151,6 +167,14 @@ class PerfCounters:
             ),
             "pipeline_inflight_peak": self.pipeline_inflight_peak,
             "pipeline_out_of_order": self.pipeline_out_of_order,
+            "rel_retries": self.rel_retries,
+            "rel_retry_exhausted": self.rel_retry_exhausted,
+            "rel_failovers": self.rel_failovers,
+            "rel_deadline_expired": self.rel_deadline_expired,
+            "rel_breaker_opens": self.rel_breaker_opens,
+            "rel_breaker_fast_fails": self.rel_breaker_fast_fails,
+            "rel_breaker_probes": self.rel_breaker_probes,
+            "rel_replays": self.rel_replays,
         }
 
 

@@ -26,7 +26,15 @@ class Parameter:
 class Operation:
     """An IDL operation, optionally with a QoS responsibility qualifier."""
 
-    __slots__ = ("name", "result_type", "parameters", "raises", "oneway", "category")
+    __slots__ = (
+        "name",
+        "result_type",
+        "parameters",
+        "raises",
+        "oneway",
+        "category",
+        "idempotent",
+    )
 
     def __init__(
         self,
@@ -36,12 +44,16 @@ class Operation:
         raises: Optional[List[str]] = None,
         oneway: bool = False,
         category: str = "management",
+        idempotent: bool = False,
     ) -> None:
         self.name = name
         self.result_type = result_type
         self.parameters = parameters
         self.raises = raises or []
         self.oneway = oneway
+        #: Re-executing the operation yields the same state and result;
+        #: the reliability layer may retry it after ambiguous failures.
+        self.idempotent = idempotent
         #: One of "management", "peer" (QoS-to-QoS) or "integration"
         #: (QoS aspect integration) — the three QoS responsibilities of
         #: Section 3.2.  Plain interface operations keep the default.

@@ -21,6 +21,7 @@ KEYWORDS = frozenset(
         "attribute",
         "readonly",
         "oneway",
+        "idempotent",
         "raises",
         "typedef",
         "struct",

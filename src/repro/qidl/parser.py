@@ -10,7 +10,8 @@ Grammar (EBNF-ish)::
                      [ "provides" ID { "," ID } ]
                      "{" { attribute | operation } "}" ";" ;
     attribute      = [ "readonly" ] "attribute" type ID { "," ID } ";" ;
-    operation      = [ category ] [ "oneway" ] type ID "(" [ params ] ")"
+    operation      = [ category ] [ "oneway" | "idempotent" ]
+                     type ID "(" [ params ] ")"
                      [ "raises" "(" ID { "," ID } ")" ] ";" ;
     category       = "management" | "peer" | "integration" ;
     params         = param { "," param } ;
@@ -333,9 +334,13 @@ class Parser:
                 )
             category = token.value
         oneway = False
+        idempotent = False
         if self._peek().is_keyword("oneway"):
             self._next()
             oneway = True
+        elif self._peek().is_keyword("idempotent"):
+            self._next()
+            idempotent = True
         result_type = self._type()
         name = self._expect_identifier()
         self._expect_punct("(")
@@ -370,7 +375,9 @@ class Parser:
             raise QIDLSemanticError(
                 f"oneway operation {name!r} must return void with in-params only"
             )
-        return ast.Operation(name, result_type, parameters, raises, oneway, category)
+        return ast.Operation(
+            name, result_type, parameters, raises, oneway, category, idempotent
+        )
 
     # -- types -------------------------------------------------------------
 

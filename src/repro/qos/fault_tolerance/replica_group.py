@@ -247,3 +247,33 @@ class ReplicaGroupManager:
         stub = stub_class(client_orb, ior)
         FaultToleranceMediator().install(stub)
         return stub
+
+    def bind_reliable_client(
+        self,
+        client_orb: Any,
+        stub_class: type,
+        reliability_policy: Any = None,
+        policy: str = "first",
+    ) -> Any:
+        """A unicast stub recovering via the reliability layer.
+
+        Where :meth:`bind_client` masks crashes by multicasting every
+        call to all members, this binds *one* member at a time and
+        installs a :class:`~repro.reliability.ReliabilityMediator`
+        that retries, breaks and fails over along the group reference's
+        ``GROUP_TAG`` member list — the cheap-path alternative when
+        active replication is too expensive for the traffic.
+        """
+        # Imported here: repro.reliability builds on repro.orb/core,
+        # and this module must not force it into every FT import.
+        from repro.reliability import ReliabilityMediator, ReliabilityPolicy
+
+        ior = self.group_ior(policy)
+        stub = stub_class(client_orb, ior)
+        mediator = ReliabilityMediator(
+            reliability_policy
+            if reliability_policy is not None
+            else ReliabilityPolicy()
+        )
+        mediator.install(stub)
+        return stub

@@ -1,0 +1,64 @@
+"""Per-binding circuit breaker: closed / open / half-open.
+
+A binding that keeps failing stops being called at all: after
+``threshold`` consecutive failures the breaker *opens* and calls
+fast-fail locally (no wire traffic, no timeout burn) until a cooldown
+on the simulated clock elapses; the breaker then goes *half-open* and
+admits exactly one probe call, whose outcome closes or re-opens it.
+All time is simulated time — deterministic under replay.
+"""
+
+from __future__ import annotations
+
+from repro.perf.counters import COUNTERS
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Failure accounting for one client/server binding."""
+
+    __slots__ = ("threshold", "cooldown", "state", "failures", "opened_at")
+
+    def __init__(self, threshold: int, cooldown: float) -> None:
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.state = CLOSED
+        #: Consecutive failures since the last success.
+        self.failures = 0
+        self.opened_at = 0.0
+
+    def allow(self, now: float) -> bool:
+        """May a call go out on this binding at ``now``?
+
+        An open breaker whose cooldown has elapsed transitions to
+        half-open and admits the caller as its probe.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if now - self.opened_at < self.cooldown:
+                return False
+            self.state = HALF_OPEN
+            COUNTERS.rel_breaker_probes += 1
+            return True
+        # Half-open: the probe is already in flight; hold everyone
+        # else off until its outcome lands.
+        return False
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self.state = CLOSED
+
+    def record_failure(self, now: float) -> None:
+        self.failures += 1
+        if self.state == HALF_OPEN or self.failures >= self.threshold:
+            if self.state != OPEN:
+                COUNTERS.rel_breaker_opens += 1
+            self.state = OPEN
+            self.opened_at = now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CircuitBreaker({self.state}, failures={self.failures})"

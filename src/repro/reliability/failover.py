@@ -1,0 +1,51 @@
+"""Replica failover: rotating through a GROUP_TAG member list.
+
+A group reference published by
+:class:`~repro.qos.fault_tolerance.replica_group.ReplicaGroupManager`
+carries every member as a stringified IOR in its ``GROUP_TAG``
+component.  The rotation walks that list on fail-stop errors and
+*persists* the re-binding: once the mediator moves off a dead primary,
+subsequent calls go straight to the member that answered, instead of
+re-probing the corpse every call.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.orb.ior import IOR
+from repro.perf.counters import COUNTERS
+
+
+class FailoverRotation:
+    """The (circular) candidate targets of one reliability-bound stub."""
+
+    __slots__ = ("members", "index", "failovers")
+
+    def __init__(self, ior: IOR) -> None:
+        members: List[IOR] = ior.group_members()
+        #: Singleton references rotate over themselves: retry stays on
+        #: the only host there is.
+        self.members = members if members else [ior]
+        self.index = 0
+        self.failovers = 0
+
+    @property
+    def active(self) -> IOR:
+        return self.members[self.index]
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def advance(self) -> IOR:
+        """Re-bind to the next member (wrap-around); returns it."""
+        self.index = (self.index + 1) % len(self.members)
+        self.failovers += 1
+        COUNTERS.rel_failovers += 1
+        return self.active
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FailoverRotation({len(self.members)} members, "
+            f"active={self.active.profile.host!r})"
+        )

@@ -1,0 +1,50 @@
+"""Deterministic exponential backoff with seeded jitter.
+
+Delays are pure simulated time — the retry loop *advances the clock*
+by them instead of sleeping — and the jitter stream comes from a
+dedicated ``random.Random(seed)``, so a run is bit-for-bit repeatable
+under the same seed and call order (the chaos suite's identical-seeds
+→ identical-traces invariant rests on this).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.reliability.policy import ReliabilityPolicy
+
+
+class BackoffSchedule:
+    """The delay sequence one mediator draws its retry waits from."""
+
+    __slots__ = ("_policy", "_rng", "draws")
+
+    def __init__(self, policy: ReliabilityPolicy) -> None:
+        self._policy = policy
+        self._rng = random.Random(policy.seed)
+        self.draws = 0
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based), jittered.
+
+        ``base * multiplier**(attempt-1)`` capped at ``max_backoff``,
+        then spread by ±``jitter`` — the spread is what keeps a fleet
+        of recovering clients from re-converging on the same instant.
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt is 1-based: {attempt}")
+        policy = self._policy
+        raw = policy.base_backoff * policy.backoff_multiplier ** (attempt - 1)
+        raw = min(raw, policy.max_backoff)
+        self.draws += 1
+        if policy.jitter:
+            raw *= 1.0 + policy.jitter * self._rng.uniform(-1.0, 1.0)
+        return raw
+
+    def reseed(self, seed: int) -> None:
+        """Restart the jitter stream (chaos-suite replay hygiene)."""
+        self._rng = random.Random(seed)
+        self.draws = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BackoffSchedule(draws={self.draws})"

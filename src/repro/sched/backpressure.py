@@ -47,6 +47,23 @@ class Backpressure:
         if hint is not None:
             self.note(host, float(hint), now)
 
+    def retry_delay(
+        self, host: str, error: Any, now: float, floor: float = 0.0
+    ) -> float:
+        """Seconds to hold off before *retrying* ``host`` after ``error``.
+
+        Merges every hint available: the tracked per-host retry-after
+        state, a ``retry_after`` the failed reply carried directly
+        (recorded here too, so later calls see it), and the retry
+        policy's backoff ``floor``.  The reliability layer's retry loop
+        calls this so its exponential backoff never undercuts the
+        server's own advertised recovery time.
+        """
+        direct = getattr(error, "retry_after", None)
+        if direct is not None:
+            self.note(host, float(direct), now)
+        return max(floor, self.suggested_delay(host, now))
+
     def suggested_delay(self, host: str, now: float) -> float:
         """Seconds a polite client should wait before calling ``host``."""
         until = self._hints.get(host)

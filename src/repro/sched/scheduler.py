@@ -44,6 +44,13 @@ CLASS_CONTEXT = "maqs.sched.class"
 BINDING_CONTEXT = "maqs.sched.binding"
 RETRY_AFTER_CONTEXT = "maqs.sched.retry_after"
 
+#: Absolute (simulated-instant) deadline of the *call*, set by the
+#: client's reliability layer (mirrors
+#: :data:`repro.reliability.policy.DEADLINE_CONTEXT`; the literal is
+#: repeated so repro.sched never imports upward).  Lets the scheduler
+#: shed work whose caller will have timed out before completion.
+DEADLINE_CONTEXT = "maqs.reliability.deadline"
+
 #: OVERLOAD minor codes.
 OVERLOAD_QUEUE = 1
 OVERLOAD_RATE = 2
@@ -405,6 +412,21 @@ class RequestScheduler:
                         f"projected wait {wait:.6f}s exceeds the negotiated "
                         f"delay bound {cls.deadline:.6f}s",
                         wait - cls.deadline,
+                    )
+            deadline_at = request.service_contexts.get(DEADLINE_CONTEXT)
+            if deadline_at is not None:
+                projected = now + self._policy.projected_wait(cls, now, service)
+                projected += service
+                if projected > float(deadline_at):
+                    # The caller's budget is already blown: serving the
+                    # request would only burn capacity on a reply no
+                    # one is waiting for.
+                    self._reject(
+                        cls,
+                        OVERLOAD_DEADLINE,
+                        f"projected completion {projected:.6f}s exceeds the "
+                        f"call deadline {float(deadline_at):.6f}s",
+                        0.0,
                     )
         start, completion = self._policy.plan(cls, now, service)
         if self._policy.name != "fifo":

@@ -153,3 +153,144 @@ class TestLossMidWindow:
                 assert future.transport_error
                 assert isinstance(future.error, (TRANSIENT, COMM_FAILURE))
                 assert isinstance(future.exception(), TRANSIENT)
+
+
+class TestReliableWindowSeveredMidFlush:
+    """AMI windows under the reliability mediator (see repro.reliability).
+
+    When the bound replica dies mid-flush, failover replays *only the
+    unacknowledged* futures — an acknowledged future (its reply
+    correlated back) is never re-issued, and an ambiguous one (request
+    received, reply leg dead) is never replayed for a non-idempotent
+    operation.
+    """
+
+    def build(self, **overrides):
+        from repro.reliability import reliable
+        from tests.reliability.helpers import CounterStub, build_replica_world
+
+        world, client, group, servants = build_replica_world()
+        overrides.setdefault("seed", 7)
+        stub = reliable(CounterStub(client, group), **overrides)
+        return world, client, stub, servants
+
+    def crash_after(self, world, host, k):
+        """Crash ``host`` upon receipt of its k-th request."""
+        server = world.orb(host)
+        received = []
+
+        def tap(direction, wire):
+            if direction == "in":
+                received.append(wire)
+                if len(received) == k:
+                    world.faults.crash(host)
+
+        server.add_wire_observer(tap)
+        return received
+
+    def test_failover_replays_only_unacknowledged_futures(self):
+        from repro.orb.exceptions import COMM_FAILURE
+        from tests.reliability.helpers import executions
+
+        count, crash_on = 6, 3
+        world, client, stub, servants = self.build()
+        self.crash_after(world, "a", crash_on)
+        futures = [stub.send_deferred("add", f"t{i}", 1) for i in range(count)]
+        client.ami.flush()
+        assert all(f.done for f in futures)
+
+        # Acknowledged before the crash: executed on the primary only,
+        # never replayed.
+        for i in range(crash_on - 1):
+            assert futures[i].result() == i + 1
+            assert servants["a"].executed.get(f"t{i}") == 1
+        # The message the server died on: it executed, but the reply
+        # leg is dead — ambiguous, so the non-idempotent add must NOT
+        # be replayed; the failure surfaces.
+        severed = futures[crash_on - 1]
+        assert isinstance(severed.error, COMM_FAILURE)
+        assert servants["a"].executed.get(f"t{crash_on - 1}") == 1
+        # Unacknowledged (never reached the primary): provably
+        # unexecuted, replayed through failover onto the survivors.
+        for i in range(crash_on, count):
+            assert futures[i].error is None
+            token = f"t{i}"
+            assert token not in servants["a"].executed
+            assert executions(servants, token) == 1
+        # The global exactly-once ledger: every token ran once.
+        for i in range(count):
+            assert executions(servants, f"t{i}") == 1
+
+    def test_acknowledged_futures_keep_pipeline_results_verbatim(self):
+        """A healthy window through the reliable stub is a transparent
+        pass-through: same results, no replays, no retries."""
+        from repro.perf.counters import COUNTERS
+
+        world, client, stub, servants = self.build()
+        futures = [stub.send_deferred("add", f"t{i}", 1) for i in range(4)]
+        client.ami.flush()
+        assert [f.result() for f in futures] == [1, 2, 3, 4]
+        assert COUNTERS.rel_replays == 0
+        assert COUNTERS.rel_retries == 0
+        assert all(servants["a"].executed.get(f"t{i}") == 1 for i in range(4))
+
+    def test_full_crash_before_flush_replays_whole_window(self):
+        """The window never reached the wire: every future is provably
+        unexecuted and fails over as a unit — exactly once each."""
+        from repro.perf.counters import COUNTERS
+        from tests.reliability.helpers import executions
+
+        world, client, stub, servants = self.build()
+        futures = [stub.send_deferred("add", f"t{i}", 1) for i in range(5)]
+        world.faults.crash("a")
+        client.ami.flush()
+        assert all(f.done for f in futures)
+        for i, future in enumerate(futures):
+            assert future.error is None
+            assert executions(servants, f"t{i}") == 1
+            assert f"t{i}" not in servants["a"].executed
+        assert COUNTERS.rel_replays == 5
+
+    def test_done_callbacks_fire_once_with_final_outcome(self):
+        world, client, stub, servants = self.build()
+        self.crash_after(world, "a", 2)
+        futures = [stub.send_deferred("add", f"t{i}", 1) for i in range(4)]
+        fired = []
+        for i, future in enumerate(futures):
+            future.add_done_callback(lambda f, i=i: fired.append((i, f.error)))
+        client.ami.flush()
+        assert [i for i, _ in sorted(fired)] == [0, 1, 2, 3]
+        assert len(fired) == 4
+        # The final outcome is what the callback saw: replayed futures
+        # report success, the severed one its COMM_FAILURE.
+        from repro.orb.exceptions import COMM_FAILURE
+
+        outcomes = dict(fired)
+        assert outcomes[0] is None
+        assert isinstance(outcomes[1], COMM_FAILURE)
+        assert outcomes[2] is None and outcomes[3] is None
+
+    def test_deadline_bounds_the_replay_too(self):
+        """A deferred call's deadline survives into its replay: if the
+        budget is gone by recovery time, the future settles TIMEOUT
+        rather than retrying forever."""
+        from repro.orb.exceptions import TIMEOUT
+        from repro.reliability import reliable
+        from tests.reliability.helpers import CounterStub, build_replica_world
+
+        # A single member: failover can't save the call, and the
+        # backoff would blow the deadline.
+        world, client, group, servants = build_replica_world(replicas=("a",))
+        stub = reliable(
+            CounterStub(client, group),
+            deadline=0.003,
+            max_retries=5,
+            base_backoff=0.01,
+            jitter=0.0,
+            seed=7,
+        )
+        future = stub.send_deferred("ping")
+        world.faults.crash("a")
+        client.ami.flush()
+        assert future.done
+        assert isinstance(future.exception(), TIMEOUT)

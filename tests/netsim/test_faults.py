@@ -84,3 +84,69 @@ class TestScheduledFaults:
         faults = FaultInjector(net)
         with pytest.raises(RuntimeError):
             faults.crash_at(1.0, "x")
+
+    def test_partition_heal_and_loss_schedule(self, world):
+        kernel, net, faults = world
+        link = net.link_between("a", "b")
+        faults.partition_at(1.0, {"a"}, {"b"})
+        faults.heal_at(2.0)
+        faults.set_loss_at(3.0, link, 0.5)
+        kernel.run_until(1.5)
+        with pytest.raises(NoRoute):
+            net.send("a", "b", 1)
+        kernel.run_until(2.5)
+        assert net.send("a", "b", 1) >= 0
+        assert link.loss_rate == 0.0
+        kernel.run_until(3.5)
+        assert link.loss_rate == 0.5
+
+    def test_set_loss_at_validates_rate_up_front(self, world):
+        kernel, net, faults = world
+        with pytest.raises(ValueError):
+            faults.set_loss_at(1.0, net.link_between("a", "b"), 1.0)
+
+
+class TestScheduledFaultLogTimes:
+    def test_log_records_scheduled_fire_time(self, world):
+        """The log keeps the *scheduled* instant even when a workload
+        event at the same kernel step advanced the clock far past it —
+        the re-entrancy that used to stamp apply time instead."""
+        kernel, net, faults = world
+
+        def busy_workload():
+            # A synchronous step that runs before the fault fires and
+            # drags the clock way beyond the fault's scheduled time.
+            kernel.clock.advance(10.0)
+
+        kernel.schedule_at(0.5, busy_workload)
+        faults.crash_at(1.0, "b")
+        faults.recover_at(2.0, "b")
+        faults.partition_at(3.0, {"a"}, {"b"})
+        faults.heal_at(4.0)
+        faults.set_loss_at(5.0, net.link_between("a", "b"), 0.25)
+        kernel.run()
+        assert [time for time, _ in faults.log] == [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert [entry.split()[0] for _, entry in faults.log] == [
+            "crash",
+            "recover",
+            "partition",
+            "heal",
+            "loss",
+        ]
+
+    def test_crash_schedule_log_interleaves_deterministically(self, world):
+        kernel, _, faults = world
+        faults.crash_schedule([(1.0, 3.0, "b"), (2.0, 4.0, "a")])
+        kernel.run()
+        assert faults.log == [
+            (1.0, "crash b"),
+            (2.0, "crash a"),
+            (3.0, "recover b"),
+            (4.0, "recover a"),
+        ]
+
+    def test_immediate_faults_still_stamp_clock_time(self, world):
+        kernel, _, faults = world
+        kernel.clock.advance_to(7.5)
+        faults.crash("b")
+        assert faults.log == [(7.5, "crash b")]

@@ -1,0 +1,96 @@
+"""Shared scaffolding for the reliability suites.
+
+A small replicated deployment: one client and N replica hosts, each
+serving a :class:`CounterServant` under the same logical group.  The
+group IOR carries the ``GROUP_TAG`` member list the failover rotation
+walks.  Execution counts are recorded per token, which is what the
+at-most-once assertions (non-idempotent operations never execute
+twice) key on.
+"""
+
+from repro.orb import World
+from repro.orb.ior import GROUP_TAG, IOR, TaggedComponent
+from repro.orb.request import reset_request_ids
+from repro.orb.servant import Servant
+from repro.orb.stub import Stub
+from repro.perf.counters import COUNTERS
+
+
+class CounterServant(Servant):
+    _repo_id = "IDL:rel/Counter:1.0"
+    _default_service_time = 0.0002
+
+    def __init__(self):
+        self.total = 0
+        #: token -> number of times ``add(token, ...)`` ran here.
+        self.executed = {}
+        #: Service contexts of the last dispatched request.
+        self.last_contexts = None
+
+    def _dispatch(self, operation, args, contexts=None):
+        self.last_contexts = contexts
+        return super()._dispatch(operation, args, contexts)
+
+    def ping(self):
+        return "pong"
+
+    def add(self, token, amount):
+        """Non-idempotent: re-execution visibly double-counts."""
+        self.executed[token] = self.executed.get(token, 0) + 1
+        self.total += amount
+        return self.total
+
+    def get_total(self):
+        return self.total
+
+
+class CounterStub(Stub):
+    _idempotent_ops = frozenset({"ping", "get_total"})
+
+    def ping(self):
+        return self._call("ping")
+
+    def add(self, token, amount):
+        return self._call("add", token, amount)
+
+    def get_total(self):
+        return self._call("get_total")
+
+
+def build_replica_world(replicas=("a", "b", "c"), latency=0.0005):
+    """Fresh world: client + replica hosts, a servant per replica.
+
+    Returns ``(world, client_orb, group_ior, servants_by_host)``.
+    """
+    reset_request_ids()
+    COUNTERS.reset()
+    world = World()
+    world.lan(("client",) + tuple(replicas), latency=latency, bandwidth_bps=100e6)
+    servants = {}
+    members = []
+    for host in replicas:
+        servant = CounterServant()
+        servants[host] = servant
+        members.append(
+            world.orb(host).poa.activate_object(servant, object_key=f"ctr-{host}")
+        )
+    group_ior = IOR(
+        members[0].type_id,
+        members[0].profile,
+        [
+            TaggedComponent(
+                GROUP_TAG,
+                {
+                    "group": "ctr",
+                    "members": [member.to_string() for member in members],
+                    "policy": "first",
+                },
+            )
+        ],
+    )
+    return world, world.orb("client"), group_ior, servants
+
+
+def executions(servants, token):
+    """Total executions of ``token`` across every replica."""
+    return sum(servant.executed.get(token, 0) for servant in servants.values())

@@ -1,0 +1,300 @@
+"""Circuit breaker state machine and replica failover rotation."""
+
+import pytest
+
+from repro.orb.exceptions import COMM_FAILURE, TRANSIENT
+from repro.perf.counters import COUNTERS
+from repro.reliability import (
+    BREAKER_OPEN_MINOR,
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    FailoverRotation,
+    ReliabilityPolicy,
+    reliable,
+)
+
+from tests.reliability.helpers import (
+    CounterStub,
+    build_replica_world,
+    executions,
+)
+
+
+class TestCircuitBreakerUnit:
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(threshold=3, cooldown=1.0)
+        for _ in range(2):
+            breaker.record_failure(0.0)
+        assert breaker.state == CLOSED
+        breaker.record_failure(0.0)
+        assert breaker.state == OPEN
+        assert not breaker.allow(0.5)
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker(threshold=3, cooldown=1.0)
+        breaker.record_failure(0.0)
+        breaker.record_failure(0.0)
+        breaker.record_success()
+        breaker.record_failure(0.0)
+        breaker.record_failure(0.0)
+        assert breaker.state == CLOSED
+
+    def test_half_open_probe_after_cooldown(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=1.0)
+        breaker.record_failure(0.0)
+        assert breaker.state == OPEN
+        assert breaker.allow(1.0)  # cooldown elapsed: one probe through
+        assert breaker.state == HALF_OPEN
+        assert not breaker.allow(1.0)  # only one probe at a time
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow(1.0)
+
+    def test_failed_probe_reopens_immediately(self):
+        breaker = CircuitBreaker(threshold=3, cooldown=1.0)
+        for _ in range(3):
+            breaker.record_failure(0.0)
+        assert breaker.allow(1.5)
+        breaker.record_failure(1.5)  # probe failed: back to OPEN at once
+        assert breaker.state == OPEN
+        assert not breaker.allow(2.0)
+        assert breaker.allow(2.5)  # next cooldown window
+
+
+class TestFailoverRotationUnit:
+    def test_rotation_walks_group_members(self):
+        _, _, group, _ = build_replica_world()
+        rotation = FailoverRotation(group)
+        assert len(rotation) == 3
+        hosts = [rotation.active.profile.host]
+        hosts.append(rotation.advance().profile.host)
+        hosts.append(rotation.advance().profile.host)
+        assert hosts == ["a", "b", "c"]
+        assert rotation.advance().profile.host == "a"  # wraps around
+
+    def test_plain_ior_is_a_singleton_rotation(self):
+        world, client, group, servants = build_replica_world(replicas=("a",))
+        from repro.orb.ior import IOR
+
+        plain = IOR(group.type_id, group.profile, [])
+        rotation = FailoverRotation(plain)
+        assert len(rotation) == 1
+        assert rotation.advance() is rotation.active
+
+
+class TestBreakerOnTheWire:
+    def test_open_breaker_fast_fails_without_network_traffic(self):
+        world, client, group, servants = build_replica_world(replicas=("a",))
+        stub = reliable(
+            CounterStub(client, group),
+            breaker_threshold=2,
+            breaker_cooldown=10.0,
+            max_retries=0,
+            seed=1,
+        )
+        world.faults.crash("a")
+        for _ in range(2):
+            with pytest.raises(COMM_FAILURE):
+                stub.ping()
+        assert COUNTERS.rel_breaker_opens == 1
+        sent_before = world.network.messages_sent
+        with pytest.raises(TRANSIENT) as caught:
+            stub.add("t1", 1)
+        assert caught.value.minor == BREAKER_OPEN_MINOR
+        assert world.network.messages_sent == sent_before
+        assert COUNTERS.rel_breaker_fast_fails == 1
+
+    def test_fast_fail_is_unexecuted_so_nonidempotent_stays_safe(self):
+        world, client, group, servants = build_replica_world(replicas=("a",))
+        stub = reliable(
+            CounterStub(client, group),
+            breaker_threshold=1,
+            breaker_cooldown=10.0,
+            max_retries=0,
+            seed=1,
+        )
+        world.faults.crash("a")
+        with pytest.raises(COMM_FAILURE):
+            stub.ping()
+        with pytest.raises(TRANSIENT) as caught:
+            stub.add("t1", 1)
+        assert getattr(caught.value, "unexecuted", False)
+        assert executions(servants, "t1") == 0
+
+    def test_open_breaker_fast_fails_deferred_submissions_too(self):
+        """A deferred call against an all-open group settles at submit
+        time — it never joins a window just to die at flush."""
+        world, client, group, servants = build_replica_world(replicas=("a",))
+        stub = reliable(
+            CounterStub(client, group),
+            breaker_threshold=1,
+            breaker_cooldown=10.0,
+            max_retries=0,
+            seed=1,
+        )
+        world.faults.crash("a")
+        with pytest.raises(COMM_FAILURE):
+            stub.ping()
+        sent_before = world.network.messages_sent
+        future = stub.send_deferred("add", "t1", 1)
+        assert future.done
+        error = future.exception()
+        assert isinstance(error, TRANSIENT)
+        assert error.minor == BREAKER_OPEN_MINOR
+        assert world.network.messages_sent == sent_before
+        assert executions(servants, "t1") == 0
+
+    def test_half_open_probe_recovers_the_binding(self):
+        world, client, group, servants = build_replica_world(replicas=("a",))
+        stub = reliable(
+            CounterStub(client, group),
+            breaker_threshold=1,
+            breaker_cooldown=0.05,
+            max_retries=0,
+            seed=1,
+        )
+        world.faults.crash("a")
+        with pytest.raises(COMM_FAILURE):
+            stub.ping()
+        world.faults.recover("a")
+        world.clock.advance(0.05)  # cooldown elapses on the sim clock
+        assert stub.ping() == "pong"  # the half-open probe
+        assert COUNTERS.rel_breaker_probes == 1
+        # Probe succeeded: breaker closed, traffic flows normally again.
+        assert stub.add("t1", 1) == 1
+        assert servants["a"].executed.get("t1") == 1
+
+    def test_breaker_retry_backs_off_into_cooldown(self):
+        """When the sole member's breaker is open, the fast-fail is
+        retriable-but-backed-off: the backoff advances the sim clock
+        toward the cooldown instead of hot-looping."""
+        world, client, group, servants = build_replica_world(replicas=("a",))
+        stub = reliable(
+            CounterStub(client, group),
+            breaker_threshold=1,
+            breaker_cooldown=0.02,
+            max_retries=3,
+            base_backoff=0.03,
+            jitter=0.0,
+            seed=1,
+        )
+        world.faults.crash("a")
+        with pytest.raises(COMM_FAILURE):
+            stub.ping()
+        # Each retry backed off past the cooldown and probed the dead
+        # host rather than fast-failing in a tight loop.
+        probes_while_down = COUNTERS.rel_breaker_probes
+        assert probes_while_down >= 1
+        assert COUNTERS.rel_breaker_fast_fails == 0
+        world.faults.recover("a")
+        # Next call fast-fails (breaker open, cooldown not yet over),
+        # backs off into the cooldown, probes, and succeeds.
+        assert stub.ping() == "pong"
+        assert COUNTERS.rel_breaker_fast_fails == 1
+        assert COUNTERS.rel_breaker_probes == probes_while_down + 1
+
+
+class TestFailoverOnTheWire:
+    def test_breakers_are_per_replica(self):
+        """Opening the primary's breaker must not poison the group:
+        the selector skips open members and binds a healthy one."""
+        world, client, group, servants = build_replica_world()
+        stub = reliable(
+            CounterStub(client, group),
+            breaker_threshold=1,
+            breaker_cooldown=10.0,
+            seed=1,
+        )
+        world.faults.crash("a")
+        assert stub.ping() == "pong"  # failover already recovered it
+        # Primary breaker is open; selection skips straight to "b".
+        sent_before = world.network.messages_sent
+        assert stub.add("t1", 1) == 1
+        assert servants["b"].executed.get("t1") == 1
+        # One request/reply pair: no wasted attempt on the dead primary.
+        assert world.network.messages_sent == sent_before + 2
+
+    def test_cascading_failover_walks_the_whole_group(self):
+        world, client, group, servants = build_replica_world()
+        stub = reliable(CounterStub(client, group), max_retries=3, seed=1)
+        world.faults.crash("a")
+        world.faults.crash("b")
+        assert stub.add("t1", 7) == 7
+        assert servants["c"].executed.get("t1") == 1
+        assert executions(servants, "t1") == 1
+        assert COUNTERS.rel_failovers == 2
+
+    def test_all_members_down_surfaces_the_failure(self):
+        world, client, group, servants = build_replica_world()
+        stub = reliable(
+            CounterStub(client, group),
+            max_retries=2,
+            base_backoff=0.001,
+            jitter=0.0,
+            seed=1,
+        )
+        for host in ("a", "b", "c"):
+            world.faults.crash(host)
+        with pytest.raises(COMM_FAILURE):
+            stub.ping()
+        assert COUNTERS.rel_retry_exhausted == 1
+
+    def test_bind_reliable_client_convenience(self):
+        """End-to-end through the woven stack: a QIDL interface whose
+        ``idempotent`` operation feeds the generated stub's
+        ``_idempotent_ops``, replicated by the FT group manager and
+        bound through :meth:`bind_reliable_client`."""
+        import repro.qos as qos
+        from repro.orb import World
+        from repro.qos.fault_tolerance.replica_group import ReplicaGroupManager
+
+        gen = qos.weave(
+            """
+            interface RCounter provides FaultTolerance {
+                long increment();
+                idempotent long value();
+            };
+            """,
+            "rel_tests_counter",
+        )
+        assert "value" in gen.RCounterStub._idempotent_ops
+        assert "increment" not in gen.RCounterStub._idempotent_ops
+
+        class RCounterImpl(gen.RCounterServerBase):
+            def __init__(self):
+                super().__init__()
+                self.count = 0
+
+            def increment(self):
+                self.count += 1
+                return self.count
+
+            def value(self):
+                return self.count
+
+            def get_state(self):
+                return {"count": self.count}
+
+            def set_state(self, state):
+                self.count = state["count"]
+
+        COUNTERS.reset()
+        world = World()
+        world.lan(("client", "a", "b"), latency=0.0005, bandwidth_bps=100e6)
+        manager = ReplicaGroupManager(world, "rctr", RCounterImpl)
+        manager.add_replica("a")
+        manager.add_replica("b")
+        stub = manager.bind_reliable_client(
+            world.orb("client"), gen.RCounterStub, ReliabilityPolicy(seed=3)
+        )
+        world.faults.crash("a")
+        # Forward-leg failure on the dead primary: even the
+        # non-idempotent increment is provably unexecuted, so the
+        # mediator fails over to "b" and the call runs exactly once.
+        assert stub.increment() == 1
+        assert manager.replica("b").count == 1
+        assert manager.replica("a").count == 0
+        assert COUNTERS.rel_failovers == 1
+        assert stub.value() == 1

@@ -1,0 +1,264 @@
+"""Retry/backoff semantics and deadline enforcement.
+
+The at-most-once contract under test: retries happen only when they
+cannot duplicate an execution — the operation is idempotent, or the
+failure provably struck before the servant ran (forward-leg transport
+errors, scheduler OVERLOAD).  Deadlines bound the whole recovery
+dance and travel to the server as a service context.
+"""
+
+import pytest
+
+from repro.orb.exceptions import COMM_FAILURE, OVERLOAD, TIMEOUT, TRANSIENT
+from repro.perf.counters import COUNTERS
+from repro.reliability import (
+    DEADLINE_CONTEXT,
+    BackoffSchedule,
+    ReliabilityMediator,
+    ReliabilityPolicy,
+    reliable,
+)
+from repro.sched.scheduler import OVERLOAD_DEADLINE
+
+from tests.reliability.helpers import (
+    CounterStub,
+    build_replica_world,
+    executions,
+)
+
+
+class TestBackoffSchedule:
+    def test_exponential_growth_capped(self):
+        policy = ReliabilityPolicy(
+            base_backoff=0.001,
+            backoff_multiplier=2.0,
+            max_backoff=0.004,
+            jitter=0.0,
+        )
+        schedule = BackoffSchedule(policy)
+        assert [schedule.delay(n) for n in (1, 2, 3, 4)] == [
+            0.001,
+            0.002,
+            0.004,
+            0.004,
+        ]
+
+    def test_jitter_stays_within_bounds_and_is_seeded(self):
+        policy = ReliabilityPolicy(
+            base_backoff=0.01, jitter=0.5, seed=42, max_backoff=1.0
+        )
+        first = [BackoffSchedule(policy).delay(n) for n in (1, 2, 3)]
+        second = [BackoffSchedule(policy).delay(n) for n in (1, 2, 3)]
+        assert first == second, "same seed must replay the same delays"
+        for n, delay in enumerate(first, start=1):
+            raw = 0.01 * 2.0 ** (n - 1)
+            assert 0.5 * raw <= delay <= 1.5 * raw
+
+    def test_attempts_are_one_based(self):
+        schedule = BackoffSchedule(ReliabilityPolicy())
+        with pytest.raises(ValueError):
+            schedule.delay(0)
+
+    def test_reseed_restarts_the_jitter_stream(self):
+        schedule = BackoffSchedule(ReliabilityPolicy(jitter=0.5, seed=7))
+        first = [schedule.delay(n) for n in (1, 2, 3)]
+        assert schedule.draws == 3
+        schedule.reseed(7)
+        assert schedule.draws == 0
+        assert [schedule.delay(n) for n in (1, 2, 3)] == first
+
+    def test_policy_validation(self):
+        for bad in (
+            {"deadline": 0.0},
+            {"max_retries": -1},
+            {"backoff_multiplier": 0.5},
+            {"jitter": 1.0},
+            {"breaker_threshold": 0},
+        ):
+            with pytest.raises(ValueError):
+                ReliabilityPolicy(**bad)
+
+
+class TestRetrySemantics:
+    def test_failover_retries_nonidempotent_send_leg_failure(self):
+        """A crashed primary fails the *forward* leg: provably never
+        executed, so even the non-idempotent add may be replayed on the
+        next replica — and runs exactly once."""
+        world, client, group, servants = build_replica_world()
+        stub = reliable(CounterStub(client, group), seed=1)
+        world.faults.crash("a")
+        assert stub.add("t1", 5) == 5
+        assert executions(servants, "t1") == 1
+        assert servants["b"].executed.get("t1") == 1
+        assert COUNTERS.rel_retries == 1
+        assert COUNTERS.rel_failovers == 1
+
+    def test_rebinding_persists_across_calls(self):
+        world, client, group, servants = build_replica_world()
+        stub = reliable(CounterStub(client, group), seed=1)
+        world.faults.crash("a")
+        stub.add("t1", 1)
+        retries_after_first = COUNTERS.rel_retries
+        stub.add("t2", 1)
+        # The second call goes straight to the survivor: no new retry.
+        assert COUNTERS.rel_retries == retries_after_first
+        assert servants["b"].executed.get("t2") == 1
+
+    def test_ambiguous_reply_leg_failure_never_retries_nonidempotent(self):
+        """Crash the server *after* it received the request: the reply
+        leg dies, execution state is ambiguous — add must surface the
+        COMM_FAILURE rather than risk a duplicate."""
+        world, client, group, servants = build_replica_world()
+        stub = reliable(CounterStub(client, group), seed=1)
+        server = world.orb("a")
+
+        def crash_on_receipt(direction, wire):
+            if direction == "in":
+                world.faults.crash("a")
+
+        server.add_wire_observer(crash_on_receipt)
+        with pytest.raises(COMM_FAILURE):
+            stub.add("t1", 5)
+        server.remove_wire_observer(crash_on_receipt)
+        # It *did* execute, exactly once — retrying would have doubled it.
+        assert servants["a"].executed.get("t1") == 1
+        assert executions(servants, "t1") == 1
+        assert COUNTERS.rel_retries == 0
+
+    def test_idempotent_op_retries_through_ambiguous_failure(self):
+        world, client, group, servants = build_replica_world()
+        stub = reliable(CounterStub(client, group), seed=1)
+        server = world.orb("a")
+
+        def crash_on_receipt(direction, wire):
+            if direction == "in":
+                world.faults.crash("a")
+
+        server.add_wire_observer(crash_on_receipt)
+        assert stub.ping() == "pong"  # declared idempotent on the stub
+        server.remove_wire_observer(crash_on_receipt)
+        assert COUNTERS.rel_retries == 1
+
+    def test_policy_can_declare_idempotence(self):
+        world, client, group, servants = build_replica_world()
+        policy = ReliabilityPolicy(idempotent_ops={"add"}, seed=1)
+        stub = reliable(CounterStub(client, group), policy)
+        server = world.orb("a")
+
+        def crash_on_receipt(direction, wire):
+            if direction == "in":
+                world.faults.crash("a")
+
+        server.add_wire_observer(crash_on_receipt)
+        # Policy says add is safe to replay: the ambiguous failure is
+        # retried (and in this scenario genuinely double-executes —
+        # that is the caller's declared bargain).
+        assert stub.add("t1", 5) == 5
+        server.remove_wire_observer(crash_on_receipt)
+        assert COUNTERS.rel_retries == 1
+
+    def test_retries_exhaust_and_surface_last_error(self):
+        world, client, group, servants = build_replica_world(replicas=("a",))
+        stub = reliable(
+            CounterStub(client, group),
+            max_retries=2,
+            base_backoff=0.001,
+            jitter=0.0,
+            seed=1,
+        )
+        world.faults.crash("a")
+        with pytest.raises(COMM_FAILURE):
+            stub.ping()
+        assert COUNTERS.rel_retries == 2
+        assert COUNTERS.rel_retry_exhausted == 1
+
+    def test_backoff_advances_simulated_time(self):
+        world, client, group, servants = build_replica_world(replicas=("a",))
+        stub = reliable(
+            CounterStub(client, group),
+            max_retries=3,
+            base_backoff=0.01,
+            backoff_multiplier=2.0,
+            jitter=0.0,
+            seed=1,
+        )
+        world.faults.crash("a")
+        start = world.clock.now
+        with pytest.raises(COMM_FAILURE):
+            stub.ping()
+        # Three retries waited 0.01 + 0.02 + 0.04 (plus wire attempts).
+        assert world.clock.now - start >= 0.07
+
+    def test_deterministic_errors_are_never_retried(self):
+        from repro.orb.exceptions import BAD_OPERATION
+
+        world, client, group, servants = build_replica_world()
+        stub = reliable(CounterStub(client, group), seed=1)
+        with pytest.raises(BAD_OPERATION):
+            stub._call("no_such_operation")
+        assert COUNTERS.rel_retries == 0
+
+
+class TestDeadlines:
+    def test_deadline_context_reaches_the_servant(self):
+        world, client, group, servants = build_replica_world()
+        stub = reliable(CounterStub(client, group), deadline=0.5, seed=1)
+        issued_at = world.clock.now
+        stub.ping()
+        contexts = servants["a"].last_contexts
+        assert contexts is not None
+        assert contexts[DEADLINE_CONTEXT] == pytest.approx(issued_at + 0.5)
+
+    def test_expired_budget_raises_timeout_instead_of_backing_off(self):
+        world, client, group, servants = build_replica_world(replicas=("a",))
+        stub = reliable(
+            CounterStub(client, group),
+            deadline=0.005,
+            max_retries=5,
+            base_backoff=0.01,
+            jitter=0.0,
+            seed=1,
+        )
+        world.faults.crash("a")
+        with pytest.raises(TIMEOUT):
+            stub.ping()
+        assert COUNTERS.rel_deadline_expired == 1
+
+    def test_deadline_for_next_call_validates(self):
+        mediator = ReliabilityMediator(ReliabilityPolicy())
+        with pytest.raises(ValueError):
+            mediator.deadline_for_next_call(0.0)
+        mediator.deadline_for_next_call(None)  # explicit "no deadline" is fine
+
+    def test_deadline_for_next_call_is_one_shot(self):
+        world, client, group, servants = build_replica_world()
+        mediator = ReliabilityMediator(ReliabilityPolicy(seed=1))
+        stub = CounterStub(client, group)
+        mediator.install(stub)
+        mediator.deadline_for_next_call(0.25)
+        issued_at = world.clock.now
+        stub.ping()
+        assert servants["a"].last_contexts[DEADLINE_CONTEXT] == pytest.approx(
+            issued_at + 0.25
+        )
+        stub.ping()
+        assert DEADLINE_CONTEXT not in (servants["a"].last_contexts or {})
+
+    def test_scheduler_sheds_requests_that_cannot_make_the_deadline(self):
+        world, client, group, servants = build_replica_world(replicas=("a",))
+        servants["a"]._service_times = {"ping": 0.05}
+        world.orb("a").install_scheduler(policy="fifo")
+        stub = reliable(
+            CounterStub(client, group),
+            deadline=0.01,
+            max_retries=0,
+            seed=1,
+        )
+        with pytest.raises(OVERLOAD) as caught:
+            stub.ping()
+        assert caught.value.minor == OVERLOAD_DEADLINE
+        scheduler = world.orb("a").scheduler
+        shed = scheduler.stats_snapshot()["classes"]["best-effort"]["shed_deadline"]
+        assert shed == 1
+        # Shed at admission — the servant never ran.
+        assert servants["a"].total == 0
