@@ -1,0 +1,257 @@
+#!/usr/bin/env python
+"""Run the hybrid fluid/packet benchmark; write ``BENCH_fluid.json``.
+
+Two sections:
+
+**Calibration** replays the shared seeded scenarios through both
+executors — the per-segment packet tier as ground truth and the
+analytic fluid tier under test — and records the per-class mean-delay
+and goodput errors (acceptance bar: every error within 15%).
+
+**Headline** runs the canonical gold/bronze WFQ overload probe with a
+100k-client (1M with ``--full``) fluid background cohort sharing the
+probes' bottleneck link, interleaved through the shared event kernel.
+The run is gated on resources — wall-clock, peak RSS, and a
+tracemalloc ceiling on per-queued-event bytes — and on determinism: a
+second identical run must reproduce the same trace digest and probe
+latencies bit-for-bit.
+
+Usage::
+
+    python benchmarks/run_fluid_bench.py [--quick|--full]
+        [--out BENCH_fluid.json] [--no-check]
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import resource
+import sys
+import time
+import tracemalloc
+from typing import Dict
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.dirname(HERE)
+SRC = os.path.join(ROOT, "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+from repro.netsim.fluid import FluidTier  # noqa: E402
+from repro.netsim.fluid.calibrate import calibrate  # noqa: E402
+from repro.orb import World  # noqa: E402
+from repro.orb.servant import Servant  # noqa: E402
+from repro.perf import snapshot  # noqa: E402
+from repro.sched import CLASS_CONTEXT  # noqa: E402
+from repro.workloads import Arrival, FluidCohort, open_loop_fanout  # noqa: E402
+
+#: 5 ms of server CPU per probe request.
+SERVICE_TIME = 0.005
+#: Probe cadence: one departure every 20 ms, alternating gold/bronze.
+CADENCE = 0.020
+#: Resource gates for the headline run (one hybrid replay).
+WALL_BUDGET_S = {"quick": 60.0, "full": 240.0}
+RSS_BUDGET_MB = {"quick": 512.0, "full": 1024.0}
+#: tracemalloc ceiling: bytes per queued cohort arrival event.
+EVENT_BYTE_BUDGET = 600.0
+
+
+class _Echo(Servant):
+    _repo_id = "IDL:fluidbench/Echo:1.0"
+    _default_service_time = SERVICE_TIME
+
+    def echo(self, text):
+        return text
+
+
+def _rss_mb() -> float:
+    """Peak RSS of this process in MiB (ru_maxrss is KiB on Linux)."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # bytes on macOS
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
+
+
+def run_hybrid(n_clients: int, probes: int, max_flowlets: int,
+               seed: int = 11) -> Dict[str, object]:
+    """One hybrid replay: WFQ gold/bronze probes over a fluid-loaded link."""
+    world = World()
+    world.lan(["client", "server"], latency=0.002, bandwidth_bps=20e6)
+    server = world.orb("server")
+    scheduler = server.install_scheduler(policy="wfq", max_depth=10_000)
+    scheduler.define_class("gold", weight=4.0, priority=1)
+    scheduler.define_class("bronze", weight=1.0, priority=6)
+    ior = server.poa.activate_object(_Echo(), object_key="echo")
+
+    span = probes * CADENCE
+    tier = FluidTier(world.network, world.kernel)
+    scheduled = 0
+    per_event_bytes = 0.0
+    if n_clients:
+        # The cohort crosses the probes' own bottleneck link, so its
+        # fluid demand is exactly what the foreground contends with.
+        cohort = FluidCohort(tier, "client", "server", n_clients=n_clients,
+                             flowlets_per_client=0.2, seed=seed,
+                             max_flowlets=max_flowlets)
+        tracemalloc.start()
+        before, _ = tracemalloc.get_traced_memory()
+        scheduled = cohort.install(duration=span)
+        after, _ = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        per_event_bytes = (after - before) / max(1, scheduled)
+
+    latencies = {"gold": [], "bronze": []}
+
+    def observer(arrival, latency, error):
+        if latency is not None:
+            latencies[arrival.label].append(latency)
+
+    arrivals = [
+        Arrival(
+            i * CADENCE,
+            ior,
+            "echo",
+            ("x" * 2_000,),
+            contexts={CLASS_CONTEXT: "gold" if i % 2 == 0 else "bronze"},
+            label="gold" if i % 2 == 0 else "bronze",
+        )
+        for i in range(probes)
+    ]
+    result = open_loop_fanout(world.orb("client"), arrivals,
+                              observer=observer, kernel=world.kernel)
+    world.kernel.run()
+
+    digest = hashlib.sha256()
+    for value in result.latencies:
+        digest.update(f"{value:.12e};".encode())
+    panel = snapshot(world=world)
+    report: Dict[str, object] = {
+        "n_clients": n_clients,
+        "cohort_arrivals_scheduled": scheduled,
+        "cohort_stats": tier.class_summaries(),
+        "fluid_trace_digest": tier.trace_digest(),
+        "probe_latency_digest": digest.hexdigest(),
+        "per_event_bytes": round(per_event_bytes, 1),
+        "sim_span_s": round(span, 3),
+        "kernel_events_fired": panel["kernel_events_fired"],
+        "kernel_live_peak": panel["kernel_live_peak"],
+        "flowlets_completed": tier.flowlets_completed,
+        "fluid_gbytes": round(tier.bytes_completed / 1e9, 3),
+    }
+    for name in ("gold", "bronze"):
+        series = sorted(latencies[name])
+        count = len(series)
+        report[name] = {
+            "served": count,
+            "mean_ms": round(sum(series) / count * 1e3, 3) if count else None,
+            "p95_ms": round(series[int(0.95 * (count - 1))] * 1e3, 3)
+            if count else None,
+        }
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="100k-client cohort (CI smoke run)")
+    parser.add_argument("--full", action="store_true",
+                        help="1M-client cohort headline run")
+    parser.add_argument("--out", default=os.path.join(ROOT, "BENCH_fluid.json"),
+                        help="output path (default: repo root BENCH_fluid.json)")
+    parser.add_argument("--no-check", action="store_true",
+                        help="record numbers without enforcing the gates")
+    args = parser.parse_args(argv)
+
+    mode = "full" if args.full else "quick"
+    n_clients = 1_000_000 if args.full else 100_000
+    probes = 400 if args.full else 200
+    max_flowlets = 100_000 if args.full else 20_000
+
+    failures = []
+
+    calibration = calibrate()
+    if not calibration["ok"]:
+        failures.append(
+            f"calibration error {calibration['max_error']:.1%} exceeds "
+            f"{calibration['tolerance']:.0%}"
+        )
+
+    started = time.perf_counter()
+    busy = run_hybrid(n_clients, probes, max_flowlets)
+    wall_s = time.perf_counter() - started
+    rss_mb = _rss_mb()
+
+    # Determinism: the replay must reproduce both digests exactly.
+    replay = run_hybrid(n_clients, probes, max_flowlets)
+    deterministic = (
+        replay["fluid_trace_digest"] == busy["fluid_trace_digest"]
+        and replay["probe_latency_digest"] == busy["probe_latency_digest"]
+    )
+    if not deterministic:
+        failures.append("hybrid replay diverged from first run")
+
+    quiet = run_hybrid(0, probes, max_flowlets)
+
+    if wall_s > WALL_BUDGET_S[mode]:
+        failures.append(
+            f"wall clock {wall_s:.1f}s exceeds {WALL_BUDGET_S[mode]:.0f}s")
+    if rss_mb > RSS_BUDGET_MB[mode]:
+        failures.append(
+            f"peak RSS {rss_mb:.0f}MB exceeds {RSS_BUDGET_MB[mode]:.0f}MB")
+    if busy["per_event_bytes"] > EVENT_BYTE_BUDGET:
+        failures.append(
+            f"{busy['per_event_bytes']:.0f} bytes/queued event exceeds "
+            f"{EVENT_BYTE_BUDGET:.0f}")
+    if busy["gold"]["p95_ms"] <= quiet["gold"]["p95_ms"]:
+        failures.append("background cohort did not slow foreground probes")
+
+    payload = {
+        "mode": mode,
+        "calibration": calibration,
+        "headline": {
+            "busy": busy,
+            "quiet": quiet,
+            "wall_clock_s": round(wall_s, 3),
+            "wall_budget_s": WALL_BUDGET_S[mode],
+            "peak_rss_mb": round(rss_mb, 1),
+            "rss_budget_mb": RSS_BUDGET_MB[mode],
+            "event_byte_budget": EVENT_BYTE_BUDGET,
+            "deterministic_replay": deterministic,
+        },
+        "gates_failed": failures,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print(f"wrote {args.out}\n")
+    print(f"  calibration: max per-class error "
+          f"{calibration['max_error']:.1%} (tolerance "
+          f"{calibration['tolerance']:.0%}) over "
+          f"{len(calibration['scenarios'])} scenarios")
+    print(f"  headline: {n_clients:,} clients -> "
+          f"{busy['cohort_arrivals_scheduled']:,} scheduled arrivals, "
+          f"{busy['kernel_events_fired']:,} kernel events, "
+          f"{busy['fluid_gbytes']} GB fluid traffic")
+    print(f"  wall {wall_s:.2f}s / {WALL_BUDGET_S[mode]:.0f}s budget, "
+          f"peak RSS {rss_mb:.0f}MB / {RSS_BUDGET_MB[mode]:.0f}MB budget, "
+          f"{busy['per_event_bytes']:.0f} B/event")
+    print(f"  deterministic replay: {deterministic}")
+    print(f"\n  {'probe class':<12} {'quiet p95':>10} {'busy p95':>10}")
+    for name in ("gold", "bronze"):
+        print(f"  {name:<12} {quiet[name]['p95_ms']:>8.1f}ms"
+              f" {busy[name]['p95_ms']:>8.1f}ms")
+
+    if failures and not args.no_check:
+        print("\nFAIL:")
+        for line in failures:
+            print(f"  - {line}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

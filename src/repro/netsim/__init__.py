@@ -37,11 +37,21 @@ from repro.netsim.resources import (
     ResourceManager,
 )
 from repro.netsim.faults import FaultInjector
+from repro.netsim.fluid import (
+    Flowlet,
+    FlowletGenerator,
+    FluidTier,
+    PacketFlowletExecutor,
+)
 
 __all__ = [
     "Clock",
     "EventKernel",
     "FaultInjector",
+    "Flowlet",
+    "FlowletGenerator",
+    "FluidTier",
+    "PacketFlowletExecutor",
     "Host",
     "HostCrashed",
     "InsufficientBandwidth",

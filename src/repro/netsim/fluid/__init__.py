@@ -1,0 +1,74 @@
+"""Fluid (flow-level) simulation tier.
+
+The packet tier models every GIOP message as a discrete event, which
+caps experiments at thousands of clients.  This package adds the
+coarse tier in the style of Sommers' *fs*: background traffic becomes
+**flowlets** whose transfer times come from analytic TCP models
+(MSMO97 response curve, CSA00 transfer-time model) — one kernel event
+per flowlet instead of one per message — while foreground objects keep
+the exact per-message path.  The tiers couple through the shared
+links: fluid demand (``Link.fluid_bps``) is subtracted from packet
+messages' best-effort bandwidth, and fluid flows see reservations held
+by packet-tier bindings.
+
+Public surface:
+
+- :mod:`~repro.netsim.fluid.models` — ``msmo97_throughput``,
+  ``csa00_transfer_time``, ``startup_excess``.
+- :class:`~repro.netsim.fluid.flowlet.Flowlet`,
+  :class:`~repro.netsim.fluid.flowlet.FlowletClass`,
+  :class:`~repro.netsim.fluid.flowlet.FlowletGenerator`.
+- :class:`~repro.netsim.fluid.tier.FluidTier` (the analytic executor)
+  and :class:`~repro.netsim.fluid.tier.PacketFlowletExecutor` (the
+  per-segment ground truth used for calibration).
+- :func:`~repro.netsim.fluid.calibrate.calibrate` — the shared-scenario
+  calibration suite.
+"""
+
+from repro.netsim.fluid.calibrate import (
+    DEFAULT_TOLERANCE,
+    Scenario,
+    calibrate,
+    compare_tiers,
+    default_scenarios,
+)
+from repro.netsim.fluid.flowlet import (
+    DEFAULT_CLASSES,
+    Flowlet,
+    FlowletClass,
+    FlowletGenerator,
+    bounded_pareto,
+)
+from repro.netsim.fluid.models import (
+    DEFAULT_MSS,
+    DEFAULT_RWND,
+    csa00_transfer_time,
+    msmo97_throughput,
+    startup_excess,
+)
+from repro.netsim.fluid.tier import (
+    FluidFlowExecutor,
+    FluidTier,
+    PacketFlowletExecutor,
+)
+
+__all__ = [
+    "DEFAULT_CLASSES",
+    "DEFAULT_MSS",
+    "DEFAULT_RWND",
+    "DEFAULT_TOLERANCE",
+    "Flowlet",
+    "FlowletClass",
+    "FlowletGenerator",
+    "FluidFlowExecutor",
+    "FluidTier",
+    "PacketFlowletExecutor",
+    "Scenario",
+    "bounded_pareto",
+    "calibrate",
+    "compare_tiers",
+    "csa00_transfer_time",
+    "default_scenarios",
+    "msmo97_throughput",
+    "startup_excess",
+]

@@ -1,0 +1,159 @@
+"""Flowlets: the unit of work in the fluid tier.
+
+A flowlet is one burst of application traffic — "N bytes from src to
+dst, belonging to QoS class C" — the granularity at which the fluid
+tier models load, in the style of Sommers' *fs* simulator.  One flowlet
+typically stands in for one client request/response exchange (or, with
+cohort aggregation, for a whole batch of clients' exchanges).
+
+:class:`FlowletGenerator` produces deterministic flowlet schedules:
+Poisson arrivals with per-class heavy-tailed (bounded-Pareto) or fixed
+sizes, everything seeded.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class Flowlet:
+    """One analytically modelled traffic burst."""
+
+    _ids = itertools.count(1)
+
+    __slots__ = ("flowlet_id", "src", "dst", "nbytes", "klass", "clients")
+
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        nbytes: int,
+        klass: str = "be",
+        clients: int = 1,
+    ) -> None:
+        if nbytes <= 0:
+            raise ValueError(f"nbytes must be positive: {nbytes}")
+        self.flowlet_id = next(Flowlet._ids)
+        self.src = src
+        self.dst = dst
+        self.nbytes = nbytes
+        #: QoS class label, used for per-class calibration statistics.
+        self.klass = klass
+        #: How many logical clients this flowlet aggregates (cohorts
+        #: merge many clients' bursts into one fluid flow).
+        self.clients = clients
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Flowlet(#{self.flowlet_id} {self.src}->{self.dst} "
+            f"{self.nbytes}B {self.klass!r})"
+        )
+
+
+class FlowletClass:
+    """Size model for one traffic class.
+
+    ``alpha`` > 0 selects a bounded Pareto over ``[min_bytes,
+    max_bytes]`` (heavy-tailed bulk transfers); ``alpha`` = 0 yields
+    the fixed size ``min_bytes`` (interactive request/response).
+    """
+
+    __slots__ = ("name", "share", "min_bytes", "max_bytes", "alpha")
+
+    def __init__(
+        self,
+        name: str,
+        share: float,
+        min_bytes: int,
+        max_bytes: Optional[int] = None,
+        alpha: float = 0.0,
+    ) -> None:
+        if share <= 0.0:
+            raise ValueError(f"share must be positive: {share}")
+        if min_bytes <= 0:
+            raise ValueError(f"min_bytes must be positive: {min_bytes}")
+        self.name = name
+        self.share = share
+        self.min_bytes = min_bytes
+        self.max_bytes = max_bytes if max_bytes is not None else min_bytes
+        if self.max_bytes < min_bytes:
+            raise ValueError("max_bytes must be >= min_bytes")
+        self.alpha = alpha
+
+    def sample_bytes(self, rng: random.Random) -> int:
+        """Draw one flowlet size."""
+        if self.alpha <= 0.0 or self.max_bytes == self.min_bytes:
+            return self.min_bytes
+        return bounded_pareto(rng, self.alpha, self.min_bytes, self.max_bytes)
+
+
+def bounded_pareto(rng: random.Random, alpha: float, lo: int, hi: int) -> int:
+    """One draw from a bounded Pareto(alpha) on ``[lo, hi]`` (inverse CDF)."""
+    if not lo < hi:
+        raise ValueError(f"need lo < hi: {lo}, {hi}")
+    u = rng.random()
+    la, ha = lo**alpha, hi**alpha
+    x = (-(u * ha - u * la - ha) / (ha * la)) ** (-1.0 / alpha)
+    return int(min(max(x, lo), hi))
+
+
+#: Default two-class mix: short interactive exchanges plus a
+#: heavy-tailed bulk class, the canonical mice-and-elephants split.
+DEFAULT_CLASSES: Tuple[FlowletClass, ...] = (
+    FlowletClass("interactive", share=3.0, min_bytes=8_192),
+    FlowletClass("bulk", share=1.0, min_bytes=30_000, max_bytes=2_000_000,
+                 alpha=1.2),
+)
+
+
+class FlowletGenerator:
+    """Deterministic, seeded flowlet schedules.
+
+    Two generators built with the same seed and classes produce
+    element-wise identical schedules (times, sizes, classes) — the
+    property the determinism suite pins down.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        classes: Sequence[FlowletClass] = DEFAULT_CLASSES,
+    ) -> None:
+        if not classes:
+            raise ValueError("need at least one flowlet class")
+        self._rng = random.Random(seed)
+        self.classes = tuple(classes)
+        self._weights = [c.share for c in self.classes]
+
+    def sample(self, src: str, dst: str, clients: int = 1) -> Flowlet:
+        """Draw one flowlet: class by share weight, size by class model."""
+        chosen = self._rng.choices(self.classes, weights=self._weights)[0]
+        nbytes = chosen.sample_bytes(self._rng) * clients
+        return Flowlet(src, dst, nbytes, chosen.name, clients)
+
+    def poisson(
+        self,
+        src: str,
+        dst: str,
+        rate: float,
+        duration: float,
+        start: float = 0.0,
+        clients: int = 1,
+    ) -> List[Tuple[float, Flowlet]]:
+        """A Poisson flowlet arrival schedule: ``[(time, flowlet), ...]``."""
+        if rate <= 0.0:
+            raise ValueError(f"rate must be positive: {rate}")
+        schedule: List[Tuple[float, Flowlet]] = []
+        now = start
+        while True:
+            now += self._rng.expovariate(rate)
+            if now > start + duration:
+                return schedule
+            schedule.append((now, self.sample(src, dst, clients)))
+
+    def class_mix(self) -> Dict[str, float]:
+        """Normalised share of arrivals per class."""
+        total = sum(self._weights)
+        return {c.name: c.share / total for c in self.classes}

@@ -1,0 +1,174 @@
+"""Analytic TCP throughput and transfer-time models.
+
+Two classic results parameterise the fluid tier:
+
+- **MSMO97** (Mathis, Semke, Mahdavi, Ott, *The Macroscopic Behavior of
+  the TCP Congestion Avoidance Algorithm*, CCR 1997): the steady-state
+  throughput response curve ``rate = (MSS/RTT) * C / sqrt(p)``, capped
+  by the receive window.  The fluid tier uses it to bound a flow's rate
+  on lossy paths, and the packet-mode reference executor applies the
+  same cap per message so both tiers answer to one response curve.
+
+- **CSA00** (Cardwell, Savage, Anderson, *Modeling TCP Latency*,
+  INFOCOM 2000): expected transfer time for a *finite* flow, including
+  the slow-start ramp and loss-recovery costs that dominate short
+  transfers.  The fluid tier folds it in as a per-flowlet startup
+  excess over the steady-rate approximation.
+
+Unlike the original fs implementation, everything here is a
+deterministic expectation — no sampled initial window — because the
+calibration and determinism suites require identical inputs to yield
+identical durations.
+"""
+
+from __future__ import annotations
+
+from math import ceil, floor, log, sqrt
+
+#: Default maximum segment size (Ethernet-ish), in bytes.
+DEFAULT_MSS = 1460
+#: Default receive window, in bytes.
+DEFAULT_RWND = 1 << 20
+#: Slow-start growth factor per RTT under delayed ACKs (CSA00's gamma).
+GAMMA = 1.5
+#: Deterministic initial congestion window, in segments.
+INITIAL_WINDOW = 2
+#: Mathis constant sqrt(3/2) for periodic-loss congestion avoidance.
+_MATHIS_C = sqrt(1.5)
+#: Loss probabilities above this are clamped: the CSA00 formulas lose
+#: their domain (and TCP its throughput) long before p = 0.5.
+_MAX_LOSS = 0.4
+
+
+def _packets(nbytes: int, mss: int) -> int:
+    """Number of MSS-sized segments needed for ``nbytes`` (at least 1)."""
+    if nbytes <= 0:
+        return 1
+    return ceil(nbytes / mss)
+
+
+def msmo97_throughput(
+    mss: int,
+    rtt: float,
+    loss: float,
+    rwnd: int = DEFAULT_RWND,
+) -> float:
+    """Steady-state TCP throughput in bits per second.
+
+    The MSMO97 square-root response curve, capped by the receive
+    window.  With zero loss the flow is purely window-limited.
+    """
+    if rtt <= 0.0:
+        raise ValueError(f"rtt must be positive: {rtt}")
+    if mss <= 0:
+        raise ValueError(f"mss must be positive: {mss}")
+    window_limit = rwnd * 8.0 / rtt
+    if loss <= 0.0:
+        return window_limit
+    p = min(loss, _MAX_LOSS)
+    rate = (mss * 8.0 / rtt) * _MATHIS_C / sqrt(p)
+    return min(rate, window_limit)
+
+
+def _slow_start_rounds(packets: int, initial_window: int, gamma: float) -> float:
+    """RTT rounds to emit ``packets`` segments in exponential slow start.
+
+    The window grows by ``gamma`` each round, so ``k`` rounds carry
+    ``iw * (gamma**k - 1) / (gamma - 1)`` segments.
+    """
+    if packets <= initial_window:
+        return 1.0
+    return log(packets * (gamma - 1.0) / initial_window + 1.0, gamma)
+
+
+def csa00_transfer_time(
+    nbytes: int,
+    mss: int,
+    rtt: float,
+    loss: float,
+    rwnd: int = DEFAULT_RWND,
+) -> float:
+    """Expected time to transfer ``nbytes`` over one TCP flow, in seconds.
+
+    CSA00's decomposition: slow-start time, expected loss-recovery
+    cost, then the remaining data at the steady-state (MSMO97) rate.
+    With zero loss the transfer is slow start up to the window limit
+    followed by window-limited delivery.
+    """
+    if rtt <= 0.0:
+        raise ValueError(f"rtt must be positive: {rtt}")
+    d = _packets(nbytes, mss)
+    wmax = max(1.0, rwnd / mss)
+    iw = float(INITIAL_WINDOW)
+
+    if loss <= 0.0:
+        rounds_needed = _slow_start_rounds(d, INITIAL_WINDOW, GAMMA)
+        rounds_to_wmax = (
+            log(wmax / iw, GAMMA) if wmax > iw else 0.0
+        )
+        if rounds_needed <= rounds_to_wmax or rounds_to_wmax <= 0.0:
+            return ceil(rounds_needed) * rtt
+        sent_in_ramp = iw * (GAMMA ** rounds_to_wmax - 1.0) / (GAMMA - 1.0)
+        remaining = max(0.0, d - sent_in_ramp)
+        return ceil(rounds_to_wmax) * rtt + remaining / wmax * rtt
+
+    p = min(loss, _MAX_LOSS)
+
+    # Expected segments delivered in the initial slow-start phase (eq 5).
+    edss = floor((1.0 - (1.0 - p) ** d) * (1.0 - p) / p + 1.0)
+    edss = min(max(edss, 1.0), float(d))
+    # Expected window at the end of slow start (eq 11).
+    ewss = edss * (GAMMA - 1.0) / GAMMA + iw / GAMMA
+    # Expected slow-start duration (eq 15).
+    if ewss > wmax:
+        etss = rtt * (
+            log(wmax / iw, GAMMA)
+            + 1.0
+            + 1.0 / wmax * (edss - (GAMMA * wmax - iw) / (GAMMA - 1.0))
+        )
+    else:
+        etss = rtt * log(edss * (GAMMA - 1.0) / iw + 1.0, GAMMA)
+    etss = max(etss, rtt)
+
+    # Probability slow start ends with a loss (eq 16) and the expected
+    # recovery cost: either an RTO (eq 17-19) or a fast retransmit RTT.
+    lss = 1.0 - (1.0 - p) ** d
+    w = max(ewss, 4.0)
+    q_denominator = (1.0 - (1.0 - p) ** w) / (1.0 - (1.0 - p) ** 3)
+    q = min(
+        1.0,
+        (1.0 + (1.0 - p) ** 3 * (1.0 - (1.0 - p) ** (w - 3.0))) / q_denominator,
+    )
+    g = 1.0 + p + 2.0 * p**2 + 4.0 * p**3 + 8.0 * p**4 + 16.0 * p**5 + 32.0 * p**6
+    rto = 2.0 * rtt
+    ezto = g * rto / (1.0 - p)
+    etloss = lss * (q * ezto + (1.0 - q) * rtt)
+
+    # Remaining data drains at the steady-state response-curve rate.
+    edca = max(0.0, d - edss)
+    rate = msmo97_throughput(mss, rtt, p, rwnd)
+    etca = edca * mss * 8.0 / rate
+
+    return etss + etloss + etca
+
+
+def startup_excess(
+    nbytes: int,
+    mss: int,
+    rtt: float,
+    loss: float = 0.0,
+    rwnd: int = DEFAULT_RWND,
+) -> float:
+    """Ramp-up cost beyond the steady-rate fluid approximation, seconds.
+
+    The fluid tier models a flowlet draining at its bottleneck share
+    from the first instant; real TCP pays slow start first.  This is
+    the CSA00 expected transfer time minus the time the same bytes
+    would take at the steady-state rate — the per-flowlet correction
+    both simulation tiers add, keeping them calibrated against the
+    same response curve.
+    """
+    total = csa00_transfer_time(nbytes, mss, rtt, loss, rwnd)
+    rate = msmo97_throughput(mss, rtt, loss, rwnd)
+    steady = nbytes * 8.0 / rate if rate > 0.0 else 0.0
+    return max(0.0, total - steady)

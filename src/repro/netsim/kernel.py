@@ -21,6 +21,14 @@ class KernelError(Exception):
     """Raised on invalid scheduling requests."""
 
 
+#: Shared no-argument singletons.  A million-event run would otherwise
+#: allocate a million empty dicts; every argument-less event now points
+#: at the same two objects.  They must never be mutated — the kernel
+#: only ever splats them into the callback.
+_NO_ARGS: Tuple[Any, ...] = ()
+_NO_KWARGS: dict = {}
+
+
 class Event:
     """A scheduled callback.  Returned by :meth:`EventKernel.schedule`."""
 
@@ -92,6 +100,9 @@ class EventKernel:
         self._seq = itertools.count()
         self._events_fired = 0
         self._cancelled_pending = 0
+        self._cancelled_peak = 0
+        self._compactions = 0
+        self._live_peak = 0
 
     @property
     def events_fired(self) -> int:
@@ -107,6 +118,33 @@ class EventKernel:
     def pending_live(self) -> int:
         """Number of queued events that have not been cancelled."""
         return len(self._queue) - self._cancelled_pending
+
+    @property
+    def live_peak(self) -> int:
+        """High-water mark of simultaneously queued live events."""
+        return self._live_peak
+
+    @property
+    def compactions(self) -> int:
+        """Number of lazy-deletion heap compactions performed."""
+        return self._compactions
+
+    @property
+    def cancelled_peak(self) -> int:
+        """High-water mark of cancelled events sitting in the heap."""
+        return self._cancelled_peak
+
+    def stats(self) -> dict:
+        """Kernel instrument panel (merged into :func:`repro.perf.snapshot`)."""
+        return {
+            "events_fired": self._events_fired,
+            "pending": len(self._queue),
+            "pending_live": self.pending_live,
+            "live_peak": self._live_peak,
+            "compactions": self._compactions,
+            "cancelled_pending": self._cancelled_pending,
+            "cancelled_peak": self._cancelled_peak,
+        }
 
     def schedule(
         self,
@@ -135,14 +173,25 @@ class EventKernel:
                 f"cannot schedule at {time} before current time {self.clock.now}"
             )
         event = Event(
-            time, next(self._seq), fn, args, kwargs, label or fn.__name__, self
+            time,
+            next(self._seq),
+            fn,
+            args if args else _NO_ARGS,
+            kwargs if kwargs else _NO_KWARGS,
+            label or fn.__name__,
+            self,
         )
         heapq.heappush(self._queue, event)
+        live = len(self._queue) - self._cancelled_pending
+        if live > self._live_peak:
+            self._live_peak = live
         return event
 
     def _note_cancelled(self) -> None:
         """Lazy-deletion bookkeeping: compact when dead entries dominate."""
         self._cancelled_pending += 1
+        if self._cancelled_pending > self._cancelled_peak:
+            self._cancelled_peak = self._cancelled_pending
         if (
             self._cancelled_pending >= self.COMPACT_THRESHOLD
             and self._cancelled_pending * 2 > len(self._queue)
@@ -150,6 +199,55 @@ class EventKernel:
             self._queue = [event for event in self._queue if not event.cancelled]
             heapq.heapify(self._queue)
             self._cancelled_pending = 0
+            self._compactions += 1
+
+    def _push_bulk(self, events: List[Event]) -> None:
+        """Merge a pre-built batch into the heap.
+
+        When the existing queue is empty or small relative to the batch
+        a single ``heapify`` over the concatenation is O(n + m); the
+        per-event ``heappush`` loop it replaces is O(m log(n + m)).
+        Large queues fall back to pushes so a tiny batch never pays a
+        full re-heapify of a million-entry heap.
+        """
+        queue = self._queue
+        if len(queue) <= len(events):
+            queue.extend(events)
+            heapq.heapify(queue)
+        else:
+            for event in events:
+                heapq.heappush(queue, event)
+        live = len(queue) - self._cancelled_pending
+        if live > self._live_peak:
+            self._live_peak = live
+
+    def schedule_many(
+        self,
+        times: Iterable[float],
+        fn: Callable[..., Any],
+        *args: Any,
+        label: str = "",
+    ) -> List[Event]:
+        """Schedule ``fn(*args)`` at every absolute time in ``times``.
+
+        The bulk fast path for arrival-process generators: events are
+        built first and merged with one ``heapify`` when the queue is
+        cold (see :meth:`_push_bulk`).  ``times`` need not be sorted.
+        """
+        now = self.clock.now
+        shared_args = args if args else _NO_ARGS
+        name = label or fn.__name__
+        events: List[Event] = []
+        for time in times:
+            if time < now:
+                raise KernelError(
+                    f"cannot schedule at {time} before current time {now}"
+                )
+            events.append(
+                Event(time, next(self._seq), fn, shared_args, _NO_KWARGS, name, self)
+            )
+        self._push_bulk(events)
+        return events
 
     def schedule_iter(
         self,
@@ -160,11 +258,22 @@ class EventKernel:
         """Schedule ``fn(t)`` at every absolute time in ``times``.
 
         Convenience for arrival processes: the callback receives the
-        arrival instant as its single argument.
+        arrival instant as its single argument.  Shares the bulk merge
+        path of :meth:`schedule_many`.
         """
-        return [
-            self.schedule_at(t, fn, t, label=label or fn.__name__) for t in times
-        ]
+        now = self.clock.now
+        name = label or fn.__name__
+        events: List[Event] = []
+        for time in times:
+            if time < now:
+                raise KernelError(
+                    f"cannot schedule at {time} before current time {now}"
+                )
+            events.append(
+                Event(time, next(self._seq), fn, (time,), _NO_KWARGS, name, self)
+            )
+        self._push_bulk(events)
+        return events
 
     def step(self) -> bool:
         """Fire the next pending event.  Returns False if the queue is empty."""

@@ -156,6 +156,9 @@ class Link:
         "_capacity_bps",
         "reserved_bps",
         "background_flows",
+        "fluid_bps",
+        "fluid_flows",
+        "fluid_bytes",
         "loss_rate",
         "_rng",
         "bytes_carried",
@@ -187,6 +190,15 @@ class Link:
         #: Reserved flows are isolated from them — the IntServ value
         #: proposition the bandwidth experiments demonstrate.
         self.background_flows = 0
+        #: Aggregate rate of active fluid-tier flows (bps) and their
+        #: count — the coupling point between the analytic flow tier
+        #: and the per-message tier: packet messages see fluid demand
+        #: subtracted from their best-effort share, and fluid flows see
+        #: reservations held by packet-tier bindings.
+        self.fluid_bps = 0.0
+        self.fluid_flows = 0
+        #: Total bytes moved by fluid flows over this link.
+        self.fluid_bytes = 0
         self.loss_rate = loss_rate
         self._rng = random.Random(seed)
         self.bytes_carried = 0
@@ -216,8 +228,26 @@ class Link:
         """
         if reserved_rate is not None:
             return min(reserved_rate, self._capacity_bps)
-        free = self._capacity_bps - self.reserved_bps
+        free = self._capacity_bps - self.reserved_bps - self.fluid_bps
+        if free < 0.0:
+            free = 0.0
         share = free / (1 + self.background_flows)
+        floor = self._capacity_bps * BEST_EFFORT_FLOOR
+        return max(share, floor)
+
+    def fluid_share(self) -> float:
+        """Per-flow rate available to one active fluid flow.
+
+        Fluid flows split the unreserved capacity equally among
+        themselves (processor sharing), isolated from reservations the
+        same way best-effort packet traffic is, and never below the
+        best-effort floor.  The count includes the asking flow, so a
+        caller must register itself (``fluid_flows += 1``) first.
+        """
+        free = self._capacity_bps - self.reserved_bps
+        if free < 0.0:
+            free = 0.0
+        share = free / max(1, self.fluid_flows)
         floor = self._capacity_bps * BEST_EFFORT_FLOOR
         return max(share, floor)
 
@@ -254,6 +284,8 @@ class Network:
         self.bytes_sent = 0
         #: Bytes of same-host (loopback) messages, which touch no link.
         self.loopback_bytes = 0
+        self.route_cache_hits = 0
+        self.route_cache_misses = 0
 
     # -- topology -----------------------------------------------------
 
@@ -346,10 +378,13 @@ class Network:
         key = (src, dst)
         path = self._route_cache.get(key, _ROUTE_MISS)
         if path is _ROUTE_MISS:
+            self.route_cache_misses += 1
             self.host(src)
             self.host(dst)
             path = [] if src == dst else self._dijkstra(src, dst)
             self._route_cache[key] = path
+        else:
+            self.route_cache_hits += 1
         if path is None:
             raise NoRoute(f"no route from {src!r} to {dst!r}")
         return path
@@ -447,6 +482,44 @@ class Network:
         self.messages_sent += 1
         self.bytes_sent += nbytes
         return delay
+
+    # -- reporting ----------------------------------------------------
+
+    def path_metrics(self, src: str, dst: str) -> Tuple[List[Link], float, float]:
+        """Route plus the figures the fluid tier's analytic models need.
+
+        Returns ``(links, one_way_latency, loss_prob)`` where the loss
+        probability is the chance a message survives none of the lossy
+        links: ``1 - prod(1 - loss_rate)``.
+        """
+        links = self.route(src, dst)
+        latency = 0.0
+        survive = 1.0
+        for link in links:
+            latency += link.latency
+            survive *= 1.0 - link.loss_rate
+        return links, latency, 1.0 - survive
+
+    def stats(self) -> Dict[str, float]:
+        """Network instrument panel (merged into :func:`repro.perf.snapshot`)."""
+        lookups = self.route_cache_hits + self.route_cache_misses
+        fluid_bytes = 0
+        fluid_active = 0
+        for link in self.links():
+            fluid_bytes += link.fluid_bytes
+            fluid_active += link.fluid_flows
+        return {
+            "messages_sent": self.messages_sent,
+            "bytes_sent": self.bytes_sent,
+            "loopback_bytes": self.loopback_bytes,
+            "route_cache_hits": self.route_cache_hits,
+            "route_cache_misses": self.route_cache_misses,
+            "route_cache_hit_rate": (
+                self.route_cache_hits / lookups if lookups else 0.0
+            ),
+            "fluid_link_bytes": fluid_bytes,
+            "fluid_active_flows": fluid_active,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Network(hosts={len(self.hosts)}, links={sum(1 for _ in self.links())})"

@@ -57,6 +57,10 @@ class PerfCounters:
         "rel_breaker_fast_fails",
         "rel_breaker_probes",
         "rel_replays",
+        "fluid_flowlets",
+        "fluid_flowlet_bytes",
+        "fluid_completions",
+        "fluid_active_peak",
     )
 
     def __init__(self) -> None:
@@ -107,6 +111,15 @@ class PerfCounters:
         self.rel_breaker_fast_fails = 0
         self.rel_breaker_probes = 0
         self.rel_replays = 0
+        self.fluid_flowlets = 0
+        self.fluid_flowlet_bytes = 0
+        self.fluid_completions = 0
+        self.fluid_active_peak = 0
+
+    def note_fluid_active(self, depth: int) -> None:
+        """Record the fluid tier's current active-flow count."""
+        if depth > self.fluid_active_peak:
+            self.fluid_active_peak = depth
 
     def note_inflight(self, depth: int) -> None:
         """Record the AMI pipeline's current in-flight future count."""
@@ -175,6 +188,10 @@ class PerfCounters:
             "rel_breaker_fast_fails": self.rel_breaker_fast_fails,
             "rel_breaker_probes": self.rel_breaker_probes,
             "rel_replays": self.rel_replays,
+            "fluid_flowlets": self.fluid_flowlets,
+            "fluid_flowlet_bytes": self.fluid_flowlet_bytes,
+            "fluid_completions": self.fluid_completions,
+            "fluid_active_peak": self.fluid_active_peak,
         }
 
 
@@ -182,7 +199,7 @@ class PerfCounters:
 COUNTERS = PerfCounters()
 
 
-def snapshot(orb: Any = None) -> Dict[str, Any]:
+def snapshot(orb: Any = None, world: Any = None) -> Dict[str, Any]:
     """One-call instrument panel: global counters, optionally one ORB's.
 
     Without arguments this is :meth:`PerfCounters.snapshot` on the
@@ -191,6 +208,12 @@ def snapshot(orb: Any = None) -> Dict[str, Any]:
     delivery failures, backpressure hints, the AMI pipeline's
     in-flight state — are merged in alongside the pool hit/miss and
     pipeline counters.
+
+    Given a world (or an ORB, whose world is used automatically), the
+    netsim instrument panels are merged in too: ``kernel_*`` keys carry
+    events fired, heap compactions and the cancelled-pending/live-event
+    high-water marks; ``net_*`` keys carry traffic totals, the route
+    cache hit rate and fluid-tier link accounting.
     """
     merged = COUNTERS.snapshot()
     if orb is not None:
@@ -204,6 +227,13 @@ def snapshot(orb: Any = None) -> Dict[str, Any]:
             ami_inflight_peak=orb.ami.inflight_peak,
             ami_queued=orb.ami.queued,
         )
+        if world is None:
+            world = getattr(orb, "world", None)
+    if world is not None:
+        for key, value in world.kernel.stats().items():
+            merged[f"kernel_{key}"] = value
+        for key, value in world.network.stats().items():
+            merged[f"net_{key}"] = value
     return merged
 
 

@@ -27,12 +27,14 @@ from repro.workloads.drivers import (
     open_loop_fanout,
     run_closed_loop,
 )
+from repro.workloads.fluid import FluidCohort
 
 __all__ = [
     "ARCHIVE_QIDL",
     "Arrival",
     "COMPUTE_QIDL",
     "ClosedLoopResult",
+    "FluidCohort",
     "OpenLoopDriver",
     "QUOTE_QIDL",
     "archive_module",

@@ -122,8 +122,8 @@ class OpenLoopDriver:
         self._index = 0
 
     def schedule(self, arrivals: Sequence[float]) -> "OpenLoopDriver":
-        for arrival in arrivals:
-            self.kernel.schedule_at(arrival, self._fire, label="arrival")
+        # Bulk merge: one heapify for a cold kernel instead of N pushes.
+        self.kernel.schedule_many(arrivals, self._fire, label="arrival")
         return self
 
     def _fire(self) -> None:
@@ -177,6 +177,7 @@ def open_loop_fanout(
     orb: Any,
     arrivals: Sequence[Arrival],
     observer: Optional[Callable[[Arrival, Optional[float], Optional[Exception]], None]] = None,
+    kernel: Optional[EventKernel] = None,
 ) -> ClosedLoopResult:
     """Issue every arrival at its own departure instant, in parallel.
 
@@ -188,6 +189,13 @@ def open_loop_fanout(
     exception)`` — latency is None exactly when the request failed —
     letting callers keep per-label series (the scheduler benchmark
     splits gold/bronze this way).
+
+    ``kernel`` makes the fan-out **hybrid**: before each departure the
+    kernel is drained up to that instant, so background machinery
+    riding the event queue — fluid-tier flowlet starts/completions,
+    fault schedules, capacity traces — interleaves with the foreground
+    requests in simulated-time order and each request sees the link
+    state (fluid demand, reservations) current at its departure.
     """
     if not arrivals:
         return ClosedLoopResult([], 0, 0.0)
@@ -199,6 +207,8 @@ def open_loop_fanout(
     last_finish = base
     for arrival in ordered:
         depart = base + arrival.time
+        if kernel is not None:
+            kernel.run_until(depart)
         request = Request(
             arrival.target,
             arrival.operation,

@@ -1,0 +1,61 @@
+"""Tier-1 calibration suite: the fluid tier must track the packet tier.
+
+The acceptance bar of the hybrid-simulation work: on every shared
+scenario, the fluid tier's per-class mean delay and goodput stay
+within the stated tolerance of the per-segment packet-mode ground
+truth, while spending far fewer kernel events.
+"""
+
+import pytest
+
+from repro.netsim.fluid.calibrate import (
+    DEFAULT_TOLERANCE,
+    calibrate,
+    compare_tiers,
+    default_scenarios,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return calibrate()
+
+
+class TestCalibration:
+    def test_at_least_three_shared_scenarios(self):
+        assert len(default_scenarios()) >= 3
+
+    def test_every_scenario_within_tolerance(self, report):
+        for scenario in report["scenarios"]:
+            assert scenario["max_error"] <= report["tolerance"], (
+                f"{scenario['scenario']}: fluid tier off by "
+                f"{scenario['max_error']:.1%}"
+            )
+
+    def test_per_class_delay_and_goodput_errors(self, report):
+        for scenario in report["scenarios"]:
+            for name, row in scenario["classes"].items():
+                assert row["delay_error"] <= DEFAULT_TOLERANCE
+                assert row["goodput_error"] <= DEFAULT_TOLERANCE
+
+    def test_overall_verdict(self, report):
+        assert report["ok"] is True
+        assert report["max_error"] <= report["tolerance"]
+
+    def test_fluid_tier_is_cheaper(self, report):
+        # The point of the coarse tier: far fewer events for the same
+        # traffic.  Every scenario must save at least 4x.
+        for scenario in report["scenarios"]:
+            assert scenario["event_ratio"] >= 4.0
+
+    def test_scenarios_exercise_distinct_regimes(self):
+        names = {s.name for s in default_scenarios()}
+        assert "lan_bottleneck" in names
+        assert "wan_lossy" in names          # loss models engaged
+        assert "reserved_contention" in names  # reservations visible
+
+    def test_compare_is_reproducible(self):
+        scenario = default_scenarios()[0]
+        one = compare_tiers(scenario)
+        two = compare_tiers(scenario)
+        assert one["classes"] == two["classes"]

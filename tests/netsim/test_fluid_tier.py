@@ -1,0 +1,188 @@
+"""Tests for the fluid execution tier and its packet-tier coupling."""
+
+import pytest
+
+from repro.netsim.clock import Clock
+from repro.netsim.fluid.flowlet import (
+    Flowlet,
+    FlowletClass,
+    FlowletGenerator,
+    bounded_pareto,
+)
+from repro.netsim.fluid.tier import FluidTier, PacketFlowletExecutor
+from repro.netsim.kernel import EventKernel
+from repro.netsim.network import Network
+from repro.netsim.resources import ResourceManager
+from repro.perf import COUNTERS
+
+
+def _world(latency=0.002, bandwidth=10e6, loss=0.0):
+    kernel = EventKernel()
+    network = Network(kernel.clock)
+    network.add_host("a")
+    network.add_host("b")
+    link = network.connect("a", "b", latency=latency, bandwidth_bps=bandwidth,
+                           loss_rate=loss)
+    return kernel, network, link
+
+
+class TestFlowletGenerator:
+    def test_identical_seeds_identical_schedules(self):
+        classes = (
+            FlowletClass("interactive", 3.0, 8_192),
+            FlowletClass("bulk", 1.0, 30_000, 300_000, alpha=1.3),
+        )
+        one = FlowletGenerator(5, classes).poisson("a", "b", 20.0, 5.0)
+        two = FlowletGenerator(5, classes).poisson("a", "b", 20.0, 5.0)
+        assert [(t, f.nbytes, f.klass) for t, f in one] == [
+            (t, f.nbytes, f.klass) for t, f in two
+        ]
+
+    def test_bounded_pareto_respects_bounds(self):
+        import random
+
+        rng = random.Random(3)
+        for _ in range(500):
+            value = bounded_pareto(rng, 1.2, 1_000, 50_000)
+            assert 1_000 <= value <= 50_000
+
+    def test_class_mix_normalised(self):
+        generator = FlowletGenerator(0)
+        assert sum(generator.class_mix().values()) == pytest.approx(1.0)
+
+    def test_flowlet_validation(self):
+        with pytest.raises(ValueError):
+            Flowlet("a", "b", 0)
+
+
+class TestFluidTier:
+    def test_flow_registers_and_releases_link_demand(self):
+        kernel, network, link = _world()
+        tier = FluidTier(network, kernel)
+        tier.start(Flowlet("a", "b", 100_000))
+        assert link.fluid_flows == 1
+        assert link.fluid_bps > 0.0
+        kernel.run()
+        assert link.fluid_flows == 0
+        assert link.fluid_bps == pytest.approx(0.0)
+        assert link.fluid_bytes == 100_000
+        assert tier.flowlets_completed == 1
+
+    def test_completion_time_is_analytic(self):
+        kernel, network, link = _world()
+        tier = FluidTier(network, kernel)
+        done = tier.start(Flowlet("a", "b", 500_000))
+        kernel.run()
+        assert kernel.clock.now == pytest.approx(done)
+        # One start call, one completion event: no per-message traffic.
+        assert kernel.events_fired == 1
+
+    def test_packet_messages_see_fluid_contention(self):
+        kernel, network, link = _world()
+        free = network.transfer_delay("a", "b", 10_000)
+        tier = FluidTier(network, kernel)
+        tier.start(Flowlet("a", "b", 5_000_000))
+        loaded = network.transfer_delay("a", "b", 10_000)
+        assert loaded > free
+        kernel.run()
+        assert network.transfer_delay("a", "b", 10_000) == pytest.approx(free)
+
+    def test_fluid_flows_see_reservations(self):
+        kernel_free, network_free, _ = _world()
+        tier_free = FluidTier(network_free, kernel_free)
+        unreserved_done = tier_free.start(Flowlet("a", "b", 1_000_000))
+
+        kernel_resv, network_resv, _ = _world()
+        ResourceManager(network_resv).reserve("a", "b", 8e6)
+        tier_resv = FluidTier(network_resv, kernel_resv)
+        reserved_done = tier_resv.start(Flowlet("a", "b", 1_000_000))
+
+        assert reserved_done > unreserved_done
+
+    def test_concurrent_flows_share_the_link(self):
+        kernel, network, _ = _world()
+        tier = FluidTier(network, kernel)
+        alone = tier.start(Flowlet("a", "b", 1_000_000))
+        crowded = tier.start(Flowlet("a", "b", 1_000_000))
+        assert crowded > alone
+        kernel.run()
+        assert tier.active == 0
+        assert tier.active_peak == 2
+
+    def test_class_summaries_account_bytes_and_delay(self):
+        kernel, network, _ = _world()
+        tier = FluidTier(network, kernel)
+        tier.start(Flowlet("a", "b", 50_000, klass="bulk"))
+        tier.start(Flowlet("a", "b", 8_192, klass="interactive"))
+        kernel.run()
+        summaries = tier.class_summaries()
+        assert summaries["bulk"]["bytes"] == 50_000.0
+        assert summaries["interactive"]["completed"] == 1.0
+        assert summaries["bulk"]["mean_delay"] > 0.0
+
+    def test_counters_bumped(self):
+        COUNTERS.reset()
+        kernel, network, _ = _world()
+        tier = FluidTier(network, kernel)
+        tier.start(Flowlet("a", "b", 40_000))
+        kernel.run()
+        assert COUNTERS.fluid_flowlets == 1
+        assert COUNTERS.fluid_completions == 1
+        assert COUNTERS.fluid_flowlet_bytes == 40_000
+        assert COUNTERS.fluid_active_peak >= 1
+
+
+class TestDeterminism:
+    def _run(self, seed):
+        kernel, network, _ = _world(loss=0.01)
+        tier = FluidTier(network, kernel)
+        generator = FlowletGenerator(seed)
+        for time, flowlet in generator.poisson("a", "b", 30.0, 4.0):
+            kernel.schedule_at(time, tier.start, flowlet)
+        kernel.run()
+        return tier.trace_digest()
+
+    def test_identical_seed_identical_trace(self):
+        assert self._run(9) == self._run(9)
+
+    def test_different_seed_different_trace(self):
+        assert self._run(9) != self._run(10)
+
+    def test_packet_mode_deterministic_too(self):
+        def run():
+            kernel, network, _ = _world(loss=0.02)
+            executor = PacketFlowletExecutor(network, kernel, seed=4)
+            generator = FlowletGenerator(4)
+            for time, flowlet in generator.poisson("a", "b", 10.0, 3.0):
+                kernel.schedule_at(time, executor.start, flowlet)
+            kernel.run()
+            return executor.trace_digest()
+
+        assert run() == run()
+
+
+class TestPacketFlowletExecutor:
+    def test_costs_one_event_per_segment(self):
+        kernel, network, _ = _world()
+        executor = PacketFlowletExecutor(network, kernel)
+        executor.start(Flowlet("a", "b", 14_600))  # ten segments
+        kernel.run()
+        # Ramp event + ten segment events (the last doubles as finish
+        # scheduling) + completion.
+        assert kernel.events_fired >= 11
+        assert executor.flowlets_completed == 1
+
+    def test_contention_slows_concurrent_flowlets(self):
+        kernel, network, _ = _world()
+        solo = PacketFlowletExecutor(network, kernel)
+        solo.start(Flowlet("a", "b", 100_000))
+        kernel.run()
+        solo_delay = solo.class_summaries()["be"]["mean_delay"]
+
+        kernel2, network2, _ = _world()
+        crowd = PacketFlowletExecutor(network2, kernel2)
+        crowd.start(Flowlet("a", "b", 100_000))
+        crowd.start(Flowlet("a", "b", 100_000))
+        kernel2.run()
+        crowd_delay = crowd.class_summaries()["be"]["mean_delay"]
+        assert crowd_delay > solo_delay

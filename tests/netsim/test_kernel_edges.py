@@ -1,0 +1,169 @@
+"""Kernel edge cases: bulk scheduling, slim events, boundary semantics."""
+
+import tracemalloc
+
+import pytest
+
+from repro.netsim.clock import Clock
+from repro.netsim.kernel import EventKernel, KernelError
+
+
+class TestScheduleMany:
+    def test_bulk_load_fires_in_time_order(self):
+        kernel = EventKernel()
+        fired = []
+        kernel.schedule_many([3.0, 1.0, 2.0], lambda: fired.append(
+            kernel.clock.now))
+        kernel.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_bulk_onto_cold_kernel_uses_one_heapify(self):
+        # Indirect but observable: a 10k bulk load on an empty kernel
+        # must leave a valid heap (pops come out ordered).
+        kernel = EventKernel()
+        times = [float((i * 7919) % 10_000 + 1) for i in range(10_000)]
+        kernel.schedule_many(times, lambda: None)
+        last = -1.0
+        while kernel.step():
+            assert kernel.clock.now >= last
+            last = kernel.clock.now
+
+    def test_bulk_merges_into_existing_queue(self):
+        kernel = EventKernel()
+        fired = []
+        kernel.schedule(2.5, fired.append, "mid")
+        kernel.schedule_many([1.0, 2.0, 3.0], lambda: fired.append(
+            kernel.clock.now))
+        kernel.run()
+        assert fired == [1.0, 2.0, "mid", 3.0]
+
+    def test_shared_static_args(self):
+        kernel = EventKernel()
+        seen = []
+        events = kernel.schedule_many([1.0, 2.0], seen.append, "tag")
+        assert events[0].args is events[1].args
+        kernel.run()
+        assert seen == ["tag", "tag"]
+
+    def test_past_times_rejected(self):
+        kernel = EventKernel(Clock(5.0))
+        with pytest.raises(KernelError):
+            kernel.schedule_many([6.0, 4.0], lambda: None)
+
+    def test_ties_fire_in_scheduling_order(self):
+        kernel = EventKernel()
+        fired = []
+        kernel.schedule_many([1.0, 1.0], fired.append, "bulk")
+        kernel.schedule_at(1.0, fired.append, "late")
+        kernel.run()
+        assert fired == ["bulk", "bulk", "late"]
+
+
+class TestSlimEvents:
+    def test_argless_events_share_singletons(self):
+        kernel = EventKernel()
+        one = kernel.schedule(1.0, lambda: None)
+        two = kernel.schedule(2.0, lambda: None)
+        assert one.args is two.args
+        assert one.kwargs is two.kwargs
+
+    def test_events_with_args_do_not_share(self):
+        kernel = EventKernel()
+        sink = []
+        one = kernel.schedule(1.0, sink.append, "x")
+        two = kernel.schedule(2.0, sink.append, "y")
+        assert one.args == ("x",)
+        assert one.args is not two.args
+        kernel.run()
+        assert sink == ["x", "y"]
+
+    def test_bulk_event_memory_footprint(self):
+        # The tracemalloc regression guard for million-event runs: an
+        # argless queued event must stay under 500 bytes all-in.
+        kernel = EventKernel()
+        times = [float(i + 1) for i in range(10_000)]
+        tracemalloc.start()
+        before, _ = tracemalloc.get_traced_memory()
+        kernel.schedule_many(times, lambda: None)
+        after, _ = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        per_event = (after - before) / 10_000
+        assert per_event < 500, f"{per_event:.0f} bytes per queued event"
+
+    def test_live_peak_high_water_mark(self):
+        kernel = EventKernel()
+        kernel.schedule_many([1.0, 2.0, 3.0], lambda: None)
+        assert kernel.live_peak == 3
+        kernel.run()
+        assert kernel.live_peak == 3  # never regresses
+
+
+class TestRunUntilEdges:
+    def test_cancelled_head_exactly_at_deadline(self):
+        kernel = EventKernel()
+        fired = []
+        head = kernel.schedule(2.0, fired.append, "dead")
+        kernel.schedule(2.0, fired.append, "live")
+        head.cancel()
+        assert kernel.run_until(2.0) == 1
+        assert fired == ["live"]
+        assert kernel.clock.now == 2.0
+        assert kernel.pending == 0
+
+    def test_only_cancelled_events_at_deadline(self):
+        kernel = EventKernel()
+        event = kernel.schedule(3.0, lambda: None)
+        event.cancel()
+        assert kernel.run_until(3.0) == 0
+        assert kernel.clock.now == 3.0
+        assert kernel.pending == 0
+
+    def test_compaction_mid_run_until(self):
+        kernel = EventKernel()
+        threshold = EventKernel.COMPACT_THRESHOLD
+        late = [
+            kernel.schedule(10.0 + i, lambda: None, label="late")
+            for i in range(threshold + 10)
+        ]
+
+        def mass_cancel():
+            for event in late:
+                event.cancel()
+
+        kernel.schedule(1.0, mass_cancel)
+        fired = kernel.run_until(5.0)
+        assert fired == 1
+        assert kernel.compactions >= 1
+        assert kernel.pending_live == 0
+        # The queue physically shrank while run_until was in flight.
+        assert kernel.pending < threshold
+
+    def test_stats_panel(self):
+        kernel = EventKernel()
+        events = [kernel.schedule(float(i + 1), lambda: None)
+                  for i in range(4)]
+        events[0].cancel()
+        stats = kernel.stats()
+        assert stats["pending"] == 4
+        assert stats["pending_live"] == 3
+        assert stats["live_peak"] == 4
+        assert stats["cancelled_peak"] == 1
+        kernel.run()
+        assert kernel.stats()["events_fired"] == 3
+
+
+class TestEveryBoundary:
+    def test_occurrence_exactly_at_until_fires(self):
+        kernel = EventKernel()
+        ticks = []
+        kernel.every(1.0, lambda: ticks.append(kernel.clock.now), until=3.0)
+        kernel.run()
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_occurrence_just_past_until_does_not(self):
+        kernel = EventKernel()
+        ticks = []
+        kernel.every(1.0, lambda: ticks.append(kernel.clock.now),
+                     until=2.999999)
+        kernel.run()
+        assert ticks == [1.0, 2.0]

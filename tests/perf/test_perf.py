@@ -214,3 +214,59 @@ class TestModuleSnapshot:
         world.faults.crash("server")
         stub.ping()  # best-effort: swallowed, but counted
         assert snapshot(client)["oneway_failures"] == 1
+
+
+class TestNetsimSnapshot:
+    """Kernel/network instrument panels merged into ``snapshot()``."""
+
+    def _world(self):
+        world = World()
+        world.lan(["client", "server"], latency=0.001)
+        ior = world.orb("server").poa.activate_object(_Echo())
+        return world, _EchoStub(world.orb("client"), ior)
+
+    def test_orb_snapshot_includes_kernel_and_network_panels(self):
+        world, stub = self._world()
+        stub.echo("x")
+        stub.echo("y")
+        panel = snapshot(world.orb("client"))
+        assert panel["net_messages_sent"] == world.network.messages_sent
+        assert panel["net_bytes_sent"] > 0
+        assert "kernel_events_fired" in panel
+        assert "kernel_compactions" in panel
+        assert "kernel_cancelled_peak" in panel
+        assert "kernel_live_peak" in panel
+
+    def test_route_cache_hit_rate_exported(self):
+        world, stub = self._world()
+        for _ in range(5):
+            stub.echo("x")
+        panel = snapshot(world=world)
+        assert panel["net_route_cache_misses"] >= 1
+        assert panel["net_route_cache_hits"] > panel["net_route_cache_misses"]
+        assert 0.0 < panel["net_route_cache_hit_rate"] <= 1.0
+
+    def test_explicit_world_without_orb(self):
+        world, _ = self._world()
+        event = world.kernel.schedule(1.0, lambda: None)
+        event.cancel()
+        world.kernel.run()
+        panel = snapshot(world=world)
+        assert panel["kernel_cancelled_peak"] == 1
+        assert panel["kernel_pending"] == 0
+        # Global counter block still present alongside.
+        assert "fluid_flowlets" in panel
+
+    def test_fluid_counters_in_global_panel(self):
+        from repro.netsim.fluid import Flowlet, FluidTier
+
+        COUNTERS.reset()
+        world, _ = self._world()
+        tier = FluidTier(world.network, world.kernel)
+        tier.start(Flowlet("client", "server", 25_000))
+        world.kernel.run()
+        panel = snapshot(world=world)
+        assert panel["fluid_flowlets"] == 1
+        assert panel["fluid_completions"] == 1
+        assert panel["fluid_flowlet_bytes"] == 25_000
+        assert panel["net_fluid_link_bytes"] == 25_000

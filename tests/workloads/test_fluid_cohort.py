@@ -1,0 +1,141 @@
+"""Tests for the FluidCohort background-population driver."""
+
+import pytest
+
+from repro.netsim import EventKernel, Network
+from repro.netsim.fluid import FluidTier
+from repro.orb import World
+from repro.orb.servant import Servant
+from repro.workloads import Arrival, FluidCohort, open_loop_fanout
+
+
+def _fluid_world():
+    kernel = EventKernel()
+    network = Network(kernel.clock)
+    network.add_host("bg")
+    network.add_host("server")
+    link = network.connect("bg", "server", latency=0.002, bandwidth_bps=50e6)
+    return kernel, network, link, FluidTier(network, kernel)
+
+
+class TestAggregationPlan:
+    def test_small_population_is_unbatched(self):
+        _, _, _, tier = _fluid_world()
+        cohort = FluidCohort(tier, "bg", "server", n_clients=100,
+                             flowlets_per_client=0.1, max_flowlets=10_000)
+        plan = cohort.plan(10.0)
+        assert plan["batch"] == 1.0
+        assert plan["offered_flowlets"] == pytest.approx(100.0)
+
+    def test_million_clients_capped_by_max_flowlets(self):
+        _, _, _, tier = _fluid_world()
+        cohort = FluidCohort(tier, "bg", "server", n_clients=1_000_000,
+                             flowlets_per_client=0.05, max_flowlets=50_000)
+        plan = cohort.plan(30.0)
+        assert plan["offered_flowlets"] == pytest.approx(1_500_000.0)
+        assert plan["scheduled_arrivals"] <= 50_000.0
+
+    def test_validation(self):
+        _, _, _, tier = _fluid_world()
+        with pytest.raises(ValueError):
+            FluidCohort(tier, "bg", "server", n_clients=0)
+        with pytest.raises(ValueError):
+            FluidCohort(tier, "bg", "server", n_clients=10,
+                        flowlets_per_client=0.0)
+
+
+class TestCohortRuns:
+    def test_install_and_drain(self):
+        kernel, _, link, tier = _fluid_world()
+        cohort = FluidCohort(tier, "bg", "server", n_clients=5_000,
+                             flowlets_per_client=0.1, seed=3,
+                             max_flowlets=2_000)
+        scheduled = cohort.install(duration=5.0)
+        assert 0 < scheduled <= 2_000 + 10
+        kernel.run()
+        stats = cohort.stats()
+        assert stats["flowlets_completed"] == stats["flowlets_started"]
+        assert stats["bytes_completed"] > 0
+        assert link.fluid_flows == 0
+
+    def test_identical_seed_identical_trace(self):
+        def run():
+            kernel, _, _, tier = _fluid_world()
+            cohort = FluidCohort(tier, "bg", "server", n_clients=10_000,
+                                 flowlets_per_client=0.05, seed=17,
+                                 max_flowlets=1_000)
+            cohort.install(duration=5.0)
+            kernel.run()
+            return tier.trace_digest()
+
+        assert run() == run()
+
+    def test_different_seed_different_trace(self):
+        def run(seed):
+            kernel, _, _, tier = _fluid_world()
+            cohort = FluidCohort(tier, "bg", "server", n_clients=10_000,
+                                 flowlets_per_client=0.05, seed=seed,
+                                 max_flowlets=1_000)
+            cohort.install(duration=5.0)
+            kernel.run()
+            return tier.trace_digest()
+
+        assert run(1) != run(2)
+
+    def test_aggregated_flowlets_scale_bytes_by_batch(self):
+        kernel, _, _, tier = _fluid_world()
+        cohort = FluidCohort(tier, "bg", "server", n_clients=100_000,
+                             flowlets_per_client=0.1, seed=5,
+                             max_flowlets=500)
+        cohort.install(duration=2.0)
+        kernel.run()
+        assert cohort.batch > 1
+        # Aggregation preserves offered bytes: per-arrival sizes carry
+        # the batch factor, so mean flowlet size >> one client's burst.
+        mean_size = (tier.bytes_completed / tier.flowlets_completed)
+        assert mean_size > cohort.batch * 8_192 / 2
+
+
+class _Echo(Servant):
+    _repo_id = "IDL:fluidtest/Echo:1.0"
+    _default_service_time = 0.0005
+
+    def echo(self, text):
+        return text
+
+
+class TestHybridFanout:
+    """Foreground ORB probes over a fluid-loaded bottleneck."""
+
+    def _probe(self, n_clients):
+        world = World()
+        world.lan(["client", "server"], latency=0.002, bandwidth_bps=20e6)
+        ior = world.orb("server").poa.activate_object(_Echo(), "echo")
+        tier = FluidTier(world.network, world.kernel)
+        if n_clients:
+            # The cohort crosses the same client->server bottleneck the
+            # probes use, so its fluid demand is what they contend with.
+            cohort = FluidCohort(tier, "client", "server",
+                                 n_clients=n_clients,
+                                 flowlets_per_client=0.2, seed=7,
+                                 max_flowlets=2_000)
+            cohort.install(duration=2.0)
+        arrivals = [
+            Arrival(0.05 * i, ior, "echo", ("x" * 2_000,), label="probe")
+            for i in range(30)
+        ]
+        result = open_loop_fanout(world.orb("client"), arrivals,
+                                  kernel=world.kernel)
+        world.kernel.run()
+        return result
+
+    def test_background_load_slows_foreground_probes(self):
+        quiet = self._probe(0)
+        busy = self._probe(50_000)
+        assert busy.count == quiet.count == 30
+        assert busy.mean() > quiet.mean()
+
+    def test_hybrid_run_is_deterministic(self):
+        one = self._probe(20_000)
+        two = self._probe(20_000)
+        assert one.latencies == two.latencies
