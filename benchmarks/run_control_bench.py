@@ -1,0 +1,274 @@
+#!/usr/bin/env python
+"""Run the adaptive-control benchmark; write ``BENCH_control.json``.
+
+The scenario: an open-loop client fleet drives a replica group whose
+offered load **triples mid-run** (r0 for the warm phase, then 3·r0).
+One serving host can sustain r0 but not 3·r0 — without adaptation the
+queue grows without bound and client-observed latency leaves the
+negotiated delay contract within tens of milliseconds.
+
+- **static baseline** — one replica, no control plane: phase-two
+  arrivals pile up behind a single server.
+- **adaptive contender** — the same deployment with the control plane
+  attached: a :class:`~repro.control.ControlLoop` samples the
+  client-observed p95 over the contracted delay and an
+  :class:`~repro.control.AutoscalePolicy` grows the group onto spare
+  hosts through the deployment path (state transfer over the ORB,
+  membership published to the routing layer mid-run).
+
+Goodput counts replies that completed **within the contracted delay**,
+per simulated second.  Headline criteria (the subsystem's acceptance
+bar)::
+
+    contender p95            <=  contracted delay (0.05 s)
+    contender goodput        >=  2.0 * baseline goodput
+    scale-ups                >=  2
+    identical seed           ->  identical decision trace (digest)
+
+Usage::
+
+    python benchmarks/run_control_bench.py [--quick]
+        [--out BENCH_control.json] [--seed N] [--min-ratio 2.0]
+        [--no-check]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.dirname(HERE)
+SRC = os.path.join(ROOT, "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+from repro.control import AutoscalePolicy, ControlLoop, Hysteresis, ManagedGroup  # noqa: E402
+from repro.core.monitoring import MetricWindow  # noqa: E402
+from repro.orb import World  # noqa: E402
+from repro.orb.request import reset_request_ids  # noqa: E402
+from repro.perf.counters import COUNTERS, snapshot  # noqa: E402
+from repro.qos.fault_tolerance.replica_group import ReplicaGroupManager  # noqa: E402
+from repro.workloads.apps import make_compute_servant_class  # noqa: E402
+from repro.workloads.drivers import Arrival, open_loop_fanout  # noqa: E402
+
+SPARES = ("b", "c", "d")
+LINK_LATENCY = 0.0005
+#: Per-request service demand: one host sustains 1/SERVICE = 250/s.
+SERVICE = 0.004
+#: Warm-phase offered rate (0.8x a single host's capacity).
+R0 = 200.0
+#: The negotiated delay bound the contender must hold p95 within.
+CONTRACT_DELAY = 0.05
+
+
+def arrival_schedule(phase1: float, phase2: float) -> List[float]:
+    """Deterministic open-loop departures: r0, then 3*r0 after phase1."""
+    times = []
+    t = 0.0
+    while t < phase1:
+        times.append(round(t, 9))
+        t += 1.0 / R0
+    t = phase1
+    while t < phase1 + phase2:
+        times.append(round(t, 9))
+        t += 1.0 / (3.0 * R0)
+    return times
+
+
+def build_deployment():
+    reset_request_ids()
+    COUNTERS.reset()
+    world = World()
+    world.lan(
+        ("client",) + ("a",) + SPARES, latency=LINK_LATENCY, bandwidth_bps=100e6
+    )
+    manager = ReplicaGroupManager(
+        world, "bench", make_compute_servant_class(unit_cost=SERVICE)
+    )
+    manager.add_replica("a")
+    group = ManagedGroup(world, manager)
+    return world, manager, group
+
+
+def run_contender(adaptive: bool, phase1: float, phase2: float) -> Dict[str, object]:
+    world, manager, group = build_deployment()
+    client = world.orb("client")
+    window = MetricWindow(size=20)
+
+    loop = None
+    if adaptive:
+        loop = ControlLoop(world, period=0.01).attach()
+
+        def pressure(now):
+            # Client-observed p95 over the contracted delay bound;
+            # quiet until the window has substance.  A short window
+            # keeps the signal fresh: during the surge the queue
+            # builds in tens of milliseconds, and a stale p95 delays
+            # every follow-on scale-up.
+            if len(window) < 10:
+                return None
+            return window.p95() / CONTRACT_DELAY
+
+        loop.add_policy(
+            AutoscalePolicy(
+                group,
+                list(SPARES),
+                signal=pressure,
+                hysteresis=Hysteresis(
+                    high=0.3, low=0.1, up_ticks=2, down_ticks=10**6, cooldown=0.03
+                ),
+                max_replicas=1 + len(SPARES),
+            )
+        )
+        loop.start(until=phase1 + phase2)
+
+    arrivals = [
+        Arrival(t, manager.member_ior("a"), "busy_work", (1,))
+        for t in arrival_schedule(phase1, phase2)
+    ]
+
+    def observe(arrival, latency, error):
+        if latency is not None:
+            window.observe(latency)
+
+    result = open_loop_fanout(
+        client,
+        arrivals,
+        observer=observe,
+        kernel=world.kernel,
+        router=lambda arrival, depart: group.route_least_loaded(depart),
+    )
+    if loop is not None:
+        loop.stop()
+    group.poll_retirements(world.clock.now)
+
+    good = sum(1 for lat in result.latencies if lat <= CONTRACT_DELAY)
+    elapsed = result.elapsed
+    row = {
+        "arrivals": len(arrivals),
+        "completed": result.count,
+        "failures": result.failures,
+        "p50_ms": round(result.p50() * 1e3, 3),
+        "p95_ms": round(result.p95() * 1e3, 3),
+        "p99_ms": round(result.p99() * 1e3, 3),
+        "within_contract": good,
+        "elapsed_s": round(elapsed, 6),
+        "goodput_per_s": round(good / elapsed, 3) if elapsed else 0.0,
+        "final_hosts": group.hosts(),
+    }
+    if loop is not None:
+        row["decisions"] = loop.trace.as_dicts()
+        row["trace_digest"] = loop.trace.digest()
+        panel = snapshot(client, world)
+        row["ctl"] = {
+            key: value for key, value in panel.items() if key.startswith("ctl_")
+        }
+    return row
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="shorter phases (CI smoke run)")
+    parser.add_argument("--out", default=os.path.join(ROOT, "BENCH_control.json"),
+                        help="output path (default: repo root)")
+    parser.add_argument("--seed", type=int, default=7001,
+                        help="scenario seed recorded in the payload")
+    parser.add_argument("--min-ratio", type=float, default=2.0,
+                        help="required adaptive/static goodput floor")
+    parser.add_argument("--no-check", action="store_true",
+                        help="record numbers without enforcing the gates")
+    args = parser.parse_args(argv)
+
+    phase1, phase2 = (0.5, 2.0) if args.quick else (1.0, 3.0)
+
+    baseline = run_contender(adaptive=False, phase1=phase1, phase2=phase2)
+    adaptive = run_contender(adaptive=True, phase1=phase1, phase2=phase2)
+    replay = run_contender(adaptive=True, phase1=phase1, phase2=phase2)
+
+    base_goodput = baseline["goodput_per_s"]
+    adaptive_goodput = adaptive["goodput_per_s"]
+    ratio = (
+        round(adaptive_goodput / base_goodput, 3) if base_goodput else None
+    )
+    deterministic = adaptive["trace_digest"] == replay["trace_digest"]
+    scale_ups = adaptive["ctl"]["ctl_scale_ups"]
+
+    payload = {
+        "quick": args.quick,
+        "scenario": {
+            "warm_rate_per_s": R0,
+            "surge_rate_per_s": 3.0 * R0,
+            "phase1_s": phase1,
+            "phase2_s": phase2,
+            "service_time_s": SERVICE,
+            "contract_delay_s": CONTRACT_DELAY,
+            "link_latency_s": LINK_LATENCY,
+            "spare_hosts": list(SPARES),
+            "seed": args.seed,
+        },
+        "static_baseline": baseline,
+        "adaptive": adaptive,
+        "checks": {
+            "p95_within_contract": adaptive["p95_ms"] <= CONTRACT_DELAY * 1e3,
+            "goodput_ratio_met": bool(ratio and ratio >= args.min_ratio),
+            "scale_ups_at_least_2": scale_ups >= 2,
+            "decision_trace_deterministic": deterministic,
+            "zero_failures": adaptive["failures"] == 0,
+        },
+        "headline": {
+            "baseline_goodput_per_s": base_goodput,
+            "adaptive_goodput_per_s": adaptive_goodput,
+            "goodput_ratio": ratio,
+            "min_ratio": args.min_ratio,
+            "adaptive_p95_ms": adaptive["p95_ms"],
+            "contract_ms": CONTRACT_DELAY * 1e3,
+            "scale_ups": scale_ups,
+            "trace_digest": adaptive["trace_digest"],
+        },
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print(f"wrote {args.out}\n")
+    print(f"  {'contender':>10} {'good':>10} {'goodput':>12} {'p95':>10} {'hosts':>8}")
+    for name, row in (("static", baseline), ("adaptive", adaptive)):
+        print(
+            f"  {name:>10} {row['within_contract']:>6}/{row['completed']:<4}"
+            f" {row['goodput_per_s']:>9.1f}/s {row['p95_ms']:>8.2f}ms"
+            f" {len(row['final_hosts']):>6}"
+        )
+
+    failures = []
+    checks = payload["checks"]
+    if not checks["p95_within_contract"] and not args.no_check:
+        failures.append(
+            f"adaptive p95 {adaptive['p95_ms']}ms exceeds the "
+            f"{CONTRACT_DELAY * 1e3}ms contract"
+        )
+    if not checks["goodput_ratio_met"] and not args.no_check:
+        failures.append(
+            f"adaptive goodput only {ratio}x baseline (floor {args.min_ratio}x)"
+        )
+    if not checks["scale_ups_at_least_2"]:
+        failures.append(f"only {scale_ups} scale-up(s); the surge needs >= 2")
+    if not checks["decision_trace_deterministic"]:
+        failures.append("identical seed produced different decision traces")
+    if failures:
+        print("\nFAIL: " + "; ".join(failures))
+        return 1
+    print(
+        f"\n  goodput {ratio}x over floor {args.min_ratio}x, "
+        f"p95 {adaptive['p95_ms']}ms within {CONTRACT_DELAY * 1e3}ms, "
+        f"{scale_ups} scale-ups, trace deterministic"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

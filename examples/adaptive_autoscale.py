@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Autoscaling under a load surge: the adaptive control plane.
+
+A replica group starts as a single compute server.  An open-loop
+client fleet offers a steady load, then **triples it mid-run**.  A
+:class:`~repro.control.ControlLoop` — a deterministic sampler riding
+the simulation's event kernel — watches the client-observed p95
+against the 50 ms delay contract and drives an
+:class:`~repro.control.AutoscalePolicy`:
+
+- pressure crosses the hysteresis gate → the group grows onto spare
+  hosts (servant state is transferred over the ORB from the coldest
+  live member, and the new membership is *published* into the routing
+  layer in the same simulated instant);
+- when the surge passes, the quietest member is drained — no new
+  requests reach it, admitted work finishes — and then retired.
+
+Every decision lands in a :class:`~repro.control.DecisionTrace` whose
+digest is reproducible: the same seed replays the same decisions.
+
+Run:  python examples/adaptive_autoscale.py
+"""
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.control import AutoscalePolicy, ControlLoop, Hysteresis, ManagedGroup
+from repro.core.monitoring import MetricWindow
+from repro.orb import World
+from repro.perf.counters import snapshot
+from repro.qos.fault_tolerance.replica_group import ReplicaGroupManager
+from repro.workloads.apps import make_compute_servant_class
+from repro.workloads.drivers import Arrival, open_loop_fanout
+
+CONTRACT = 0.05          # the delay bound the group must hold (s)
+SERVICE = 0.004          # per-request demand: one host sustains 250/s
+WARM_RATE = 200.0        # phase 1 offered load
+SURGE_RATE = 600.0       # phase 2: load triples
+PHASES = (1.0, 2.0, 1.0)  # warm / surge / calm (s)
+
+
+def arrival_times():
+    times, t = [], 0.0
+    for phase, rate in zip(PHASES, (WARM_RATE, SURGE_RATE, WARM_RATE)):
+        end = t + phase
+        while t < end:
+            times.append(round(t, 9))
+            t += 1.0 / rate
+        t = end
+    return times
+
+
+def main():
+    world = World()
+    world.lan(["client", "a", "b", "c", "d"], latency=0.0005, bandwidth_bps=100e6)
+    manager = ReplicaGroupManager(
+        world, "farm", make_compute_servant_class(unit_cost=SERVICE)
+    )
+    manager.add_replica("a")
+    group = ManagedGroup(world, manager)
+
+    window = MetricWindow(size=20)
+
+    def pressure(now):
+        if len(window) < 10:
+            return None
+        return window.p95() / CONTRACT
+
+    loop = ControlLoop(world, period=0.01).attach()
+    loop.add_policy(
+        AutoscalePolicy(
+            group,
+            ["b", "c", "d"],
+            signal=pressure,
+            hysteresis=Hysteresis(
+                high=0.3, low=0.12, up_ticks=2, down_ticks=80, cooldown=0.03
+            ),
+            max_replicas=4,
+        )
+    )
+    loop.start(until=sum(PHASES))
+
+    arrivals = [
+        Arrival(t, manager.member_ior("a"), "busy_work", (1,))
+        for t in arrival_times()
+    ]
+    result = open_loop_fanout(
+        world.orb("client"),
+        arrivals,
+        observer=lambda a, lat, err: lat is not None and window.observe(lat),
+        kernel=world.kernel,
+        router=lambda a, depart: group.route_least_loaded(depart),
+    )
+    loop.stop()
+    group.poll_retirements(world.clock.now)
+
+    good = sum(1 for lat in result.latencies if lat <= CONTRACT)
+    print(f"offered   : {WARM_RATE:.0f}/s, x3 surge at t={PHASES[0]}s, "
+          f"calm at t={PHASES[0] + PHASES[1]}s")
+    print(f"completed : {result.count}/{len(arrivals)}  "
+          f"({good} within the {CONTRACT * 1e3:.0f}ms contract)")
+    print(f"p95       : {result.p95() * 1e3:.2f}ms   "
+          f"p99: {result.p99() * 1e3:.2f}ms")
+    print(f"members   : {group.hosts()} (draining: {group.draining_hosts()})")
+
+    print("\ndecision trace:")
+    for line in loop.trace.lines():
+        print(f"  {line}")
+    print(f"\ntrace digest: {loop.trace.digest()}")
+
+    panel = snapshot(world.orb("client"), world)
+    print("\ncontrol panel:")
+    for key, value in sorted(panel.items()):
+        if key.startswith("ctl_"):
+            print(f"  {key:<20} {value}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""The adaptive control plane: closing MAQS's QoS loop at runtime.
+
+The paper separates QoS concerns into independently manageable pieces
+— monitoring, accounting, negotiation, runtime-loadable transport
+modules, replica groups.  This package adds the part that *uses* that
+separation: a deterministic, simulated-time control plane that watches
+the existing monitoring/scheduling/network feeds and acts through the
+existing command/DII and deployment paths (the RAFDA argument:
+distribution policy changeable at runtime, per object, without
+touching application logic).
+
+Pieces:
+
+- :class:`~repro.control.loop.ControlLoop` — the periodic tick riding
+  the event kernel; samples signals, runs policies, records every
+  actuation in a :class:`~repro.control.trace.DecisionTrace`.
+- :class:`~repro.control.signals.Hysteresis` — streak/cooldown state
+  machine every policy debounces its decisions through.
+- :class:`~repro.control.group.ManagedGroup` — a replica group plus
+  the client rotations bound to it; publishes membership changes so
+  grow/shrink/drain take effect without dropping in-flight calls.
+- :class:`~repro.control.autoscale.AutoscalePolicy` — grows/shrinks
+  the group under load with drain-safe retirement.
+- :class:`~repro.control.migrate.MigrationPlanner` — moves hot
+  servants between hosts (snapshot → incarnate → rebind, atomic in
+  simulated time).
+- :class:`~repro.control.modules.ModuleActuator` — swaps or
+  re-parameterizes QoS modules mid-session and renegotiates contracts
+  through the standard :meth:`~repro.core.binding.QoSBinding.renegotiate`
+  path.
+"""
+
+from repro.control.autoscale import AutoscalePolicy
+from repro.control.group import ManagedGroup, Retirement
+from repro.control.loop import ControlLoop
+from repro.control.migrate import MigrationPlanner
+from repro.control.modules import ModuleActuator
+from repro.control.signals import Hysteresis, RateTracker
+from repro.control.trace import Decision, DecisionTrace
+
+__all__ = [
+    "AutoscalePolicy",
+    "ControlLoop",
+    "Decision",
+    "DecisionTrace",
+    "Hysteresis",
+    "ManagedGroup",
+    "MigrationPlanner",
+    "ModuleActuator",
+    "RateTracker",
+    "Retirement",
+]

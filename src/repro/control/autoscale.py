@@ -1,0 +1,151 @@
+"""Autoscaling: grow and shrink a replica group under load.
+
+The policy samples one scalar *pressure* signal per tick — typically
+client-observed p95 latency over the contracted delay bound, so 1.0
+means "exactly at contract" — and feeds it through a
+:class:`~repro.control.signals.Hysteresis` gate.  A sustained ``up``
+verdict places a new replica on the least-loaded candidate host (by
+:meth:`~repro.netsim.network.Host.backlog`, name-tiebroken for
+determinism) through the group's deployment path; a sustained ``down``
+verdict begins draining the most recently added serving member.
+Retirement is always drain-safe: the member leaves the rotations
+immediately but is deactivated only after its admitted work finished
+(:meth:`~repro.control.group.ManagedGroup.poll_retirements`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.control.group import ManagedGroup
+from repro.control.signals import Hysteresis
+from repro.perf.counters import COUNTERS
+
+
+class AutoscalePolicy:
+    """Hysteresis-gated replica-count control for one managed group."""
+
+    name = "autoscale"
+
+    def __init__(
+        self,
+        group: ManagedGroup,
+        candidates: Sequence[str],
+        signal: Callable[[float], Optional[float]],
+        hysteresis: Optional[Hysteresis] = None,
+        min_replicas: int = 1,
+        max_replicas: Optional[int] = None,
+    ) -> None:
+        if min_replicas < 1:
+            raise ValueError(f"min_replicas must be at least 1: {min_replicas}")
+        self.group = group
+        #: Hosts the policy may place replicas on (placement universe).
+        self.candidates = list(candidates)
+        #: ``signal(now)`` returns the current pressure value, or None
+        #: while the signal is still warming up (no samples yet).
+        self.signal = signal
+        self.hysteresis = (
+            hysteresis
+            if hysteresis is not None
+            else Hysteresis(high=1.0, low=0.5, up_ticks=2, down_ticks=8)
+        )
+        self.min_replicas = min_replicas
+        self.max_replicas = max_replicas
+
+    # -- the per-tick entry point -----------------------------------------
+
+    def tick(self, now: float, loop: Any) -> None:
+        for host in self.group.poll_retirements(now):
+            # A completed drain is an actuation of its own; hold the
+            # gate quiet so the next verdict sees the shrunk group.
+            self.hysteresis.hold_off(now)
+        value = self.signal(now)
+        if value is None:
+            return
+        verdict = self.hysteresis.update(value, now)
+        if verdict == "up":
+            self._scale_up(now, loop, value)
+        elif verdict == "down":
+            self._scale_down(now, loop, value)
+
+    # -- actuations -------------------------------------------------------
+
+    def _scale_up(self, now: float, loop: Any, value: float) -> None:
+        serving = self.group.serving_hosts()
+        if self.max_replicas is not None and len(serving) >= self.max_replicas:
+            self.group.trace.record(
+                now, "scale-up-capped", replicas=len(serving), pressure=value
+            )
+            return
+        host = self._place(now)
+        if host is None:
+            self.group.trace.record(
+                now, "scale-up-saturated", replicas=len(serving), pressure=value
+            )
+            return
+        source = self._transfer_source(now)
+        COUNTERS.ctl_scale_ups += 1
+        loop.actuate(
+            "scale-up",
+            lambda: self.group.scale_up(host, now, source),
+            host=host,
+            pressure=round(value, 9),
+        )
+
+    def _scale_down(self, now: float, loop: Any, value: float) -> None:
+        serving = self.group.serving_hosts()
+        if len(serving) <= self.min_replicas:
+            return
+        # Retire the most recently added serving member: the scale-up
+        # order is the natural inverse for scale-down, and it keeps the
+        # longest-lived members (the warmest state) in place.
+        host = serving[-1]
+        COUNTERS.ctl_scale_downs += 1
+        loop.actuate(
+            "scale-down",
+            lambda: self.group.begin_retire(host, now),
+            host=host,
+            pressure=round(value, 9),
+        )
+
+    def _transfer_source(self, now: float) -> Optional[str]:
+        """Least-loaded live serving member to copy state from.
+
+        Scale-up happens precisely when some member is drowning; a
+        ``get_state`` aimed at it queues behind that backlog and the
+        whole actuation inherits the latency it was meant to cure.
+        Copying from the coldest live member keeps the transfer off
+        the hot path.  ``None`` (single member, or nobody reachable)
+        lets the group fall back to its own source selection.
+        """
+        network = self.group.world.network
+        live = [
+            h for h in self.group.serving_hosts()
+            if not network.host(h).crashed
+        ]
+        if len(live) <= 1:
+            return None
+        return min(live, key=lambda h: (network.host(h).backlog(now), h))
+
+    def _place(self, now: float) -> Optional[str]:
+        """Least-loaded candidate host not already holding a member."""
+        taken = set(self.group.hosts())
+        best: Optional[str] = None
+        best_backlog = 0.0
+        for name in self.candidates:
+            if name in taken:
+                continue
+            host = self.group.world.network.host(name)
+            if host.crashed:
+                continue
+            backlog = host.backlog(now)
+            if best is None or backlog < best_backlog:
+                best = name
+                best_backlog = backlog
+        return best
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AutoscalePolicy({self.group.manager.group_name!r}, "
+            f"candidates={self.candidates})"
+        )

@@ -1,0 +1,248 @@
+"""Managed replica groups: membership changes without dropped calls.
+
+:class:`ManagedGroup` pairs a server-side
+:class:`~repro.qos.fault_tolerance.replica_group.ReplicaGroupManager`
+with the client-side rotations bound to it.  Every membership change
+— grow, retire, migrate — is *published*: each registered client's
+:class:`~repro.reliability.ReliabilityMediator` receives the new
+member list and the draining set in the same simulated instant the
+server side changed, so clients and servers never disagree about who
+may be called.
+
+Retirement is two-phase:
+
+1. :meth:`begin_retire` marks the member draining and publishes.  From
+   this instant no rotation selects it — the "never dispatched a new
+   request after drain begins" guarantee is enforced structurally in
+   :class:`~repro.reliability.failover.FailoverRotation`, not by
+   polling.  Work already admitted keeps its committed schedule.
+2. :meth:`finish_retire` (driven by :meth:`poll_retirements`) removes
+   the member once its host has no backlog and its scheduler queue is
+   empty — the in-flight drain.
+
+Because servant dispatch in the simulation happens synchronously at
+admission, a membership publication is atomic with respect to
+application calls: no request can observe a half-published view.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from repro.orb.ior import IOR
+from repro.control.trace import DecisionTrace
+
+
+class Retirement:
+    """One member's drain in progress."""
+
+    __slots__ = ("host", "member", "began")
+
+    def __init__(self, host: str, member: IOR, began: float) -> None:
+        self.host = host
+        self.member = member
+        self.began = began
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Retirement({self.host!r} since {self.began:.6f})"
+
+
+def _find_group_mediator(mediator: Any) -> Optional[Any]:
+    """First mediator in a chain/wrapper stack exposing ``update_group``."""
+    if mediator is None:
+        return None
+    if hasattr(mediator, "update_group"):
+        return mediator
+    for link in getattr(mediator, "links", ()):
+        found = _find_group_mediator(link)
+        if found is not None:
+            return found
+    return _find_group_mediator(getattr(mediator, "inner", None))
+
+
+class ManagedGroup:
+    """A replica group plus every client rotation bound to it."""
+
+    def __init__(
+        self,
+        world: Any,
+        manager: Any,
+        provisioner: Optional[Callable[[Any, str], None]] = None,
+        trace: Optional[DecisionTrace] = None,
+    ) -> None:
+        self.world = world
+        self.manager = manager
+        #: Deployment hook run as ``provisioner(orb, host)`` before a
+        #: replica is incarnated on a new host — install the request
+        #: scheduler, bind the class contract, pre-load modules.
+        self.provisioner = provisioner
+        self.trace = trace if trace is not None else DecisionTrace()
+        #: (stub, mediator) pairs whose rotations this group publishes to.
+        self._clients: List[Any] = []
+        self._retirements: Dict[str, Retirement] = {}
+        self._provisioned: Set[str] = set()
+
+    # -- clients ----------------------------------------------------------
+
+    def register_client(self, stub: Any, mediator: Optional[Any] = None) -> Any:
+        """Subscribe a reliability-bound stub to membership updates."""
+        if mediator is None:
+            mediator = stub._get_mediator()
+        found = _find_group_mediator(mediator)
+        if found is None:
+            raise ValueError(
+                "stub has no reliability mediator in its chain; "
+                "bind it with bind_reliable_client first"
+            )
+        self._clients.append((stub, found))
+        self._publish_one(stub, found, len(self._clients) - 1)
+        return stub
+
+    def bind_reliable_client(
+        self, client_orb: Any, stub_class: type, reliability_policy: Any = None
+    ) -> Any:
+        """Build, bind and register a reliable stub on ``client_orb``."""
+        stub = self.manager.bind_reliable_client(
+            client_orb, stub_class, reliability_policy
+        )
+        return self.register_client(stub)
+
+    def clients(self) -> List[Any]:
+        return [stub for stub, _ in self._clients]
+
+    # -- views ------------------------------------------------------------
+
+    def hosts(self) -> List[str]:
+        return self.manager.hosts()
+
+    def serving_hosts(self) -> List[str]:
+        """Members currently eligible for new requests."""
+        return [h for h in self.manager.hosts() if h not in self._retirements]
+
+    def draining_hosts(self) -> List[str]:
+        return sorted(self._retirements)
+
+    def members(self) -> List[IOR]:
+        return self.manager.member_iors()
+
+    def draining_keys(self) -> Set[str]:
+        return {r.member.binding_key() for r in self._retirements.values()}
+
+    def route_for(self, index: int) -> IOR:
+        """The member a driver-level client ``index`` should call now.
+
+        The stub path gets this routing through the published
+        rotations; open-loop drivers that bypass stubs (the benchmark
+        fan-out) ask the group directly, at each departure instant.
+        """
+        members = self.members()
+        draining = self.draining_keys()
+        serving = [m for m in members if m.binding_key() not in draining]
+        pool = serving if serving else members
+        return pool[index % len(pool)]
+
+    def route_least_loaded(self, now: float) -> IOR:
+        """The serving member whose host has the least queued work.
+
+        Backlog-aware routing drains a transient hot spot fast: once a
+        scale-up lands, new arrivals flow to the empty member while the
+        loaded one works off its queue at full rate.  Ties break by
+        placement order, keeping the choice deterministic.
+        """
+        serving = self.serving_hosts() or self.manager.hosts()
+        network = self.world.network
+        best = min(
+            range(len(serving)),
+            key=lambda i: (network.host(serving[i]).backlog(now), i),
+        )
+        return self.manager.member_ior(serving[best])
+
+    # -- publication ------------------------------------------------------
+
+    def publish(self) -> None:
+        """Push the current membership view into every client rotation."""
+        for index, (stub, mediator) in enumerate(self._clients):
+            self._publish_one(stub, mediator, index)
+
+    def _publish_one(self, stub: Any, mediator: Any, index: int) -> None:
+        mediator.update_group(
+            stub, self.members(), self.draining_keys(), prefer=index
+        )
+
+    # -- actuation primitives ---------------------------------------------
+
+    def scale_up(self, host: str, now: float, source: Optional[str] = None) -> IOR:
+        """Incarnate a member on ``host`` and publish the grown group.
+
+        The deployment path: provision the host (once), add the
+        replica — state-transferred from ``source`` or the first live
+        member — then publish so clients may route to it immediately.
+        """
+        if host not in self._provisioned and self.provisioner is not None:
+            self.provisioner(self.world.orb(host), host)
+        self._provisioned.add(host)
+        member = self.manager.add_replica(host, source)
+        self.publish()
+        self.trace.record(
+            now, "member-add", host=host, members=len(self.manager.hosts())
+        )
+        return member
+
+    def begin_retire(self, host: str, now: float) -> Retirement:
+        """Start draining ``host``; no new request reaches it from now on."""
+        if host in self._retirements:
+            return self._retirements[host]
+        if host not in self.manager.hosts():
+            raise ValueError(f"no member on {host!r}")
+        if len(self.serving_hosts()) <= 1:
+            raise ValueError(
+                f"refusing to drain {host!r}: it is the last serving member"
+            )
+        retirement = Retirement(host, self.manager.member_ior(host), now)
+        self._retirements[host] = retirement
+        self.publish()
+        self.trace.record(
+            now, "drain-begin", host=host, serving=len(self.serving_hosts())
+        )
+        return retirement
+
+    def drained(self, host: str, now: float) -> bool:
+        """Has the retiring member finished all admitted work?"""
+        if self.world.network.host(host).backlog(now) > 0.0:
+            return False
+        orb = self.world._orbs.get(host)
+        if orb is not None and orb.scheduler is not None:
+            return orb.scheduler.queue_depth(now) == 0
+        return True
+
+    def finish_retire(self, host: str, now: float) -> None:
+        """Deactivate a drained member and publish the shrunk group."""
+        retirement = self._retirements.pop(host, None)
+        if retirement is None:
+            raise ValueError(f"{host!r} is not draining")
+        self.manager.remove_replica(host)
+        self.publish()
+        self.trace.record(
+            now,
+            "drain-finish",
+            host=host,
+            drained_for=round(now - retirement.began, 9),
+            members=len(self.manager.hosts()),
+        )
+
+    def poll_retirements(self, now: float) -> List[str]:
+        """Finish every drain that has completed; returns the hosts."""
+        finished = [
+            host
+            for host in sorted(self._retirements)
+            if self.drained(host, now)
+        ]
+        for host in finished:
+            self.finish_retire(host, now)
+        return finished
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ManagedGroup({self.manager.group_name!r}, "
+            f"serving={self.serving_hosts()}, draining={self.draining_hosts()})"
+        )

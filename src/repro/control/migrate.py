@@ -1,0 +1,117 @@
+"""Servant migration: moving a hot member to a cooler host.
+
+The sequence is *expand then contract*, and its core is atomic in
+simulated time:
+
+1. **freeze + state transfer + rebind** — in one kernel event the
+   planner incarnates a replica on the destination with state copied
+   from the *source* member (``get_state``/``set_state`` over the
+   ORB), then publishes the membership view that routes new requests
+   to the newcomer and marks the source draining.  Because servant
+   dispatch runs synchronously at admission, no application call can
+   interleave between the snapshot and the rebind — the freeze is the
+   event boundary itself, so no update is lost and no call is dropped.
+2. **drain** — the source keeps its committed schedule; replies
+   already planned still depart from it.  Once its backlog and
+   scheduler queue are empty the group deactivates it
+   (:meth:`~repro.control.group.ManagedGroup.poll_retirements`).
+
+As a standing policy (:meth:`tick`), the planner watches the backlog
+imbalance between the hottest serving member and the coolest free
+candidate and migrates when the gap stays above the hysteresis gate's
+high-water mark.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.control.group import ManagedGroup
+from repro.control.signals import Hysteresis
+from repro.perf.counters import COUNTERS
+
+
+class MigrationPlanner:
+    """Hot-spot migration for one managed group."""
+
+    name = "migration"
+
+    def __init__(
+        self,
+        group: ManagedGroup,
+        candidates: Sequence[str],
+        hysteresis: Optional[Hysteresis] = None,
+    ) -> None:
+        self.group = group
+        self.candidates = list(candidates)
+        #: Gate on the backlog *gap* (seconds of queued work) between
+        #: the hottest member and the coolest candidate.
+        self.hysteresis = (
+            hysteresis
+            if hysteresis is not None
+            else Hysteresis(high=0.05, low=0.0, up_ticks=3, down_ticks=10**6)
+        )
+
+    # -- direct actuation -------------------------------------------------
+
+    def migrate(self, from_host: str, to_host: str, now: float, loop: Any = None):
+        """Move the member on ``from_host`` to ``to_host``.
+
+        Runs the whole freeze/transfer/rebind step now (one event); the
+        drain completes asynchronously via ``poll_retirements``.
+        Returns the newcomer's member reference.
+        """
+
+        def actuation():
+            member = self.group.scale_up(to_host, now, source=from_host)
+            self.group.begin_retire(from_host, now)
+            return member
+
+        COUNTERS.ctl_migrations += 1
+        if loop is not None:
+            return loop.actuate(
+                "migrate", actuation, source=from_host, destination=to_host
+            )
+        member = actuation()
+        self.group.trace.record(
+            now, "migrate", source=from_host, destination=to_host
+        )
+        return member
+
+    # -- standing policy --------------------------------------------------
+
+    def tick(self, now: float, loop: Any) -> None:
+        self.group.poll_retirements(now)
+        plan = self._plan(now)
+        if plan is None:
+            self.hysteresis.update(0.0, now)
+            return
+        from_host, to_host, gap = plan
+        if self.hysteresis.update(gap, now) == "up":
+            self.migrate(from_host, to_host, now, loop)
+
+    def _plan(self, now: float):
+        """(hottest member, coolest candidate, backlog gap), or None."""
+        serving = self.group.serving_hosts()
+        if len(serving) < 1:
+            return None
+        network = self.group.world.network
+        hottest = max(
+            serving, key=lambda name: (network.host(name).backlog(now), name)
+        )
+        taken = set(self.group.hosts())
+        free = [
+            name
+            for name in self.candidates
+            if name not in taken and not network.host(name).crashed
+        ]
+        if not free:
+            return None
+        coolest = min(
+            free, key=lambda name: (network.host(name).backlog(now), name)
+        )
+        gap = network.host(hottest).backlog(now) - network.host(coolest).backlog(now)
+        return hottest, coolest, gap
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MigrationPlanner({self.group.manager.group_name!r})"

@@ -1,0 +1,139 @@
+"""Live QoS-module redeployment and contract renegotiation.
+
+The paper's transport modules are runtime-loadable by design; the
+:class:`ModuleActuator` is the policy that exercises it mid-session.
+It watches one link's effective bandwidth and, when a sustained drop
+starves the binding (background fluid traffic, capacity loss), it
+
+- **assigns** a QoS module to the client/server relationship through
+  the QoS transport's standard assignment interface (e.g. enable
+  ``compression`` when bytes got expensive),
+- **parameterizes** it through the module's dynamic command interface
+  (``set_codec`` over the DII command path — the same bytes an
+  operator would send), and
+- optionally **renegotiates** the QoS contract through the existing
+  :meth:`~repro.core.binding.QoSBinding.renegotiate` path, so the
+  server's admission contract tracks what the narrowed link can carry.
+
+When bandwidth recovers past the gate's high-water mark the actuation
+reverses: module unassigned, contract renegotiated back.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.control.signals import Hysteresis
+from repro.orb.dii import ModuleHandle
+from repro.orb.modules.base import binding_key
+from repro.perf.counters import COUNTERS
+
+
+class ModuleActuator:
+    """Swap/re-parameterize a binding's transport module under pressure."""
+
+    name = "module-actuator"
+
+    def __init__(
+        self,
+        stub: Any,
+        link: Any,
+        floor_bps: float,
+        module_name: str = "compression",
+        configure: Optional[Dict[str, Any]] = None,
+        binding: Optional[Any] = None,
+        degraded_requirements: Optional[Dict[str, Any]] = None,
+        normal_requirements: Optional[Dict[str, Any]] = None,
+        hysteresis: Optional[Hysteresis] = None,
+    ) -> None:
+        if floor_bps <= 0.0:
+            raise ValueError(f"floor_bps must be positive: {floor_bps}")
+        self.stub = stub
+        self.link = link
+        self.floor_bps = floor_bps
+        self.module_name = module_name
+        #: Dynamic-interface parameters sent after assignment, e.g.
+        #: ``{"set_codec": ("lz",)}`` → ``set_codec(binding, "lz")``.
+        self.configure = dict(configure or {})
+        #: The QoS binding whose agreement is renegotiated alongside the
+        #: module swap (optional: module-only actuation without it).
+        self.binding = binding
+        self.degraded_requirements = degraded_requirements
+        self.normal_requirements = normal_requirements
+        # The gate runs on headroom = bandwidth/floor, so 1.0 means
+        # "exactly at the floor"; degraded below, recovered above 1.25.
+        self.hysteresis = (
+            hysteresis
+            if hysteresis is not None
+            else Hysteresis(high=1.25, low=1.0, up_ticks=4, down_ticks=2)
+        )
+        self.engaged = False
+
+    # -- signal -----------------------------------------------------------
+
+    def headroom(self) -> float:
+        """Current unreserved link bandwidth over the configured floor."""
+        return self.link.effective_bandwidth(None) / self.floor_bps
+
+    # -- the per-tick entry point -----------------------------------------
+
+    def tick(self, now: float, loop: Any) -> None:
+        verdict = self.hysteresis.update(self.headroom(), now)
+        if verdict == "down" and not self.engaged:
+            self._engage(now, loop)
+        elif verdict == "up" and self.engaged:
+            self._disengage(now, loop)
+
+    # -- actuations -------------------------------------------------------
+
+    def _engage(self, now: float, loop: Any) -> None:
+        COUNTERS.ctl_module_swaps += 1
+        loop.actuate(
+            "module-engage",
+            self._assign_and_configure,
+            module=self.module_name,
+            link=f"{self.link.a.name}<->{self.link.b.name}",
+        )
+        self._renegotiate(now, loop, self.degraded_requirements, "degrade")
+        self.engaged = True
+
+    def _disengage(self, now: float, loop: Any) -> None:
+        COUNTERS.ctl_module_swaps += 1
+        loop.actuate(
+            "module-disengage",
+            lambda: self.stub._orb.qos_transport.unassign(self.stub._ior),
+            module=self.module_name,
+        )
+        self._renegotiate(now, loop, self.normal_requirements, "restore")
+        self.engaged = False
+
+    def _assign_and_configure(self) -> None:
+        orb = self.stub._orb
+        ior = self.stub._ior
+        orb.qos_transport.assign(ior, self.module_name)
+        key = binding_key(ior)
+        handle = ModuleHandle(orb, ior, self.module_name)
+        module = orb.qos_transport.module(self.module_name)
+        for operation, args in sorted(self.configure.items()):
+            # Server side over the DII command path (the module loads
+            # reflectively on first command there); client side through
+            # the local module's dynamic interface — both ends of the
+            # binding see the same parameters.
+            handle.call(operation, key, *args)
+            getattr(module, operation)(key, *args)
+
+    def _renegotiate(
+        self, now: float, loop: Any, requirements: Optional[Dict[str, Any]], label: str
+    ) -> None:
+        if self.binding is None or requirements is None:
+            return
+        COUNTERS.ctl_renegotiations += 1
+        loop.actuate(
+            f"renegotiate-{label}",
+            lambda: self.binding.renegotiate(requirements),
+            characteristic=self.binding.characteristic,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "engaged" if self.engaged else "idle"
+        return f"ModuleActuator({self.module_name!r}, {state})"

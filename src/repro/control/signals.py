@@ -1,0 +1,161 @@
+"""Signals and hysteresis: what the control loop decides *from*.
+
+The loop never acts on a single sample.  Raw feeds — scheduler
+admission counters, client-observed latency windows, link bandwidth,
+breaker states — are differentiated (:class:`RateTracker`), smoothed
+(:class:`~repro.core.monitoring.MetricWindow`, reused from the
+monitoring layer) and debounced (:class:`Hysteresis`) before a policy
+is allowed to actuate.
+
+Hysteresis rationale: actuations are expensive (state transfer,
+drains, renegotiation round trips) and self-affecting — scaling up
+drops the very pressure signal that triggered it.  A naive
+threshold flaps: one tick above, actuate, next tick below, undo.  The
+:class:`Hysteresis` gate demands a *streak* of ticks beyond separated
+high/low water marks and enforces a cooldown after every actuation,
+so each decision is made on sustained evidence and the previous
+actuation's effect has time to reach the signal path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.core.monitoring import MetricWindow
+
+__all__ = ["Hysteresis", "RateTracker", "MetricWindow"]
+
+
+class RateTracker:
+    """Differentiate monotone cumulative counters into per-tick deltas.
+
+    ``delta({"admitted": 120, "shed": 4})`` returns the change since
+    the previous call — the control loop turns scheduler lifetime
+    totals into "shed this tick" pressure signals with one of these
+    per feed.
+    """
+
+    def __init__(self) -> None:
+        self._previous: Dict[str, float] = {}
+
+    def delta(self, sample: Dict[str, float]) -> Dict[str, float]:
+        deltas = {}
+        for key, value in sample.items():
+            deltas[key] = value - self._previous.get(key, 0.0)
+            self._previous[key] = value
+        return deltas
+
+    def reset(self) -> None:
+        self._previous.clear()
+
+
+class Hysteresis:
+    """Streak-and-cooldown debouncer between a signal and an actuation.
+
+    ``update(value, now)`` returns ``"up"`` after ``up_ticks``
+    consecutive samples strictly above ``high``, ``"down"`` after
+    ``down_ticks`` consecutive samples strictly below ``low``, and
+    ``None`` otherwise.  Samples in the dead band (``low <= value <=
+    high``) clear both streaks.  After a verdict the gate goes quiet
+    for ``cooldown`` simulated seconds.
+    """
+
+    __slots__ = (
+        "high",
+        "low",
+        "up_ticks",
+        "down_ticks",
+        "cooldown",
+        "_above",
+        "_below",
+        "_quiet_until",
+        "last_value",
+    )
+
+    def __init__(
+        self,
+        high: float,
+        low: float,
+        up_ticks: int = 2,
+        down_ticks: int = 4,
+        cooldown: float = 0.0,
+    ) -> None:
+        if low > high:
+            raise ValueError(f"low watermark {low} above high watermark {high}")
+        if up_ticks < 1 or down_ticks < 1:
+            raise ValueError("streak lengths must be at least 1")
+        if cooldown < 0.0:
+            raise ValueError(f"cooldown must be non-negative: {cooldown}")
+        self.high = high
+        self.low = low
+        self.up_ticks = up_ticks
+        self.down_ticks = down_ticks
+        self.cooldown = cooldown
+        self._above = 0
+        self._below = 0
+        self._quiet_until = 0.0
+        self.last_value: Optional[float] = None
+
+    def update(self, value: float, now: float) -> Optional[str]:
+        self.last_value = value
+        if now < self._quiet_until:
+            # Streaks do not accumulate during cooldown: evidence must
+            # be gathered after the previous actuation took effect.
+            self._above = 0
+            self._below = 0
+            return None
+        if value > self.high:
+            self._above += 1
+            self._below = 0
+            if self._above >= self.up_ticks:
+                self._trip(now)
+                return "up"
+        elif value < self.low:
+            self._below += 1
+            self._above = 0
+            if self._below >= self.down_ticks:
+                self._trip(now)
+                return "down"
+        else:
+            self._above = 0
+            self._below = 0
+        return None
+
+    def _trip(self, now: float) -> None:
+        self._above = 0
+        self._below = 0
+        self._quiet_until = now + self.cooldown
+
+    def hold_off(self, now: float, seconds: Optional[float] = None) -> None:
+        """Explicitly start (or extend) the cooldown window at ``now``.
+
+        Policies call this when an actuation was decided elsewhere —
+        e.g. a drain completing — so the gate's quiet period covers it.
+        """
+        quiet = now + (seconds if seconds is not None else self.cooldown)
+        if quiet > self._quiet_until:
+            self._quiet_until = quiet
+
+    def reset(self) -> None:
+        self._above = 0
+        self._below = 0
+        self._quiet_until = 0.0
+        self.last_value = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Hysteresis(high={self.high}, low={self.low}, "
+            f"above={self._above}, below={self._below})"
+        )
+
+
+def breaker_open_count(mediator: Any) -> int:
+    """How many of a reliability mediator's breakers are not closed.
+
+    Pure state inspection — :meth:`CircuitBreaker.allow` is
+    deliberately avoided because it transitions open breakers to
+    half-open; a sensor must never perturb what it measures.
+    """
+    return sum(
+        1 for breaker in mediator._breakers.values() if breaker.state != "closed"
+    )

@@ -1,0 +1,89 @@
+"""Decision traces: the control plane's append-only audit log.
+
+Every sample threshold crossing, actuation and drain transition is
+recorded as a :class:`Decision`.  The trace serves three masters:
+
+- **tests** assert exact decision sequences;
+- **benchmarks** gate determinism — identical seed must produce an
+  identical :meth:`DecisionTrace.digest`;
+- **operators** read it through the ``ctl_trace`` transport command.
+
+Records are plain data with canonical formatting (sorted detail keys,
+fixed-precision times) so the digest is stable across runs and
+platforms.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, Iterator, List
+
+
+class Decision:
+    """One control-plane event: when, what kind, and the particulars."""
+
+    __slots__ = ("time", "kind", "detail")
+
+    def __init__(self, time: float, kind: str, detail: Dict[str, Any]) -> None:
+        self.time = time
+        self.kind = kind
+        self.detail = detail
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"time": self.time, "kind": self.kind, **self.detail}
+
+    def as_line(self) -> str:
+        """Canonical one-line rendering (digest input)."""
+        parts = [f"{self.time:.9f}", self.kind]
+        for key in sorted(self.detail):
+            value = self.detail[key]
+            if isinstance(value, float):
+                parts.append(f"{key}={value:.9f}")
+            else:
+                parts.append(f"{key}={value!r}")
+        return " ".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Decision({self.as_line()})"
+
+
+class DecisionTrace:
+    """Append-only sequence of :class:`Decision` records."""
+
+    def __init__(self) -> None:
+        self._records: List[Decision] = []
+
+    def record(self, time: float, kind: str, **detail: Any) -> Decision:
+        decision = Decision(time, kind, detail)
+        self._records.append(decision)
+        return decision
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Decision]:
+        return iter(self._records)
+
+    def kinds(self) -> List[str]:
+        return [record.kind for record in self._records]
+
+    def of_kind(self, kind: str) -> List[Decision]:
+        return [record for record in self._records if record.kind == kind]
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        """JSON-able view (the ``ctl_trace`` transport command)."""
+        return [record.as_dict() for record in self._records]
+
+    def lines(self) -> List[str]:
+        return [record.as_line() for record in self._records]
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical lines: the determinism fingerprint."""
+        hasher = hashlib.sha256()
+        for line in self.lines():
+            hasher.update(line.encode("utf-8"))
+            hasher.update(b"\n")
+        return hasher.hexdigest()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DecisionTrace({len(self._records)} records)"

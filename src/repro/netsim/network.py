@@ -90,6 +90,14 @@ class Host:
             self.busy_until = completion
         self.load += 1
 
+    def backlog(self, now: float) -> float:
+        """Seconds of committed work still queued at ``now``.
+
+        The placement signal the control plane ranks candidate hosts
+        by: zero on an idle host, the residual busy period otherwise.
+        """
+        return self.busy_until - now if self.busy_until > now else 0.0
+
     def reset(self) -> None:
         """Clear queue state and failure status (used between runs)."""
         self.crashed = False

@@ -151,6 +151,11 @@ class QoSTransport:
             "set_sched_policy": lambda name: self._scheduler().set_policy(name),
             "sched_stats": lambda: self._scheduler().stats_snapshot(),
             "sched_classes": lambda: self._scheduler().class_table(),
+            # Control-plane introspection: the adaptive loop is itself
+            # administered and observed through the command channel.
+            "ctl_stats": lambda: self._control().stats(),
+            "ctl_trace": lambda: self._control().trace.as_dicts(),
+            "ctl_trace_digest": lambda: self._control().trace.digest(),
         }
         handler = operations.get(request.operation)
         if handler is None:
@@ -167,6 +172,12 @@ class QoSTransport:
                 f"no request scheduler installed on {self.orb.host_name!r}"
             )
         return scheduler
+
+    def _control(self):
+        control = getattr(self.orb.world, "control", None)
+        if control is None:
+            raise NO_RESOURCES("no control plane attached to this deployment")
+        return control
 
     def _module_statistics(self, name: str) -> Dict[str, int]:
         module = self._modules.get(name)

@@ -35,6 +35,10 @@ class World:
         self.faults = FaultInjector(self.network, self.kernel)
         self._orbs: Dict[str, ORB] = {}
         self._naming_ior: Optional[IOR] = None
+        #: The deployment's control plane, set by
+        #: :meth:`repro.control.loop.ControlLoop.attach`; perf snapshots
+        #: and the ``ctl_*`` transport commands read it from here.
+        self.control = None
 
     @property
     def clock(self):

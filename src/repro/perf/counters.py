@@ -61,6 +61,15 @@ class PerfCounters:
         "fluid_flowlet_bytes",
         "fluid_completions",
         "fluid_active_peak",
+        "ctl_samples",
+        "ctl_decisions",
+        "ctl_scale_ups",
+        "ctl_scale_downs",
+        "ctl_migrations",
+        "ctl_module_swaps",
+        "ctl_renegotiations",
+        "ctl_actuations",
+        "ctl_actuation_time",
     )
 
     def __init__(self) -> None:
@@ -115,6 +124,20 @@ class PerfCounters:
         self.fluid_flowlet_bytes = 0
         self.fluid_completions = 0
         self.fluid_active_peak = 0
+        self.ctl_samples = 0
+        self.ctl_decisions = 0
+        self.ctl_scale_ups = 0
+        self.ctl_scale_downs = 0
+        self.ctl_migrations = 0
+        self.ctl_module_swaps = 0
+        self.ctl_renegotiations = 0
+        self.ctl_actuations = 0
+        self.ctl_actuation_time = 0.0
+
+    def note_actuation(self, seconds: float) -> None:
+        """Record one control-plane actuation and its simulated latency."""
+        self.ctl_actuations += 1
+        self.ctl_actuation_time += seconds
 
     def note_fluid_active(self, depth: int) -> None:
         """Record the fluid tier's current active-flow count."""
@@ -192,6 +215,20 @@ class PerfCounters:
             "fluid_flowlet_bytes": self.fluid_flowlet_bytes,
             "fluid_completions": self.fluid_completions,
             "fluid_active_peak": self.fluid_active_peak,
+            "ctl_samples": self.ctl_samples,
+            "ctl_decisions": self.ctl_decisions,
+            "ctl_scale_ups": self.ctl_scale_ups,
+            "ctl_scale_downs": self.ctl_scale_downs,
+            "ctl_migrations": self.ctl_migrations,
+            "ctl_module_swaps": self.ctl_module_swaps,
+            "ctl_renegotiations": self.ctl_renegotiations,
+            "ctl_actuations": self.ctl_actuations,
+            "ctl_actuation_time": self.ctl_actuation_time,
+            "ctl_actuation_time_mean": (
+                self.ctl_actuation_time / self.ctl_actuations
+                if self.ctl_actuations
+                else 0.0
+            ),
         }
 
 
@@ -213,7 +250,11 @@ def snapshot(orb: Any = None, world: Any = None) -> Dict[str, Any]:
     netsim instrument panels are merged in too: ``kernel_*`` keys carry
     events fired, heap compactions and the cancelled-pending/live-event
     high-water marks; ``net_*`` keys carry traffic totals, the route
-    cache hit rate and fluid-tier link accounting.
+    cache hit rate and fluid-tier link accounting.  A control plane
+    attached to the world (``world.control`` — see
+    :meth:`repro.control.loop.ControlLoop.attach`) contributes the
+    ``ctl_*`` panel: tick/decision totals and per-kind actuation counts
+    beyond the process-global ``ctl_*`` counters.
     """
     merged = COUNTERS.snapshot()
     if orb is not None:
@@ -234,6 +275,10 @@ def snapshot(orb: Any = None, world: Any = None) -> Dict[str, Any]:
             merged[f"kernel_{key}"] = value
         for key, value in world.network.stats().items():
             merged[f"net_{key}"] = value
+        control = getattr(world, "control", None)
+        if control is not None:
+            for key, value in control.stats().items():
+                merged[f"ctl_{key}"] = value
     return merged
 
 

@@ -114,10 +114,18 @@ class ReplicaGroupManager:
 
     # -- membership -----------------------------------------------------
 
-    def add_replica(self, host_name: str) -> IOR:
-        """Incarnate a replica on a host, initialising it by state transfer."""
+    def add_replica(self, host_name: str, source: Optional[str] = None) -> IOR:
+        """Incarnate a replica on a host, initialising it by state transfer.
+
+        ``source`` names the member to copy state from — the migration
+        planner passes the servant being moved, so the newcomer is an
+        exact snapshot of it; without it the first reachable live
+        member is used.
+        """
         if host_name in self._replicas:
             raise ValueError(f"replica already placed on {host_name!r}")
+        if source is not None and source not in self._replicas:
+            raise ValueError(f"no replica on source {source!r}")
         servant = self.servant_factory()
         impl = FaultToleranceImpl()
         servant.set_qos_impl(impl)
@@ -127,15 +135,18 @@ class ReplicaGroupManager:
             servant, f"{self.group_name}-{host_name}"
         )
         if self._member_order:
-            self._transfer_state(orb, member_ior)
+            self._transfer_state(orb, member_ior, source)
         self._replicas[host_name] = (servant, member_ior)
         self._member_order.append(host_name)
         self._broadcast_membership()
         return member_ior
 
-    def _transfer_state(self, orb: Any, newcomer: IOR) -> None:
+    def _transfer_state(
+        self, orb: Any, newcomer: IOR, source: Optional[str] = None
+    ) -> None:
         """Initialise a newcomer from the first reachable live member."""
-        for host_name in self._member_order:
+        candidates = [source] if source is not None else self._member_order
+        for host_name in candidates:
             _, source_ior = self._replicas[host_name]
             try:
                 state = DIIRequest(orb, source_ior, "get_state").invoke()
@@ -210,6 +221,14 @@ class ReplicaGroupManager:
 
     def replica(self, host_name: str) -> Any:
         return self._replicas[host_name][0]
+
+    def member_ior(self, host_name: str) -> IOR:
+        """The member reference serving on ``host_name``."""
+        return self._replicas[host_name][1]
+
+    def member_iors(self) -> List[IOR]:
+        """Every member reference, in placement order."""
+        return [self._replicas[host][1] for host in self._member_order]
 
     def group_ior(self, policy: str = "first") -> IOR:
         """The QoS-tagged group reference clients bind to."""

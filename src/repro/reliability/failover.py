@@ -7,11 +7,19 @@ component.  The rotation walks that list on fail-stop errors and
 *persists* the re-binding: once the mediator moves off a dead primary,
 subsequent calls go straight to the member that answered, instead of
 re-probing the corpse every call.
+
+The control plane (:mod:`repro.control`) mutates rotations at runtime:
+:meth:`FailoverRotation.update` publishes a new member list (grow,
+shrink, rebalance) and a *draining* set — members being retired that
+must not receive any new request while their in-flight work completes.
+Draining members are skipped both on re-bind (:meth:`advance`) and
+when a stale active pointer lands on one, so the "no new dispatch
+after drain begins" guarantee is structural, not best-effort.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import FrozenSet, Iterable, List, Optional
 
 from repro.orb.ior import IOR
 from repro.perf.counters import COUNTERS
@@ -20,15 +28,19 @@ from repro.perf.counters import COUNTERS
 class FailoverRotation:
     """The (circular) candidate targets of one reliability-bound stub."""
 
-    __slots__ = ("members", "index", "failovers")
+    __slots__ = ("members", "index", "failovers", "draining", "updates")
 
-    def __init__(self, ior: IOR) -> None:
+    def __init__(self, ior: IOR, start: int = 0) -> None:
         members: List[IOR] = ior.group_members()
         #: Singleton references rotate over themselves: retry stays on
         #: the only host there is.
         self.members = members if members else [ior]
-        self.index = 0
+        self.index = start % len(self.members)
         self.failovers = 0
+        #: Binding keys of members currently draining (being retired).
+        self.draining: FrozenSet[str] = frozenset()
+        #: Membership views published over this rotation's lifetime.
+        self.updates = 0
 
     @property
     def active(self) -> IOR:
@@ -37,15 +49,68 @@ class FailoverRotation:
     def __len__(self) -> int:
         return len(self.members)
 
+    def serving_members(self) -> List[IOR]:
+        """Members eligible for new requests (not draining)."""
+        return [m for m in self.members if m.binding_key() not in self.draining]
+
     def advance(self) -> IOR:
-        """Re-bind to the next member (wrap-around); returns it."""
-        self.index = (self.index + 1) % len(self.members)
+        """Re-bind to the next non-draining member (wrap-around).
+
+        Draining members are passed over; with every member draining the
+        plain circular step applies so the rotation is never empty-handed
+        (the breaker layer above still refuses the actual dispatch).
+        """
+        size = len(self.members)
+        for step in range(1, size + 1):
+            candidate = (self.index + step) % size
+            if self.members[candidate].binding_key() not in self.draining:
+                self.index = candidate
+                break
+        else:
+            self.index = (self.index + 1) % size
         self.failovers += 1
         COUNTERS.rel_failovers += 1
+        return self.active
+
+    def update(
+        self,
+        members: Iterable[IOR],
+        draining: Iterable[str] = (),
+        prefer: Optional[int] = None,
+    ) -> IOR:
+        """Publish a new membership view; returns the new active member.
+
+        The active binding is kept when it survives the update and is
+        not draining (persistent re-bind semantics); otherwise the
+        rotation moves to the first serving member, biased by
+        ``prefer`` — the control plane spreads its clients across the
+        group by handing each a different preferred start index.
+        """
+        new_members = list(members)
+        if not new_members:
+            raise ValueError("a rotation cannot be updated to zero members")
+        draining_keys = frozenset(draining)
+        active_key = self.active.binding_key()
+        self.members = new_members
+        self.draining = draining_keys
+        self.updates += 1
+        size = len(new_members)
+        keys = [member.binding_key() for member in new_members]
+        if active_key in keys and active_key not in draining_keys and prefer is None:
+            self.index = keys.index(active_key)
+            return self.active
+        start = (prefer or 0) % size
+        for step in range(size):
+            candidate = (start + step) % size
+            if keys[candidate] not in draining_keys:
+                self.index = candidate
+                return self.active
+        self.index = start
         return self.active
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"FailoverRotation({len(self.members)} members, "
-            f"active={self.active.profile.host!r})"
+            f"active={self.active.profile.host!r}, "
+            f"draining={len(self.draining)})"
         )

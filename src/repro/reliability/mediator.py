@@ -265,6 +265,33 @@ class ReliabilityMediator(Mediator):
         finally:
             owner._deferred_depth = saved
 
+    # -- control-plane membership updates ---------------------------------
+
+    def update_group(
+        self,
+        stub: Any,
+        members: Any,
+        draining: Any = (),
+        prefer: Optional[int] = None,
+    ) -> IOR:
+        """Publish a new replica-group view for ``stub``'s rotation.
+
+        Called by the control plane (:mod:`repro.control`) when it
+        grows, shrinks or rebalances the group behind a reference:
+        ``members`` is the new member list, ``draining`` the binding
+        keys of members being retired — the rotation stops selecting
+        those immediately, so no new request is dispatched to a
+        retiring member after its drain begins.  ``prefer`` biases the
+        re-bind so a fleet of clients can be spread deterministically
+        across the members.  Returns the (possibly re-bound) active
+        member.
+        """
+        return self.rotation_for(stub).update(members, draining, prefer)
+
+    def rotation_for(self, stub: Any) -> FailoverRotation:
+        """The (lazily created) rotation backing ``stub``'s binding."""
+        return self._rotation(stub)
+
     # -- bookkeeping ------------------------------------------------------
 
     def _deadline_at(self, stub: Any) -> Optional[float]:

@@ -455,6 +455,25 @@ class RequestScheduler:
 
     # -- reporting ---------------------------------------------------------
 
+    def signals(self, now: float) -> Dict[str, float]:
+        """Flat, cheap signal vector for the control plane.
+
+        Cumulative counts (``admitted``/``rejected``/``shed``) are
+        monotone; the control loop differentiates them into per-tick
+        rates (:class:`repro.control.signals.RateTracker`).
+        """
+        admitted = rejected = shed = 0
+        for stats in self._stats.values():
+            admitted += stats.admitted
+            rejected += stats.rejected_queue + stats.rejected_rate
+            shed += stats.shed_deadline
+        return {
+            "queue_depth": float(self.queue_depth(now)),
+            "admitted": float(admitted),
+            "rejected": float(rejected),
+            "shed": float(shed),
+        }
+
     def stats_snapshot(self) -> Dict[str, Any]:
         """JSON-able per-class and global scheduler statistics."""
         return {

@@ -178,6 +178,7 @@ def open_loop_fanout(
     arrivals: Sequence[Arrival],
     observer: Optional[Callable[[Arrival, Optional[float], Optional[Exception]], None]] = None,
     kernel: Optional[EventKernel] = None,
+    router: Optional[Callable[[Arrival, float], IOR]] = None,
 ) -> ClosedLoopResult:
     """Issue every arrival at its own departure instant, in parallel.
 
@@ -196,6 +197,13 @@ def open_loop_fanout(
     fault schedules, capacity traces — interleaves with the foreground
     requests in simulated-time order and each request sees the link
     state (fluid demand, reservations) current at its departure.
+
+    ``router`` resolves each arrival's target *at its departure
+    instant* — ``router(arrival, depart)`` returns the IOR to invoke.
+    This is how the control plane re-routes an open-loop fleet
+    mid-run: membership published between two departures (autoscale,
+    migration, drain) takes effect on the very next request, without
+    rebuilding the arrival schedule.
     """
     if not arrivals:
         return ClosedLoopResult([], 0, 0.0)
@@ -209,8 +217,9 @@ def open_loop_fanout(
         depart = base + arrival.time
         if kernel is not None:
             kernel.run_until(depart)
+        target = router(arrival, depart) if router is not None else arrival.target
         request = Request(
-            arrival.target,
+            target,
             arrival.operation,
             arrival.args,
             service_contexts=arrival.contexts,
@@ -219,14 +228,14 @@ def open_loop_fanout(
         depart += orb.marshal_cost(len(wire))
         try:
             reply_wire, finish = orb.round_trip(
-                arrival.target.profile.host, wire, depart
+                target.profile.host, wire, depart
             )
             finish += orb.marshal_cost(len(reply_wire))
             reply = giop.decode_reply(reply_wire)
             backpressure = getattr(orb, "backpressure", None)
             if backpressure is not None:
                 backpressure.observe_reply(
-                    arrival.target.profile.host, reply.service_contexts, finish
+                    target.profile.host, reply.service_contexts, finish
                 )
             if reply.exception is not None:
                 failures += 1

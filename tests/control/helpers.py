@@ -1,0 +1,106 @@
+"""Shared scaffolding for the control-plane suites.
+
+A replicated deployment under control: N replica hosts serving a
+token-recording counter (so exactly-once assertions can key on which
+servant ran what), a pool of spare hosts the autoscaler may place on,
+and a reliability-bound client whose rotation the
+:class:`~repro.control.group.ManagedGroup` publishes membership to.
+"""
+
+import repro.qos as qos
+from repro.control import ManagedGroup
+from repro.orb import World
+from repro.orb.request import reset_request_ids
+from repro.perf.counters import COUNTERS
+from repro.qos.fault_tolerance.replica_group import ReplicaGroupManager
+from repro.reliability import ReliabilityPolicy
+
+ctl_module = qos.weave(
+    """
+    interface CtlCounter provides FaultTolerance {
+        long add(in string token, in long amount);
+        idempotent long total();
+    };
+    """,
+    "ctl_tests_counter",
+)
+
+
+def make_counter_factory(registry, service_time=0.0005):
+    """A servant factory recording every incarnation in ``registry``.
+
+    Retired members stay in the registry, so tests can assert over the
+    full history of who executed what — including servants that no
+    longer belong to the group.
+    """
+
+    class CtlCounterImpl(ctl_module.CtlCounterServerBase):
+        _default_service_time = service_time
+
+        def __init__(self):
+            super().__init__()
+            self.count = 0
+            #: token -> number of times ``add(token, ...)`` ran here.
+            self.executed = {}
+
+        def add(self, token, amount):
+            self.executed[token] = self.executed.get(token, 0) + 1
+            self.count += amount
+            return self.count
+
+        def total(self):
+            return self.count
+
+        def get_state(self):
+            return {"count": self.count}
+
+        def set_state(self, state):
+            self.count = state["count"]
+
+    def factory():
+        servant = CtlCounterImpl()
+        registry.append(servant)
+        return servant
+
+    return factory
+
+
+def executions(registry, token):
+    """Total executions of ``token`` across every servant ever created."""
+    return sum(servant.executed.get(token, 0) for servant in registry)
+
+
+def build_control_world(
+    replicas=("a",),
+    spares=("b", "c", "d"),
+    latency=0.0005,
+    bandwidth=100e6,
+    seed=0,
+    service_time=0.0005,
+):
+    """Fresh controlled deployment.
+
+    Returns ``(world, manager, group, stub, registry)`` — the registry
+    holds every servant incarnation in creation order.
+    """
+    reset_request_ids()
+    COUNTERS.reset()
+    world = World()
+    world.lan(
+        ("client",) + tuple(replicas) + tuple(spares),
+        latency=latency,
+        bandwidth_bps=bandwidth,
+    )
+    registry = []
+    manager = ReplicaGroupManager(
+        world, "ctlgrp", make_counter_factory(registry, service_time)
+    )
+    for host in replicas:
+        manager.add_replica(host)
+    group = ManagedGroup(world, manager)
+    stub = group.bind_reliable_client(
+        world.orb("client"),
+        ctl_module.CtlCounterStub,
+        ReliabilityPolicy(seed=seed),
+    )
+    return world, manager, group, stub, registry

@@ -1,0 +1,156 @@
+"""AutoscalePolicy on a live ControlLoop: growth, shrink, determinism."""
+
+from repro.control import AutoscalePolicy, ControlLoop, Hysteresis
+from repro.perf.counters import COUNTERS, snapshot
+
+from tests.control.helpers import build_control_world
+
+
+def run_scenario(pressure_schedule, until=1.0, spares=("b", "c", "d"), **policy_kw):
+    """Drive a controlled deployment with a scripted pressure signal.
+
+    ``pressure_schedule`` maps a simulated time to the pressure value
+    in force from that time on; returns (world, group, loop).
+    """
+    world, _, group, _, _ = build_control_world(spares=spares)
+    times = sorted(pressure_schedule)
+
+    def signal(now):
+        value = None
+        for time in times:
+            if now >= time:
+                value = pressure_schedule[time]
+        return value
+
+    loop = ControlLoop(world, period=0.05).attach()
+    loop.add_policy(AutoscalePolicy(group, list(spares), signal=signal, **policy_kw))
+    loop.start(until=until)
+    world.kernel.run_until(until)
+    return world, group, loop
+
+
+class TestScaleUp:
+    def test_sustained_pressure_grows_the_group(self):
+        _, group, loop = run_scenario({0.0: 2.0}, until=0.25)
+        assert len(group.serving_hosts()) > 1
+        assert COUNTERS.ctl_scale_ups >= 1
+        assert loop.trace.of_kind("scale-up")
+
+    def test_warmup_none_signal_never_actuates(self):
+        _, group, loop = run_scenario({10.0: 2.0}, until=0.5)
+        assert group.serving_hosts() == ["a"]
+        assert loop.decisions == 0
+
+    def test_single_spike_does_not_actuate(self):
+        world, _, group, _, _ = build_control_world()
+        spike = {"value": 5.0}
+
+        def signal(now):
+            value = spike["value"]
+            spike["value"] = 0.8  # back in the dead band next tick
+            return value
+
+        loop = ControlLoop(world, period=0.05).attach()
+        loop.add_policy(AutoscalePolicy(group, ["b"], signal=signal))
+        loop.start(until=0.5)
+        world.kernel.run_until(0.5)
+        assert group.serving_hosts() == ["a"]
+        assert COUNTERS.ctl_scale_ups == 0
+
+    def test_max_replicas_caps_growth(self):
+        _, group, loop = run_scenario({0.0: 2.0}, until=0.5, max_replicas=2)
+        assert len(group.serving_hosts()) == 2
+        assert loop.trace.of_kind("scale-up-capped")
+
+    def test_saturation_is_traced_not_fatal(self):
+        _, group, loop = run_scenario({0.0: 2.0}, until=0.6, spares=("b",))
+        assert group.hosts() == ["a", "b"]
+        assert loop.trace.of_kind("scale-up-saturated")
+
+    def test_crashed_candidate_is_skipped(self):
+        world, _, group, _, _ = build_control_world()
+        world.network.host("b").crashed = True
+        loop = ControlLoop(world, period=0.05).attach()
+        loop.add_policy(
+            AutoscalePolicy(group, ["b", "c"], signal=lambda now: 2.0)
+        )
+        loop.start(until=0.2)
+        world.kernel.run_until(0.2)
+        assert "c" in group.hosts()
+        assert "b" not in group.hosts()
+
+
+class TestScaleDown:
+    def test_calm_signal_shrinks_back_with_drain(self):
+        _, group, loop = run_scenario(
+            {0.0: 2.0, 0.3: 0.1}, until=1.5, max_replicas=3
+        )
+        assert COUNTERS.ctl_scale_downs >= 1
+        kinds = loop.trace.kinds()
+        assert "drain-begin" in kinds
+        assert "drain-finish" in kinds
+        # Every retirement that began also finished (idle group).
+        assert len(loop.trace.of_kind("drain-begin")) == len(
+            loop.trace.of_kind("drain-finish")
+        )
+
+    def test_min_replicas_floor_holds(self):
+        _, group, _ = run_scenario({0.0: 0.01}, until=2.0, min_replicas=1)
+        assert group.serving_hosts() == ["a"]
+        assert COUNTERS.ctl_scale_downs == 0
+
+
+class TestDeterminism:
+    SCHEDULE = {0.0: 2.0, 0.3: 0.1, 0.6: 3.0}
+
+    def test_identical_runs_produce_identical_traces(self):
+        _, _, first = run_scenario(dict(self.SCHEDULE), until=1.2)
+        first_lines = first.trace.lines()
+        first_digest = first.trace.digest()
+        _, _, second = run_scenario(dict(self.SCHEDULE), until=1.2)
+        assert second.trace.lines() == first_lines
+        assert second.trace.digest() == first_digest
+
+    def test_different_schedules_diverge(self):
+        _, _, first = run_scenario(dict(self.SCHEDULE), until=1.2)
+        digest = first.trace.digest()
+        _, _, second = run_scenario({0.0: 2.0}, until=1.2)
+        assert second.trace.digest() != digest
+
+
+class TestInstrumentPanel:
+    def test_ctl_counters_surface_in_snapshot(self):
+        world, group, loop = run_scenario({0.0: 2.0}, until=0.25)
+        panel = snapshot(world.orb("client"), world)
+        assert panel["ctl_samples"] == loop.ticks
+        assert panel["ctl_scale_ups"] == COUNTERS.ctl_scale_ups >= 1
+        assert panel["ctl_actuations"] >= 1
+        assert panel["ctl_actuation_time_mean"] >= 0.0
+        # The attached loop's own stats ride along.
+        assert panel["ctl_trace_records"] == len(loop.trace)
+        assert "scale-up" in panel["ctl_trace_kinds"]
+
+    def test_transport_commands_expose_the_trace(self):
+        from repro.orb.dii import TransportHandle
+
+        world, group, loop = run_scenario({0.0: 2.0}, until=0.25)
+        handle = TransportHandle(world.orb("client"), group.members()[0])
+        stats = handle.call("ctl_stats")
+        assert stats["ticks"] == loop.ticks
+        trace = handle.call("ctl_trace")
+        assert trace == loop.trace.as_dicts()
+        assert handle.call("ctl_trace_digest") == loop.trace.digest()
+
+    def test_loop_stop_ends_the_recurrence(self):
+        world, _, group, _, _ = build_control_world()
+        loop = ControlLoop(world, period=0.05).attach()
+        loop.add_policy(
+            AutoscalePolicy(group, ["b"], signal=lambda now: 2.0)
+        )
+        loop.start()
+        world.kernel.run_until(0.2)
+        loop.stop()
+        ticks = loop.ticks
+        # The kernel drains: the chained recurrence ended with stop().
+        world.kernel.run()
+        assert loop.ticks == ticks

@@ -1,0 +1,155 @@
+"""ManagedGroup: membership publication, drain safety, migration."""
+
+import pytest
+
+from repro.control import ManagedGroup, MigrationPlanner
+from repro.orb.exceptions import TRANSIENT
+
+from tests.control.helpers import build_control_world, ctl_module, executions
+
+
+class TestPublication:
+    def test_register_requires_a_reliability_mediator(self):
+        world, manager, group, _, _ = build_control_world()
+        bare = ctl_module.CtlCounterStub(world.orb("client"), manager.group_ior())
+        with pytest.raises(ValueError):
+            group.register_client(bare)
+
+    def test_scale_up_publishes_to_client_rotations(self):
+        world, manager, group, stub, registry = build_control_world()
+        group.scale_up("b", world.clock.now)
+        rotation = stub._get_mediator().rotation_for(stub)
+        assert len(rotation.members) == 2
+        assert group.hosts() == ["a", "b"]
+
+    def test_clients_spread_across_serving_members(self):
+        world, manager, group, stub, registry = build_control_world()
+        group.scale_up("b", world.clock.now)
+        from repro.reliability import ReliabilityPolicy
+
+        second = group.bind_reliable_client(
+            world.orb("client"), ctl_module.CtlCounterStub, ReliabilityPolicy()
+        )
+        first_rotation = stub._get_mediator().rotation_for(stub)
+        second_rotation = second._get_mediator().rotation_for(second)
+        assert (
+            first_rotation.active.binding_key()
+            != second_rotation.active.binding_key()
+        )
+
+    def test_route_for_skips_draining_members(self):
+        world, _, group, _, _ = build_control_world()
+        group.scale_up("b", world.clock.now)
+        group.begin_retire("a", world.clock.now)
+        drained_key = group.members()[0].binding_key()
+        for index in range(4):
+            assert group.route_for(index).binding_key() != drained_key
+
+
+class TestDrainSafety:
+    def test_draining_member_receives_no_new_requests(self):
+        world, manager, group, stub, registry = build_control_world()
+        group.scale_up("b", world.clock.now)
+        stub.add("before", 1)
+        victim = manager.replica("a")
+        executed_before = dict(victim.executed)
+        group.begin_retire("a", world.clock.now)
+        for index in range(8):
+            stub.add(f"after-{index}", 1)
+        assert victim.executed == executed_before
+
+    def test_cannot_drain_the_last_serving_member(self):
+        world, _, group, _, _ = build_control_world()
+        with pytest.raises(ValueError):
+            group.begin_retire("a", world.clock.now)
+        group.scale_up("b", world.clock.now)
+        group.begin_retire("a", world.clock.now)
+        with pytest.raises(ValueError):
+            group.begin_retire("b", world.clock.now)
+
+    def test_busy_member_is_not_drained_until_idle(self):
+        world, _, group, _, _ = build_control_world()
+        group.scale_up("b", world.clock.now)
+        group.begin_retire("a", world.clock.now)
+        world.network.host("a").busy_until = world.clock.now + 0.01
+        assert group.poll_retirements(world.clock.now) == []
+        assert group.hosts() == ["a", "b"]
+        world.clock.advance(0.02)
+        assert group.poll_retirements(world.clock.now) == ["a"]
+        assert group.hosts() == ["b"]
+
+    def test_inflight_deferred_replies_survive_the_drain(self):
+        world, manager, group, stub, registry = build_control_world()
+        group.scale_up("b", world.clock.now)
+        futures = [stub.send_deferred("add", f"w{i}", 1) for i in range(4)]
+        group.begin_retire("a", world.clock.now)
+        values = [future.result() for future in futures]
+        assert sorted(values) == [1, 2, 3, 4]
+        for index in range(4):
+            assert executions(registry, f"w{index}") == 1
+
+
+class TestMigration:
+    def test_state_moves_with_the_member(self):
+        world, manager, group, stub, registry = build_control_world()
+        for index in range(5):
+            stub.add(f"t{index}", 1)
+        assert stub.total() == 5
+        planner = MigrationPlanner(group, ["b", "c", "d"])
+        planner.migrate("a", "b", world.clock.now)
+        group.poll_retirements(world.clock.now)
+        assert group.hosts() == ["b"]
+        assert manager.replica("b").count == 5
+        assert stub.total() == 5
+
+    def test_no_call_is_lost_or_duplicated_across_migration(self):
+        world, manager, group, stub, registry = build_control_world()
+        planner = MigrationPlanner(group, ["b", "c", "d"])
+        for index in range(3):
+            stub.add(f"pre-{index}", 1)
+        planner.migrate("a", "b", world.clock.now)
+        for index in range(3):
+            stub.add(f"post-{index}", 1)
+        group.poll_retirements(world.clock.now)
+        for index in range(3):
+            assert executions(registry, f"pre-{index}") == 1
+            assert executions(registry, f"post-{index}") == 1
+        assert stub.total() == 6
+        # Every post-migration call ran on the destination, none on the
+        # retired source.
+        source = registry[0]
+        assert not any(token.startswith("post-") for token in source.executed)
+
+    def test_migration_records_the_decision(self):
+        world, _, group, _, _ = build_control_world()
+        planner = MigrationPlanner(group, ["b", "c", "d"])
+        planner.migrate("a", "c", world.clock.now)
+        kinds = group.trace.kinds()
+        assert "member-add" in kinds
+        assert "drain-begin" in kinds
+        assert "migrate" in kinds
+
+
+class TestRotationUnderFaults:
+    def test_failover_never_lands_on_a_draining_member(self):
+        world, manager, group, stub, registry = build_control_world(
+            replicas=("a", "b", "c"), spares=()
+        )
+        group.begin_retire("a", world.clock.now)
+        rotation = stub._get_mediator().rotation_for(stub)
+        drained_key = manager.member_ior("a").binding_key()
+        active_keys = set()
+        for _ in range(2 * len(rotation.members)):
+            active_keys.add(rotation.advance().binding_key())
+        assert drained_key not in active_keys
+
+    def test_crash_of_serving_member_fails_over_around_the_drain(self):
+        world, manager, group, stub, registry = build_control_world(
+            replicas=("a", "b", "c"), spares=()
+        )
+        group.begin_retire("a", world.clock.now)
+        world.faults.crash("b")
+        # "a" is draining, "b" is dead: the call must land on "c".
+        assert stub.add("survivor", 1) == 1
+        assert manager.replica("c").executed.get("survivor") == 1
+        assert "survivor" not in manager.replica("a").executed

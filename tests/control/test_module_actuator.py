@@ -1,0 +1,221 @@
+"""ModuleActuator: live QoS-module redeployment and renegotiation."""
+
+import repro.qos as qos
+from repro.control import ControlLoop, Hysteresis, ModuleActuator
+from repro.core.binding import QoSProvider, establish_qos
+from repro.core.mediator import Mediator
+from repro.core.negotiation import Range
+from repro.core.qos_skeleton import QoSImplementation
+from repro.orb import QOS_TAG, TaggedComponent, World
+from repro.orb.modules.base import binding_key
+from repro.orb.request import reset_request_ids
+from repro.perf.counters import COUNTERS
+
+from tests.orb.conftest import EchoServant, EchoStub
+
+CTL_SERVING_QIDL = """
+qos CtlServing {
+    attribute double rate;
+    attribute double delay;
+};
+"""
+
+
+class CtlServingMediator(Mediator):
+    characteristic = "CtlServing"
+
+    def __init__(self):
+        super().__init__()
+        self.rate = 10.0
+        self.delay = 1.0
+
+
+class CtlServingImpl(QoSImplementation):
+    characteristic = "CtlServing"
+
+    def __init__(self):
+        self.rate = 10.0
+        self.delay = 1.0
+
+    def get_rate(self):
+        return self.rate
+
+    def set_rate(self, value):
+        self.rate = float(value)
+
+    def get_delay(self):
+        return self.delay
+
+    def set_delay(self, value):
+        self.delay = float(value)
+
+
+def register_serving():
+    if "CtlServing" not in qos.REGISTRY:
+        qos.register_characteristic(
+            qos.Characteristic(
+                name="CtlServing",
+                category="load-control",
+                qidl=CTL_SERVING_QIDL,
+                mediator_class=CtlServingMediator,
+                impl_class=CtlServingImpl,
+            )
+        )
+
+
+def build_link_world():
+    reset_request_ids()
+    COUNTERS.reset()
+    world = World()
+    world.lan(["client", "server"], latency=0.001, bandwidth_bps=10e6)
+    component = TaggedComponent(QOS_TAG, {"characteristics": ["compression"]})
+    ior = world.orb("server").poa.activate_object(
+        EchoServant("server"), components=[component]
+    )
+    stub = EchoStub(world.orb("client"), ior)
+    link = world.network.link_between("client", "server")
+    return world, stub, link, ior
+
+
+def build_actuator(world, stub, link, **kw):
+    kw.setdefault("configure", {"set_codec": ("rle",)})
+    kw.setdefault(
+        "hysteresis", Hysteresis(high=1.25, low=1.0, up_ticks=2, down_ticks=2)
+    )
+    actuator = ModuleActuator(stub, link, floor_bps=2e6, **kw)
+    loop = ControlLoop(world, period=0.05).attach()
+    loop.add_policy(actuator)
+    return actuator, loop
+
+
+class TestModuleSwap:
+    def test_bandwidth_drop_engages_compression_mid_session(self):
+        world, stub, link, ior = build_link_world()
+        actuator, loop = build_actuator(world, stub, link)
+        assert stub.echo("plain") == "PLAIN"
+        client_transport = world.orb("client").qos_transport
+        assert client_transport.assigned_module(ior) is None
+
+        # Background fluid traffic swallows most of the link.
+        link.fluid_bps = 9.5e6
+        for _ in range(2):
+            world.clock.advance(0.05)
+            loop.tick_once()
+
+        assert actuator.engaged
+        module = client_transport.module("compression")
+        assert client_transport.assigned_module(ior) is module
+        key = binding_key(ior)
+        assert module.get_codec(key) == "rle"
+        server_module = world.orb("server").qos_transport.module("compression")
+        assert server_module.get_codec(key) == "rle"
+        assert COUNTERS.ctl_module_swaps == 1
+        # Traffic now rides the compressed envelope.
+        assert stub.echo("x" * 400) == "X" * 400
+        assert module.bytes_in > 0
+
+    def test_recovery_disengages(self):
+        world, stub, link, ior = build_link_world()
+        actuator, loop = build_actuator(world, stub, link)
+        link.fluid_bps = 9.5e6
+        for _ in range(2):
+            world.clock.advance(0.05)
+            loop.tick_once()
+        assert actuator.engaged
+
+        link.fluid_bps = 0.0
+        for _ in range(2):
+            world.clock.advance(0.05)
+            loop.tick_once()
+        assert not actuator.engaged
+        assert world.orb("client").qos_transport.assigned_module(ior) is None
+        assert COUNTERS.ctl_module_swaps == 2
+        assert stub.echo("after") == "AFTER"
+        kinds = loop.trace.kinds()
+        assert kinds.count("module-engage") == 1
+        assert kinds.count("module-disengage") == 1
+
+    def test_steady_bandwidth_never_actuates(self):
+        world, stub, link, ior = build_link_world()
+        actuator, loop = build_actuator(world, stub, link)
+        for _ in range(10):
+            world.clock.advance(0.05)
+            loop.tick_once()
+        assert not actuator.engaged
+        assert COUNTERS.ctl_module_swaps == 0
+
+
+class TestRenegotiation:
+    def deploy(self):
+        register_serving()
+        gen = qos.weave(
+            "interface CtlApi provides CtlServing, Compression { long hit(); };",
+            "ctl_mod_api",
+        )
+        reset_request_ids()
+        COUNTERS.reset()
+        world = World()
+        world.lan(["client", "server"], latency=0.001, bandwidth_bps=10e6)
+        server = world.orb("server")
+        scheduler = server.install_scheduler(policy="wfq")
+        scheduler.define_class("gold", weight=4.0, priority=1)
+
+        class CtlApiImpl(gen.CtlApiServerBase):
+            def __init__(self):
+                super().__init__()
+                self.count = 0
+
+            def hit(self):
+                self.count += 1
+                return self.count
+
+        provider = QoSProvider(world, "server", CtlApiImpl())
+        provider.support(
+            "CtlServing",
+            CtlServingImpl(),
+            capabilities={
+                "rate": Range(1.0, 50.0, preferred=10.0),
+                "delay": Range(0.01, 2.0, preferred=0.5),
+            },
+            sched_class="gold",
+        )
+        ior = provider.activate("ctl-api")
+        stub = gen.CtlApiStub(world.orb("client"), ior)
+        binding = establish_qos(
+            stub, "CtlServing", {"rate": Range(1.0, 50.0, preferred=20.0)}
+        )
+        link = world.network.link_between("client", "server")
+        return world, scheduler, stub, binding, link
+
+    def test_degraded_link_renegotiates_the_contract(self):
+        world, scheduler, stub, binding, link = self.deploy()
+        actuator = ModuleActuator(
+            stub,
+            link,
+            floor_bps=2e6,
+            binding=binding,
+            degraded_requirements={"rate": Range(1.0, 50.0, preferred=5.0)},
+            normal_requirements={"rate": Range(1.0, 50.0, preferred=20.0)},
+            hysteresis=Hysteresis(high=1.25, low=1.0, up_ticks=2, down_ticks=2),
+        )
+        loop = ControlLoop(world, period=0.05).attach()
+        loop.add_policy(actuator)
+        assert scheduler.qos_class("gold").rate == 20.0
+
+        link.fluid_bps = 9.5e6
+        for _ in range(2):
+            world.clock.advance(0.05)
+            loop.tick_once()
+        assert actuator.engaged
+        assert scheduler.qos_class("gold").rate == 5.0
+        assert COUNTERS.ctl_renegotiations == 1
+
+        link.fluid_bps = 0.0
+        for _ in range(2):
+            world.clock.advance(0.05)
+            loop.tick_once()
+        assert not actuator.engaged
+        assert scheduler.qos_class("gold").rate == 20.0
+        assert COUNTERS.ctl_renegotiations == 2
+        assert loop.trace.of_kind("renegotiate-degrade")
+        assert loop.trace.of_kind("renegotiate-restore")

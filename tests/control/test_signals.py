@@ -1,0 +1,110 @@
+"""Signal conditioning: rate differentiation and hysteresis gating."""
+
+import pytest
+
+from repro.control.signals import Hysteresis, RateTracker, breaker_open_count
+from repro.reliability.breaker import CircuitBreaker
+
+
+class TestRateTracker:
+    def test_first_sample_is_its_own_delta(self):
+        tracker = RateTracker()
+        assert tracker.delta({"admitted": 10.0, "shed": 2.0}) == {
+            "admitted": 10.0,
+            "shed": 2.0,
+        }
+
+    def test_subsequent_samples_differentiate(self):
+        tracker = RateTracker()
+        tracker.delta({"admitted": 10.0})
+        assert tracker.delta({"admitted": 25.0}) == {"admitted": 15.0}
+        assert tracker.delta({"admitted": 25.0}) == {"admitted": 0.0}
+
+    def test_new_keys_join_mid_stream(self):
+        tracker = RateTracker()
+        tracker.delta({"admitted": 5.0})
+        deltas = tracker.delta({"admitted": 7.0, "shed": 3.0})
+        assert deltas == {"admitted": 2.0, "shed": 3.0}
+
+    def test_reset_forgets_history(self):
+        tracker = RateTracker()
+        tracker.delta({"admitted": 100.0})
+        tracker.reset()
+        assert tracker.delta({"admitted": 100.0}) == {"admitted": 100.0}
+
+
+class TestHysteresis:
+    def test_single_spike_does_not_trip(self):
+        gate = Hysteresis(high=1.0, low=0.5, up_ticks=2)
+        assert gate.update(5.0, 0.0) is None
+
+    def test_sustained_high_trips_up(self):
+        gate = Hysteresis(high=1.0, low=0.5, up_ticks=3)
+        assert gate.update(2.0, 0.0) is None
+        assert gate.update(2.0, 1.0) is None
+        assert gate.update(2.0, 2.0) == "up"
+
+    def test_sustained_low_trips_down(self):
+        gate = Hysteresis(high=1.0, low=0.5, up_ticks=2, down_ticks=2)
+        assert gate.update(0.1, 0.0) is None
+        assert gate.update(0.1, 1.0) == "down"
+
+    def test_dead_band_clears_both_streaks(self):
+        gate = Hysteresis(high=1.0, low=0.5, up_ticks=2, down_ticks=2)
+        gate.update(2.0, 0.0)
+        gate.update(0.7, 1.0)  # inside [low, high]: streak resets
+        assert gate.update(2.0, 2.0) is None
+        assert gate.update(2.0, 3.0) == "up"
+
+    def test_opposite_samples_reset_each_other(self):
+        gate = Hysteresis(high=1.0, low=0.5, up_ticks=2, down_ticks=2)
+        gate.update(2.0, 0.0)
+        gate.update(0.1, 1.0)  # below low: clears the above-streak
+        assert gate.update(2.0, 2.0) is None
+
+    def test_cooldown_swallows_evidence(self):
+        gate = Hysteresis(high=1.0, low=0.5, up_ticks=2, cooldown=10.0)
+        gate.update(2.0, 0.0)
+        assert gate.update(2.0, 1.0) == "up"
+        # Quiet until t=11: samples neither trip nor accumulate.
+        assert gate.update(2.0, 5.0) is None
+        assert gate.update(2.0, 10.9) is None
+        assert gate.update(2.0, 11.0) is None  # streak restarts here
+        assert gate.update(2.0, 12.0) == "up"
+
+    def test_hold_off_quiets_an_external_actuation(self):
+        gate = Hysteresis(high=1.0, low=0.5, up_ticks=1)
+        gate.hold_off(0.0, seconds=5.0)
+        assert gate.update(9.0, 4.0) is None
+        assert gate.update(9.0, 5.0) == "up"
+
+    def test_watermark_and_streak_validation(self):
+        with pytest.raises(ValueError):
+            Hysteresis(high=1.0, low=2.0)
+        with pytest.raises(ValueError):
+            Hysteresis(high=1.0, low=0.5, up_ticks=0)
+        with pytest.raises(ValueError):
+            Hysteresis(high=1.0, low=0.5, cooldown=-1.0)
+
+
+class _FakeMediator:
+    def __init__(self, breakers):
+        self._breakers = breakers
+
+
+class TestBreakerSensor:
+    def test_counts_non_closed_breakers(self):
+        open_breaker = CircuitBreaker(threshold=1, cooldown=10.0)
+        open_breaker.record_failure(0.0)
+        closed_breaker = CircuitBreaker(threshold=1, cooldown=10.0)
+        mediator = _FakeMediator({"a": open_breaker, "b": closed_breaker})
+        assert breaker_open_count(mediator) == 1
+
+    def test_sensor_does_not_perturb_breaker_state(self):
+        # allow() would flip an open breaker whose cooldown elapsed to
+        # half-open; the sensor must observe without transitioning.
+        breaker = CircuitBreaker(threshold=1, cooldown=0.0)
+        breaker.record_failure(0.0)
+        mediator = _FakeMediator({"a": breaker})
+        breaker_open_count(mediator)
+        assert breaker.state == "open"

@@ -1,0 +1,58 @@
+"""Decision traces: canonical rendering and the determinism digest."""
+
+from repro.control.trace import Decision, DecisionTrace
+
+
+class TestDecision:
+    def test_canonical_line_sorts_detail_keys(self):
+        decision = Decision(1.5, "scale-up", {"pressure": 2.0, "host": "b"})
+        assert decision.as_line() == (
+            "1.500000000 scale-up host='b' pressure=2.000000000"
+        )
+
+    def test_floats_render_fixed_precision(self):
+        decision = Decision(0.1 + 0.2, "x", {"v": 1 / 3})
+        assert decision.as_line() == "0.300000000 x v=0.333333333"
+
+    def test_as_dict_flattens_detail(self):
+        decision = Decision(2.0, "migrate", {"source": "a"})
+        assert decision.as_dict() == {
+            "time": 2.0,
+            "kind": "migrate",
+            "source": "a",
+        }
+
+
+class TestDecisionTrace:
+    def build(self):
+        trace = DecisionTrace()
+        trace.record(0.0, "scale-up", host="b")
+        trace.record(1.0, "drain-begin", host="c")
+        trace.record(2.0, "scale-up", host="d")
+        return trace
+
+    def test_record_order_and_kinds(self):
+        trace = self.build()
+        assert len(trace) == 3
+        assert trace.kinds() == ["scale-up", "drain-begin", "scale-up"]
+        assert [d.detail["host"] for d in trace.of_kind("scale-up")] == ["b", "d"]
+
+    def test_identical_traces_share_a_digest(self):
+        assert self.build().digest() == self.build().digest()
+
+    def test_any_difference_changes_the_digest(self):
+        base = self.build()
+        other = self.build()
+        other.record(3.0, "drain-finish", host="c")
+        assert base.digest() != other.digest()
+        reordered = DecisionTrace()
+        reordered.record(1.0, "drain-begin", host="c")
+        reordered.record(0.0, "scale-up", host="b")
+        reordered.record(2.0, "scale-up", host="d")
+        assert base.digest() != reordered.digest()
+
+    def test_as_dicts_is_json_shaped(self):
+        import json
+
+        payload = json.dumps(self.build().as_dicts())
+        assert json.loads(payload)[0]["kind"] == "scale-up"
