@@ -1,0 +1,168 @@
+#!/usr/bin/env python
+"""Run the real-transport benchmark; write ``BENCH_rt.json``.
+
+Measures the ORB over asyncio TCP (``repro.rt``) on one machine:
+
+- **sync**: strict request/reply echo round trips on one connection,
+  timed entirely on the transport's event-loop thread (so the number
+  is sockets + framing + ORB dispatch, not cross-thread wakeups);
+- **pipelined**: the same requests written back-to-back in windows
+  and drained, the AMI-style batching the netsim tier models;
+- **process** (skipped with ``--quick``): a client OS process against
+  a server OS process via the harness, the honest two-process figure.
+
+Headline criteria (the subsystem's acceptance bar)::
+
+    sync >= 5,000 req/s on a single connection
+    pipelined >= 2x the sync rate
+
+Usage::
+
+    python benchmarks/run_rt_bench.py [--quick] [--out BENCH_rt.json]
+        [--min-sync-rps 5000] [--min-speedup 2.0] [--no-check]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+from typing import Dict
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.dirname(HERE)
+SRC = os.path.join(ROOT, "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+from repro.orb import giop  # noqa: E402
+from repro.orb.request import Request, reset_request_ids  # noqa: E402
+from repro.rt.client import RtClient  # noqa: E402
+from repro.rt.scenarios import ConformanceEchoServant  # noqa: E402
+from repro.rt.server import RtServer, make_rt_orb  # noqa: E402
+
+PAYLOAD = "benchmark payload, modest but not trivial " * 2
+
+
+def _encoded_requests(ior, count: int):
+    return [
+        giop.encode_request(Request(ior, "echo", (f"{PAYLOAD}{i}",)))
+        for i in range(count)
+    ]
+
+
+def bench_in_process(count: int, window: int, repeats: int) -> Dict[str, float]:
+    """Sync and pipelined rates against an in-process RtServer."""
+    reset_request_ids()
+    orb = make_rt_orb("server")
+    ior = orb.poa.activate_object(ConformanceEchoServant("bench"), object_key="echo")
+    sync_rates, pipe_rates = [], []
+    with RtServer(orb) as server:
+        with RtClient({"server": server.address}) as client:
+            connection = client.connection("server")
+            # Warm up sockets, frames and code paths.
+            warm = _encoded_requests(ior, 50)
+            connection.timed_serial(warm)
+
+            for _ in range(repeats):
+                wires = _encoded_requests(ior, count)
+                replies, elapsed = connection.timed_serial(wires)
+                assert len(replies) == count
+                sync_rates.append(count / elapsed)
+
+            for _ in range(repeats):
+                wires = _encoded_requests(ior, count)
+                got = 0
+                import time as _time
+
+                start = _time.perf_counter()
+                for base in range(0, count, window):
+                    chunk = wires[base : base + window]
+                    replies, _ = connection.timed_pipelined(chunk)
+                    got += len(replies)
+                elapsed = _time.perf_counter() - start
+                assert got == count
+                pipe_rates.append(count / elapsed)
+
+            # Spot-check correctness of the last batch decoded.
+            reply = giop.decode_reply(replies[-1])
+            assert reply.exception is None
+    return {
+        "sync_rps": statistics.median(sync_rates),
+        "pipelined_rps": statistics.median(pipe_rates),
+        "speedup": statistics.median(pipe_rates) / statistics.median(sync_rates),
+        "requests_per_run": count,
+        "window": window,
+        "repeats": repeats,
+    }
+
+
+def bench_two_processes(count: int) -> Dict[str, float]:
+    """The harness figure: real client process against a server process."""
+    from repro.rt.harness import run_client, spawn_server
+
+    with spawn_server("repro.rt.scenarios:echo_server") as server:
+        host, port = server.address
+        result = run_client(
+            "repro.rt.scenarios:echo_client", host, port, {"count": count}
+        )
+    return {
+        "requests": result["count"],
+        "correct": result["correct"],
+        "rps": result["requests_per_s"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI-sized run")
+    parser.add_argument("--out", default=os.path.join(ROOT, "BENCH_rt.json"))
+    parser.add_argument("--min-sync-rps", type=float, default=5000.0)
+    parser.add_argument("--min-speedup", type=float, default=2.0)
+    parser.add_argument("--no-check", action="store_true")
+    args = parser.parse_args(argv)
+
+    count = 2000 if args.quick else 10000
+    repeats = 3 if args.quick else 5
+    window = 64
+
+    report = {
+        "benchmark": "rt",
+        "description": "ORB over asyncio TCP: framed GIOP echo throughput",
+        "config": {"quick": args.quick, "count": count, "window": window},
+        "in_process": bench_in_process(count, window, repeats),
+        "criteria": {
+            "min_sync_rps": args.min_sync_rps,
+            "min_pipelined_speedup": args.min_speedup,
+        },
+    }
+    if not args.quick:
+        report["two_process"] = bench_two_processes(2000)
+
+    in_proc = report["in_process"]
+    checks = {
+        "sync_rps_ok": in_proc["sync_rps"] >= args.min_sync_rps,
+        "pipelined_speedup_ok": in_proc["speedup"] >= args.min_speedup,
+    }
+    report["checks"] = checks
+    report["pass"] = all(checks.values())
+
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+
+    print(
+        f"rt bench: sync {in_proc['sync_rps']:,.0f} req/s, "
+        f"pipelined {in_proc['pipelined_rps']:,.0f} req/s "
+        f"({in_proc['speedup']:.2f}x) -> {args.out}"
+    )
+    for name, ok in checks.items():
+        print(f"  {name}: {'PASS' if ok else 'FAIL'}")
+    if not report["pass"] and not args.no_check:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

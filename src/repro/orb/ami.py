@@ -38,15 +38,8 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.netsim.network import HostCrashed, NoRoute, PacketLost
 from repro.orb import giop
-from repro.orb.exceptions import (
-    COMM_FAILURE,
-    MARSHAL,
-    SystemException,
-    TRANSIENT,
-    mark_unexecuted,
-)
+from repro.orb.exceptions import MARSHAL, SystemException
 from repro.orb.invocation import absorb_reply
 from repro.orb.modules.base import decode_envelope, encode_envelope, is_envelope
 from repro.orb.request import Request
@@ -119,7 +112,7 @@ class ReplyFuture:
         A future still queued in an unflushed window polls False: its
         request has not even departed yet.
         """
-        return self._done and self._orb.clock.now >= self._ready_time
+        return self._done and self._orb.time_source.now() >= self._ready_time
 
     # -- consumption ------------------------------------------------------
 
@@ -138,7 +131,7 @@ class ReplyFuture:
         same exceptions.
         """
         self.flush()
-        self._orb.clock.advance_to(self._ready_time)
+        self._orb.time_source.wait_until(self._ready_time)
         if self._error is not None:
             raise self._error
         return self._reply.value()
@@ -146,7 +139,7 @@ class ReplyFuture:
     def exception(self) -> Optional[Exception]:
         """Like :meth:`result` but returning the exception (or None)."""
         self.flush()
-        self._orb.clock.advance_to(self._ready_time)
+        self._orb.time_source.wait_until(self._ready_time)
         return self._error
 
     def add_done_callback(
@@ -275,9 +268,9 @@ class PipelinedChannel:
             return 0
         orb = self.orb
         module = self.module
-        network = orb.network
+        transport = orb.transport
         marshal_cost = orb.marshal_cost
-        cursor = orb.clock.now
+        cursor = orb.time_source.now()
         wrapped: Optional[List[Tuple[Dict[str, Any], bytes, float]]] = None
         if module.uses_envelope:
             wrapped = module.wrap_burst(
@@ -295,28 +288,21 @@ class PipelinedChannel:
             else:
                 wire = item.body
             pending[item.future.request_id] = item.future
-            # Forward-leg failures are marked unexecuted (the request
-            # never reached a live servant) so reliability replay knows
-            # a re-issue cannot duplicate an execution; reply-leg
-            # failures below stay ambiguous.
+            # The transport seam marks forward-leg failures unexecuted
+            # (the request never reached a live servant) so reliability
+            # replay knows a re-issue cannot duplicate an execution;
+            # reply-leg failures stay ambiguous and unmarked.
             try:
-                delay = network.send(
-                    orb.host_name, self.dest_host, len(wire), item.reservations
+                delay = transport.send_leg(
+                    self.dest_host, len(wire), item.reservations
                 )
-            except HostCrashed as error:
-                self._fail(
-                    item.future, mark_unexecuted(COMM_FAILURE(str(error))), cursor
-                )
-                continue
-            except (NoRoute, PacketLost) as error:
-                self._fail(
-                    item.future, mark_unexecuted(TRANSIENT(str(error))), cursor
-                )
+            except SystemException as error:
+                self._fail(item.future, error, cursor)
                 continue
             try:
-                server = orb.world.orb_at(self.dest_host)
-            except COMM_FAILURE as error:
-                self._fail(item.future, mark_unexecuted(error), cursor + delay)
+                server = transport.peer(self.dest_host)
+            except SystemException as error:
+                self._fail(item.future, error, cursor + delay)
                 continue
             try:
                 reply_wire, finish = server.handle_incoming(wire, cursor + delay)
@@ -324,19 +310,16 @@ class PipelinedChannel:
                 self._fail(item.future, error, cursor + delay)
                 continue
             try:
-                back = network.send(
-                    self.dest_host, orb.host_name, len(reply_wire), item.reservations
+                back = transport.send_leg(
+                    self.dest_host, len(reply_wire), item.reservations, forward=False
                 )
-            except HostCrashed as error:
-                self._fail(item.future, COMM_FAILURE(str(error)), finish)
-                continue
-            except (NoRoute, PacketLost) as error:
-                self._fail(item.future, TRANSIENT(str(error)), finish)
+            except SystemException as error:
+                self._fail(item.future, error, finish)
                 continue
             arrivals.append((finish + back, index, reply_wire))
         # The caller resumes once its send-side work is done; replies
         # complete in their own (possibly reordered) simulated time.
-        orb.clock.advance_to(cursor)
+        orb.time_source.wait_until(cursor)
         # Server-side scheduling (priority/WFQ) may finish later sends
         # first: process replies in completion order and let the
         # correlation map route each to its future.
@@ -469,10 +452,10 @@ class AMIEngine:
         try:
             value = outcome()
         except SystemException as error:
-            future._resolve(None, error, self.orb.clock.now)
+            future._resolve(None, error, self.orb.time_source.now())
         else:
             reply = giop.Reply(request.request_id, {}, value, None)
-            future._resolve(reply, None, self.orb.clock.now)
+            future._resolve(reply, None, self.orb.time_source.now())
         return future
 
     def completed(self, value: Any, dest_host: str = "") -> ReplyFuture:
@@ -482,7 +465,9 @@ class AMIEngine:
         mediator cache hit, a suppressed call).
         """
         future = ReplyFuture(self.orb, 0, dest_host)
-        future._resolve(giop.Reply(0, {}, value, None), None, self.orb.clock.now)
+        future._resolve(
+            giop.Reply(0, {}, value, None), None, self.orb.time_source.now()
+        )
         return future
 
     def flush(self) -> int:

@@ -55,7 +55,7 @@ def absorb_reply(orb: "ORB", server_host: str, reply, now: float) -> None:  # no
 
 def _complete(orb: "ORB", request: Request, reply) -> Any:  # noqa: F821
     """Absorb reply service contexts, then return/raise the outcome."""
-    absorb_reply(orb, request.target.profile.host, reply, orb.clock.now)
+    absorb_reply(orb, request.target.profile.host, reply, orb.time_source.now())
     return reply.value()
 
 

@@ -256,8 +256,8 @@ class QoSModule:
         the caller resumes once the message has left, the server
         processes it in its own (future) time, and no reply travels.
         """
-        clock = orb.clock
-        depart = clock.now
+        clock = orb.time_source
+        depart = clock.now()
         wire = giop.encode_request(request, pools=getattr(orb, "pools", None))
         depart += orb.marshal_cost(len(wire))
         if self.uses_envelope:
@@ -266,7 +266,7 @@ class QoSModule:
             wire = encode_envelope(self.name, params, payload)
         if not request.response_expected:
             orb.one_way(request.target.profile.host, wire, depart)
-            clock.advance_to(depart)
+            clock.wait_until(depart)
             self.requests_sent += 1
             return giop.Reply(request.request_id, {}, None, None)
         reply_wire, finish = orb.round_trip(
@@ -284,7 +284,7 @@ class QoSModule:
             reply_wire, cpu = self.unwrap(params, payload)
             finish += cpu
         finish += orb.marshal_cost(len(reply_wire))
-        clock.advance_to(finish)
+        clock.wait_until(finish)
         self.requests_sent += 1
         return giop.decode_reply(reply_wire)
 
@@ -305,14 +305,14 @@ class QoSModule:
             r.response_expected for r in requests
         ):
             return [self.send_request(orb, request) for request in requests]
-        clock = orb.clock
+        clock = orb.time_source
         pools = getattr(orb, "pools", None)
         bodies = [giop.encode_request(r, pools=pools) for r in requests]
         wrapped = self.wrap_burst(bodies, self.context_for(requests[0]))
         reply_state: Any = None
         replies: List[giop.Reply] = []
         for request, body, (params, payload, cpu) in zip(requests, bodies, wrapped):
-            depart = clock.now + orb.marshal_cost(len(body)) + cpu
+            depart = clock.now() + orb.marshal_cost(len(body)) + cpu
             wire = encode_envelope(self.name, params, payload)
             reply_wire, finish = orb.round_trip(
                 request.target.profile.host,
@@ -332,7 +332,7 @@ class QoSModule:
                 reply_wire, rcpu = self._unwrap_one(rparams, rpayload, reply_state)
                 finish += rcpu
             finish += orb.marshal_cost(len(reply_wire))
-            clock.advance_to(finish)
+            clock.wait_until(finish)
             self.requests_sent += 1
             replies.append(giop.decode_reply(reply_wire))
         return replies

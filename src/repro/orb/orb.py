@@ -16,17 +16,10 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional, Tuple
 
-from repro.netsim.network import HostCrashed, NoRoute, PacketLost
 from repro.orb import giop, invocation
 from repro.orb.ami import AMIEngine, ReplyFuture
 from repro.orb.dii import PseudoObject
-from repro.orb.exceptions import (
-    COMM_FAILURE,
-    MARSHAL,
-    SystemException,
-    TRANSIENT,
-    mark_unexecuted,
-)
+from repro.orb.exceptions import MARSHAL, SystemException, TRANSIENT
 from repro.orb.ior import IOR
 from repro.orb.modules.base import decode_envelope, encode_envelope, is_envelope
 from repro.orb.poa import POA
@@ -63,6 +56,16 @@ class ORB:
         from repro.sched.backpressure import Backpressure
 
         self.backpressure = Backpressure()
+        # The transport seam: how this broker's outgoing bytes travel.
+        # Lazy import for the same downward-dependency reason as above
+        # (repro.rt builds on repro.orb).
+        from repro.rt.transport import NetsimTransport
+
+        self.transport = NetsimTransport(self)
+        #: The Clock protocol instance QoS concerns tell time by; None
+        #: until first use, then a SimClock over the world's kernel
+        #: unless :meth:`use_time_source` installed something else.
+        self._time_source = None
         self.requests_invoked = 0
         self.requests_received = 0
         self.oneway_failures = 0
@@ -86,6 +89,31 @@ class ORB:
     @property
     def network(self):
         return self.world.network
+
+    @property
+    def time_source(self):
+        """The :class:`repro.rt.clock.Clock` this broker tells time by.
+
+        Defaults to a :class:`~repro.rt.clock.SimClock` over the
+        world's event kernel — identical ticks to the old direct
+        ``orb.clock`` arithmetic; the real-transport server installs a
+        :class:`~repro.rt.clock.MonotonicClock` instead.
+        """
+        source = self._time_source
+        if source is None:
+            from repro.rt.clock import SimClock
+
+            source = SimClock(self.clock, getattr(self.world, "kernel", None))
+            self._time_source = source
+        return source
+
+    def use_time_source(self, clock) -> None:
+        """Install a different Clock implementation (the rt server does)."""
+        self._time_source = clock
+
+    def install_transport(self, transport) -> None:
+        """Swap the transport carrying this broker's outgoing bytes."""
+        self.transport = transport
 
     def marshal_cost(self, nbytes: int) -> float:
         """Simulated seconds to push ``nbytes`` through one ORB hop."""
@@ -172,31 +200,11 @@ class ORB:
 
         Returns ``(reply_wire, finish_time)``; the caller advances the
         clock, which lets group modules model parallel fan-out.
-        Network failures surface as CORBA system exceptions.
+        Transport failures surface as CORBA system exceptions, with
+        forward-leg ones marked *unexecuted* (see the transport seam's
+        contract in :mod:`repro.rt.transport`).
         """
-        network = self.network
-        # Forward-leg failures are marked *unexecuted*: the request
-        # never reached a live servant, so a retry cannot duplicate an
-        # execution (see repro.reliability).  Reply-leg failures are
-        # ambiguous and stay unmarked.
-        try:
-            delay = network.send(self.host_name, dest_host, len(wire), reservations)
-        except HostCrashed as error:
-            raise mark_unexecuted(COMM_FAILURE(str(error))) from None
-        except (NoRoute, PacketLost) as error:
-            raise mark_unexecuted(TRANSIENT(str(error))) from None
-        try:
-            server = self.world.orb_at(dest_host)
-        except COMM_FAILURE as error:
-            raise mark_unexecuted(error) from None
-        reply_wire, finish = server.handle_incoming(wire, depart_time + delay)
-        try:
-            back = network.send(dest_host, self.host_name, len(reply_wire), reservations)
-        except HostCrashed as error:
-            raise COMM_FAILURE(str(error)) from None
-        except (NoRoute, PacketLost) as error:
-            raise TRANSIENT(str(error)) from None
-        return reply_wire, finish + back
+        return self.transport.round_trip(dest_host, wire, depart_time, reservations)
 
     def add_wire_observer(self, observer) -> None:
         """Register a wiretap: called as ``observer(direction, wire)``."""
@@ -217,9 +225,9 @@ class ORB:
         """
         request_id = self.allocate_request_id()
         wire = giop.encode_locate_request(request_id, ior.profile.object_key)
-        depart = self.clock.now + self.marshal_cost(len(wire))
+        depart = self.time_source.now() + self.marshal_cost(len(wire))
         reply_wire, finish = self.round_trip(ior.profile.host, wire, depart)
-        self.clock.advance_to(finish + self.marshal_cost(len(reply_wire)))
+        self.time_source.wait_until(finish + self.marshal_cost(len(reply_wire)))
         reply_id, status = giop.decode_locate_reply(reply_wire)
         if reply_id != request_id:
             raise MARSHAL(
@@ -236,13 +244,7 @@ class ORB:
         Transport failures are swallowed (CORBA oneway is best-effort)
         but counted.
         """
-        network = self.network
-        try:
-            delay = network.send(self.host_name, dest_host, len(wire))
-            server = self.world.orb_at(dest_host)
-            server.handle_incoming(wire, depart_time + delay)
-        except (HostCrashed, NoRoute, PacketLost, COMM_FAILURE):
-            self.oneway_failures += 1
+        self.transport.one_way(dest_host, wire, depart_time)
 
     # -- server side ----------------------------------------------------------
 

@@ -70,6 +70,12 @@ class PerfCounters:
         "ctl_renegotiations",
         "ctl_actuations",
         "ctl_actuation_time",
+        "rt_connections",
+        "rt_frames_in",
+        "rt_frames_out",
+        "rt_bytes_in",
+        "rt_bytes_out",
+        "rt_partial_frames",
     )
 
     def __init__(self) -> None:
@@ -133,6 +139,12 @@ class PerfCounters:
         self.ctl_renegotiations = 0
         self.ctl_actuations = 0
         self.ctl_actuation_time = 0.0
+        self.rt_connections = 0
+        self.rt_frames_in = 0
+        self.rt_frames_out = 0
+        self.rt_bytes_in = 0
+        self.rt_bytes_out = 0
+        self.rt_partial_frames = 0
 
     def note_actuation(self, seconds: float) -> None:
         """Record one control-plane actuation and its simulated latency."""
@@ -229,6 +241,12 @@ class PerfCounters:
                 if self.ctl_actuations
                 else 0.0
             ),
+            "rt_connections": self.rt_connections,
+            "rt_frames_in": self.rt_frames_in,
+            "rt_frames_out": self.rt_frames_out,
+            "rt_bytes_in": self.rt_bytes_in,
+            "rt_bytes_out": self.rt_bytes_out,
+            "rt_partial_frames": self.rt_partial_frames,
         }
 
 

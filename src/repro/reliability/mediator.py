@@ -123,13 +123,13 @@ class ReliabilityMediator(Mediator):
                 self._check_deadline(stub, deadline_at)
                 target: Optional[IOR] = None
                 try:
-                    target = self._select_target(stub, orb.clock.now)
+                    target = self._select_target(stub, orb.time_source.now())
                     return_value = self._issue(
                         stub, operation, args, target, deadline_at
                     )
                 except SystemException as exc:
                     if target is not None:
-                        self._breaker(target).record_failure(orb.clock.now)
+                        self._breaker(target).record_failure(orb.time_source.now())
                     error = exc
                 else:
                     self._breaker(target).record_success()
@@ -169,7 +169,7 @@ class ReliabilityMediator(Mediator):
         return stub._invoke(operation, args, contexts, target)
 
     def _check_deadline(self, stub: Any, deadline_at: Optional[float]) -> None:
-        if deadline_at is not None and stub._orb.clock.now >= deadline_at:
+        if deadline_at is not None and stub._orb.time_source.now() >= deadline_at:
             self.deadlines_expired += 1
             COUNTERS.rel_deadline_expired += 1
             raise TIMEOUT(
@@ -202,14 +202,16 @@ class ReliabilityMediator(Mediator):
             # later rotation back sees it).
             retry_after = getattr(error, "retry_after", None)
             if retry_after:
-                orb.backpressure.note(failing_host, float(retry_after), orb.clock.now)
+                orb.backpressure.note(
+                    failing_host, float(retry_after), orb.time_source.now()
+                )
             rotation.advance()
             delay = 0.0
         else:
             delay = orb.backpressure.retry_delay(
-                failing_host, error, orb.clock.now, self.backoff.delay(attempt)
+                failing_host, error, orb.time_source.now(), self.backoff.delay(attempt)
             )
-        if deadline_at is not None and orb.clock.now + delay >= deadline_at:
+        if deadline_at is not None and orb.time_source.now() + delay >= deadline_at:
             self.deadlines_expired += 1
             COUNTERS.rel_deadline_expired += 1
             raise TIMEOUT(
@@ -217,7 +219,7 @@ class ReliabilityMediator(Mediator):
                 f"{deadline_at:.6f}s"
             ) from error
         if delay > 0.0:
-            orb.clock.advance(delay)
+            orb.time_source.wait(delay)
 
     # -- deferred (AMI) calls ---------------------------------------------
 
@@ -233,11 +235,11 @@ class ReliabilityMediator(Mediator):
         target: Optional[IOR] = None
         try:
             self._check_deadline(stub, deadline_at)
-            target = self._select_target(stub, orb.clock.now)
+            target = self._select_target(stub, orb.time_source.now())
             inner = self._issue(stub, operation, args, target, deadline_at)
         except SystemException as exc:
             if target is not None:
-                self._breaker(target).record_failure(orb.clock.now)
+                self._breaker(target).record_failure(orb.time_source.now())
             future._complete_with_recovery(exc, attempt=0)
             return future
         future._adopt(inner, target)
@@ -303,7 +305,7 @@ class ReliabilityMediator(Mediator):
         self._next_deadline = None
         if seconds is None:
             return None
-        return stub._orb.clock.now + seconds
+        return stub._orb.time_source.now() + seconds
 
     def _rotation(self, stub: Any) -> FailoverRotation:
         key = stub._ior.binding_key()
@@ -407,7 +409,7 @@ class ReliableReplyFuture(ReplyFuture):
             return
         error = inner.error
         orb = self._orb
-        known_at = max(orb.clock.now, inner.ready_time)
+        known_at = max(orb.time_source.now(), inner.ready_time)
         breaker = self._mediator._breaker(self._target)
         if error is None:
             # Acknowledged: the reply correlated back — never replayed.
@@ -416,7 +418,7 @@ class ReliableReplyFuture(ReplyFuture):
             return
         breaker.record_failure(known_at)
         COUNTERS.rel_replays += 1
-        orb.clock.advance_to(known_at)
+        orb.time_source.wait_until(known_at)
         self._complete_with_recovery(error, attempt=0)
 
     def _complete_with_recovery(
@@ -437,9 +439,9 @@ class ReliableReplyFuture(ReplyFuture):
             self._resolve(
                 None,
                 final,
-                orb.clock.now,
+                orb.time_source.now(),
                 transport=bool(getattr(final, "unexecuted", False)),
             )
         else:
             reply = giop.Reply(self.request_id, {}, value, None)
-            self._resolve(reply, None, orb.clock.now)
+            self._resolve(reply, None, orb.time_source.now())

@@ -1,0 +1,129 @@
+"""The Clock protocol: one time interface, simulated or wall.
+
+Deadline shedding, retry backoff, breaker half-open probes and pacing
+all need three verbs — *what time is it*, *wait this long*, *run this
+later* — and none of them cares whether the seconds are simulated or
+real.  This module names that contract.  The ORB exposes an instance
+as ``orb.time_source``; under netsim it is a :class:`SimClock` over
+the event kernel (so every existing test sees bit-identical timing),
+while the real-transport server swaps in a :class:`MonotonicClock`
+and the very same QoS code runs on wall-clock time.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Optional
+
+
+class Clock:
+    """Protocol: the time surface QoS concerns are allowed to touch."""
+
+    def now(self) -> float:
+        """Current time in seconds (origin is implementation-defined)."""
+        raise NotImplementedError
+
+    def wait(self, seconds: float) -> float:
+        """Block the caller for ``seconds``; returns the new now()."""
+        raise NotImplementedError
+
+    def wait_until(self, instant: float) -> float:
+        """Block until ``instant`` (no-op if already past); returns now()."""
+        raise NotImplementedError
+
+    def schedule_after(self, delay: float, fn: Callable[..., Any], *args: Any):
+        """Run ``fn(*args)`` after ``delay`` seconds; returns a cancellable."""
+        raise NotImplementedError
+
+
+class SimClock(Clock):
+    """The existing discrete-event kernel behind the Clock protocol.
+
+    ``wait``/``wait_until`` advance simulated time exactly like the
+    old direct ``clock.advance``/``advance_to`` calls did, so every
+    deterministic trace is preserved to the tick.
+    """
+
+    __slots__ = ("_clock", "_kernel")
+
+    def __init__(self, clock: Any = None, kernel: Any = None) -> None:
+        if clock is None:
+            if kernel is None:
+                raise ValueError("SimClock needs a netsim clock or a kernel")
+            clock = kernel.clock
+        self._clock = clock
+        self._kernel = kernel
+
+    def now(self) -> float:
+        return self._clock.now
+
+    def wait(self, seconds: float) -> float:
+        if seconds > 0.0:
+            self._clock.advance(seconds)
+        return self._clock.now
+
+    def wait_until(self, instant: float) -> float:
+        self._clock.advance_to(instant)
+        return self._clock.now
+
+    def schedule_after(self, delay: float, fn: Callable[..., Any], *args: Any):
+        if self._kernel is None:
+            raise RuntimeError("this SimClock has no event kernel to schedule on")
+        return self._kernel.schedule(delay, fn, *args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self._clock.now:.6f})"
+
+
+class _TimerHandle:
+    """Cancellation handle for a MonotonicClock deferred call."""
+
+    __slots__ = ("_timer",)
+
+    def __init__(self, timer: threading.Timer) -> None:
+        self._timer = timer
+
+    def cancel(self) -> None:
+        self._timer.cancel()
+
+
+class MonotonicClock(Clock):
+    """Wall-clock time, origin-shifted so a fresh clock starts near 0.
+
+    Built on ``time.monotonic`` (immune to NTP steps); ``wait`` really
+    sleeps and ``schedule_after`` arms a daemon timer thread.  The
+    epoch shift keeps instants in the same small-positive range the
+    simulated clock produces, so deadlines and retry-after arithmetic
+    behave identically on both substrates.
+    """
+
+    __slots__ = ("_origin",)
+
+    def __init__(self, origin: Optional[float] = None) -> None:
+        self._origin = time.monotonic() if origin is None else origin
+
+    def now(self) -> float:
+        return time.monotonic() - self._origin
+
+    def wait(self, seconds: float) -> float:
+        if seconds > 0.0:
+            time.sleep(seconds)
+        return self.now()
+
+    def wait_until(self, instant: float) -> float:
+        remaining = instant - self.now()
+        if remaining > 0.0:
+            time.sleep(remaining)
+        return self.now()
+
+    def schedule_after(
+        self, delay: float, fn: Callable[..., Any], *args: Any
+    ) -> _TimerHandle:
+        timer = threading.Timer(max(delay, 0.0), fn, args)
+        timer.daemon = True
+        timer.start()
+        return _TimerHandle(timer)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MonotonicClock(now={self.now():.6f})"

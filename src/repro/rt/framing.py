@@ -1,0 +1,100 @@
+"""Length-prefixed framing for GIOP messages on a byte stream.
+
+The repro's GIOP header is magic + version + message type — it carries
+no body length, because netsim delivers whole messages.  TCP does not:
+a reader sees arbitrary chunks.  Rather than change the GIOP header
+(and with it every byte-identity guarantee the test suite asserts),
+the real transport wraps each message in its own frame::
+
+    b"MQRT" | uint32 big-endian payload length | payload
+
+:class:`FrameDecoder` is the incremental half: feed it whatever the
+socket produced — one byte at a time if the kernel is feeling cruel —
+and it yields complete GIOP payloads as they close.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List
+
+from repro.perf.counters import COUNTERS
+
+FRAME_MAGIC = b"MQRT"
+_HEADER = struct.Struct(">4sI")
+HEADER_SIZE = _HEADER.size
+#: Upper bound on one frame's payload; a stream whose header claims
+#: more is corrupt (or hostile) and the connection must die, not
+#: buffer unboundedly.
+MAX_FRAME = 64 * 1024 * 1024
+
+
+class FramingError(Exception):
+    """The byte stream is not valid MQRT framing."""
+
+
+def encode_frame(payload: bytes) -> bytes:
+    """One framed message, ready for a stream write."""
+    if len(payload) > MAX_FRAME:
+        raise FramingError(f"payload of {len(payload)} bytes exceeds MAX_FRAME")
+    return _HEADER.pack(FRAME_MAGIC, len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental header-then-body reassembly of framed messages.
+
+    Stateful per connection: :meth:`feed` consumes one received chunk
+    and returns every payload completed by it (zero or more).  Partial
+    headers and partial bodies are buffered across calls.
+    """
+
+    __slots__ = ("_buffer", "_expected", "frames_decoded", "partial_feeds")
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        #: Payload length announced by the current header, or None
+        #: while the header itself is still incomplete.
+        self._expected: int | None = None
+        self.frames_decoded = 0
+        #: Feeds that ended with an incomplete frame still buffered.
+        self.partial_feeds = 0
+
+    @property
+    def pending(self) -> int:
+        """Bytes buffered toward an incomplete frame."""
+        return len(self._buffer)
+
+    def feed(self, chunk: bytes) -> List[bytes]:
+        """Consume one chunk; return the payloads it completed."""
+        buffer = self._buffer
+        buffer += chunk
+        frames: List[bytes] = []
+        while True:
+            if self._expected is None:
+                if len(buffer) < HEADER_SIZE:
+                    break
+                magic, length = _HEADER.unpack_from(buffer)
+                if magic != FRAME_MAGIC:
+                    raise FramingError(f"bad frame magic {bytes(magic)!r}")
+                if length > MAX_FRAME:
+                    raise FramingError(
+                        f"frame of {length} bytes exceeds MAX_FRAME"
+                    )
+                self._expected = length
+            end = HEADER_SIZE + self._expected
+            if len(buffer) < end:
+                break
+            frames.append(bytes(buffer[HEADER_SIZE:end]))
+            del buffer[:end]
+            self._expected = None
+            self.frames_decoded += 1
+        if buffer:
+            self.partial_feeds += 1
+            COUNTERS.rt_partial_frames += 1
+        return frames
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FrameDecoder(pending={len(self._buffer)}, "
+            f"decoded={self.frames_decoded})"
+        )

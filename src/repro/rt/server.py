@@ -1,0 +1,186 @@
+"""RtServer: an ordinary ORB served over asyncio TCP on wall time.
+
+The server half of the ORB was always substrate-free:
+``ORB.handle_incoming(wire, at_time)`` never reads a clock — every
+instant it uses flows in through ``at_time``.  So hosting it on real
+sockets needs no ORB changes at all: each framed GIOP message that
+arrives is handed to ``handle_incoming`` stamped with a
+:class:`~repro.rt.clock.MonotonicClock` reading, and the scheduler,
+QoS modules and POA run unchanged — deadlines, token buckets and
+queue-depth admission all operating coherently on wall-clock seconds.
+
+The wire contract (see :class:`repro.rt.transport.RtConnection`): the
+server answers every frame, including oneway requests — their reply
+frame is a transport-level acknowledgement the client discards — so
+per-connection FIFO framing never desynchronises.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Optional, Tuple
+
+from repro.orb.world import World
+from repro.perf.counters import COUNTERS
+from repro.rt.clock import MonotonicClock
+from repro.rt.framing import FrameDecoder, FramingError, encode_frame
+
+
+def make_rt_orb(host_name: str = "server"):
+    """A standalone ORB suitable for real-transport serving.
+
+    Built on a one-host :class:`~repro.orb.world.World` so every
+    ORB facility (POA, QoS transport, scheduler install) works; the
+    simulated network under it carries no traffic — the sockets do.
+    The *logical* host name matters: it is what IORs minted by this
+    ORB's POA carry, and what clients map to a real address.
+    """
+    world = World()
+    world.add_host(host_name)
+    return world.orb(host_name)
+
+
+class RtServer:
+    """Serve one ORB's objects over framed GIOP on asyncio TCP."""
+
+    def __init__(
+        self,
+        orb: Any = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        clock: Optional[MonotonicClock] = None,
+    ) -> None:
+        self.orb = orb if orb is not None else make_rt_orb()
+        self.clock = clock if clock is not None else MonotonicClock()
+        # Reliability/backoff timers on this broker now tick in wall
+        # seconds — the same QoS code, second substrate.
+        self.orb.use_time_source(self.clock)
+        self._host = host
+        self._port = port
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._conn_tasks: set = set()
+        self.address: Optional[Tuple[str, int]] = None
+        self.connections_served = 0
+
+    # -- the connection loop ---------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections_served += 1
+        COUNTERS.rt_connections += 1
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        decoder = FrameDecoder()
+        try:
+            while True:
+                chunk = await reader.read(65536)
+                if not chunk:
+                    break
+                COUNTERS.rt_bytes_in += len(chunk)
+                try:
+                    frames = decoder.feed(chunk)
+                except FramingError:
+                    break
+                COUNTERS.rt_frames_in += len(frames)
+                for wire in frames:
+                    reply_wire, _ = self.orb.handle_incoming(
+                        wire, self.clock.now()
+                    )
+                    frame = encode_frame(reply_wire)
+                    writer.write(frame)
+                    COUNTERS.rt_frames_out += 1
+                    COUNTERS.rt_bytes_out += len(frame)
+                if frames:
+                    await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        except asyncio.CancelledError:
+            # stop() cancels live handlers; finish normally so asyncio's
+            # stream done-callback doesn't log the cancellation.
+            pass
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError, RuntimeError):
+                pass
+
+    async def _start(self) -> Tuple[str, int]:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        return sockname[0], sockname[1]
+
+    # -- threaded lifecycle (in-process tests and drivers) ----------------
+
+    def start(self) -> Tuple[str, int]:
+        """Run the server on a background event-loop thread.
+
+        Returns the bound ``(host, port)`` once the socket listens.
+        """
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="rt-server", daemon=True
+        )
+        self._thread.start()
+        future = asyncio.run_coroutine_threadsafe(self._start(), self._loop)
+        self.address = future.result(10.0)
+        return self.address
+
+    def stop(self) -> None:
+        if self._loop is None:
+            return
+
+        async def _close() -> None:
+            if self._server is not None:
+                self._server.close()
+                await self._server.wait_closed()
+            # Drain live connection handlers before the loop dies, so
+            # none is garbage-collected mid-await on a closed loop.
+            tasks = list(self._conn_tasks)
+            for pending in tasks:
+                pending.cancel()
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+
+        asyncio.run_coroutine_threadsafe(_close(), self._loop).result(5.0)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._loop.close()
+        self._loop = None
+        self._thread = None
+
+    def __enter__(self) -> "RtServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    # -- blocking lifecycle (subprocess children) -------------------------
+
+    def serve_forever(self, on_ready=None) -> None:
+        """Run in the calling thread until cancelled (harness children).
+
+        ``on_ready(host, port)`` fires once the socket listens —
+        the process harness uses it to print the readiness line.
+        """
+
+        async def _main() -> None:
+            address = await self._start()
+            self.address = address
+            if on_ready is not None:
+                on_ready(*address)
+            async with self._server:
+                await self._server.serve_forever()
+
+        asyncio.run(_main())

@@ -1,0 +1,283 @@
+"""The transport seam: how request bytes reach their destination.
+
+:class:`Transport` is the narrow interface the ORB's client side binds
+against; everything above it (modules, scheduler, mediators, AMI) is
+substrate-free.  Two implementations:
+
+- :class:`NetsimTransport` — the simulated binding path extracted
+  verbatim from the old ``ORB.round_trip``/``one_way``: the netsim
+  ``Network`` carries the bytes, the destination ORB is invoked
+  in-process, and failures surface as the exact CORBA exceptions
+  (with the same unexecuted markings) the reliability layer keys on.
+- :class:`AsyncioTransport` — framed GIOP over real TCP sockets, used
+  by :class:`repro.rt.client.RtClient` against a
+  :class:`repro.rt.server.RtServer`.  It owns a background asyncio
+  event loop so synchronous callers (and benchmarks) can drive it.
+
+Failure-marking contract (shared by both): a failure on the *forward*
+leg is marked unexecuted — the request never reached a live servant,
+so a retry cannot duplicate an execution; reply-leg failures are
+ambiguous and stay unmarked.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.netsim.network import HostCrashed, NoRoute, PacketLost
+from repro.orb.exceptions import COMM_FAILURE, TRANSIENT, mark_unexecuted
+from repro.perf.counters import COUNTERS
+from repro.rt.framing import FrameDecoder, encode_frame
+
+
+class Transport:
+    """What the ORB needs from a wire: legs, peers, round trips."""
+
+    def send_leg(
+        self,
+        dest_host: str,
+        nbytes: int,
+        reservations: Optional[Dict[int, float]] = None,
+        forward: bool = True,
+    ) -> float:
+        """Carry ``nbytes`` one way; returns the transit delay."""
+        raise NotImplementedError
+
+    def peer(self, dest_host: str):
+        """The entity that will process bytes sent to ``dest_host``."""
+        raise NotImplementedError
+
+    def round_trip(
+        self,
+        dest_host: str,
+        wire: bytes,
+        depart_time: float,
+        reservations: Optional[Dict[int, float]] = None,
+    ) -> Tuple[bytes, float]:
+        """Full exchange; returns ``(reply_wire, finish_time)``."""
+        raise NotImplementedError
+
+    def one_way(self, dest_host: str, wire: bytes, depart_time: float) -> None:
+        """Fire-and-forget delivery; failures swallowed but counted."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any underlying resources (idempotent)."""
+
+
+class NetsimTransport(Transport):
+    """The simulated substrate, unchanged semantics behind the seam."""
+
+    __slots__ = ("orb",)
+
+    def __init__(self, orb: Any) -> None:
+        self.orb = orb
+
+    def send_leg(
+        self,
+        dest_host: str,
+        nbytes: int,
+        reservations: Optional[Dict[int, float]] = None,
+        forward: bool = True,
+    ) -> float:
+        orb = self.orb
+        src, dst = (
+            (orb.host_name, dest_host) if forward else (dest_host, orb.host_name)
+        )
+        try:
+            return orb.network.send(src, dst, nbytes, reservations)
+        except HostCrashed as error:
+            failure = COMM_FAILURE(str(error))
+        except (NoRoute, PacketLost) as error:
+            failure = TRANSIENT(str(error))
+        raise (mark_unexecuted(failure) if forward else failure) from None
+
+    def peer(self, dest_host: str) -> Any:
+        try:
+            return self.orb.world.orb_at(dest_host)
+        except COMM_FAILURE as error:
+            raise mark_unexecuted(error) from None
+
+    def round_trip(
+        self,
+        dest_host: str,
+        wire: bytes,
+        depart_time: float,
+        reservations: Optional[Dict[int, float]] = None,
+    ) -> Tuple[bytes, float]:
+        delay = self.send_leg(dest_host, len(wire), reservations)
+        server = self.peer(dest_host)
+        reply_wire, finish = server.handle_incoming(wire, depart_time + delay)
+        back = self.send_leg(dest_host, len(reply_wire), reservations, forward=False)
+        return reply_wire, finish + back
+
+    def one_way(self, dest_host: str, wire: bytes, depart_time: float) -> None:
+        try:
+            delay = self.send_leg(dest_host, len(wire))
+            server = self.peer(dest_host)
+            server.handle_incoming(wire, depart_time + delay)
+        except (COMM_FAILURE, TRANSIENT):
+            self.orb.oneway_failures += 1
+
+
+class RtConnection:
+    """One framed-GIOP TCP connection, driven from synchronous code.
+
+    The wire contract is strict request/reply alternation per frame:
+    the server answers *every* frame — oneway requests get their reply
+    frame back as a transport-level acknowledgement the client
+    discards — so per-connection FIFO framing can never desynchronise.
+    Pipelined windows write N frames back-to-back and then collect N
+    replies; GIOP request ids do the correlation above this layer.
+    """
+
+    __slots__ = ("_transport", "_reader", "_writer", "_decoder", "_ready", "peername")
+
+    def __init__(self, transport: "AsyncioTransport", reader, writer) -> None:
+        self._transport = transport
+        self._reader = reader
+        self._writer = writer
+        self._decoder = FrameDecoder()
+        #: Frames received but not yet consumed (pipelining).
+        self._ready: Deque[bytes] = deque()
+        self.peername = writer.get_extra_info("peername")
+
+    # -- synchronous surface ---------------------------------------------
+
+    def round_trip(self, wire: bytes) -> bytes:
+        """Send one frame, wait for its reply frame."""
+        return self._transport.call(self._round_trip(wire))
+
+    def round_trip_many(self, wires: List[bytes]) -> List[bytes]:
+        """Send a window of frames back-to-back, then collect replies."""
+        return self._transport.call(self._round_trip_many(wires))
+
+    def timed_serial(self, wires: List[bytes]) -> Tuple[List[bytes], float]:
+        """Strict request/reply loop timed entirely on the loop thread.
+
+        Benchmarks use this so the per-call cost measured is sockets
+        and the ORB, not cross-thread future wakeups.
+        """
+        return self._transport.call(self._timed(wires, pipelined=False))
+
+    def timed_pipelined(self, wires: List[bytes]) -> Tuple[List[bytes], float]:
+        """Windowed send-all-then-drain loop timed on the loop thread."""
+        return self._transport.call(self._timed(wires, pipelined=True))
+
+    def close(self) -> None:
+        self._transport.call(self._close())
+
+    # -- coroutines -------------------------------------------------------
+
+    async def _send(self, wire: bytes) -> None:
+        frame = encode_frame(wire)
+        self._writer.write(frame)
+        COUNTERS.rt_frames_out += 1
+        COUNTERS.rt_bytes_out += len(frame)
+        await self._writer.drain()
+
+    async def _recv(self) -> bytes:
+        while not self._ready:
+            chunk = await self._reader.read(65536)
+            if not chunk:
+                raise COMM_FAILURE("connection closed by peer")
+            COUNTERS.rt_bytes_in += len(chunk)
+            frames = self._decoder.feed(chunk)
+            COUNTERS.rt_frames_in += len(frames)
+            self._ready.extend(frames)
+        return self._ready.popleft()
+
+    async def _round_trip(self, wire: bytes) -> bytes:
+        try:
+            await self._send(wire)
+            return await self._recv()
+        except (ConnectionError, OSError) as error:
+            raise COMM_FAILURE(f"rt transport failed: {error}") from None
+
+    async def _round_trip_many(self, wires: List[bytes]) -> List[bytes]:
+        try:
+            writer = self._writer
+            nbytes = 0
+            for wire in wires:
+                frame = encode_frame(wire)
+                writer.write(frame)
+                nbytes += len(frame)
+            COUNTERS.rt_frames_out += len(wires)
+            COUNTERS.rt_bytes_out += nbytes
+            await writer.drain()
+            return [await self._recv() for _ in wires]
+        except (ConnectionError, OSError) as error:
+            raise COMM_FAILURE(f"rt transport failed: {error}") from None
+
+    async def _timed(
+        self, wires: List[bytes], pipelined: bool
+    ) -> Tuple[List[bytes], float]:
+        import time
+
+        start = time.perf_counter()
+        if pipelined:
+            replies = await self._round_trip_many(wires)
+        else:
+            replies = []
+            for wire in wires:
+                replies.append(await self._round_trip(wire))
+        return replies, time.perf_counter() - start
+
+    async def _close(self) -> None:
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown race
+            pass
+
+
+class AsyncioTransport:
+    """Client-side connection factory over a background event loop.
+
+    Owns one asyncio loop on a daemon thread; synchronous callers
+    submit coroutines through :meth:`call`.  Connections are plain
+    ``(reader, writer)`` stream pairs wrapped in :class:`RtConnection`.
+    """
+
+    def __init__(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="rt-transport", daemon=True
+        )
+        self._thread.start()
+        self._closed = False
+
+    def call(self, coro, timeout: Optional[float] = 30.0):
+        """Run ``coro`` on the transport loop; return its result."""
+        future = asyncio.run_coroutine_threadsafe(coro, self._loop)
+        return future.result(timeout)
+
+    def connect(self, host: str, port: int, timeout: float = 10.0) -> RtConnection:
+        """Open a framed-GIOP connection; connect failures are unexecuted."""
+        try:
+            reader, writer = self.call(
+                asyncio.open_connection(host, port), timeout
+            )
+        except (ConnectionError, OSError) as error:
+            raise mark_unexecuted(
+                COMM_FAILURE(f"cannot connect to {host}:{port}: {error}")
+            ) from None
+        COUNTERS.rt_connections += 1
+        return RtConnection(self, reader, writer)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=5.0)
+        self._loop.close()
+
+    def __enter__(self) -> "AsyncioTransport":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

@@ -101,10 +101,10 @@ class PacingMediator(Mediator):
         self.calls_intercepted += 1
         orb = stub._orb
         delay = orb.backpressure.suggested_delay(
-            stub._ior.profile.host, orb.clock.now
+            stub._ior.profile.host, orb.time_source.now()
         )
         if delay > 0.0:
-            orb.clock.advance(delay)
+            orb.time_source.wait(delay)
             self.delays_taken += 1
             self.delay_total += delay
         return stub._invoke(operation, args)

@@ -1,0 +1,113 @@
+"""MQRT framing: partial reads down to one byte at a time."""
+
+import pytest
+
+from repro.orb import giop
+from repro.orb.ior import IIOPProfile, IOR
+from repro.orb.request import Request
+from repro.rt.framing import (
+    FRAME_MAGIC,
+    HEADER_SIZE,
+    MAX_FRAME,
+    FrameDecoder,
+    FramingError,
+    encode_frame,
+)
+
+
+def _some_giop_wire():
+    ior = IOR("IDL:test/Echo:1.0", IIOPProfile("server", 683, "echo"), [])
+    return giop.encode_request(Request(ior, "echo", ("payload",)))
+
+
+class TestEncodeFrame:
+    def test_layout(self):
+        frame = encode_frame(b"abc")
+        assert frame[:4] == FRAME_MAGIC
+        assert frame[4:8] == (3).to_bytes(4, "big")
+        assert frame[8:] == b"abc"
+
+    def test_empty_payload(self):
+        assert encode_frame(b"") == FRAME_MAGIC + b"\x00\x00\x00\x00"
+
+    def test_oversize_payload_rejected(self):
+        with pytest.raises(FramingError):
+            encode_frame(b"\x00" * (MAX_FRAME + 1))
+
+
+class TestFrameDecoder:
+    def test_roundtrip_single_frame(self):
+        wire = _some_giop_wire()
+        decoder = FrameDecoder()
+        assert decoder.feed(encode_frame(wire)) == [wire]
+        assert decoder.pending == 0
+
+    def test_one_byte_at_a_time(self):
+        wire = _some_giop_wire()
+        frame = encode_frame(wire)
+        decoder = FrameDecoder()
+        collected = []
+        for index in range(len(frame)):
+            got = decoder.feed(frame[index : index + 1])
+            if index < len(frame) - 1:
+                assert got == []
+            collected.extend(got)
+        assert collected == [wire]
+        assert decoder.pending == 0
+        assert decoder.partial_feeds == len(frame) - 1
+
+    def test_two_frames_one_byte_at_a_time(self):
+        wires = [b"first", _some_giop_wire()]
+        stream = b"".join(encode_frame(w) for w in wires)
+        decoder = FrameDecoder()
+        collected = []
+        for index in range(len(stream)):
+            collected.extend(decoder.feed(stream[index : index + 1]))
+        assert collected == wires
+
+    def test_many_frames_in_one_chunk(self):
+        wires = [bytes([i]) * (i + 1) for i in range(10)]
+        stream = b"".join(encode_frame(w) for w in wires)
+        decoder = FrameDecoder()
+        assert decoder.feed(stream) == wires
+        assert decoder.frames_decoded == 10
+
+    def test_split_across_uneven_chunks(self):
+        wires = [b"x" * 100, b"y" * 3, b"z" * 57]
+        stream = b"".join(encode_frame(w) for w in wires)
+        decoder = FrameDecoder()
+        collected = []
+        cut1, cut2 = 7, 113  # mid-header and mid-body
+        for chunk in (stream[:cut1], stream[cut1:cut2], stream[cut2:]):
+            collected.extend(decoder.feed(chunk))
+        assert collected == wires
+
+    def test_empty_frame_decodes(self):
+        decoder = FrameDecoder()
+        assert decoder.feed(encode_frame(b"")) == [b""]
+
+    def test_bad_magic_raises(self):
+        decoder = FrameDecoder()
+        with pytest.raises(FramingError):
+            decoder.feed(b"GIOP" + b"\x00" * 10)
+
+    def test_bad_magic_detected_even_fed_bytewise(self):
+        decoder = FrameDecoder()
+        bad = b"MQRX" + (4).to_bytes(4, "big")
+        with pytest.raises(FramingError):
+            for index in range(len(bad)):
+                decoder.feed(bad[index : index + 1])
+
+    def test_oversize_announcement_raises(self):
+        decoder = FrameDecoder()
+        header = FRAME_MAGIC + (MAX_FRAME + 1).to_bytes(4, "big")
+        with pytest.raises(FramingError):
+            decoder.feed(header)
+
+    def test_pending_counts_buffered_bytes(self):
+        decoder = FrameDecoder()
+        frame = encode_frame(b"hello")
+        decoder.feed(frame[: HEADER_SIZE + 2])
+        assert decoder.pending == HEADER_SIZE + 2
+        assert decoder.feed(frame[HEADER_SIZE + 2 :]) == [b"hello"]
+        assert decoder.pending == 0

@@ -1,0 +1,39 @@
+"""The process harness: server and client in separate OS processes."""
+
+import pytest
+
+from repro.rt.harness import resolve, run_client, spawn_server
+
+
+class TestResolve:
+    def test_resolves_module_attr(self):
+        fn = resolve("repro.rt.scenarios:echo_server")
+        assert callable(fn)
+
+    def test_rejects_malformed_spec(self):
+        with pytest.raises(ValueError):
+            resolve("no.colon.here")
+
+
+class TestTwoProcesses:
+    def test_cross_process_round_trips(self):
+        with spawn_server("repro.rt.scenarios:echo_server") as server:
+            host, port = server.address
+            result = run_client(
+                "repro.rt.scenarios:echo_client", host, port, {"count": 50}
+            )
+        assert result["count"] == 50
+        assert result["correct"] == 50
+        assert result["requests_per_s"] > 0
+
+    def test_two_clients_share_one_server(self):
+        with spawn_server("repro.rt.scenarios:echo_server") as server:
+            host, port = server.address
+            first = run_client(
+                "repro.rt.scenarios:echo_client", host, port, {"count": 20}
+            )
+            second = run_client(
+                "repro.rt.scenarios:echo_client", host, port, {"count": 20}
+            )
+        assert first["correct"] == 20
+        assert second["correct"] == 20

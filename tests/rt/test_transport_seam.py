@@ -1,0 +1,93 @@
+"""The transport seam: the ORB binds against Transport, not netsim."""
+
+import pytest
+
+from repro.orb.exceptions import COMM_FAILURE, TRANSIENT, is_unexecuted
+from repro.orb.ior import IIOPProfile, IOR
+from repro.orb.request import Request
+from repro.orb.servant import Servant
+from repro.orb.world import World
+from repro.rt.transport import NetsimTransport, Transport
+
+
+class _Echo(Servant):
+    _repo_id = "IDL:test/Echo:1.0"
+    _default_service_time = 0.001
+
+    def echo(self, text):
+        return text.upper()
+
+
+def _world():
+    world = World()
+    world.lan(["client", "server", "ghost"])
+    return world
+
+
+class TestNetsimTransport:
+    def test_orb_installs_it_by_default(self):
+        world = _world()
+        orb = world.orb("client")
+        assert isinstance(orb.transport, NetsimTransport)
+        assert isinstance(orb.transport, Transport)
+
+    def test_round_trip_still_invokes(self):
+        world = _world()
+        server = world.orb("server")
+        ior = server.poa.activate_object(_Echo())
+        client = world.orb("client")
+        assert client.invoke(Request(ior, "echo", ("hi",))) == "HI"
+
+    def test_peer_lookup_failure_is_unexecuted_comm_failure(self):
+        # "ghost" has links but no ORB: the forward leg succeeds, the
+        # peer lookup fails, and the request provably never executed.
+        world = _world()
+        client = world.orb("client")
+        ior = IOR("IDL:test/Echo:1.0", IIOPProfile("ghost", 683, "k"), [])
+        with pytest.raises(COMM_FAILURE) as excinfo:
+            client.invoke(Request(ior, "echo", ("hi",)))
+        assert is_unexecuted(excinfo.value)
+
+    def test_forward_leg_crash_is_unexecuted(self):
+        world = _world()
+        world.orb("server").poa.activate_object(_Echo(), object_key="e")
+        world.network.host("server").crashed = True
+        client = world.orb("client")
+        ior = IOR("IDL:test/Echo:1.0", IIOPProfile("server", 683, "e"), [])
+        with pytest.raises(COMM_FAILURE) as excinfo:
+            client.invoke(Request(ior, "echo", ("hi",)))
+        assert is_unexecuted(excinfo.value)
+
+    def test_no_route_is_transient(self):
+        world = World()
+        world.add_host("client")
+        world.add_host("island")  # no link
+        world.orb("island").poa.activate_object(_Echo(), object_key="e")
+        client = world.orb("client")
+        ior = IOR("IDL:test/Echo:1.0", IIOPProfile("island", 683, "e"), [])
+        with pytest.raises(TRANSIENT) as excinfo:
+            client.invoke(Request(ior, "echo", ("hi",)))
+        assert is_unexecuted(excinfo.value)
+
+    def test_oneway_failure_swallowed_and_counted(self):
+        world = _world()
+        client = world.orb("client")
+        ior = IOR("IDL:test/Echo:1.0", IIOPProfile("ghost", 683, "k"), [])
+        client.invoke(Request(ior, "echo", ("hi",), response_expected=False))
+        assert client.oneway_failures == 1
+
+    def test_install_transport_swaps_the_seam(self):
+        calls = []
+
+        class Recording(Transport):
+            def round_trip(self, dest_host, wire, depart_time, reservations=None):
+                calls.append((dest_host, bytes(wire)))
+                raise COMM_FAILURE("recorded, not delivered")
+
+        world = _world()
+        client = world.orb("client")
+        client.install_transport(Recording())
+        ior = IOR("IDL:test/Echo:1.0", IIOPProfile("server", 683, "e"), [])
+        with pytest.raises(COMM_FAILURE):
+            client.invoke(Request(ior, "echo", ("hi",)))
+        assert len(calls) == 1 and calls[0][0] == "server"
