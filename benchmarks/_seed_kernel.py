@@ -1,25 +1,6 @@
-"""Discrete-event kernel.
-
-Drives open-loop workloads, fault schedules, resource-availability
-traces and periodic services (monitoring probes, push updates).  The
-kernel owns a :class:`~repro.netsim.clock.Clock` — executing an event
-advances the clock to the event's due time, after which the event
-callback may advance it further (e.g. by performing a synchronous
-invocation whose costs are modelled on the same clock).
-
-Hot-path layout (the kernel drains hundreds of thousands of events per
-scenario, so the drain loop is tuned):
-
-- the heap stores ``(time, seq, event)`` tuples, not the events
-  themselves, so every ``heappop`` sift comparison is a C-level tuple
-  compare — a 200k-event drain used to spend most of its time in 3.3M
-  Python-level ``Event.__lt__`` calls;
-- ``run``/``run_until`` drain inline with the pop, the cancelled check
-  and the clock advance in one loop body instead of a ``step()`` call
-  per event;
-- heap compaction rewrites the queue list *in place* so the local
-  aliases the drain loops hold stay valid across a mid-run compaction.
-"""
+"""Verbatim copy of the event kernel as committed before the parallel-kernel
+PR (the "seed" baseline for BENCH_kernel.json comparisons — the same idiom
+as ``_seed_cdr``/``_seed_wire``).  Do not optimise this file."""
 
 from __future__ import annotations
 
@@ -81,8 +62,6 @@ class Event:
                 self.kernel._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
-        # Kept for ordering compatibility (the heap itself compares the
-        # (time, seq) tuple prefix and never reaches the event object).
         return (self.time, self.seq) < (other.time, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -111,8 +90,7 @@ class EventKernel:
 
     def __init__(self, clock: Optional[Clock] = None) -> None:
         self.clock = clock if clock is not None else Clock()
-        #: Heap of ``(time, seq, event)`` — see the module docstring.
-        self._queue: List[Tuple[float, int, Event]] = []
+        self._queue: List[Event] = []
         self._seq = itertools.count()
         self._events_fired = 0
         self._cancelled_pending = 0
@@ -162,24 +140,6 @@ class EventKernel:
             "cancelled_peak": self._cancelled_peak,
         }
 
-    def next_event_time(self) -> Optional[float]:
-        """Due time of the earliest live event, or None when drained.
-
-        The conservative-synchronization window planner of the sharded
-        kernel polls this between barriers; dead heap entries at the
-        head are popped on the way so repeated peeks stay cheap.
-        """
-        queue = self._queue
-        while queue:
-            head = queue[0]
-            if head[2].cancelled:
-                heapq.heappop(queue)
-                if self._cancelled_pending:
-                    self._cancelled_pending -= 1
-                continue
-            return head[0]
-        return None
-
     def schedule(
         self,
         delay: float,
@@ -206,17 +166,16 @@ class EventKernel:
             raise KernelError(
                 f"cannot schedule at {time} before current time {self.clock.now}"
             )
-        seq = next(self._seq)
         event = Event(
             time,
-            seq,
+            next(self._seq),
             fn,
             args if args else _NO_ARGS,
             kwargs if kwargs else _NO_KWARGS,
             label or fn.__name__,
             self,
         )
-        heapq.heappush(self._queue, (time, seq, event))
+        heapq.heappush(self._queue, event)
         live = len(self._queue) - self._cancelled_pending
         if live > self._live_peak:
             self._live_peak = live
@@ -231,15 +190,12 @@ class EventKernel:
             self._cancelled_pending >= self.COMPACT_THRESHOLD
             and self._cancelled_pending * 2 > len(self._queue)
         ):
-            # In-place rewrite: the drain loops alias self._queue, so
-            # the list object must survive the compaction.
-            queue = self._queue
-            queue[:] = [entry for entry in queue if not entry[2].cancelled]
-            heapq.heapify(queue)
+            self._queue = [event for event in self._queue if not event.cancelled]
+            heapq.heapify(self._queue)
             self._cancelled_pending = 0
             self._compactions += 1
 
-    def _push_bulk(self, entries: List[Tuple[float, int, Event]]) -> None:
+    def _push_bulk(self, events: List[Event]) -> None:
         """Merge a pre-built batch into the heap.
 
         When the existing queue is empty or small relative to the batch
@@ -249,12 +205,12 @@ class EventKernel:
         full re-heapify of a million-entry heap.
         """
         queue = self._queue
-        if len(queue) <= len(entries):
-            queue.extend(entries)
+        if len(queue) <= len(events):
+            queue.extend(events)
             heapq.heapify(queue)
         else:
-            for entry in entries:
-                heapq.heappush(queue, entry)
+            for event in events:
+                heapq.heappush(queue, event)
         live = len(queue) - self._cancelled_pending
         if live > self._live_peak:
             self._live_peak = live
@@ -275,19 +231,16 @@ class EventKernel:
         now = self.clock.now
         shared_args = args if args else _NO_ARGS
         name = label or fn.__name__
-        next_seq = self._seq.__next__
         events: List[Event] = []
-        entries: List[Tuple[float, int, Event]] = []
         for time in times:
             if time < now:
                 raise KernelError(
                     f"cannot schedule at {time} before current time {now}"
                 )
-            seq = next_seq()
-            event = Event(time, seq, fn, shared_args, _NO_KWARGS, name, self)
-            events.append(event)
-            entries.append((time, seq, event))
-        self._push_bulk(entries)
+            events.append(
+                Event(time, next(self._seq), fn, shared_args, _NO_KWARGS, name, self)
+            )
+        self._push_bulk(events)
         return events
 
     def schedule_iter(
@@ -304,31 +257,27 @@ class EventKernel:
         """
         now = self.clock.now
         name = label or fn.__name__
-        next_seq = self._seq.__next__
         events: List[Event] = []
-        entries: List[Tuple[float, int, Event]] = []
         for time in times:
             if time < now:
                 raise KernelError(
                     f"cannot schedule at {time} before current time {now}"
                 )
-            seq = next_seq()
-            event = Event(time, seq, fn, (time,), _NO_KWARGS, name, self)
-            events.append(event)
-            entries.append((time, seq, event))
-        self._push_bulk(entries)
+            events.append(
+                Event(time, next(self._seq), fn, (time,), _NO_KWARGS, name, self)
+            )
+        self._push_bulk(events)
         return events
 
     def step(self) -> bool:
         """Fire the next pending event.  Returns False if the queue is empty."""
-        queue = self._queue
-        while queue:
-            time, _seq, event = heapq.heappop(queue)
+        while self._queue:
+            event = heapq.heappop(self._queue)
             if event.cancelled:
                 if self._cancelled_pending:
                     self._cancelled_pending -= 1
                 continue
-            self.clock.advance_to(time)
+            self.clock.advance_to(event.time)
             event.fn(*event.args, **event.kwargs)
             self._events_fired += 1
             return True
@@ -336,25 +285,10 @@ class EventKernel:
 
     def run(self, max_events: int = 10_000_000) -> int:
         """Fire events until the queue drains.  Returns events fired."""
-        queue = self._queue
-        pop = heapq.heappop
-        advance_to = self.clock.advance_to
         fired = 0
-        try:
-            while queue:
-                time, _seq, event = pop(queue)
-                if event.cancelled:
-                    if self._cancelled_pending:
-                        self._cancelled_pending -= 1
-                    continue
-                advance_to(time)
-                event.fn(*event.args, **event.kwargs)
-                fired += 1
-                if fired >= max_events:
-                    break
-        finally:
-            self._events_fired += fired
-        if fired >= max_events and queue:
+        while fired < max_events and self.step():
+            fired += 1
+        if fired >= max_events and self._queue:
             raise KernelError(f"run() exceeded max_events={max_events}")
         return fired
 
@@ -363,74 +297,19 @@ class EventKernel:
 
         Returns the number of events fired.
         """
-        queue = self._queue
-        pop = heapq.heappop
-        advance_to = self.clock.advance_to
         fired = 0
-        try:
-            while queue:
-                head = queue[0]
-                if head[2].cancelled:
-                    pop(queue)
-                    if self._cancelled_pending:
-                        self._cancelled_pending -= 1
-                    continue
-                time = head[0]
-                if time > deadline:
-                    break
-                entry = pop(queue)
-                event = entry[2]
-                if event.cancelled:
-                    # Cancelled between the peek and the pop is
-                    # impossible today (single-threaded), but a
-                    # compaction inside the callback below may have
-                    # reordered the heap; stay defensive.
-                    if self._cancelled_pending:
-                        self._cancelled_pending -= 1
-                    continue
-                advance_to(entry[0])
-                event.fn(*event.args, **event.kwargs)
-                fired += 1
-        finally:
-            self._events_fired += fired
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                if self._cancelled_pending:
+                    self._cancelled_pending -= 1
+                continue
+            if head.time > deadline:
+                break
+            self.step()
+            fired += 1
         self.clock.advance_to(deadline)
-        return fired
-
-    def run_before(self, deadline: float) -> int:
-        """Fire all events strictly before ``deadline``; returns the count.
-
-        The window-drain primitive of the sharded kernel: an event at
-        exactly ``deadline`` may still be affected by messages produced
-        during the window, so it must wait for the barrier.  Unlike
-        :meth:`run_until` the clock is left at the last fired event —
-        barrier-time message injection needs ``schedule_at`` to accept
-        any time inside the *next* window.
-        """
-        queue = self._queue
-        pop = heapq.heappop
-        advance_to = self.clock.advance_to
-        fired = 0
-        try:
-            while queue:
-                head = queue[0]
-                if head[2].cancelled:
-                    pop(queue)
-                    if self._cancelled_pending:
-                        self._cancelled_pending -= 1
-                    continue
-                if head[0] >= deadline:
-                    break
-                entry = pop(queue)
-                event = entry[2]
-                if event.cancelled:
-                    if self._cancelled_pending:
-                        self._cancelled_pending -= 1
-                    continue
-                advance_to(entry[0])
-                event.fn(*event.args, **event.kwargs)
-                fired += 1
-        finally:
-            self._events_fired += fired
         return fired
 
     def every(

@@ -1,0 +1,75 @@
+"""Cross-shard messages and spawn-safe handler references.
+
+A sharded run never ships live callables between shards: every event
+handler is named by a ``"module:qualname"`` string that each side —
+including a freshly spawned worker process, which starts from a blank
+interpreter — resolves through :func:`resolve_handler`.  Handlers must
+therefore be module-level functions; :func:`handler_ref` checks that
+the reference round-trips before a run starts rather than deep inside
+a worker.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any, Callable, Dict, NamedTuple
+
+__all__ = ["CrossShardMessage", "handler_ref", "resolve_handler"]
+
+
+class CrossShardMessage(NamedTuple):
+    """A timestamped event bound for a host on another shard.
+
+    ``time`` is the *receive* time.  Conservative synchronization rests
+    on one invariant: a message produced during the window starting at
+    ``W`` has ``time >= W + lookahead``, so it can always be delivered
+    at the next barrier without rolling any shard back.
+    """
+
+    time: float
+    host: str
+    handler: str
+    payload: Any
+
+
+_HANDLERS: Dict[str, Callable[..., Any]] = {}
+_REFS: Dict[Callable[..., Any], str] = {}
+
+
+def handler_ref(fn: Callable[..., Any]) -> str:
+    """Return the ``"module:qualname"`` reference for a handler.
+
+    Raises :class:`TypeError` if the function cannot be found again by
+    that name (lambdas, closures, instance methods) — such handlers
+    would fail only once a spawned worker tried to resolve them.
+    Validated references are cached, so handlers on the hot scheduling
+    path pay one dict probe, not an import-system round trip.
+    """
+    cached = _REFS.get(fn)
+    if cached is not None:
+        return cached
+    module = getattr(fn, "__module__", None)
+    qualname = getattr(fn, "__qualname__", None)
+    if not module or not qualname or "<" in qualname or "." in qualname:
+        raise TypeError(
+            f"handler must be a module-level function, got {fn!r}"
+        )
+    ref = f"{module}:{qualname}"
+    if resolve_handler(ref) is not fn:
+        raise TypeError(
+            f"handler reference {ref!r} does not resolve back to {fn!r}"
+        )
+    _REFS[fn] = ref
+    return ref
+
+
+def resolve_handler(ref: str) -> Callable[..., Any]:
+    """Resolve a ``"module:qualname"`` reference, with caching."""
+    fn = _HANDLERS.get(ref)
+    if fn is None:
+        module, _, qualname = ref.partition(":")
+        fn = getattr(importlib.import_module(module), qualname)
+        if not callable(fn):
+            raise TypeError(f"handler reference {ref!r} is not callable")
+        _HANDLERS[ref] = fn
+    return fn

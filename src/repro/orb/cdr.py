@@ -29,12 +29,36 @@ benchmark, so the implementation is tuned):
 
 from __future__ import annotations
 
+import os
 import struct
 from functools import lru_cache
 from typing import Any, Callable, Dict, List, Tuple
 
+from repro.orb import _cdr_fast
 from repro.orb.exceptions import MARSHAL
 from repro.perf.counters import COUNTERS
+
+#: Whether ``write_any``/``read_any`` route through the flat codec in
+#: :mod:`repro.orb._cdr_fast` (optionally mypyc-compiled) instead of
+#: the method-per-element implementation below.  Both emit and accept
+#: identical bytes; the flag exists for the benchmark's
+#: compiled-vs-interpreted comparison and as a debugging escape hatch.
+_USE_FAST = os.environ.get("REPRO_CDR_FAST", "1") != "0"
+
+#: "compiled" when the flat codec was built with mypyc, else "python".
+FAST_IMPL = (
+    "compiled"
+    if getattr(_cdr_fast, "__file__", "").endswith((".so", ".pyd"))
+    else "python"
+)
+
+
+def use_fast_path(enabled: bool) -> bool:
+    """Toggle the flat ``any`` codec at runtime; returns the old value."""
+    global _USE_FAST
+    previous = _USE_FAST
+    _USE_FAST = bool(enabled)
+    return previous
 
 # Type tags for the `any` encoding.
 TAG_NULL = 0
@@ -243,6 +267,9 @@ class CDREncoder:
         long long, ``float`` → double.  Lists/tuples become sequences,
         dicts (string-keyed) become maps.
         """
+        if _USE_FAST:
+            _cdr_fast.write_any(self._buf, value, _BATCH_MIN)
+            return
         writer = _ANY_WRITERS.get(type(value))
         if writer is not None:
             writer(self, value)
@@ -545,6 +572,11 @@ class CDRDecoder:
     # -- any --------------------------------------------------------------
 
     def read_any(self) -> Any:
+        if _USE_FAST:
+            value, self._offset = _cdr_fast.read_any(
+                self._mv, self._offset, self._len, _BATCH_MIN
+            )
+            return value
         offset = self._offset
         if offset >= self._len:
             raise self._underrun(1, offset)

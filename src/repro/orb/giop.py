@@ -19,9 +19,9 @@ Hot-path machinery (the encodings themselves are unchanged):
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
-from repro.orb.cdr import CDRDecoder, CDREncoder
+from repro.orb.cdr import CDRDecoder, CDREncoder, _S_ULONG
 from repro.orb.exceptions import (
     MARSHAL,
     SystemException,
@@ -58,6 +58,12 @@ _HEADER_WIRE = {
     for message_type in (MSG_REQUEST, MSG_REPLY, MSG_LOCATE_REQUEST, MSG_LOCATE_REPLY)
 }
 _HEADER_SIZE = 7
+
+#: Header plus the single pad byte that precedes the request id, so
+#: hot encoders emit header + id in one append.  The id then always
+#: occupies bytes 8..12.
+_REQUEST_PREFIX = _HEADER_WIRE[MSG_REQUEST] + b"\x00"
+_REPLY_PREFIX = _HEADER_WIRE[MSG_REPLY] + b"\x00"
 
 
 def _write_header(encoder: CDREncoder, message_type: int) -> None:
@@ -146,9 +152,86 @@ def _write_contexts(encoder: CDREncoder, contexts: Dict[str, Any]) -> None:
     COUNTERS.ctx_cache_misses += 1
 
 
+# -- request/reply preamble caches -------------------------------------
+#
+# Between the request id (always bytes 8..12: 7-byte header + 1 pad)
+# and the argument list, a request carries target, operation, kind,
+# command target, response flag and service contexts — all constant
+# for a given stub making repeated calls.  The encoder caches that
+# whole span keyed by the values; the decoder caches the parse keyed
+# by the exact bytes.  Both are exact-match caches, so the wire format
+# and the accepted inputs are unchanged — a miss simply takes the
+# field-by-field path below and populates the cache.
+
+_request_preamble_cache = LRUCache(maxsize=256)
+_request_decode_cache = LRUCache(maxsize=256)
+_reply_decode_cache = LRUCache(maxsize=256)
+
+# -- payload ("any") span caches ---------------------------------------
+#
+# The same exact-match replay idea, applied to the hot *tail* of a
+# message: the argument list of a request and the result of a reply.
+# Encoders key by (buffer alignment, frozen value tree) — _freeze is
+# type-tagged and keys floats by bit pattern, so two values share a key
+# only when their encodings are byte-identical.  Decoders key by the
+# exact remaining bytes (the span runs to the end of the message, so
+# the tail slice *is* the span) and replay a plain-data copy, keeping
+# the caller's full ownership of mutable results.  Misses take the
+# ordinary element-by-element path and populate the cache, so the wire
+# format and the accepted inputs are unchanged.
+
+_args_encode_cache = LRUCache(maxsize=256)
+_args_decode_cache = LRUCache(maxsize=256)
+_result_encode_cache = LRUCache(maxsize=256)
+_result_decode_cache = LRUCache(maxsize=256)
+
+#: Spans above this size are not memoised: the caches target per-call
+#: overhead, which large payloads amortise on their own, and bounding
+#: the entry size keeps 256 slots worth of bytes small.
+_SPAN_LIMIT = 4096
+
+
+def _copy_plain(value: Any) -> Any:
+    """Deep copy of decoded plain data (only containers need copying)."""
+    kind = type(value)
+    if kind is dict:
+        return {key: _copy_plain(item) for key, item in value.items()}
+    if kind is list:
+        return [_copy_plain(item) for item in value]
+    return value
+
+#: Distinct preamble byte-lengths seen by each decode cache (one per
+#: stub/operation shape in practice).  Bounded: probing degenerates to
+#: the slow path when a workload somehow produces many shapes.
+_request_decode_lengths: List[int] = []
+_reply_decode_lengths: List[int] = []
+_DECODE_LENGTH_LIMIT = 16
+
+
+def _scalar_contexts(contexts: Dict[str, Any]) -> bool:
+    """True when every context value is immutable (safe to share
+    across decoded requests without deep-copying)."""
+    for value in contexts.values():
+        if not (
+            value is None
+            or type(value) in (str, int, float, bool, bytes)
+        ):
+            return False
+    return True
+
+
 def clear_caches() -> None:
-    """Drop the service-context cache (tests and memory hygiene)."""
+    """Drop the wire caches (tests and memory hygiene)."""
     _context_cache.clear()
+    _request_preamble_cache.clear()
+    _request_decode_cache.clear()
+    _reply_decode_cache.clear()
+    _args_encode_cache.clear()
+    _args_decode_cache.clear()
+    _result_encode_cache.clear()
+    _result_decode_cache.clear()
+    del _request_decode_lengths[:]
+    del _reply_decode_lengths[:]
 
 
 # -- requests -----------------------------------------------------------
@@ -163,18 +246,59 @@ def encode_request(request: Request, pools: Optional[Any] = None) -> bytes:
     counters = COUNTERS
     start = time.perf_counter_ns() if counters.enabled else 0
     encoder = pools.acquire_encoder() if pools is not None else CDREncoder()
-    encoder.write_raw(_HEADER_WIRE[MSG_REQUEST])
-    encoder.write_ulong(request.request_id)
-    encoder.write_octets(request.target.encode())
-    encoder.write_string(request.operation)
-    encoder.write_string(request.kind)
-    encoder.write_string(request.command_target or "")
-    encoder.write_boolean(request.response_expected)
-    _write_contexts(encoder, request.service_contexts)
+    encoder.write_raw(_REQUEST_PREFIX + _S_ULONG.pack(request.request_id))
+    # Everything between the request id and the args is constant for a
+    # stub calling the same operation with the same contexts — replay
+    # the cached span when the key matches (IORs are value objects, so
+    # identity keying is exact; _freeze covers the contexts).
+    preamble = None
+    key = None
+    frozen = _freeze(request.service_contexts)
+    if frozen is not _UNFREEZABLE:
+        key = (
+            request.target,
+            request.operation,
+            request.kind,
+            request.command_target,
+            request.response_expected,
+            frozen,
+        )
+        preamble = _request_preamble_cache.get(key)
+    if preamble is not None:
+        encoder.write_raw(preamble)
+        # The replayed span embeds the cached context encoding.
+        counters.ctx_cache_hits += 1
+    else:
+        mark = encoder.mark()
+        encoder.write_octets(request.target.encode())
+        encoder.write_string(request.operation)
+        encoder.write_string(request.kind)
+        encoder.write_string(request.command_target or "")
+        encoder.write_boolean(request.response_expected)
+        _write_contexts(encoder, request.service_contexts)
+        if key is not None:
+            _request_preamble_cache.put(key, encoder.bytes_since(mark))
     args = request.args
-    encoder.write_ulong(len(args))
-    for arg in args:
-        encoder.write_any(arg)
+    frozen_args = _freeze(args)
+    if frozen_args is not _UNFREEZABLE:
+        args_key = (len(encoder) % 8, frozen_args)
+        span = _args_encode_cache.get(args_key)
+        if span is not None:
+            encoder.write_raw(span)
+            counters.any_span_hits += 1
+        else:
+            mark = encoder.mark()
+            encoder.write_ulong(len(args))
+            for arg in args:
+                encoder.write_any(arg)
+            span = encoder.bytes_since(mark)
+            if len(span) <= _SPAN_LIMIT:
+                _args_encode_cache.put(args_key, span)
+            counters.any_span_misses += 1
+    else:
+        encoder.write_ulong(len(args))
+        for arg in args:
+            encoder.write_any(arg)
     wire = encoder.getvalue()
     if pools is not None:
         pools.release_encoder(encoder)
@@ -193,6 +317,49 @@ def decode_request(data: bytes) -> Request:
     """
     counters = COUNTERS
     start = time.perf_counter_ns() if counters.enabled else 0
+    # Exact-bytes fast path: probe the cached preamble parses at the
+    # handful of span lengths this process has seen.  A hit replays
+    # the already-validated fields; anything else (including malformed
+    # input) takes the field-by-field parse below.
+    if data[:_HEADER_SIZE] == _HEADER_WIRE[MSG_REQUEST]:
+        for length in _request_decode_lengths:
+            entry = _request_decode_cache.get(data[12 : 12 + length])
+            if entry is not None:
+                target, operation, kind, command_target, expected, ctx = entry
+                # The replayed span embeds the cached IOR parse.
+                counters.ior_parse_hits += 1
+                tail = data[12 + length:]
+                template = _args_decode_cache.get(tail)
+                if template is not None:
+                    args = tuple([_copy_plain(arg) for arg in template])
+                    counters.any_span_hits += 1
+                else:
+                    decoder = CDRDecoder(data)
+                    decoder._offset = 12 + length
+                    count = decoder.read_ulong()
+                    args = tuple([decoder.read_any() for _ in range(count)])
+                    if len(tail) <= _SPAN_LIMIT:
+                        # The template gets its own copy: callers own
+                        # (and may mutate) the args we hand back.
+                        _args_decode_cache.put(
+                            tail, tuple([_copy_plain(arg) for arg in args])
+                        )
+                    counters.any_span_misses += 1
+                request = Request(
+                    target,
+                    operation,
+                    args,
+                    kind=kind,
+                    command_target=command_target,
+                    service_contexts=dict(ctx),
+                    response_expected=expected,
+                    request_id=_S_ULONG.unpack_from(data, 8)[0],
+                )
+                if counters.enabled:
+                    counters.decode_calls += 1
+                    counters.decode_ns += time.perf_counter_ns() - start
+                    counters.decode_bytes += len(data)
+                return request
     decoder = CDRDecoder(data)
     if _read_header(decoder) != MSG_REQUEST:
         raise MARSHAL("expected a GIOP Request message")
@@ -205,8 +372,21 @@ def decode_request(data: bytes) -> Request:
     contexts = decoder.read_any()
     if not isinstance(contexts, dict):
         raise MARSHAL("service contexts must decode to a map")
+    preamble_end = decoder._offset
     count = decoder.read_ulong()
     args = tuple([decoder.read_any() for _ in range(count)])
+    if _scalar_contexts(contexts):
+        length = preamble_end - 12
+        _request_decode_cache.put(
+            data[12:preamble_end],
+            (target, operation, kind, command_target, response_expected,
+             dict(contexts)),
+        )
+        if (
+            length not in _request_decode_lengths
+            and len(_request_decode_lengths) < _DECODE_LENGTH_LIMIT
+        ):
+            _request_decode_lengths.append(length)
     request = Request(
         target,
         operation,
@@ -274,12 +454,27 @@ def encode_reply(
     counters = COUNTERS
     start = time.perf_counter_ns() if counters.enabled else 0
     encoder = pools.acquire_encoder() if pools is not None else CDREncoder()
-    encoder.write_raw(_HEADER_WIRE[MSG_REPLY])
-    encoder.write_ulong(request_id)
+    encoder.write_raw(_REPLY_PREFIX + _S_ULONG.pack(request_id))
     _write_contexts(encoder, service_contexts or {})
     if exception is None:
-        encoder.write_octet(NO_EXCEPTION)
-        encoder.write_any(result)
+        frozen_result = _freeze(result)
+        if frozen_result is not _UNFREEZABLE:
+            result_key = (len(encoder) % 8, frozen_result)
+            span = _result_encode_cache.get(result_key)
+            if span is not None:
+                encoder.write_raw(span)
+                counters.any_span_hits += 1
+            else:
+                mark = encoder.mark()
+                encoder.write_octet(NO_EXCEPTION)
+                encoder.write_any(result)
+                span = encoder.bytes_since(mark)
+                if len(span) <= _SPAN_LIMIT:
+                    _result_encode_cache.put(result_key, span)
+                counters.any_span_misses += 1
+        else:
+            encoder.write_octet(NO_EXCEPTION)
+            encoder.write_any(result)
     elif isinstance(exception, UserException):
         encoder.write_octet(USER_EXCEPTION)
         encoder.write_string(exception.repo_id)
@@ -336,15 +531,49 @@ def decode_reply(data: bytes) -> Reply:
     counters = COUNTERS
     start = time.perf_counter_ns() if counters.enabled else 0
     decoder = CDRDecoder(data)
-    if _read_header(decoder) != MSG_REPLY:
-        raise MARSHAL("expected a GIOP Reply message")
-    request_id = decoder.read_ulong()
-    contexts = decoder.read_any()
-    if not isinstance(contexts, dict):
-        raise MARSHAL("service contexts must decode to a map")
+    contexts = None
+    if data[:_HEADER_SIZE] == _HEADER_WIRE[MSG_REPLY]:
+        for length in _reply_decode_lengths:
+            cached = _reply_decode_cache.get(data[12 : 12 + length])
+            if cached is not None:
+                contexts = dict(cached)
+                decoder._offset = 12 + length
+                request_id = _S_ULONG.unpack_from(data, 8)[0]
+                break
+    if contexts is None:
+        if _read_header(decoder) != MSG_REPLY:
+            raise MARSHAL("expected a GIOP Reply message")
+        request_id = decoder.read_ulong()
+        contexts = decoder.read_any()
+        if not isinstance(contexts, dict):
+            raise MARSHAL("service contexts must decode to a map")
+        preamble_end = decoder._offset
+        if _scalar_contexts(contexts):
+            length = preamble_end - 12
+            _reply_decode_cache.put(data[12:preamble_end], dict(contexts))
+            if (
+                length not in _reply_decode_lengths
+                and len(_reply_decode_lengths) < _DECODE_LENGTH_LIMIT
+            ):
+                _reply_decode_lengths.append(length)
+    tail = data[decoder._offset:]
+    template = _result_decode_cache.get(tail)
+    if template is not None:
+        # Stored as a 1-tuple so a legitimate None result still hits.
+        reply = Reply(request_id, contexts, _copy_plain(template[0]), None)
+        counters.any_span_hits += 1
+        if counters.enabled:
+            counters.decode_calls += 1
+            counters.decode_ns += time.perf_counter_ns() - start
+            counters.decode_bytes += len(data)
+        return reply
     status = decoder.read_octet()
     if status == NO_EXCEPTION:
-        reply = Reply(request_id, contexts, decoder.read_any(), None)
+        result = decoder.read_any()
+        reply = Reply(request_id, contexts, result, None)
+        if len(tail) <= _SPAN_LIMIT:
+            _result_decode_cache.put(tail, (_copy_plain(result),))
+        counters.any_span_misses += 1
     elif status == USER_EXCEPTION:
         repo_id = decoder.read_string()
         message = decoder.read_string()

@@ -36,6 +36,8 @@ class PerfCounters:
         "ior_parse_misses",
         "ctx_cache_hits",
         "ctx_cache_misses",
+        "any_span_hits",
+        "any_span_misses",
         "sched_admitted",
         "sched_rejected",
         "sched_shed",
@@ -105,6 +107,8 @@ class PerfCounters:
         self.ior_parse_misses = 0
         self.ctx_cache_hits = 0
         self.ctx_cache_misses = 0
+        self.any_span_hits = 0
+        self.any_span_misses = 0
         self.sched_admitted = 0
         self.sched_rejected = 0
         self.sched_shed = 0
@@ -194,6 +198,11 @@ class PerfCounters:
             "ctx_cache_hit_rate": self._rate(
                 self.ctx_cache_hits, self.ctx_cache_misses
             ),
+            "any_span_hits": self.any_span_hits,
+            "any_span_misses": self.any_span_misses,
+            "any_span_hit_rate": self._rate(
+                self.any_span_hits, self.any_span_misses
+            ),
             "sched_admitted": self.sched_admitted,
             "sched_rejected": self.sched_rejected,
             "sched_shed": self.sched_shed,
@@ -254,7 +263,9 @@ class PerfCounters:
 COUNTERS = PerfCounters()
 
 
-def snapshot(orb: Any = None, world: Any = None) -> Dict[str, Any]:
+def snapshot(
+    orb: Any = None, world: Any = None, kernel: Any = None
+) -> Dict[str, Any]:
     """One-call instrument panel: global counters, optionally one ORB's.
 
     Without arguments this is :meth:`PerfCounters.snapshot` on the
@@ -273,6 +284,14 @@ def snapshot(orb: Any = None, world: Any = None) -> Dict[str, Any]:
     :meth:`repro.control.loop.ControlLoop.attach`) contributes the
     ``ctl_*`` panel: tick/decision totals and per-kind actuation counts
     beyond the process-global ``ctl_*`` counters.
+
+    Given a sharded kernel (``kernel=``, see
+    :class:`repro.netsim.parallel.ShardedKernel`), its run stats merge
+    in as ``kernel_shard_*``: events fired per shard, barrier count
+    and per-shard barrier waits, the lookahead window and the
+    cross-shard message total.  Asking for a world's panel reports the
+    most recent completed sharded run in this process under the same
+    keys.
     """
     merged = COUNTERS.snapshot()
     if orb is not None:
@@ -297,6 +316,19 @@ def snapshot(orb: Any = None, world: Any = None) -> Dict[str, Any]:
         if control is not None:
             for key, value in control.stats().items():
                 merged[f"ctl_{key}"] = value
+    # Sharded-kernel panel: an explicit kernel wins; asking for a
+    # world's panel also reports the most recent completed sharded run
+    # in this process.  The bare ``snapshot()`` stays exactly the
+    # global counter panel.
+    shard_stats: Dict[str, Any] = {}
+    if kernel is not None:
+        shard_stats = kernel.stats()
+    elif world is not None:
+        from repro.netsim.parallel.kernel import last_shard_stats
+
+        shard_stats = last_shard_stats()
+    for key, value in shard_stats.items():
+        merged[f"kernel_shard_{key}"] = value
     return merged
 
 

@@ -28,7 +28,7 @@ without a scheduler the POA's plain FIFO path is untouched.
 
 from __future__ import annotations
 
-import heapq
+from bisect import bisect_right, insort
 from typing import Any, Dict, Iterable, List, Optional
 
 from repro.core.mediator import CHARACTERISTIC_CONTEXT
@@ -338,8 +338,9 @@ class RequestScheduler:
 
     def _drain(self, now: float) -> None:
         inflight = self._inflight
-        while inflight and inflight[0] <= now:
-            heapq.heappop(inflight)
+        done = bisect_right(inflight, now)
+        if done:
+            del inflight[:done]
 
     def _bucket_for(self, cls: QoSClass, request: Request) -> Optional[TokenBucket]:
         if cls.rate is None:
@@ -356,8 +357,9 @@ class RequestScheduler:
         inflight = self._inflight
         if len(inflight) < below or not inflight:
             return 0.0
-        index = len(inflight) - below
-        kth = heapq.nsmallest(index + 1, inflight)[-1]
+        # ``_inflight`` is kept sorted, so the k-th completion is a
+        # direct index instead of an O(n log n) ``heapq.nsmallest``.
+        kth = inflight[len(inflight) - below]
         return max(0.0, kth - now)
 
     def _reject(
@@ -432,7 +434,7 @@ class RequestScheduler:
         if self._policy.name != "fifo":
             # Keep the shared ledger meaningful for stats/utilisation.
             self.total.commit(now, service)
-        heapq.heappush(self._inflight, completion)
+        insort(self._inflight, completion)
         depth = len(self._inflight)
         if depth > self.depth_peak:
             self.depth_peak = depth

@@ -112,3 +112,71 @@ class TestReplyMessages:
     def test_service_contexts_roundtrip(self):
         wire = giop.encode_reply(8, "r", service_contexts={"measured": 1.5})
         assert giop.decode_reply(wire).service_contexts == {"measured": 1.5}
+
+
+class TestAnySpanCaches:
+    """The args/result span replay caches must be invisible: identical
+    bytes on the wire, fresh mutable values on every decode."""
+
+    def setup_method(self):
+        giop.clear_caches()
+
+    def _target(self):
+        return IOR("IDL:demo/Echo:1.0", IIOPProfile("server", 683, "obj-1"))
+
+    def test_encode_replay_is_byte_identical(self):
+        payload = {"s": "x", "n": [1.5, -0.0], "m": {"deep": True}}
+        request = Request(self._target(), "echo", (payload,))
+        first = giop.encode_request(request)
+        # Same id, same args: the second encode replays the cached span.
+        second = giop.encode_request(
+            Request(self._target(), "echo", (payload,),
+                    request_id=request.request_id)
+        )
+        assert first == second
+
+    def test_float_bit_patterns_do_not_collide(self):
+        target = self._target()
+        wire_pos = giop.encode_request(Request(target, "op", (0.0,)))
+        wire_neg = giop.encode_request(Request(target, "op", (-0.0,)))
+        # 0.0 == -0.0 in Python, but their encodings differ; the cache
+        # keys by bit pattern so each decodes back to its own sign.
+        assert wire_pos[:-8] != wire_neg[:-8] or wire_pos != wire_neg
+        import math
+
+        assert math.copysign(1.0, giop.decode_request(wire_neg).args[0]) < 0
+
+    def test_decoded_args_are_mutation_isolated(self):
+        payload = {"counts": [1, 2], "meta": {"tag": "a"}}
+        request = Request(self._target(), "echo", (payload,))
+        wire = giop.encode_request(request)
+        # Decode twice (second run hits the preamble + span caches) and
+        # mutate the first result in place.
+        giop.decode_request(wire)  # populate
+        first = giop.decode_request(wire)
+        first.args[0]["counts"].append(99)
+        first.args[0]["meta"]["tag"] = "mutated"
+        second = giop.decode_request(wire)
+        assert second.args[0] == payload
+
+    def test_decoded_result_is_mutation_isolated(self):
+        wire = giop.encode_reply(7, result={"values": [1, 2, 3]})
+        giop.decode_reply(wire)  # populate
+        first = giop.decode_reply(wire)
+        first.result["values"].append(4)
+        assert giop.decode_reply(wire).result == {"values": [1, 2, 3]}
+
+    def test_none_result_hits_span_cache(self):
+        from repro.perf import COUNTERS
+
+        wire = giop.encode_reply(9, result=None)
+        giop.decode_reply(wire)
+        before = COUNTERS.any_span_hits
+        assert giop.decode_reply(wire).result is None
+        assert COUNTERS.any_span_hits == before + 1
+
+    def test_unfreezable_args_bypass_the_cache(self):
+        payload = bytearray(b"mutable")  # _freeze rejects bytearray
+        request = Request(self._target(), "echo", (payload,))
+        wire = giop.encode_request(request)
+        assert giop.decode_request(wire).args == (b"mutable",)

@@ -1,0 +1,58 @@
+"""The sorted-inflight retry hint must match the old heap-based oracle."""
+
+import heapq
+import random
+
+import pytest
+
+from repro.sched.scheduler import RequestScheduler
+
+
+@pytest.fixture
+def scheduler(server_orb):
+    return RequestScheduler(server_orb, max_depth=2048)
+
+
+def oracle_retry_hint(inflight, now, below):
+    """The pre-rewrite computation, verbatim (heap layout is irrelevant:
+    ``nsmallest`` only needs the multiset of completion times)."""
+    if len(inflight) < below or not inflight:
+        return 0.0
+    index = len(inflight) - below
+    kth = heapq.nsmallest(index + 1, inflight)[-1]
+    return max(0.0, kth - now)
+
+
+class TestRetryHint:
+    def test_matches_oracle_on_random_completions(self, scheduler):
+        rng = random.Random(7)
+        completions = sorted(rng.uniform(0.0, 10.0) for _ in range(1500))
+        scheduler._inflight[:] = completions
+        for below in (1, 2, 100, 750, 1499, 1500, 1501, 4000):
+            assert scheduler._retry_hint(3.0, below) == pytest.approx(
+                oracle_retry_hint(list(completions), 3.0, below)
+            )
+
+    def test_empty_and_shallow_queues_hint_zero(self, scheduler):
+        assert scheduler._retry_hint(0.0, 1) == 0.0
+        scheduler._inflight[:] = [1.0, 2.0]
+        assert scheduler._retry_hint(0.0, 3) == 0.0
+
+    def test_hint_is_time_until_kth_completion(self, scheduler):
+        scheduler._inflight[:] = [1.0, 2.0, 3.0, 4.0]
+        # To fall below 4 in flight, one completion must pass: the
+        # first (earliest) completion.
+        assert scheduler._retry_hint(0.5, 4) == pytest.approx(0.5)
+        # To fall below 2, three must pass: the third completion.
+        assert scheduler._retry_hint(0.5, 2) == pytest.approx(2.5)
+
+    def test_drain_keeps_inflight_sorted(self, scheduler):
+        rng = random.Random(11)
+        times = [rng.uniform(0.0, 5.0) for _ in range(500)]
+        for t in sorted(times):
+            scheduler._inflight.append(t)
+        scheduler._drain(2.5)
+        inflight = scheduler._inflight
+        assert inflight == sorted(inflight)
+        assert all(t > 2.5 for t in inflight)
+        assert len(inflight) == sum(1 for t in times if t > 2.5)
