@@ -1,0 +1,211 @@
+#!/usr/bin/env python
+"""Run the scenario matrix; write ``BENCH_scenario.json``.
+
+The scenario fleet replays the declarative specs under ``scenarios/``
+across the ORB stack axes (``fifo``/``wfq`` scheduling, reliability on
+or off, wire compression, replica count) and judges every cell against
+the spec's SLO block.  The quick mode mirrors the tier-1 CI gate — a
+handful of representative specs over two stacks; ``--full`` sweeps
+every shipped spec over every default stack.
+
+Headline criteria (the subsystem's acceptance bar)::
+
+    SLO violations across the matrix    == 0
+    identical seed                      -> identical campaign digest
+    shard tier, shards in {1, 4}        -> byte-identical flowexport
+
+Usage::
+
+    python benchmarks/run_scenario_bench.py [--quick | --full]
+        [--out BENCH_scenario.json] [--flowexport FLOWS.jsonl]
+        [--no-check]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.dirname(HERE)
+SRC = os.path.join(ROOT, "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+from repro.scenario.configurator import DEFAULT_STACKS, QUICK_STACKS  # noqa: E402
+from repro.scenario.matrix import ScenarioMatrix  # noqa: E402
+from repro.scenario.runner import run_scenario  # noqa: E402
+from repro.scenario.spec import load_spec  # noqa: E402
+
+SCENARIO_DIR = os.path.join(ROOT, "scenarios")
+
+#: The representative quick slice: one steady baseline, one traffic
+#: transient, one chaos campaign, and the shard tier.
+QUICK_SPECS = ("steady_poisson", "flash_crowd", "regional_partition", "shard_onoff")
+
+#: The shard-tier spec replayed at several shard counts for the
+#: byte-identity determinism gate.
+DETERMINISM_SPEC = "shard_onoff"
+DETERMINISM_SHARDS = (1, 4)
+
+
+def load_specs(names=None):
+    paths = sorted(
+        os.path.join(SCENARIO_DIR, entry)
+        for entry in os.listdir(SCENARIO_DIR)
+        if entry.endswith(".toml")
+    )
+    specs = [load_spec(path) for path in paths]
+    if names is not None:
+        by_name = {spec.name: spec for spec in specs}
+        missing = [name for name in names if name not in by_name]
+        if missing:
+            raise SystemExit(f"quick specs missing from scenarios/: {missing}")
+        specs = [by_name[name] for name in names]
+    return specs
+
+
+def determinism_report(specs) -> Dict[str, object]:
+    """Replay gates: same seed twice, and shard counts {1, 4}."""
+    by_name = {spec.name: spec for spec in specs}
+    spec = by_name.get(DETERMINISM_SPEC)
+    if spec is None:
+        spec = load_spec(os.path.join(SCENARIO_DIR, f"{DETERMINISM_SPEC}.toml"))
+
+    shard_runs = {
+        shards: run_scenario(spec, shards=shards) for shards in DETERMINISM_SHARDS
+    }
+    flow_bytes = {
+        shards: result.exporter.dumps() for shards, result in shard_runs.items()
+    }
+    reference = flow_bytes[DETERMINISM_SHARDS[0]]
+    byte_identical = all(blob == reference for blob in flow_bytes.values())
+
+    replay = run_scenario(spec, shards=DETERMINISM_SHARDS[0])
+    digests = {spec.name: spec.campaign().digest() for spec in specs}
+    replay_digests = {spec.name: spec.campaign().digest() for spec in specs}
+
+    return {
+        "spec": spec.name,
+        "shard_counts": list(DETERMINISM_SHARDS),
+        "flow_digests": {
+            str(shards): result.exporter.digest()
+            for shards, result in shard_runs.items()
+        },
+        "flowexport_byte_identical": byte_identical,
+        "replay_flow_digest_matches": (
+            replay.exporter.dumps() == reference
+        ),
+        "campaign_digests": digests,
+        "campaign_replay_stable": digests == replay_digests,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="representative specs x QUICK_STACKS (CI gate)")
+    parser.add_argument("--full", action="store_true",
+                        help="every shipped spec x DEFAULT_STACKS")
+    parser.add_argument("--out", default=os.path.join(ROOT, "BENCH_scenario.json"),
+                        help="output path (default: repo root)")
+    parser.add_argument("--flowexport", default=None,
+                        help="also write the determinism spec's flows as JSONL")
+    parser.add_argument("--no-check", action="store_true",
+                        help="record numbers without enforcing the gates")
+    args = parser.parse_args(argv)
+    if args.quick and args.full:
+        parser.error("--quick and --full are mutually exclusive")
+    full = args.full
+
+    if full:
+        specs = load_specs()
+        stacks = list(DEFAULT_STACKS)
+    else:
+        specs = load_specs(QUICK_SPECS)
+        stacks = list(QUICK_STACKS)
+
+    started = time.perf_counter()
+    matrix = ScenarioMatrix(specs, stacks)
+    matrix.run()
+    matrix_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    determinism = determinism_report(specs)
+    determinism_s = time.perf_counter() - started
+
+    violations = matrix.violations()
+    payload = {
+        "mode": "full" if full else "quick",
+        "specs": [spec.name for spec in specs],
+        "stacks": [stack.name for stack in stacks],
+        "cells": len(matrix.cells),
+        "matrix_wall_s": round(matrix_s, 3),
+        "determinism_wall_s": round(determinism_s, 3),
+        "matrix": matrix.to_payload(),
+        "determinism": determinism,
+        "checks": {
+            "zero_slo_violations": not violations,
+            "flowexport_byte_identical": determinism["flowexport_byte_identical"],
+            "replay_flow_digest_matches": determinism["replay_flow_digest_matches"],
+            "campaign_replay_stable": determinism["campaign_replay_stable"],
+        },
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    if args.flowexport:
+        by_name = {spec.name: spec for spec in specs}
+        spec = by_name.get(DETERMINISM_SPEC) or load_spec(
+            os.path.join(SCENARIO_DIR, f"{DETERMINISM_SPEC}.toml")
+        )
+        result = run_scenario(spec, shards=DETERMINISM_SHARDS[-1])
+        result.exporter.write(args.flowexport)
+        print(f"wrote {args.flowexport} ({len(result.exporter)} flows)")
+
+    print(f"wrote {args.out}\n")
+    print(f"  {'cell':<34} {'served':>8} {'goodput':>10} {'p95':>9} {'slo':>5}")
+    for cell in matrix.cells:
+        result = cell.result
+        summary = result.latency_summary()
+        p95 = next(iter(summary.values()))["p95_ms"] if summary else float("nan")
+        verdict = "FAIL" if result.violations else "ok"
+        print(
+            f"  {cell.key():<34} {result.served:>8}"
+            f" {result.goodput():>8.1f}/s {p95:>7.2f}ms {verdict:>5}"
+        )
+
+    failures: List[str] = []
+    checks = payload["checks"]
+    if not checks["zero_slo_violations"] and not args.no_check:
+        lines = "; ".join(
+            f"{key}: {', '.join(problems)}" for key, problems in sorted(violations.items())
+        )
+        failures.append(f"{len(violations)} cell(s) violated their SLOs ({lines})")
+    if not checks["flowexport_byte_identical"]:
+        failures.append(
+            f"flowexport differs across shard counts {DETERMINISM_SHARDS}"
+        )
+    if not checks["replay_flow_digest_matches"]:
+        failures.append("identical seed produced different flowexport bytes")
+    if not checks["campaign_replay_stable"]:
+        failures.append("identical seed produced different campaign digests")
+    if failures:
+        print("\nFAIL: " + "; ".join(failures))
+        return 1
+    print(
+        f"\n  {len(matrix.cells)} cells, 0 SLO violations, flowexport"
+        f" byte-identical at shards {list(DETERMINISM_SHARDS)},"
+        f" campaign digests replay-stable"
+        f" ({matrix_s + determinism_s:.2f}s wall)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,6 +21,11 @@ class FaultInjector:
         self.network = network
         self.kernel = kernel
         self.log: List[Tuple[float, str]] = []
+        #: Fire times of partitions scheduled via :meth:`partition_at`;
+        #: :meth:`heal_at` validates against them (a heal scheduled
+        #: before any partition exists used to be accepted silently and
+        #: left the partition in place forever).
+        self._scheduled_partitions: List[float] = []
 
     def _record(self, description: str, at: Optional[float] = None) -> None:
         # ``at`` is the *scheduled* fire time of a kernel-driven fault.
@@ -88,9 +93,35 @@ class FaultInjector:
         self._require_kernel().schedule_at(
             time, self.partition, *frozen, at=time, label="partition"
         )
+        self._scheduled_partitions.append(time)
 
     def heal_at(self, time: float) -> None:
-        """Schedule the healing of all partitions."""
+        """Schedule the healing of all partitions.
+
+        The heal must land after a partition it can heal: either one is
+        active right now, or one was scheduled (via :meth:`partition_at`)
+        to fire at or before ``time``.  Anything else is a scripting
+        error that used to pass silently and leave the partition in
+        place forever.
+        """
+        if not self.network.partitioned and not any(
+            fire <= time for fire in self._scheduled_partitions
+        ):
+            earliest = (
+                min(self._scheduled_partitions)
+                if self._scheduled_partitions
+                else None
+            )
+            detail = (
+                f"the earliest scheduled partition fires at {earliest}"
+                if earliest is not None
+                else "no partition is active or scheduled"
+            )
+            raise ValueError(
+                f"heal_at({time}) has nothing to heal: {detail}; "
+                "schedule the partition first (partition_at) or partition "
+                "immediately before scheduling the heal"
+            )
         self._require_kernel().schedule_at(time, self.heal, at=time, label="heal")
 
     def set_loss_at(self, time: float, link: Link, loss_rate: float) -> None:

@@ -365,6 +365,11 @@ class Network:
         """Remove all partitions."""
         self.set_partitions([])
 
+    @property
+    def partitioned(self) -> bool:
+        """True while any partition is active."""
+        return bool(self._partition_groups)
+
     def _same_side(self, a: str, b: str) -> bool:
         if not self._partition_groups:
             return True

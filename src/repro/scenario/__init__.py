@@ -1,0 +1,44 @@
+"""Scenario fleet: declarative specs, chaos campaigns, SLO matrices.
+
+The experiment layer on top of the MAQS reproduction: a scenario is a
+TOML/dict :class:`~repro.scenario.spec.Spec` (topology, QoS stacks,
+traffic shape, chaos script, SLOs), the configurator instantiates it,
+the runner executes and judges it, and the matrix sweeps specs x
+stacks as a CI gate.  ``python -m repro.scenario run <spec.toml>``
+drives a single scenario from the command line.
+"""
+
+from repro.scenario.chaos import Campaign, ChaosError, ChaosEvent
+from repro.scenario.configurator import (
+    DEFAULT_STACKS,
+    QUICK_STACKS,
+    Deployment,
+    StackConfig,
+    build_deployment,
+)
+from repro.scenario.flowexport import FlowExporter, FlowRecord, flows_from_trace
+from repro.scenario.matrix import MatrixCell, ScenarioMatrix
+from repro.scenario.runner import ScenarioResult, arrival_times, run_scenario
+from repro.scenario.spec import Spec, SpecError, load_spec
+
+__all__ = [
+    "Campaign",
+    "ChaosError",
+    "ChaosEvent",
+    "DEFAULT_STACKS",
+    "Deployment",
+    "FlowExporter",
+    "FlowRecord",
+    "MatrixCell",
+    "QUICK_STACKS",
+    "ScenarioMatrix",
+    "ScenarioResult",
+    "Spec",
+    "SpecError",
+    "StackConfig",
+    "arrival_times",
+    "build_deployment",
+    "flows_from_trace",
+    "load_spec",
+    "run_scenario",
+]

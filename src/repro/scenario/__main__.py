@@ -1,0 +1,106 @@
+"""CLI: run or validate scenario specs.
+
+Usage::
+
+    python -m repro.scenario run scenarios/flash_crowd.toml
+        [--stack NAME] [--shards N] [--flowexport out.jsonl]
+    python -m repro.scenario validate scenarios/*.toml
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.scenario.configurator import DEFAULT_STACKS, StackConfig
+from repro.scenario.runner import run_scenario
+from repro.scenario.spec import Spec, SpecError
+
+
+def _find_stack(name: Optional[str]) -> Optional[StackConfig]:
+    if name is None:
+        return None
+    for stack in DEFAULT_STACKS:
+        if stack.name == name:
+            return stack
+    known = ", ".join(stack.name for stack in DEFAULT_STACKS)
+    raise SystemExit(f"unknown stack {name!r}; known stacks: {known}")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        spec = Spec.from_toml(args.spec)
+    except (SpecError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    result = run_scenario(
+        spec, stack=_find_stack(args.stack), shards=args.shards
+    )
+    print(f"scenario  {result.spec_name} (tier={result.tier}, "
+          f"stack={result.stack_name})")
+    print(f"offered   {result.offered}  served {result.served}  "
+          f"failures {result.failures}  retries {result.retries}")
+    print(f"goodput   {result.goodput():.4f}")
+    for klass, stats in result.latency_summary().items():
+        print(f"latency   {klass}: p50 {stats['p50_ms']}ms  "
+              f"p95 {stats['p95_ms']}ms  p99 {stats['p99_ms']}ms "
+              f"(n={int(stats['count'])})")
+    print(f"flows     {len(result.exporter)}  "
+          f"digest {result.exporter.digest()[:16]}…")
+    if result.campaign_digest:
+        print(f"campaign  digest {result.campaign_digest[:16]}…")
+    if args.flowexport:
+        count = result.exporter.write(args.flowexport)
+        print(f"flowexport wrote {count} record(s) to {args.flowexport}")
+    if result.violations:
+        print("SLO VIOLATIONS:")
+        for violation in result.violations:
+            print(f"  - {violation}")
+        return 1
+    print("SLOs: pass")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    status = 0
+    for path in args.specs:
+        try:
+            spec = Spec.from_toml(path)
+        except (SpecError, OSError) as error:
+            print(f"FAIL {path}: {error}")
+            status = 1
+            continue
+        campaign = spec.campaign()
+        print(f"ok   {path}: {spec.name} (tier={spec.tier}, "
+              f"{len(spec.host_names())} hosts, {len(campaign)} chaos events)")
+    return status
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenario",
+        description=__doc__.splitlines()[0],
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one scenario spec")
+    run_p.add_argument("spec", help="path to a TOML spec")
+    run_p.add_argument("--stack", default=None,
+                       help="stack override by name (default: spec as-is)")
+    run_p.add_argument("--shards", type=int, default=1,
+                       help="shard count for tier='shard' specs (default 1)")
+    run_p.add_argument("--flowexport", default=None,
+                       help="write flow-export JSONL to this path")
+    run_p.set_defaults(func=_cmd_run)
+
+    val_p = sub.add_parser("validate", help="validate specs without running")
+    val_p.add_argument("specs", nargs="+", help="paths to TOML specs")
+    val_p.set_defaults(func=_cmd_validate)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,291 @@
+"""Chaos campaigns: timed fault scripts, replayable by seed.
+
+A :class:`Campaign` is an ordered list of :class:`ChaosEvent` actions
+(crash, recover, partition, heal, loss) layered on
+:class:`~repro.netsim.faults.FaultInjector`.  Spec files describe
+either literal events or seeded *generators* (``crash_wave``,
+``loss_ramp``) that expand deterministically, and every campaign has a
+canonical line form whose SHA-256 digest is the replay oracle: same
+spec + same seed -> same digest -> same injected fault sequence.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["Campaign", "ChaosEvent", "ChaosError"]
+
+#: Event kinds a campaign may contain after expansion.
+KINDS = ("crash", "recover", "partition", "heal", "loss")
+
+
+class ChaosError(ValueError):
+    """A chaos script that cannot be what the author meant."""
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One timed fault action.  ``args`` is kind-specific and canonical."""
+
+    at: float
+    kind: str
+    args: Tuple[Any, ...] = ()
+
+    def canonical(self) -> str:
+        return f"{self.at:.9f} {self.kind} {self.args!r}"
+
+
+def _crash_wave(
+    entry: Dict[str, Any], seed: int, index: int
+) -> List[ChaosEvent]:
+    """Expand a seeded wave of crash/recover pairs rolling over hosts."""
+    hosts = list(entry["hosts"])
+    start = float(entry["at"])
+    interval = float(entry.get("interval", 0.05))
+    downtime = float(entry.get("downtime", 0.04))
+    waves = int(entry.get("waves", 1))
+    if interval <= 0.0 or downtime <= 0.0:
+        raise ChaosError(
+            f"chaos[{index}]: crash_wave interval/downtime must be positive "
+            f"(got interval={interval}, downtime={downtime})"
+        )
+    rng = random.Random(f"{seed}:crash_wave:{index}")
+    events: List[ChaosEvent] = []
+    t = start
+    for _wave in range(waves):
+        order = list(hosts)
+        rng.shuffle(order)
+        for host in order:
+            events.append(ChaosEvent(round(t, 9), "crash", (host,)))
+            events.append(ChaosEvent(round(t + downtime, 9), "recover", (host,)))
+            t += interval
+    return events
+
+
+def _loss_ramp(entry: Dict[str, Any], index: int) -> List[ChaosEvent]:
+    """Expand a stepwise loss ramp on one link, ending healed."""
+    link = tuple(entry["link"])
+    start = float(entry["at"])
+    steps = int(entry.get("steps", 4))
+    step_every = float(entry.get("step_every", 0.1))
+    max_rate = float(entry.get("max_rate", 0.2))
+    if steps < 1 or step_every <= 0.0:
+        raise ChaosError(
+            f"chaos[{index}]: loss_ramp needs steps >= 1 and step_every > 0"
+        )
+    if not 0.0 < max_rate < 1.0:
+        raise ChaosError(
+            f"chaos[{index}]: loss_ramp max_rate must be in (0, 1): {max_rate}"
+        )
+    events = [
+        ChaosEvent(
+            round(start + step * step_every, 9),
+            "loss",
+            (link, round(max_rate * (step + 1) / steps, 9)),
+        )
+        for step in range(steps)
+    ]
+    events.append(
+        ChaosEvent(round(start + steps * step_every, 9), "loss", (link, 0.0))
+    )
+    return events
+
+
+class Campaign:
+    """An expanded, validated, digestible fault script."""
+
+    def __init__(self, events: Iterable[ChaosEvent], seed: int = 0) -> None:
+        self.events: List[ChaosEvent] = sorted(
+            events, key=lambda e: (e.at, KINDS.index(e.kind), e.args)
+        )
+        self.seed = seed
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_dicts(
+        cls,
+        entries: Sequence[Dict[str, Any]],
+        seed: int = 0,
+        hosts: Optional[Sequence[str]] = None,
+        duration: Optional[float] = None,
+    ) -> "Campaign":
+        """Expand spec-file entries into a validated campaign.
+
+        Literal kinds: ``crash``/``recover`` (``host``), ``partition``
+        (``groups``), ``heal``, ``loss`` (``link``, ``rate``).  Seeded
+        generators: ``crash_wave``, ``loss_ramp``.
+        """
+        events: List[ChaosEvent] = []
+        for index, entry in enumerate(entries):
+            kind = entry.get("kind")
+            if kind is None:
+                raise ChaosError(f"chaos[{index}]: missing 'kind'")
+            if "at" not in entry:
+                raise ChaosError(f"chaos[{index}] ({kind}): missing 'at'")
+            at = float(entry["at"])
+            if at < 0.0:
+                raise ChaosError(
+                    f"chaos[{index}] ({kind}): 'at' must be non-negative, got {at}"
+                )
+            if kind in ("crash", "recover"):
+                if "host" not in entry:
+                    raise ChaosError(f"chaos[{index}] ({kind}): missing 'host'")
+                events.append(ChaosEvent(at, kind, (entry["host"],)))
+            elif kind == "partition":
+                groups = entry.get("groups")
+                if not groups or not all(group for group in groups):
+                    raise ChaosError(
+                        f"chaos[{index}] (partition): needs non-empty 'groups' "
+                        "(a list of host lists)"
+                    )
+                canonical = tuple(tuple(sorted(group)) for group in groups)
+                events.append(ChaosEvent(at, "partition", canonical))
+            elif kind == "heal":
+                events.append(ChaosEvent(at, "heal", ()))
+            elif kind == "loss":
+                link = entry.get("link")
+                if not link or len(link) != 2:
+                    raise ChaosError(
+                        f"chaos[{index}] (loss): 'link' must name two hosts"
+                    )
+                rate = float(entry.get("rate", 0.0))
+                if not 0.0 <= rate < 1.0:
+                    raise ChaosError(
+                        f"chaos[{index}] (loss): rate must be in [0, 1): {rate}"
+                    )
+                events.append(ChaosEvent(at, "loss", (tuple(link), rate)))
+            elif kind == "crash_wave":
+                if not entry.get("hosts"):
+                    raise ChaosError(
+                        f"chaos[{index}] (crash_wave): needs non-empty 'hosts'"
+                    )
+                events.extend(_crash_wave(entry, seed, index))
+            elif kind == "loss_ramp":
+                if not entry.get("link") or len(entry["link"]) != 2:
+                    raise ChaosError(
+                        f"chaos[{index}] (loss_ramp): 'link' must name two hosts"
+                    )
+                events.extend(_loss_ramp(entry, index))
+            else:
+                raise ChaosError(
+                    f"chaos[{index}]: unknown kind {kind!r}; expected one of "
+                    f"{KINDS + ('crash_wave', 'loss_ramp')}"
+                )
+        campaign = cls(events, seed=seed)
+        campaign.validate(hosts=hosts, duration=duration)
+        return campaign
+
+    # -- validation -------------------------------------------------------
+
+    def validate(
+        self,
+        hosts: Optional[Sequence[str]] = None,
+        duration: Optional[float] = None,
+    ) -> None:
+        """Reject scripts that cannot be what the author meant."""
+        known = set(hosts) if hosts is not None else None
+        partition_open: Optional[float] = None
+        partitions_seen = 0
+        down: Dict[str, float] = {}
+        for event in self.events:
+            if duration is not None and event.at > duration:
+                raise ChaosError(
+                    f"chaos event {event.canonical()!r} fires after the "
+                    f"scenario ends at {duration}s"
+                )
+            if known is not None:
+                for name in self._host_refs(event):
+                    if name not in known:
+                        raise ChaosError(
+                            f"chaos event {event.canonical()!r} references "
+                            f"unknown host {name!r} (known: {sorted(known)})"
+                        )
+            if event.kind == "partition":
+                if partition_open is not None:
+                    raise ChaosError(
+                        f"overlapping chaos windows: partition at {event.at} "
+                        f"starts while the partition from {partition_open} is "
+                        "still open; heal it first"
+                    )
+                partition_open = event.at
+                partitions_seen += 1
+            elif event.kind == "heal":
+                if partition_open is None:
+                    raise ChaosError(
+                        f"heal at {event.at} precedes every partition"
+                        + (
+                            ""
+                            if not partitions_seen
+                            else " still open at that instant"
+                        )
+                        + "; schedule the partition first"
+                    )
+                partition_open = None
+            elif event.kind == "crash":
+                host = event.args[0]
+                if host in down:
+                    raise ChaosError(
+                        f"overlapping chaos windows: {host!r} crashes at "
+                        f"{event.at} but is already down since {down[host]} "
+                        "(no recover in between)"
+                    )
+                down[host] = event.at
+            elif event.kind == "recover":
+                host = event.args[0]
+                if host not in down:
+                    raise ChaosError(
+                        f"recover of {host!r} at {event.at} precedes its crash"
+                    )
+                del down[host]
+        if partition_open is not None:
+            raise ChaosError(
+                f"partition at {partition_open} is never healed; add a heal "
+                "event (an unhealed partition outlives the scenario)"
+            )
+
+    @staticmethod
+    def _host_refs(event: ChaosEvent) -> List[str]:
+        if event.kind in ("crash", "recover"):
+            return [event.args[0]]
+        if event.kind == "partition":
+            return [name for group in event.args for name in group]
+        if event.kind == "loss":
+            return list(event.args[0])
+        return []
+
+    # -- identity ---------------------------------------------------------
+
+    def canonical_lines(self) -> List[str]:
+        return [event.canonical() for event in self.events]
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical script: the replay oracle."""
+        blob = "\n".join(self.canonical_lines()).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- installation -------------------------------------------------------
+
+    def install(self, injector: Any, network: Any) -> int:
+        """Schedule every event on the injector's kernel; returns count."""
+        for event in self.events:
+            if event.kind == "crash":
+                injector.crash_at(event.at, event.args[0])
+            elif event.kind == "recover":
+                injector.recover_at(event.at, event.args[0])
+            elif event.kind == "partition":
+                injector.partition_at(event.at, *[list(g) for g in event.args])
+            elif event.kind == "heal":
+                injector.heal_at(event.at)
+            elif event.kind == "loss":
+                (a, b), rate = event.args
+                injector.set_loss_at(event.at, network.link_between(a, b), rate)
+            else:  # pragma: no cover - guarded by from_dicts
+                raise ChaosError(f"cannot install kind {event.kind!r}")
+        return len(self.events)

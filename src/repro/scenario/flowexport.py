@@ -1,0 +1,143 @@
+"""Flow-export-style per-flow telemetry (JSONL) for offline analysis.
+
+Every scenario run emits one :class:`FlowRecord` per logical flow —
+an open-loop request, a transaction, or an ON burst on the sharded
+kernel — in a canonical JSONL encoding: keys sorted, floats rounded to
+nanosecond precision, records ordered by ``(start, flow_id)``.  The
+canonical form is what makes the determinism gates byte-exact: the
+same seed must produce the same bytes whether the scenario ran on the
+serial kernel or on four shards.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["FlowExporter", "FlowRecord", "flows_from_trace"]
+
+#: Marker used by sharded-kernel handlers: ``ctx.record("flow", ...)``.
+TRACE_TAG = "flow"
+
+
+def _canon(value: float) -> float:
+    """Floats at nanosecond precision: the byte-stability contract."""
+    return round(float(value), 9)
+
+
+@dataclass
+class FlowRecord:
+    """One flow's life, in the style of a router's flow export record."""
+
+    flow_id: str
+    klass: str
+    src: str
+    dst: str
+    nbytes: int
+    start: float
+    end: float
+    requests: int = 1
+    drops: int = 0
+    retries: int = 0
+    status: str = "ok"
+
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_json(self) -> str:
+        data = asdict(self)
+        data["start"] = _canon(data["start"])
+        data["end"] = _canon(data["end"])
+        return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+class FlowExporter:
+    """Collects flow records; writes canonical JSONL and digests it."""
+
+    def __init__(self, records: Optional[Iterable[FlowRecord]] = None) -> None:
+        self.records: List[FlowRecord] = list(records or [])
+
+    def add(self, record: FlowRecord) -> None:
+        self.records.append(record)
+
+    def extend(self, records: Iterable[FlowRecord]) -> None:
+        self.records.extend(records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def lines(self) -> List[str]:
+        """Canonically ordered JSONL lines (sharding-independent)."""
+        ordered = sorted(
+            self.records, key=lambda r: (_canon(r.start), r.flow_id)
+        )
+        return [record.to_json() for record in ordered]
+
+    def dumps(self) -> str:
+        lines = self.lines()
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write(self, path: str) -> int:
+        """Write the JSONL file; returns the number of records."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.dumps())
+        return len(self.records)
+
+    def digest(self) -> str:
+        """SHA-256 of the canonical JSONL bytes."""
+        return hashlib.sha256(self.dumps().encode("utf-8")).hexdigest()
+
+    def summary(self) -> Dict[str, float]:
+        records = self.records
+        failed = sum(1 for r in records if r.status != "ok")
+        return {
+            "flows": float(len(records)),
+            "requests": float(sum(r.requests for r in records)),
+            "bytes": float(sum(r.nbytes for r in records)),
+            "drops": float(sum(r.drops for r in records)),
+            "retries": float(sum(r.retries for r in records)),
+            "failed": float(failed),
+        }
+
+
+def flows_from_trace(
+    entries: Sequence[Tuple[float, str, str, str]],
+) -> List[FlowRecord]:
+    """Parse ``ctx.record("flow", ...)`` entries of a sharded-kernel trace.
+
+    The payload of a ``record`` trace entry is ``repr(fields)`` where
+    ``fields`` is ``("flow", flow_id, klass, dst, nbytes, start, end,
+    requests, drops, retries)`` emitted by
+    :mod:`repro.scenario.shardtraffic`; the recording host is the flow
+    source.  Entries come from
+    :meth:`~repro.netsim.parallel.kernel.ShardedKernel.trace_entries`,
+    whose canonical sort makes the result independent of shard count.
+    """
+    flows: List[FlowRecord] = []
+    for _time, host, ref, payload in entries:
+        if ref != "record":
+            continue
+        fields = ast.literal_eval(payload)
+        if not fields or fields[0] != TRACE_TAG:
+            continue
+        (_tag, flow_id, klass, dst, nbytes, start, end, requests, drops,
+         retries) = fields
+        flows.append(
+            FlowRecord(
+                flow_id=flow_id,
+                klass=klass,
+                src=host,
+                dst=dst,
+                nbytes=int(nbytes),
+                start=float(start),
+                end=float(end),
+                requests=int(requests),
+                drops=int(drops),
+                retries=int(retries),
+                status="ok" if not drops else "degraded",
+            )
+        )
+    return flows

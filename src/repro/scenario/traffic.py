@@ -1,0 +1,260 @@
+"""Harpoon-style traffic: heavy-tailed ON/OFF sessions, load curves.
+
+Three generator families, all seeded and all emitting through the
+arrival API of :mod:`repro.workloads.generators` (sorted absolute
+arrival instants), so the same curve can drive a packet-tier
+open-loop driver and a :class:`~repro.workloads.fluid.FluidCohort`
+background:
+
+- **ON/OFF sessions** (:func:`onoff_sessions` / :func:`onoff_arrivals`)
+  — the harpoon model: each source alternates an ON burst whose size
+  (requests) is bounded-Pareto distributed with a lognormal OFF gap.
+  Aggregating many such sources is what produces the self-similar,
+  heavy-tailed load real middleware sees.
+- **Diurnal curves** (:func:`diurnal_rate` / :func:`diurnal_arrivals`)
+  — a sinusoidal day/night rate whose integral over whole periods is
+  exactly ``mean_rate * duration``.
+- **Flash crowds** (:func:`flash_crowd_rate` /
+  :func:`flash_crowd_arrivals`) — a piecewise ramp from a base rate to
+  a peak, a hold, and a decay back.
+
+The curves are sampled by thinning
+(:func:`repro.workloads.generators.thinned_arrivals`); identical seeds
+give identical arrival lists.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.workloads.generators import thinned_arrivals
+
+__all__ = [
+    "Session",
+    "bounded_pareto",
+    "diurnal_arrivals",
+    "diurnal_rate",
+    "flash_crowd_arrivals",
+    "flash_crowd_rate",
+    "hill_estimator",
+    "onoff_arrivals",
+    "onoff_sessions",
+]
+
+
+# -- heavy-tailed sampling ----------------------------------------------
+
+
+def bounded_pareto(u: float, alpha: float, lo: float, hi: float) -> float:
+    """Inverse-CDF sample of a bounded Pareto from ``u`` in [0, 1).
+
+    ``alpha`` is the tail index, ``[lo, hi]`` the support.  The
+    truncation keeps a single draw from dominating a whole run while
+    preserving the tail shape below the cap — the standard trick of
+    empirical web/file-size models.
+    """
+    if alpha <= 0.0:
+        raise ValueError(f"alpha must be positive: {alpha}")
+    if not 0.0 < lo < hi:
+        raise ValueError(f"need 0 < lo < hi, got lo={lo} hi={hi}")
+    if not 0.0 <= u < 1.0:
+        raise ValueError(f"u must be in [0, 1): {u}")
+    scale = 1.0 - (lo / hi) ** alpha
+    return lo / (1.0 - u * scale) ** (1.0 / alpha)
+
+
+def hill_estimator(values: Sequence[float], k: Optional[int] = None) -> float:
+    """Hill estimate of the tail index from the ``k`` largest values.
+
+    The property tests use this to check generated ON sizes against
+    the configured Pareto ``alpha``.  ``k`` defaults to the top 10%.
+    """
+    ordered = sorted(values, reverse=True)
+    if k is None:
+        k = max(10, len(ordered) // 10)
+    if len(ordered) <= k or k < 2:
+        raise ValueError(f"need more than k={k} samples, got {len(ordered)}")
+    threshold = ordered[k]
+    if threshold <= 0.0:
+        raise ValueError("hill estimator needs positive samples")
+    total = 0.0
+    for value in ordered[:k]:
+        total += math.log(value / threshold)
+    return k / total
+
+
+# -- ON/OFF sessions -----------------------------------------------------
+
+
+@dataclass
+class Session:
+    """One ON burst of a source: ``size`` requests paced at the burst rate."""
+
+    source: int
+    start: float
+    size: int
+    arrivals: List[float] = field(default_factory=list)
+
+
+def onoff_sessions(
+    duration: float,
+    sources: int = 4,
+    burst_rate: float = 400.0,
+    on_alpha: float = 1.5,
+    on_min: float = 2.0,
+    on_max: float = 20_000.0,
+    off_mu: float = -3.0,
+    off_sigma: float = 0.7,
+    seed: int = 0,
+    start: float = 0.0,
+) -> List[Session]:
+    """Harpoon-style ON/OFF sessions for ``sources`` independent sources.
+
+    Each source draws an ON size (requests) from a bounded Pareto with
+    tail index ``on_alpha`` on ``[on_min, on_max]``, emits the burst at
+    ``burst_rate`` requests/second, then sleeps a lognormal(``off_mu``,
+    ``off_sigma``) OFF gap.  Each source's stream is seeded by
+    ``(seed, source)`` only, so streams are stable under recomposition.
+    """
+    if duration < 0.0:
+        raise ValueError(f"duration must be non-negative: {duration}")
+    if sources < 1:
+        raise ValueError(f"need at least one source: {sources}")
+    if burst_rate <= 0.0:
+        raise ValueError(f"burst_rate must be positive: {burst_rate}")
+    if off_sigma < 0.0:
+        raise ValueError(f"off_sigma must be non-negative: {off_sigma}")
+    sessions: List[Session] = []
+    end = start + duration
+    for source in range(sources):
+        rng = random.Random(f"{seed}:onoff:{source}")
+        # An initial OFF gap de-synchronises the sources.
+        t = start + rng.lognormvariate(off_mu, off_sigma)
+        while t < end:
+            size = max(
+                1, int(round(bounded_pareto(rng.random(), on_alpha, on_min, on_max)))
+            )
+            arrivals: List[float] = []
+            for index in range(size):
+                at = t + index / burst_rate
+                if at >= end:
+                    break
+                arrivals.append(at)
+            if arrivals:
+                sessions.append(Session(source, t, size, arrivals))
+                t = arrivals[-1]
+            t += 1.0 / burst_rate + rng.lognormvariate(off_mu, off_sigma)
+    return sessions
+
+
+def onoff_arrivals(duration: float, **config) -> List[float]:
+    """Merged, sorted arrival instants of :func:`onoff_sessions`."""
+    times: List[float] = []
+    for session in onoff_sessions(duration, **config):
+        times.extend(session.arrivals)
+    times.sort()
+    return times
+
+
+# -- diurnal curves ------------------------------------------------------
+
+
+def diurnal_rate(
+    tau: float,
+    mean_rate: float,
+    period: float,
+    amplitude: float = 0.6,
+    phase: float = 0.0,
+) -> float:
+    """The instantaneous rate ``tau`` seconds into a diurnal cycle.
+
+    ``mean_rate * (1 + amplitude * sin(2*pi*tau/period + phase))`` —
+    the sinusoid integrates to zero over whole periods, so the curve
+    integrates to exactly ``mean_rate * duration`` there (the property
+    the tests pin).  ``amplitude`` must stay below 1 so the rate never
+    goes negative.
+    """
+    if mean_rate <= 0.0:
+        raise ValueError(f"mean_rate must be positive: {mean_rate}")
+    if period <= 0.0:
+        raise ValueError(f"period must be positive: {period}")
+    if not 0.0 <= amplitude < 1.0:
+        raise ValueError(f"amplitude must be in [0, 1): {amplitude}")
+    return mean_rate * (1.0 + amplitude * math.sin(2.0 * math.pi * tau / period + phase))
+
+
+def diurnal_arrivals(
+    mean_rate: float,
+    duration: float,
+    period: Optional[float] = None,
+    amplitude: float = 0.6,
+    phase: float = 0.0,
+    seed: int = 0,
+    start: float = 0.0,
+) -> List[float]:
+    """Seeded arrivals under a diurnal curve (defaults to one full cycle)."""
+    if period is None:
+        period = duration
+    diurnal_rate(0.0, mean_rate, period, amplitude, phase)  # validate params
+    peak = mean_rate * (1.0 + amplitude)
+    return thinned_arrivals(
+        lambda tau: diurnal_rate(tau, mean_rate, period, amplitude, phase),
+        peak,
+        duration,
+        seed=seed,
+        start=start,
+    )
+
+
+# -- flash crowds --------------------------------------------------------
+
+
+def flash_crowd_rate(
+    tau: float,
+    base_rate: float,
+    peak_rate: float,
+    ramp_at: float,
+    ramp: float = 0.2,
+    hold: float = 0.3,
+    decay: float = 0.3,
+) -> float:
+    """Piecewise flash-crowd rate: base, linear ramp, hold, linear decay."""
+    if base_rate <= 0.0:
+        raise ValueError(f"base_rate must be positive: {base_rate}")
+    if peak_rate < base_rate:
+        raise ValueError(
+            f"peak_rate ({peak_rate}) must be at least base_rate ({base_rate})"
+        )
+    if ramp_at < 0.0 or ramp < 0.0 or hold < 0.0 or decay < 0.0:
+        raise ValueError("flash-crowd phase durations must be non-negative")
+    if tau < ramp_at:
+        return base_rate
+    if ramp > 0.0 and tau < ramp_at + ramp:
+        return base_rate + (peak_rate - base_rate) * (tau - ramp_at) / ramp
+    if tau < ramp_at + ramp + hold:
+        return peak_rate
+    if decay > 0.0 and tau < ramp_at + ramp + hold + decay:
+        fall = (tau - ramp_at - ramp - hold) / decay
+        return peak_rate - (peak_rate - base_rate) * fall
+    return base_rate
+
+
+def flash_crowd_arrivals(
+    duration: float,
+    base_rate: float,
+    peak_rate: float,
+    ramp_at: float,
+    ramp: float = 0.2,
+    hold: float = 0.3,
+    decay: float = 0.3,
+    seed: int = 0,
+    start: float = 0.0,
+) -> List[float]:
+    """Seeded arrivals under a flash-crowd ramp."""
+    rate: Callable[[float], float] = lambda tau: flash_crowd_rate(
+        tau, base_rate, peak_rate, ramp_at, ramp, hold, decay
+    )
+    return thinned_arrivals(rate, peak_rate, duration, seed=seed, start=start)

@@ -81,17 +81,35 @@ class FluidCohort:
             ),
         }
 
-    def install(self, duration: float, start: float = 0.0) -> int:
+    def install(
+        self,
+        duration: float,
+        start: float = 0.0,
+        arrivals: Optional[Sequence[float]] = None,
+    ) -> int:
         """Schedule the cohort's arrivals; returns events scheduled.
 
         Uses the kernel's bulk ``schedule_many`` fast path — for a cold
         kernel this is a single O(n) heapify, not n pushes.
+
+        ``arrivals`` overrides the homogeneous-Poisson default with an
+        externally shaped arrival process (a diurnal curve, a flash
+        crowd) expressed relative to ``start``; each instant still fires
+        one ``batch``-sized flowlet, so the aggregation plan is
+        unchanged — only the pacing is.
         """
         plan = self.plan(duration)
         self.batch = int(plan["batch"])
         rate = plan["aggregate_rate"]
         base = self.tier.kernel.clock.now + start
-        times = poisson_arrivals(rate, duration, seed=self.seed, start=base)
+        if arrivals is None:
+            times = poisson_arrivals(rate, duration, seed=self.seed, start=base)
+        else:
+            times = [base + offset for offset in arrivals]
+            if any(offset < 0.0 or offset > duration for offset in arrivals):
+                raise ValueError(
+                    "explicit cohort arrivals must lie in [0, duration]"
+                )
         self.tier.kernel.schedule_many(times, self._fire, label="cohort")
         self.scheduled += len(times)
         self.installed_duration = duration

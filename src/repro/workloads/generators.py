@@ -39,6 +39,43 @@ def uniform_arrivals(
     return [start + interval * (index + 1) for index in range(count)]
 
 
+def thinned_arrivals(
+    rate_fn,
+    max_rate: float,
+    duration: float,
+    seed: int = 0,
+    start: float = 0.0,
+) -> List[float]:
+    """Arrivals of a non-homogeneous Poisson process by thinning.
+
+    ``rate_fn(tau)`` is the instantaneous rate at ``tau`` seconds into
+    the window and must never exceed ``max_rate``.  This is the
+    arrival API the scenario fleet's diurnal and flash-crowd curves
+    emit through (see :mod:`repro.scenario.traffic`).
+    """
+    if max_rate <= 0:
+        raise ValueError(f"max_rate must be positive: {max_rate}")
+    if duration < 0:
+        raise ValueError(f"duration must be non-negative: {duration}")
+    rng = random.Random(seed)
+    times: List[float] = []
+    now = start
+    end = start + duration
+    while True:
+        now += rng.expovariate(max_rate)
+        if now > end:
+            return times
+        rate = rate_fn(now - start)
+        if rate < 0:
+            raise ValueError(f"rate_fn returned a negative rate: {rate}")
+        if rate > max_rate * (1.0 + 1e-9):
+            raise ValueError(
+                f"rate_fn returned {rate} above the thinning bound {max_rate}"
+            )
+        if rng.random() * max_rate < rate:
+            times.append(now)
+
+
 def bursty_arrivals(
     burst_rate: float,
     idle_rate: float,

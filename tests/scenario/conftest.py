@@ -1,0 +1,30 @@
+"""Shared fixtures: the shipped scenario fleet under scenarios/."""
+
+import glob
+import os
+
+import pytest
+
+from repro.scenario.spec import Spec
+
+SCENARIO_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "scenarios",
+)
+
+
+def scenario_paths():
+    return sorted(glob.glob(os.path.join(SCENARIO_DIR, "*.toml")))
+
+
+@pytest.fixture(scope="session")
+def shipped_specs():
+    """Every TOML spec shipped under scenarios/, loaded and validated."""
+    paths = scenario_paths()
+    assert paths, f"no scenario specs found under {SCENARIO_DIR}"
+    return [Spec.from_toml(path) for path in paths]
+
+
+@pytest.fixture(scope="session")
+def spec_by_name(shipped_specs):
+    return {spec.name: spec for spec in shipped_specs}

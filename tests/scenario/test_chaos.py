@@ -1,0 +1,277 @@
+"""Chaos campaigns: expansion, validation, digests, live installation."""
+
+import pytest
+
+from repro.netsim.faults import FaultInjector
+from repro.netsim.kernel import EventKernel
+from repro.netsim.network import Network, NoRoute
+from repro.scenario.chaos import Campaign, ChaosError, ChaosEvent
+
+
+def campaign(entries, **kwargs):
+    return Campaign.from_dicts(entries, **kwargs)
+
+
+class TestExpansion:
+    def test_literal_events_sorted_by_time(self):
+        c = campaign(
+            [
+                {"kind": "recover", "at": 0.4, "host": "a"},
+                {"kind": "crash", "at": 0.2, "host": "a"},
+            ]
+        )
+        assert [e.kind for e in c.events] == ["crash", "recover"]
+
+    def test_crash_wave_expands_to_pairs(self):
+        c = campaign(
+            [
+                {"kind": "crash_wave", "at": 0.1, "hosts": ["a", "b"],
+                 "interval": 0.3, "downtime": 0.2, "waves": 2}
+            ],
+            seed=5,
+        )
+        kinds = [e.kind for e in c.events]
+        assert kinds.count("crash") == 4
+        assert kinds.count("recover") == 4
+
+    def test_crash_wave_order_is_seeded(self):
+        entry = {"kind": "crash_wave", "at": 0.0, "hosts": list("abcdef"),
+                 "interval": 0.5, "downtime": 0.1}
+        assert campaign([entry], seed=1).digest() == campaign([entry], seed=1).digest()
+        assert campaign([entry], seed=1).digest() != campaign([entry], seed=2).digest()
+
+    def test_loss_ramp_steps_up_then_heals(self):
+        c = campaign(
+            [{"kind": "loss_ramp", "at": 0.0, "link": ["a", "b"],
+              "steps": 4, "step_every": 0.1, "max_rate": 0.2}]
+        )
+        rates = [e.args[1] for e in c.events]
+        assert rates == [0.05, 0.1, 0.15, 0.2, 0.0]
+
+    def test_unknown_kind(self):
+        with pytest.raises(ChaosError, match="unknown kind 'meteor'"):
+            campaign([{"kind": "meteor", "at": 0.1}])
+
+    def test_missing_at(self):
+        with pytest.raises(ChaosError, match="missing 'at'"):
+            campaign([{"kind": "heal"}])
+
+    def test_negative_at(self):
+        with pytest.raises(ChaosError, match="non-negative"):
+            campaign([{"kind": "crash", "at": -1.0, "host": "a"}])
+
+    def test_partition_needs_groups(self):
+        with pytest.raises(ChaosError, match="non-empty 'groups'"):
+            campaign([{"kind": "partition", "at": 0.1, "groups": [[]]}])
+
+    def test_loss_needs_two_host_link(self):
+        with pytest.raises(ChaosError, match="two hosts"):
+            campaign([{"kind": "loss", "at": 0.1, "link": ["a"]}])
+
+
+class TestWindowValidation:
+    def test_heal_before_any_partition(self):
+        with pytest.raises(ChaosError, match="precedes every partition"):
+            campaign(
+                [
+                    {"kind": "heal", "at": 0.1},
+                    {"kind": "partition", "at": 0.5, "groups": [["a"], ["b"]]},
+                    {"kind": "heal", "at": 0.8},
+                ]
+            )
+
+    def test_overlapping_partitions(self):
+        with pytest.raises(ChaosError, match="overlapping chaos windows"):
+            campaign(
+                [
+                    {"kind": "partition", "at": 0.1, "groups": [["a"], ["b"]]},
+                    {"kind": "partition", "at": 0.2, "groups": [["a"], ["b"]]},
+                    {"kind": "heal", "at": 0.3},
+                ]
+            )
+
+    def test_unhealed_partition(self):
+        with pytest.raises(ChaosError, match="never healed"):
+            campaign(
+                [{"kind": "partition", "at": 0.1, "groups": [["a"], ["b"]]}]
+            )
+
+    def test_double_crash_without_recover(self):
+        with pytest.raises(ChaosError, match="already down"):
+            campaign(
+                [
+                    {"kind": "crash", "at": 0.1, "host": "a"},
+                    {"kind": "crash", "at": 0.2, "host": "a"},
+                ]
+            )
+
+    def test_recover_before_crash(self):
+        with pytest.raises(ChaosError, match="precedes its crash"):
+            campaign([{"kind": "recover", "at": 0.1, "host": "a"}])
+
+    def test_event_after_duration(self):
+        with pytest.raises(ChaosError, match="after the scenario ends"):
+            campaign(
+                [{"kind": "crash", "at": 2.0, "host": "a"}], duration=1.0
+            )
+
+    def test_unknown_host_reference(self):
+        with pytest.raises(ChaosError, match="unknown host 'ghost'"):
+            campaign(
+                [{"kind": "crash", "at": 0.1, "host": "ghost"}],
+                hosts=["a", "b"],
+            )
+
+    def test_valid_script_passes(self):
+        c = campaign(
+            [
+                {"kind": "partition", "at": 0.1, "groups": [["a"], ["b"]]},
+                {"kind": "heal", "at": 0.5},
+                {"kind": "crash", "at": 0.6, "host": "a"},
+                {"kind": "recover", "at": 0.7, "host": "a"},
+            ],
+            hosts=["a", "b"],
+            duration=1.0,
+        )
+        assert len(c) == 4
+
+
+class TestDigest:
+    def test_digest_is_stable(self):
+        entries = [
+            {"kind": "crash", "at": 0.25, "host": "a"},
+            {"kind": "recover", "at": 0.5, "host": "a"},
+        ]
+        assert campaign(entries).digest() == campaign(entries).digest()
+
+    def test_digest_sees_timing(self):
+        a = campaign([{"kind": "crash", "at": 0.25, "host": "a"},
+                      {"kind": "recover", "at": 0.5, "host": "a"}])
+        b = campaign([{"kind": "crash", "at": 0.26, "host": "a"},
+                      {"kind": "recover", "at": 0.5, "host": "a"}])
+        assert a.digest() != b.digest()
+
+    def test_empty_campaign_digest(self):
+        # SHA-256 of the empty string: the "no chaos" sentinel every
+        # chaos-free scenario reports.
+        assert campaign([]).digest().startswith("e3b0c44298fc1c14")
+
+    def test_canonical_lines_round_trip_order(self):
+        c = campaign(
+            [
+                {"kind": "heal", "at": 0.5},
+                {"kind": "partition", "at": 0.2, "groups": [["b"], ["a"]]},
+            ]
+        )
+        assert c.canonical_lines() == sorted(c.canonical_lines())
+
+
+class TestInstallation:
+    @pytest.fixture
+    def world(self):
+        kernel = EventKernel()
+        net = Network(kernel.clock)
+        net.add_host("a")
+        net.add_host("b")
+        net.connect("a", "b")
+        return kernel, net, FaultInjector(net, kernel)
+
+    def test_partition_window_applies_and_heals(self, world):
+        kernel, net, faults = world
+        c = campaign(
+            [
+                {"kind": "partition", "at": 0.2, "groups": [["a"], ["b"]]},
+                {"kind": "heal", "at": 0.6},
+            ]
+        )
+        assert c.install(faults, net) == 2
+        kernel.run_until(0.3)
+        with pytest.raises(NoRoute):
+            net.send("a", "b", 1)
+        kernel.run_until(0.7)
+        assert net.send("a", "b", 1) >= 0
+
+    def test_loss_ramp_applies(self, world):
+        kernel, net, faults = world
+        link = net.link_between("a", "b")
+        c = campaign(
+            [{"kind": "loss_ramp", "at": 0.1, "link": ["a", "b"],
+              "steps": 2, "step_every": 0.1, "max_rate": 0.4}]
+        )
+        c.install(faults, net)
+        kernel.run_until(0.15)
+        assert link.loss_rate == pytest.approx(0.2)
+        kernel.run_until(0.35)
+        assert link.loss_rate == 0.0  # ramps end healed
+
+    def test_install_logs_every_event(self, world):
+        kernel, net, faults = world
+        c = campaign(
+            [
+                {"kind": "crash", "at": 0.1, "host": "b"},
+                {"kind": "recover", "at": 0.2, "host": "b"},
+            ]
+        )
+        c.install(faults, net)
+        kernel.run()
+        assert [entry for _, entry in faults.log] == ["crash b", "recover b"]
+
+
+class TestFaultInjectorHealGuard:
+    """The fix this PR ships: FaultInjector.heal_at used to accept a
+    heal scheduled before any partition and silently leave the
+    partition in place forever."""
+
+    @pytest.fixture
+    def world(self):
+        kernel = EventKernel()
+        net = Network(kernel.clock)
+        net.add_host("a")
+        net.add_host("b")
+        net.connect("a", "b")
+        return kernel, net, FaultInjector(net, kernel)
+
+    def test_heal_before_partition_rejected(self, world):
+        _, _, faults = world
+        faults.partition_at(1.0, {"a"}, {"b"})
+        with pytest.raises(ValueError, match="nothing to heal"):
+            faults.heal_at(0.5)
+
+    def test_heal_with_no_partition_rejected(self, world):
+        _, _, faults = world
+        with pytest.raises(ValueError, match="no partition is active"):
+            faults.heal_at(0.5)
+
+    def test_error_names_the_earliest_partition(self, world):
+        _, _, faults = world
+        faults.partition_at(2.0, {"a"}, {"b"})
+        with pytest.raises(ValueError, match="fires at 2.0"):
+            faults.heal_at(1.0)
+
+    def test_heal_after_scheduled_partition_ok(self, world):
+        kernel, net, faults = world
+        faults.partition_at(0.2, {"a"}, {"b"})
+        faults.heal_at(0.6)
+        kernel.run()
+        assert net.send("a", "b", 1) >= 0
+
+    def test_heal_of_active_partition_ok(self, world):
+        kernel, net, faults = world
+        faults.partition({"a"}, {"b"})
+        faults.heal_at(0.5)
+        kernel.run()
+        assert net.send("a", "b", 1) >= 0
+
+    def test_heal_at_partition_instant_ok(self, world):
+        kernel, _, faults = world
+        faults.partition_at(0.5, {"a"}, {"b"})
+        faults.heal_at(0.5)  # same instant: partition fires first
+        kernel.run()
+        kinds = [entry.split()[0] for _, entry in faults.log]
+        assert kinds == ["partition", "heal"]
+
+
+class TestChaosEvent:
+    def test_canonical_is_fixed_precision(self):
+        event = ChaosEvent(0.1, "crash", ("a",))
+        assert event.canonical() == "0.100000000 crash ('a',)"

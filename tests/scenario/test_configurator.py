@@ -1,0 +1,184 @@
+"""Deployment construction: topology, groups, stacks, fluid, routing."""
+
+import pytest
+
+from repro.scenario import Spec, StackConfig, build_deployment, run_scenario
+from repro.scenario.configurator import DEFAULT_STACKS
+from repro.scenario.spec import SpecError
+
+
+def tiny_spec(**overrides):
+    data = {
+        "name": "tiny",
+        "duration": 0.4,
+        "topology": {"lan": {"hosts": ["client", "s1", "s2"]}},
+        "group": {"hosts": ["s1", "s2"], "service_time": 0.001},
+        "traffic": {"kind": "poisson", "rate": 40.0, "sources": ["client"]},
+    }
+    data.update(overrides)
+    return Spec.from_dict(data)
+
+
+class TestStackResolution:
+    def test_spec_as_is(self):
+        spec = tiny_spec()
+        resolved = StackConfig("plain").resolve(spec)
+        assert resolved.policy == "fifo"  # the spec default
+        assert not resolved.reliability
+        assert resolved.codec is None
+        assert resolved.group_hosts == ["s1", "s2"]
+
+    def test_overrides_win(self):
+        spec = tiny_spec()
+        resolved = StackConfig(
+            "wfq", sched="wfq", reliability=True, codec="rle", replicas=1
+        ).resolve(spec)
+        assert resolved.policy == "wfq"
+        assert resolved.reliability
+        assert resolved.codec == "rle"
+        assert resolved.group_hosts == ["s1"]
+
+    def test_empty_codec_strips_spec_modules(self):
+        spec = tiny_spec(modules=[{"kind": "compression", "codec": "rle"}])
+        assert StackConfig("strip", codec="").resolve(spec).codec is None
+        assert StackConfig("keep").resolve(spec).codec == "rle"
+
+    def test_describe_is_readable(self):
+        spec = tiny_spec()
+        resolved = DEFAULT_STACKS[1].resolve(spec)
+        assert resolved.describe() == "wfq+rel+x2"
+
+
+class TestDeployment:
+    def test_builds_topology_and_group(self):
+        deployment = build_deployment(tiny_spec())
+        net = deployment.world.network
+        assert net.host("client") is not None
+        assert len(deployment.member_iors) == 2
+        assert deployment.group_ior is not None
+        assert set(deployment.schedulers) == {"s1", "s2"}
+
+    def test_cohort_clients_get_hosts_and_links(self):
+        spec = tiny_spec(
+            topology={
+                "hosts": ["gw", "s1"],
+                "links": [{"a": "gw", "b": "s1"}],
+                "cohorts": [
+                    {"name": "edge", "clients": 2, "gateway": "gw",
+                     "latency": 0.01, "bandwidth_mbps": 8.0}
+                ],
+            },
+            group={"hosts": ["s1"], "service_time": 0.001},
+            traffic={"kind": "poisson", "rate": 20.0, "sources": ["edge*"]},
+        )
+        deployment = build_deployment(spec)
+        net = deployment.world.network
+        link = net.link_between("edge00", "gw")
+        assert link.latency == pytest.approx(0.01)
+        assert link.capacity_bps == pytest.approx(8e6)
+
+    def test_cluster_fabric_builds_ring(self):
+        spec = Spec.from_dict(
+            {
+                "name": "fabric",
+                "duration": 0.2,
+                "tier": "shard",
+                "topology": {
+                    "clusters": {"clusters": 3, "hosts_per_cluster": 2}
+                },
+                "group": {"hosts": ["c*h00"]},
+                "traffic": {"kind": "onoff", "sources": ["c*h01"]},
+            }
+        )
+        assert len(spec.host_names()) == 6
+
+    def test_txn_stub_requires_txn_mode(self):
+        deployment = build_deployment(tiny_spec())
+        with pytest.raises(SpecError, match="txn"):
+            deployment.make_txn_stub("client")
+
+    def test_compression_module_assigned_per_source(self):
+        spec = tiny_spec(
+            traffic={"kind": "poisson", "rate": 40.0, "mode": "txn",
+                     "sources": ["client"]},
+            modules=[{"kind": "compression", "codec": "rle"}],
+        )
+        deployment = build_deployment(spec)
+        client = deployment.world.orb("client")
+        module = client.qos_transport.module("compression")
+        assert module is not None
+
+    def test_campaign_installed_on_kernel(self):
+        spec = tiny_spec(
+            duration=1.0,
+            chaos=[
+                {"kind": "crash", "at": 0.2, "host": "s2"},
+                {"kind": "recover", "at": 0.4, "host": "s2"},
+            ],
+        )
+        deployment = build_deployment(spec)
+        deployment.world.kernel.run_until(0.3)
+        assert deployment.world.network.host("s2").crashed
+        deployment.world.kernel.run_until(0.5)
+        assert not deployment.world.network.host("s2").crashed
+
+    def test_fluid_cohort_installed(self):
+        spec = tiny_spec(
+            fluid={"n_clients": 500, "src": "client", "dst": "s1",
+                   "flowlets_per_client": 0.1, "max_flowlets": 100},
+        )
+        deployment = build_deployment(spec)
+        assert len(deployment.cohorts) == 1
+        assert deployment.cohorts[0].scheduled > 0
+
+
+class TestRouting:
+    def test_routes_around_a_crashed_member(self):
+        spec = tiny_spec(
+            duration=1.0,
+            chaos=[
+                {"kind": "crash", "at": 0.1, "host": "s1"},
+                {"kind": "recover", "at": 0.9, "host": "s1"},
+            ],
+        )
+        deployment = build_deployment(spec)
+        deployment.world.kernel.run_until(0.2)
+        target = deployment.route_least_backlog(None, 0.2)
+        assert target.profile.host == "s2"
+
+    def test_full_outage_returns_primary(self):
+        spec = tiny_spec(
+            duration=1.0,
+            chaos=[
+                {"kind": "crash", "at": 0.1, "host": "s1"},
+                {"kind": "crash", "at": 0.1, "host": "s2"},
+                {"kind": "recover", "at": 0.9, "host": "s1"},
+                {"kind": "recover", "at": 0.9, "host": "s2"},
+            ],
+        )
+        deployment = build_deployment(spec)
+        deployment.world.kernel.run_until(0.2)
+        target = deployment.route_least_backlog(None, 0.2)
+        assert target is deployment.member_iors[0]
+
+
+class TestDuplicateCommitAccounting:
+    def test_counts_multi_executed_commits(self):
+        spec = tiny_spec(
+            traffic={"kind": "poisson", "rate": 40.0, "mode": "txn",
+                     "sources": ["client"]},
+        )
+        deployment = build_deployment(spec)
+        servant = next(iter(deployment.servants.values()))
+        servant.commit("t1")
+        assert deployment.duplicate_commits() == 0
+        servant.commit("t1")
+        assert deployment.duplicate_commits() == 1
+
+
+class TestTxnPath:
+    def test_txn_scenario_counts_commits_once(self, spec_by_name):
+        result = run_scenario(spec_by_name["loss_ramp"], DEFAULT_STACKS[1])
+        assert result.served > 0
+        assert result.duplicate_commits == 0
+        assert result.retries > 0  # the loss ramp forces retries

@@ -1,0 +1,118 @@
+"""Flow-export telemetry: canonical JSONL, digests, trace parsing."""
+
+import json
+
+import pytest
+
+from repro.scenario.flowexport import FlowExporter, FlowRecord, flows_from_trace
+
+
+def record(flow_id="c:00000", start=0.0, end=0.01, **kw):
+    defaults = dict(
+        klass="std", src="c", dst="s", nbytes=128, requests=1,
+        drops=0, retries=0, status="ok",
+    )
+    defaults.update(kw)
+    return FlowRecord(flow_id=flow_id, start=start, end=end, **defaults)
+
+
+class TestFlowRecord:
+    def test_duration(self):
+        assert record(start=1.0, end=1.25).duration() == pytest.approx(0.25)
+
+    def test_json_is_canonical(self):
+        line = record().to_json()
+        data = json.loads(line)
+        assert list(data) == sorted(data)  # keys sorted
+        assert " " not in line  # compact separators
+
+    def test_floats_rounded_to_nanoseconds(self):
+        a = record(start=0.1234567891234, end=0.2)
+        b = record(start=0.1234567894321, end=0.2)
+        assert a.to_json() == b.to_json()
+
+
+class TestFlowExporter:
+    def test_lines_ordered_by_start_then_id(self):
+        exporter = FlowExporter(
+            [
+                record(flow_id="b:1", start=0.5),
+                record(flow_id="a:2", start=0.5),
+                record(flow_id="z:0", start=0.1),
+            ]
+        )
+        ids = [json.loads(line)["flow_id"] for line in exporter.lines()]
+        assert ids == ["z:0", "a:2", "b:1"]
+
+    def test_insertion_order_does_not_change_bytes(self):
+        records = [record(flow_id=f"c:{i}", start=i / 10.0) for i in range(5)]
+        forward = FlowExporter(records)
+        backward = FlowExporter(list(reversed(records)))
+        assert forward.dumps() == backward.dumps()
+        assert forward.digest() == backward.digest()
+
+    def test_dumps_ends_with_newline(self):
+        assert FlowExporter([record()]).dumps().endswith("\n")
+        assert FlowExporter([]).dumps() == ""
+
+    def test_write_and_read_back(self, tmp_path):
+        path = tmp_path / "flows.jsonl"
+        exporter = FlowExporter([record(), record(flow_id="c:00001", start=0.2)])
+        assert exporter.write(str(path)) == 2
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["flow_id"] == "c:00000"
+
+    def test_digest_sees_payload_changes(self):
+        base = FlowExporter([record()])
+        changed = FlowExporter([record(nbytes=129)])
+        assert base.digest() != changed.digest()
+
+    def test_summary_totals(self):
+        exporter = FlowExporter(
+            [
+                record(nbytes=100, requests=2),
+                record(flow_id="c:1", nbytes=50, drops=1, retries=3,
+                       status="failed"),
+            ]
+        )
+        summary = exporter.summary()
+        assert summary["flows"] == 2
+        assert summary["requests"] == 3
+        assert summary["bytes"] == 150
+        assert summary["drops"] == 1
+        assert summary["retries"] == 3
+        assert summary["failed"] == 1
+
+
+class TestFlowsFromTrace:
+    def entry(self, host="c00h01", flow_id="c00h01:0000"):
+        payload = repr(
+            ("flow", flow_id, "std", "c00h00", 800, 0.125, 0.25, 2, 0, 0)
+        )
+        return (0.25, host, "record", payload)
+
+    def test_parses_flow_entries(self):
+        flows = flows_from_trace([self.entry()])
+        assert len(flows) == 1
+        flow = flows[0]
+        assert flow.src == "c00h01"  # the recording host
+        assert flow.dst == "c00h00"
+        assert flow.nbytes == 800
+        assert flow.requests == 2
+        assert flow.status == "ok"
+
+    def test_skips_non_record_refs(self):
+        entries = [(0.1, "a", "tick", "()"), self.entry()]
+        assert len(flows_from_trace(entries)) == 1
+
+    def test_skips_other_record_tags(self):
+        entries = [(0.1, "a", "record", repr(("metric", 1))), self.entry()]
+        assert len(flows_from_trace(entries)) == 1
+
+    def test_drops_mark_degraded(self):
+        payload = repr(
+            ("flow", "c:0", "std", "s", 100, 0.0, 0.1, 1, 2, 0)
+        )
+        flows = flows_from_trace([(0.1, "c", "record", payload)])
+        assert flows[0].status == "degraded"

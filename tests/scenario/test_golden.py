@@ -1,0 +1,80 @@
+"""Golden-trace regression pins: spec or kernel drift fails loudly.
+
+Two small shipped scenarios are pinned by SHA-256 digest — the chaos
+campaign scripts, the seeded arrival schedules, and the end-to-end
+flow-export bytes.  These digests are *contracts*: they only change
+when the spec files, the seeded generators, the chaos expansion, or
+the simulation kernels change behaviour.  If a refactor trips one,
+either the refactor leaked a behaviour change (fix it) or the change
+is intentional — then re-pin the digest **in the same PR** and say why
+in the commit message.
+"""
+
+import hashlib
+
+from repro.scenario import QUICK_STACKS, run_scenario
+from repro.scenario.runner import arrival_times
+
+GOLDEN_CAMPAIGNS = {
+    "regional_partition":
+        "e441818740f54ca77c91f949e84df6220f5ed50cd288fafe7afc81016ebb410c",
+    "crash_waves":
+        "c70e40b429503c838b0ae12340382cddb786ab5f1c5b000100448aca6bbd682c",
+}
+
+GOLDEN_ARRIVALS = {
+    "steady_poisson":
+        "c089fa616ff00cae4659049e69f935cbf8922ea7ff1134dda1db11ef305de2a6",
+    "flash_crowd":
+        "acf91f737e202efc1aa2f3873cb1d5665be2a85524dcc2bbdb0587656ce774c1",
+}
+
+GOLDEN_FLOWS = {
+    # orb tier: arrivals + routing + queueing + the whole wire path.
+    "steady_poisson":
+        "d52e548aed1766c99a702726770db4247c231b639fd568a55900d06865aaefd2",
+    # shard tier: the conservative-sync kernel end to end.
+    "shard_onoff":
+        "3790ac2ea6b6f656d2ad56b76abb85dfa5dc29f8b7648f765fde5860f5380944",
+}
+
+
+def arrivals_digest(spec):
+    blob = ",".join(f"{t:.9f}" for t in arrival_times(spec)).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+class TestGoldenCampaigns:
+    def test_campaign_digests_pinned(self, spec_by_name):
+        for name, expected in GOLDEN_CAMPAIGNS.items():
+            assert spec_by_name[name].campaign().digest() == expected, (
+                f"{name}: chaos campaign drifted from its golden digest — "
+                "the spec file or the campaign expansion changed behaviour"
+            )
+
+
+class TestGoldenArrivals:
+    def test_arrival_schedules_pinned(self, spec_by_name):
+        for name, expected in GOLDEN_ARRIVALS.items():
+            assert arrivals_digest(spec_by_name[name]) == expected, (
+                f"{name}: the seeded arrival schedule drifted — a traffic "
+                "generator changed behaviour under an unchanged seed"
+            )
+
+
+class TestGoldenFlows:
+    def test_orb_tier_flow_bytes_pinned(self, spec_by_name):
+        result = run_scenario(spec_by_name["steady_poisson"], QUICK_STACKS[0])
+        assert result.exporter.digest() == GOLDEN_FLOWS["steady_poisson"], (
+            "steady_poisson: end-to-end flow export drifted — the ORB "
+            "datapath, router or kernel changed behaviour under an "
+            "unchanged seed"
+        )
+
+    def test_shard_tier_flow_bytes_pinned(self, spec_by_name):
+        result = run_scenario(spec_by_name["shard_onoff"], shards=4)
+        assert result.exporter.digest() == GOLDEN_FLOWS["shard_onoff"], (
+            "shard_onoff: sharded-kernel flow export drifted — the "
+            "conservative-sync kernel or the ON/OFF program changed "
+            "behaviour under an unchanged seed"
+        )

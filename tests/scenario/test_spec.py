@@ -1,0 +1,376 @@
+"""Spec loading and validation: every rejection names the offending field."""
+
+import copy
+
+import pytest
+
+from repro.scenario.spec import Spec, SpecError, load_spec
+
+BASE = {
+    "name": "base",
+    "seed": 3,
+    "duration": 1.0,
+    "topology": {
+        "lan": {"hosts": ["client", "s1", "s2"], "latency": 0.0005},
+    },
+    "group": {"hosts": ["s1", "s2"]},
+    "traffic": {"kind": "poisson", "rate": 50.0, "sources": ["client"]},
+}
+
+
+def variant(**overrides):
+    data = copy.deepcopy(BASE)
+    for key, value in overrides.items():
+        if value is None:
+            data.pop(key, None)
+        else:
+            data[key] = value
+    return data
+
+
+class TestLoading:
+    def test_base_spec_loads(self):
+        spec = Spec.from_dict(BASE)
+        assert spec.name == "base"
+        assert spec.seed == 3
+        assert sorted(spec.host_names()) == ["client", "s1", "s2"]
+        # The LAN shorthand meshes all three hosts.
+        assert len(spec.links) == 3
+
+    def test_load_spec_accepts_dict(self):
+        assert load_spec(BASE).name == "base"
+
+    def test_name_falls_back_to_argument(self):
+        spec = Spec.from_dict(variant(name=None), name="from-file")
+        assert spec.name == "from-file"
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(SpecError, match="missing 'name'"):
+            Spec.from_dict(variant(name=None))
+
+    def test_toml_round_trip(self, tmp_path):
+        path = tmp_path / "tiny.toml"
+        path.write_text(
+            """
+            duration = 0.5
+
+            [topology.lan]
+            hosts = ["client", "s1"]
+
+            [group]
+            hosts = ["s1"]
+
+            [traffic]
+            sources = ["client"]
+            """
+        )
+        spec = Spec.from_toml(str(path))
+        assert spec.name == "tiny"  # defaults to the file stem
+        assert spec.duration == 0.5
+
+    def test_invalid_toml_names_file(self, tmp_path):
+        path = tmp_path / "broken.toml"
+        path.write_text("[topology\n")
+        with pytest.raises(SpecError, match="invalid TOML"):
+            Spec.from_toml(str(path))
+
+
+class TestUnknownKeys:
+    def test_top_level(self):
+        with pytest.raises(SpecError, match="unknown key"):
+            Spec.from_dict(variant(tarffic={"rate": 5}))
+
+    def test_nested_section(self):
+        data = variant()
+        data["traffic"]["rte"] = 5.0
+        with pytest.raises(SpecError, match="traffic.*'rte'"):
+            Spec.from_dict(data)
+
+    def test_link_entry(self):
+        data = variant(
+            topology={
+                "hosts": ["a", "b"],
+                "links": [{"a": "a", "b": "b", "lateny": 1.0}],
+            },
+            group={"hosts": ["b"]},
+            traffic={"sources": ["a"]},
+        )
+        with pytest.raises(SpecError, match="'lateny'"):
+            Spec.from_dict(data)
+
+
+class TestTopologyValidation:
+    def test_dangling_link_host(self):
+        data = variant(
+            topology={
+                "hosts": ["a", "b"],
+                "links": [{"a": "a", "b": "ghost"}],
+            },
+            group={"hosts": ["b"]},
+            traffic={"sources": ["a"]},
+        )
+        with pytest.raises(SpecError, match="unknown host 'ghost'"):
+            Spec.from_dict(data)
+
+    def test_self_link(self):
+        data = variant(
+            topology={"hosts": ["a", "b"], "links": [{"a": "a", "b": "a"}]},
+            group={"hosts": ["b"]},
+            traffic={"sources": ["a"]},
+        )
+        with pytest.raises(SpecError, match="itself"):
+            Spec.from_dict(data)
+
+    def test_dangling_cohort_gateway(self):
+        data = variant()
+        data["topology"]["cohorts"] = [
+            {"name": "edge", "clients": 2, "gateway": "nowhere"}
+        ]
+        with pytest.raises(SpecError, match="gateway 'nowhere'"):
+            Spec.from_dict(data)
+
+    def test_cohort_needs_clients(self):
+        data = variant()
+        data["topology"]["cohorts"] = [
+            {"name": "edge", "clients": 0, "gateway": "s1"}
+        ]
+        with pytest.raises(SpecError, match="clients must be >= 1"):
+            Spec.from_dict(data)
+
+    def test_duplicate_host_names(self):
+        data = variant()
+        # The "edge" cohort expands to edge00 — colliding with the
+        # explicitly declared host of the same name.
+        data["topology"]["hosts"] = ["edge00"]
+        data["topology"]["cohorts"] = [
+            {"name": "edge", "clients": 1, "gateway": "s2"}
+        ]
+        with pytest.raises(SpecError, match="duplicate host"):
+            Spec.from_dict(data)
+
+    def test_no_hosts_at_all(self):
+        with pytest.raises(SpecError, match="no hosts"):
+            Spec.from_dict(
+                variant(topology={}, group={"hosts": ["s1"]})
+            )
+
+    def test_negative_latency(self):
+        data = variant()
+        data["topology"]["lan"]["latency"] = -1.0
+        with pytest.raises(SpecError, match="latency must be non-negative"):
+            Spec.from_dict(data)
+
+    def test_loss_rate_range(self):
+        data = variant(
+            topology={
+                "hosts": ["a", "b"],
+                "links": [{"a": "a", "b": "b", "loss_rate": 1.0}],
+            },
+            group={"hosts": ["b"]},
+            traffic={"sources": ["a"]},
+        )
+        with pytest.raises(SpecError, match="loss_rate"):
+            Spec.from_dict(data)
+
+
+class TestRateValidation:
+    @pytest.mark.parametrize("rate", [0.0, -5.0])
+    def test_negative_or_zero_traffic_rate(self, rate):
+        data = variant()
+        data["traffic"]["rate"] = rate
+        with pytest.raises(SpecError, match="traffic.rate must be positive"):
+            Spec.from_dict(data)
+
+    def test_negative_duration(self):
+        with pytest.raises(SpecError, match="duration must be positive"):
+            Spec.from_dict(variant(duration=-1.0))
+
+    def test_negative_service_time(self):
+        data = variant(group={"hosts": ["s1"], "service_time": -0.01})
+        with pytest.raises(SpecError, match="service_time"):
+            Spec.from_dict(data)
+
+    def test_on_max_must_exceed_on_min(self):
+        data = variant()
+        data["traffic"].update(kind="onoff", on_min=10.0, on_max=5.0)
+        with pytest.raises(SpecError, match="on_max .* must exceed on_min"):
+            Spec.from_dict(data)
+
+    def test_amplitude_below_one(self):
+        data = variant()
+        data["traffic"].update(kind="diurnal", amplitude=1.0)
+        with pytest.raises(SpecError, match="amplitude"):
+            Spec.from_dict(data)
+
+    def test_peak_below_base(self):
+        data = variant()
+        data["traffic"].update(
+            kind="flash_crowd", base_rate=200.0, peak_rate=100.0
+        )
+        with pytest.raises(SpecError, match="peak_rate"):
+            Spec.from_dict(data)
+
+    def test_class_shares_positive(self):
+        data = variant()
+        data["traffic"]["classes"] = {"gold": 1.0, "bronze": 0.0}
+        with pytest.raises(SpecError, match="classes shares"):
+            Spec.from_dict(data)
+
+
+class TestCrossSections:
+    def test_group_hosts_must_exist(self):
+        with pytest.raises(SpecError, match="group.hosts.*'ghost'"):
+            Spec.from_dict(variant(group={"hosts": ["ghost"]}))
+
+    def test_group_needs_a_host(self):
+        with pytest.raises(SpecError, match="at least one serving host"):
+            Spec.from_dict(variant(group={"hosts": []}))
+
+    def test_traffic_sources_must_exist(self):
+        data = variant()
+        data["traffic"]["sources"] = ["ghost"]
+        with pytest.raises(SpecError, match="traffic.sources.*'ghost'"):
+            Spec.from_dict(data)
+
+    def test_source_cannot_serve(self):
+        data = variant()
+        data["traffic"]["sources"] = ["s1"]
+        with pytest.raises(SpecError, match="both traffic sources and group"):
+            Spec.from_dict(data)
+
+    def test_glob_expansion(self):
+        data = variant()
+        data["topology"]["cohorts"] = [
+            {"name": "edge", "clients": 3, "gateway": "s1"}
+        ]
+        data["traffic"]["sources"] = ["edge*"]
+        spec = Spec.from_dict(data)
+        assert spec.traffic.sources == ["edge00", "edge01", "edge02"]
+
+    def test_glob_with_no_match(self):
+        data = variant()
+        data["traffic"]["sources"] = ["nomatch*"]
+        with pytest.raises(SpecError, match="matches no host"):
+            Spec.from_dict(data)
+
+    def test_fluid_hosts_must_exist(self):
+        data = variant(
+            fluid={"n_clients": 10, "src": "client", "dst": "ghost"}
+        )
+        with pytest.raises(SpecError, match="fluid.dst 'ghost'"):
+            Spec.from_dict(data)
+
+    def test_fluid_needs_src_and_dst(self):
+        with pytest.raises(SpecError, match="both 'src' and 'dst'"):
+            Spec.from_dict(variant(fluid={"n_clients": 10}))
+
+    def test_bad_sched_policy(self):
+        with pytest.raises(SpecError, match="sched.policy"):
+            Spec.from_dict(variant(sched={"policy": "lifo"}))
+
+    def test_bad_tier(self):
+        with pytest.raises(SpecError, match="spec.tier"):
+            Spec.from_dict(variant(tier="gpu"))
+
+
+class TestShardTierConstraints:
+    def shard_variant(self, **extra):
+        data = variant(
+            tier="shard",
+            topology={"clusters": {"clusters": 2, "hosts_per_cluster": 2}},
+            group={"hosts": ["c*h00"]},
+            traffic={"kind": "onoff", "sources": ["c*h01"]},
+        )
+        data.update(extra)
+        return data
+
+    def test_shard_spec_loads(self):
+        spec = Spec.from_dict(self.shard_variant())
+        assert spec.tier == "shard"
+        assert len(spec.host_names()) == 4
+        assert spec.group.hosts == ["c00h00", "c01h00"]
+
+    def test_shard_rejects_non_onoff_traffic(self):
+        data = self.shard_variant()
+        data["traffic"] = {"kind": "poisson", "sources": ["c*h01"]}
+        with pytest.raises(SpecError, match="tier = 'orb'"):
+            Spec.from_dict(data)
+
+    def test_shard_rejects_chaos(self):
+        data = self.shard_variant(
+            chaos=[{"kind": "crash", "at": 0.1, "host": "c00h01"}]
+        )
+        with pytest.raises(SpecError, match="chaos requires the orb tier"):
+            Spec.from_dict(data)
+
+    def test_shard_rejects_reliability(self):
+        data = self.shard_variant(reliability={"enabled": True})
+        with pytest.raises(SpecError, match="reliability requires the orb"):
+            Spec.from_dict(data)
+
+
+class TestChaosInSpec:
+    def test_overlapping_partitions_rejected(self):
+        data = variant(
+            chaos=[
+                {"kind": "partition", "at": 0.2,
+                 "groups": [["client"], ["s1", "s2"]]},
+                {"kind": "partition", "at": 0.4,
+                 "groups": [["client"], ["s1", "s2"]]},
+                {"kind": "heal", "at": 0.6},
+            ]
+        )
+        with pytest.raises(SpecError, match="overlapping chaos windows"):
+            Spec.from_dict(data)
+
+    def test_chaos_after_duration_rejected(self):
+        data = variant(
+            chaos=[{"kind": "crash", "at": 5.0, "host": "s1"}]
+        )
+        with pytest.raises(SpecError, match="after the scenario ends"):
+            Spec.from_dict(data)
+
+    def test_chaos_host_must_exist(self):
+        data = variant(
+            chaos=[{"kind": "crash", "at": 0.1, "host": "ghost"}]
+        )
+        with pytest.raises(SpecError, match="unknown host 'ghost'"):
+            Spec.from_dict(data)
+
+    def test_chaos_must_be_a_list(self):
+        with pytest.raises(SpecError, match="list of event tables"):
+            Spec.from_dict(variant(chaos={"kind": "heal", "at": 0.1}))
+
+
+class TestSLOValidation:
+    def test_goodput_floor_range(self):
+        with pytest.raises(SpecError, match="goodput_floor"):
+            Spec.from_dict(variant(slo={"goodput_floor": 1.5}))
+
+    def test_failure_ratio_range(self):
+        with pytest.raises(SpecError, match="max_failure_ratio"):
+            Spec.from_dict(variant(slo={"max_failure_ratio": -0.1}))
+
+    def test_p95_positive(self):
+        with pytest.raises(SpecError, match="p95_ms"):
+            Spec.from_dict(variant(slo={"p95_ms": 0.0}))
+
+
+class TestShippedSpecs:
+    """Every spec shipped under scenarios/ must load and validate."""
+
+    def test_all_shipped_specs_load(self, shipped_specs):
+        assert len(shipped_specs) >= 8
+        names = {spec.name for spec in shipped_specs}
+        for required in (
+            "diurnal", "flash_crowd", "regional_partition", "slow_link_cohort"
+        ):
+            assert required in names
+
+    def test_shipped_specs_cover_the_traffic_kinds(self, shipped_specs):
+        kinds = {spec.traffic.kind for spec in shipped_specs}
+        assert {"poisson", "onoff", "diurnal", "flash_crowd"} <= kinds
+
+    def test_shipped_specs_cover_both_tiers(self, shipped_specs):
+        tiers = {spec.tier for spec in shipped_specs}
+        assert tiers == {"orb", "shard"}

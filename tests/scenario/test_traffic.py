@@ -1,0 +1,209 @@
+"""Property tests for the scenario traffic generators (hypothesis)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scenario.traffic import (
+    bounded_pareto,
+    diurnal_arrivals,
+    diurnal_rate,
+    flash_crowd_arrivals,
+    flash_crowd_rate,
+    hill_estimator,
+    onoff_arrivals,
+    onoff_sessions,
+)
+from repro.workloads.generators import thinned_arrivals
+
+
+class TestBoundedPareto:
+    def test_support(self):
+        rng = random.Random(1)
+        for _ in range(1000):
+            value = bounded_pareto(rng.random(), 1.5, 2.0, 500.0)
+            assert 2.0 <= value <= 500.0
+
+    def test_monotone_in_u(self):
+        low = bounded_pareto(0.1, 1.5, 1.0, 1000.0)
+        high = bounded_pareto(0.9, 1.5, 1.0, 1000.0)
+        assert low < high
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            bounded_pareto(0.5, 0.0, 1.0, 10.0)
+        with pytest.raises(ValueError):
+            bounded_pareto(0.5, 1.5, 10.0, 1.0)
+        with pytest.raises(ValueError):
+            bounded_pareto(1.0, 1.5, 1.0, 10.0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        alpha=st.floats(min_value=1.2, max_value=2.5),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_hill_recovers_tail_index(self, alpha, seed):
+        """The Hill estimate of generated samples matches the configured
+        tail index to within 30% — the generator really is Pareto."""
+        rng = random.Random(seed)
+        # A huge cap keeps truncation bias out of the tail estimate.
+        values = [
+            bounded_pareto(rng.random(), alpha, 1.0, 1e9) for _ in range(4000)
+        ]
+        estimate = hill_estimator(values)
+        assert abs(estimate - alpha) / alpha < 0.30
+
+    def test_hill_needs_enough_samples(self):
+        with pytest.raises(ValueError):
+            hill_estimator([1.0, 2.0, 3.0])
+
+
+class TestOnOff:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    def test_identical_seed_identical_arrivals(self, seed):
+        config = dict(sources=3, burst_rate=300.0, seed=seed)
+        assert onoff_arrivals(0.5, **config) == onoff_arrivals(0.5, **config)
+
+    def test_different_seed_differs(self):
+        assert onoff_arrivals(0.5, seed=1) != onoff_arrivals(0.5, seed=2)
+
+    def test_arrivals_sorted_and_bounded(self):
+        times = onoff_arrivals(0.5, sources=4, seed=3, start=10.0)
+        assert times == sorted(times)
+        assert all(10.0 <= t < 10.5 for t in times)
+
+    def test_sessions_pace_at_burst_rate(self):
+        for session in onoff_sessions(1.0, sources=2, burst_rate=200.0, seed=4):
+            gaps = [
+                b - a for a, b in zip(session.arrivals, session.arrivals[1:])
+            ]
+            assert all(abs(gap - 1 / 200.0) < 1e-9 for gap in gaps)
+
+    def test_source_streams_stable_under_recomposition(self):
+        """Source i's sessions do not depend on how many sources run."""
+        small = [
+            s for s in onoff_sessions(0.5, sources=2, seed=5) if s.source == 0
+        ]
+        large = [
+            s for s in onoff_sessions(0.5, sources=6, seed=5) if s.source == 0
+        ]
+        assert [s.arrivals for s in small] == [s.arrivals for s in large]
+
+    def test_heavy_tail_in_generated_sizes(self):
+        sizes = [
+            float(s.size)
+            for s in onoff_sessions(
+                400.0, sources=4, on_alpha=1.5, on_min=2.0, on_max=1e7, seed=6
+            )
+        ]
+        assert len(sizes) > 500
+        estimate = hill_estimator(sizes)
+        assert abs(estimate - 1.5) / 1.5 < 0.35
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            onoff_sessions(-1.0)
+        with pytest.raises(ValueError):
+            onoff_sessions(1.0, sources=0)
+        with pytest.raises(ValueError):
+            onoff_sessions(1.0, burst_rate=0.0)
+
+
+class TestDiurnal:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        mean_rate=st.floats(min_value=10.0, max_value=500.0),
+        amplitude=st.floats(min_value=0.0, max_value=0.95),
+        phase=st.floats(min_value=0.0, max_value=6.28),
+    )
+    def test_integral_over_period_is_mean(self, mean_rate, amplitude, phase):
+        """The sinusoid integrates away over a whole period, so the
+        diurnal curve's integral equals ``mean_rate * period``."""
+        period = 2.0
+        steps = 4000
+        dt = period / steps
+        total = sum(
+            diurnal_rate((i + 0.5) * dt, mean_rate, period, amplitude, phase)
+            * dt
+            for i in range(steps)
+        )
+        assert total == pytest.approx(mean_rate * period, rel=1e-4)
+
+    def test_rate_never_negative(self):
+        for tau in range(0, 100):
+            assert diurnal_rate(tau / 10.0, 50.0, 3.0, 0.95, 1.0) >= 0.0
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    def test_identical_seed_identical_arrivals(self, seed):
+        a = diurnal_arrivals(100.0, 1.0, amplitude=0.5, seed=seed)
+        b = diurnal_arrivals(100.0, 1.0, amplitude=0.5, seed=seed)
+        assert a == b
+
+    def test_count_tracks_mean_rate(self):
+        times = diurnal_arrivals(200.0, 4.0, period=1.0, seed=7)
+        assert len(times) == pytest.approx(800, rel=0.15)
+
+    def test_peaks_where_the_sine_peaks(self):
+        times = diurnal_arrivals(200.0, 1.0, period=1.0, amplitude=0.9, seed=8)
+        first_half = sum(1 for t in times if t < 0.5)
+        assert first_half > len(times) * 0.6  # sin >= 0 on the first half
+
+    def test_rejects_bad_amplitude(self):
+        with pytest.raises(ValueError):
+            diurnal_arrivals(100.0, 1.0, amplitude=1.0)
+
+
+class TestFlashCrowd:
+    def test_piecewise_shape(self):
+        kw = dict(base_rate=100.0, peak_rate=400.0, ramp_at=1.0,
+                  ramp=0.5, hold=1.0, decay=0.5)
+        assert flash_crowd_rate(0.5, **kw) == 100.0
+        assert flash_crowd_rate(1.25, **kw) == pytest.approx(250.0)
+        assert flash_crowd_rate(2.0, **kw) == 400.0
+        assert flash_crowd_rate(2.75, **kw) == pytest.approx(250.0)
+        assert flash_crowd_rate(5.0, **kw) == 100.0
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    def test_identical_seed_identical_arrivals(self, seed):
+        a = flash_crowd_arrivals(2.0, 100.0, 400.0, 0.5, seed=seed)
+        b = flash_crowd_arrivals(2.0, 100.0, 400.0, 0.5, seed=seed)
+        assert a == b
+
+    def test_crowd_concentrates_in_the_spike(self):
+        times = flash_crowd_arrivals(
+            2.0, 50.0, 500.0, 0.8, ramp=0.1, hold=0.4, decay=0.1, seed=9
+        )
+        spike = sum(1 for t in times if 0.8 <= t <= 1.4)
+        before = sum(1 for t in times if t < 0.8)
+        assert spike > before  # 0.6 s of spike beats 0.8 s of base load
+
+    def test_rejects_peak_below_base(self):
+        with pytest.raises(ValueError):
+            flash_crowd_rate(0.0, 200.0, 100.0, 1.0)
+
+
+class TestThinning:
+    def test_constant_rate_matches_poisson_count(self):
+        times = thinned_arrivals(lambda tau: 100.0, 100.0, 4.0, seed=10)
+        assert len(times) == pytest.approx(400, rel=0.15)
+
+    def test_rejects_rate_above_bound(self):
+        with pytest.raises(ValueError):
+            thinned_arrivals(lambda tau: 200.0, 100.0, 1.0, seed=11)
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            thinned_arrivals(lambda tau: -1.0, 100.0, 1.0, seed=12)
+
+    def test_zero_duration_is_empty(self):
+        assert thinned_arrivals(lambda tau: 50.0, 100.0, 0.0) == []
+
+    def test_start_offsets_absolute_times(self):
+        times = thinned_arrivals(lambda tau: 50.0, 50.0, 1.0, seed=13, start=5.0)
+        assert all(5.0 <= t < 6.0 for t in times)
